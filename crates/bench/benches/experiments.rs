@@ -1,0 +1,342 @@
+//! Criterion micro-benchmarks: one group per experiment (E1–E13) over
+//! the hot path each experiment exercises, plus substrate benches.
+//! `cargo bench` runs everything; the `harness` binary produces the
+//! full tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dacs_core::scenario::{healthcare_vo, with_shared_cas};
+use dacs_crypto::sign::{CryptoCtx, SigningKey};
+use dacs_federation::{
+    issue_capability_flow, push_flow, request_flow, FlowKind, FlowNet, SizeModel,
+};
+use dacs_pap::SyndicationTree;
+use dacs_pdp::{Binding, PdpDirectory, TtlLruCache};
+use dacs_policy::conflict;
+use dacs_policy::dsl::parse_policy;
+use dacs_policy::eval::{EmptyStore, Evaluator};
+use dacs_policy::policy::{CombiningAlg, Effect, Policy, PolicyId, Rule};
+use dacs_policy::request::RequestContext;
+use dacs_policy::target::{AttrMatch, Target};
+use dacs_policy::AttributeId;
+use dacs_simnet::LinkSpec;
+use dacs_trust::{chain_scenario, negotiate, Strategy};
+use dacs_wire::security::SecureChannel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    let data = vec![0xabu8; 1024];
+    g.bench_function("sha256_1k", |b| {
+        b.iter(|| dacs_crypto::Sha256::digest(&data))
+    });
+    g.bench_function("hmac_1k", |b| {
+        b.iter(|| dacs_crypto::hmac::hmac_sha256(b"key", &data))
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let merkle = SigningKey::generate_merkle(&mut rng, 12);
+    let pk = merkle.public_key();
+    let ctx = CryptoCtx::new();
+    g.bench_function("merkle_sign", |b| b.iter(|| merkle.sign(&data).unwrap()));
+    let sig = merkle.sign(&data).unwrap();
+    g.bench_function("merkle_verify", |b| b.iter(|| ctx.verify(&pk, &data, &sig)));
+    let request = RequestContext::basic("alice@a", "records/42", "read")
+        .with_subject_attr("role", "doctor");
+    g.bench_function("codec_encode_request", |b| {
+        b.iter(|| dacs_wire::codec::to_bytes(&request).unwrap())
+    });
+    let bytes = dacs_wire::codec::to_bytes(&request).unwrap();
+    g.bench_function("codec_decode_request", |b| {
+        b.iter(|| {
+            let r: RequestContext = dacs_wire::codec::from_bytes(&bytes).unwrap();
+            r
+        })
+    });
+    g.bench_function("xmlish_encode_request", |b| {
+        b.iter(|| dacs_wire::xmlish::encoded_len(&request).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_e1_e2_e8_flows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flows");
+    g.bench_function("e1_pull_flow_cross_domain", |b| {
+        let ctx = CryptoCtx::new();
+        let vo = healthcare_vo(2, 8, &ctx);
+        let mut fnet = FlowNet::build(&vo, 3, LinkSpec::lan(), LinkSpec::wan());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            request_flow(
+                &mut fnet,
+                &vo,
+                FlowKind::Pull,
+                "user-1@domain-1",
+                0,
+                "records/1",
+                "read",
+                t,
+                SizeModel::Compact,
+            )
+        })
+    });
+    g.bench_function("e2_capability_issue", |b| {
+        let ctx = CryptoCtx::new();
+        let vo = with_shared_cas(healthcare_vo(2, 8, &ctx), 3_600_000);
+        let mut fnet = FlowNet::build(&vo, 3, LinkSpec::lan(), LinkSpec::wan());
+        b.iter(|| {
+            issue_capability_flow(
+                &mut fnet,
+                &vo,
+                "user-1@domain-1",
+                "shared/*",
+                &["read".to_string()],
+                "domain-0",
+                0,
+                SizeModel::Compact,
+            )
+        })
+    });
+    g.bench_function("e8_push_request", |b| {
+        let ctx = CryptoCtx::new();
+        let vo = with_shared_cas(healthcare_vo(2, 8, &ctx), 3_600_000);
+        let mut fnet = FlowNet::build(&vo, 3, LinkSpec::lan(), LinkSpec::wan());
+        let (cap, _) = issue_capability_flow(
+            &mut fnet,
+            &vo,
+            "user-1@domain-1",
+            "shared/*",
+            &["read".to_string()],
+            "domain-0",
+            0,
+            SizeModel::Compact,
+        );
+        let cap = cap.unwrap();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            push_flow(
+                &mut fnet,
+                &vo,
+                "user-1@domain-1",
+                0,
+                "shared/x",
+                "read",
+                &cap,
+                t,
+                SizeModel::Compact,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_e3_e4_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let policy = parse_policy(
+        r#"
+policy "gate" first-applicable {
+  target { resource "id" ~= "records/*"; }
+  rule "doctors" permit {
+    target { action "id" == "read"; }
+    condition and(
+      is-in("doctor", attr(subject, "role")),
+      lt(hour-of(attr!(env, "current-time")), 17)
+    )
+  }
+  rule "default-deny" deny { }
+}
+"#,
+    )
+    .unwrap();
+    let request = RequestContext::basic("alice", "records/42", "read")
+        .with_subject_attr("role", "doctor")
+        .with_env_attr(
+            "current-time",
+            dacs_policy::attr::AttrValue::Time(9 * 3_600_000),
+        );
+    let store = EmptyStore;
+    g.bench_function("e3_policy_evaluation", |b| {
+        b.iter(|| {
+            let mut ev = Evaluator::new(&store, &request);
+            ev.evaluate_policy(&policy)
+        })
+    });
+    // Combining algorithm throughput (E4).
+    for alg in [
+        CombiningAlg::DenyOverrides,
+        CombiningAlg::FirstApplicable,
+        CombiningAlg::DenyUnlessPermit,
+    ] {
+        let mut p = Policy::new(PolicyId::new("many"), alg);
+        for i in 0..64 {
+            p = p.with_rule(
+                Rule::new(format!("r{i}"), Effect::Permit).with_target(Target::all(vec![
+                    AttrMatch::equals(AttributeId::subject("role"), format!("role-{i}")),
+                ])),
+            );
+        }
+        let req = RequestContext::basic("u", "r", "a").with_subject_attr("role", "role-63");
+        g.bench_function(format!("e4_combining_{}", alg.name()), |b| {
+            b.iter(|| {
+                let mut ev = Evaluator::new(&store, &req);
+                ev.evaluate_policy(&p)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_e5_syndication(c: &mut Criterion) {
+    c.bench_function("e5_syndication_propagate_d3f3", |b| {
+        let policy = Policy::new(PolicyId::new("p"), CombiningAlg::DenyOverrides)
+            .with_rule(Rule::new("ok", Effect::Permit));
+        b.iter_batched(
+            || SyndicationTree::uniform("root", 3, 3),
+            |mut tree| tree.propagate(policy.clone(), 0),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_e6_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_cache");
+    g.bench_function("ttl_lru_hit", |b| {
+        let mut cache: TtlLruCache<u64, u64> = TtlLruCache::new(1024, 1_000_000);
+        for i in 0..1024u64 {
+            cache.insert(i, i, 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            cache.get(&i, 1)
+        })
+    });
+    g.bench_function("ttl_lru_insert_evict", |b| {
+        let mut cache: TtlLruCache<u64, u64> = TtlLruCache::new(256, 1_000_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(i, i, 0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_e7_security(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_message_security");
+    let payload = vec![0u8; 512];
+    let ctx = CryptoCtx::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let key = Arc::new(SigningKey::generate_sim(ctx.registry(), &mut rng));
+    let mut plain = SecureChannel::plain("a", ctx.clone());
+    g.bench_function("wrap_plain", |b| b.iter(|| plain.wrap(&payload).unwrap()));
+    let mut signed = SecureChannel::signed("a", ctx.clone(), key.clone());
+    g.bench_function("wrap_signed_sim", |b| b.iter(|| signed.wrap(&payload).unwrap()));
+    let mut enc = SecureChannel::signed_encrypted("a", ctx.clone(), key.clone(), b"s", "l");
+    g.bench_function("wrap_signed_encrypted_sim", |b| {
+        b.iter(|| enc.wrap(&payload).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_e9_conflicts(c: &mut Criterion) {
+    c.bench_function("e9_conflict_analysis_128", |b| {
+        let mut policies = Vec::new();
+        for i in 0..128 {
+            let effect = if i % 2 == 0 { Effect::Permit } else { Effect::Deny };
+            policies.push(
+                Policy::new(PolicyId::new(format!("p{i}")), CombiningAlg::DenyOverrides)
+                    .with_rule(Rule::new("r", effect).with_target(Target::all(vec![
+                        AttrMatch::glob(
+                            AttributeId::resource("id"),
+                            format!("area-{}/*", i % 16),
+                        ),
+                    ]))),
+            );
+        }
+        b.iter(|| conflict::analyze(policies.iter()))
+    });
+}
+
+fn bench_e10_e11_e12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("models");
+    g.bench_function("e10_negotiation_depth4", |b| {
+        let (client, server, goal) = chain_scenario(4, 4);
+        b.iter(|| negotiate(&client, &server, &goal, Strategy::Parsimonious, 50))
+    });
+    g.bench_function("e11_delegation_validate_depth8", |b| {
+        let mut reg = dacs_pap::DelegationRegistry::new();
+        reg.add_root("root");
+        let mut delegator = "root".to_string();
+        for d in 0..8u32 {
+            let next = format!("a{d}");
+            reg.grant(&delegator, &next, "ns/*", 8 - d, 1_000_000, 0)
+                .unwrap();
+            delegator = next;
+        }
+        b.iter(|| reg.validate("a7", "ns/p", 10))
+    });
+    g.bench_function("e12_rbac_check_10k_users", |b| {
+        let mut rbac = dacs_rbac::Rbac::new();
+        for r in 0..64 {
+            rbac.add_role(format!("role-{r}"));
+        }
+        for d in 1..6 {
+            rbac.add_inheritance(&format!("role-{d}"), &format!("role-{}", d - 1))
+                .unwrap();
+        }
+        for r in 0..64 {
+            rbac.grant(
+                &format!("role-{r}"),
+                dacs_rbac::Permission::new("read", format!("area-{r}/*")),
+            )
+            .unwrap();
+        }
+        for u in 0..10_000 {
+            let name = format!("user-{u}");
+            rbac.add_user(&name);
+            rbac.assign(&name, &format!("role-{}", u % 64)).unwrap();
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            rbac.check(&format!("user-{i}"), "read", "area-0/doc")
+        })
+    });
+    g.finish();
+}
+
+fn bench_e13_discovery(c: &mut Criterion) {
+    c.bench_function("e13_discovery_resolve", |b| {
+        let dir = PdpDirectory::new();
+        for r in 0..8 {
+            dir.register(format!("pdp-{r}"), "d");
+        }
+        let binding = Binding::Discovery;
+        b.iter(|| dir.resolve(&binding, "d"))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_substrates,
+    bench_e1_e2_e8_flows,
+    bench_e3_e4_engine,
+    bench_e5_syndication,
+    bench_e6_cache,
+    bench_e7_security,
+    bench_e9_conflicts,
+    bench_e10_e11_e12,
+    bench_e13_discovery
+);
+criterion_main!(benches);

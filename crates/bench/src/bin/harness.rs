@@ -1,0 +1,54 @@
+//! The experiment harness: regenerates every figure/claim table of the
+//! paper (DESIGN.md §5, EXPERIMENTS.md).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p dacs-bench --release --bin harness -- all
+//! cargo run -p dacs-bench --release --bin harness -- e5 e8 e10
+//! ```
+
+use dacs_core::experiments as exp;
+use dacs_core::stats::Table;
+
+fn run(id: &str) -> Option<Table> {
+    Some(match id {
+        "e1" => exp::e1_vo_end_to_end(400),
+        "e2" => exp::e2_capability_flow(),
+        "e3" => exp::e3_policy_scaling(),
+        "e4" => exp::e4_xacml_dataflow(),
+        "e5" => exp::e5_syndication(),
+        "e6" => exp::e6_caching(4000),
+        "e7" => exp::e7_message_security(50),
+        "e8" => exp::e8_push_vs_pull(),
+        "e9" => exp::e9_conflict_analysis(),
+        "e10" => exp::e10_trust_negotiation(),
+        "e11" => exp::e11_delegation(),
+        "e12" => exp::e12_rbac_scale(),
+        "e13" => exp::e13_pdp_discovery(2000),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: harness <all | e1 .. e13>...");
+        std::process::exit(2);
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        (1..=13).map(|i| format!("e{i}")).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        match run(&id) {
+            Some(table) => {
+                println!("{}", table.render());
+            }
+            None => {
+                eprintln!("unknown experiment {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Support crate for the DACS benchmark suite: see the `harness` binary
+//! (`cargo run -p dacs-bench --release --bin harness -- all`) and the
+//! criterion benches (`cargo bench`).

@@ -1,0 +1,895 @@
+//! The experiment suite: one function per paper artefact (Fig. 1–5) and
+//! per Section-3 claim, as indexed in DESIGN.md §5. Each returns a
+//! [`Table`] that the harness binary prints and EXPERIMENTS.md records.
+
+use crate::scenario::{healthcare_vo, with_shared_cas};
+use crate::stats::{f2, us_as_ms, Summary, Table};
+use crate::workload::{generate, WorkloadSpec};
+use dacs_crypto::sign::{CryptoCtx, SigningKey};
+use dacs_federation::{
+    issue_capability_flow, push_flow, request_flow, FlowKind, FlowNet, SizeModel, Vo,
+};
+use dacs_pap::{DelegationRegistry, SyndicationTree};
+use dacs_pdp::{Binding, CacheConfig, Pdp, PdpDirectory};
+use dacs_pip::{PipRegistry, StaticAttributes};
+use dacs_policy::conflict;
+use dacs_policy::policy::{
+    CombiningAlg, Decision, Effect, Policy, PolicyElement, PolicyId, PolicySet, Rule,
+};
+use dacs_policy::request::RequestContext;
+use dacs_policy::target::{AttrMatch, Target};
+use dacs_policy::AttributeId;
+use dacs_simnet::LinkSpec;
+use dacs_trust::{chain_scenario, negotiate, Strategy};
+use dacs_wire::security::{SecureChannel, SecurityMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn flownet(vo: &Vo, seed: u64) -> FlowNet {
+    FlowNet::build(vo, seed, LinkSpec::lan(), LinkSpec::wan())
+}
+
+/// E1 (Fig. 1): end-to-end authorization across a VO of N domains.
+pub fn e1_vo_end_to_end(requests: usize) -> Table {
+    let mut table = Table::new(
+        "E1 — Fig. 1: VO end-to-end authorization (pull model)",
+        &[
+            "domains",
+            "requests",
+            "allowed%",
+            "msgs/req",
+            "bytes/req",
+            "lat p50 (ms)",
+            "lat p95 (ms)",
+        ],
+    );
+    for n in [2usize, 4, 8] {
+        let ctx = CryptoCtx::new();
+        let vo = healthcare_vo(n, 50, &ctx);
+        let mut fnet = flownet(&vo, 17);
+        let spec = WorkloadSpec {
+            domains: n,
+            users_per_domain: 50,
+            resources_per_domain: 100,
+            cross_domain_fraction: 0.3,
+            actions: vec!["read".into(), "write".into()],
+            ..WorkloadSpec::default()
+        };
+        let items = generate(&spec, requests, 100 + n as u64);
+        let mut allowed = 0usize;
+        let (mut msgs, mut bytes) = (0u64, 0u64);
+        let mut lats = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let trace = request_flow(
+                &mut fnet,
+                &vo,
+                FlowKind::Pull,
+                &item.subject,
+                item.target_domain,
+                &item.resource,
+                &item.action,
+                i as u64,
+                SizeModel::Compact,
+            );
+            allowed += trace.allowed as usize;
+            msgs += trace.messages;
+            bytes += trace.bytes;
+            lats.push(trace.latency_us);
+        }
+        let lat = Summary::of(&lats);
+        table.row(vec![
+            n.to_string(),
+            requests.to_string(),
+            f2(100.0 * allowed as f64 / requests as f64),
+            f2(msgs as f64 / requests as f64),
+            f2(bytes as f64 / requests as f64),
+            us_as_ms(lat.p50),
+            us_as_ms(lat.p95),
+        ]);
+    }
+    table
+}
+
+/// E2 (Fig. 2): capability issuance amortized over K uses.
+pub fn e2_capability_flow() -> Table {
+    let mut table = Table::new(
+        "E2 — Fig. 2: capability-issuing (push) flow, reuse factor K",
+        &[
+            "K (uses/cap)",
+            "msgs total",
+            "msgs/req",
+            "bytes/req",
+            "lat p50 (ms)",
+        ],
+    );
+    for k in [1u64, 2, 4, 8, 16, 64] {
+        let ctx = CryptoCtx::new();
+        let vo = with_shared_cas(healthcare_vo(2, 8, &ctx), 3_600_000);
+        let mut fnet = flownet(&vo, 23);
+        let subject = "user-1@domain-1";
+        let (cap, issue_trace) = issue_capability_flow(
+            &mut fnet,
+            &vo,
+            subject,
+            "shared/*",
+            &["read".to_string()],
+            "domain-0",
+            0,
+            SizeModel::Compact,
+        );
+        let cap = cap.expect("prescreen permits shared reads");
+        let mut msgs = issue_trace.messages;
+        let mut bytes = issue_trace.bytes;
+        let mut lats = Vec::new();
+        for i in 0..k {
+            let t = push_flow(
+                &mut fnet,
+                &vo,
+                subject,
+                0,
+                &format!("shared/item-{i}"),
+                "read",
+                &cap,
+                1 + i,
+                SizeModel::Compact,
+            );
+            assert!(t.allowed, "push request must carry: {t:?}");
+            msgs += t.messages;
+            bytes += t.bytes;
+            lats.push(t.latency_us);
+        }
+        let lat = Summary::of(&lats);
+        table.row(vec![
+            k.to_string(),
+            msgs.to_string(),
+            f2(msgs as f64 / k as f64),
+            f2(bytes as f64 / k as f64),
+            us_as_ms(lat.p50),
+        ]);
+    }
+    table
+}
+
+fn synthetic_policies(count: usize, matching_fraction: f64, seed: u64) -> (Vec<Policy>, String) {
+    // Policies target disjoint resource prefixes; a fraction match the
+    // probe resource prefix "hot/".
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let hot = rng.gen::<f64>() < matching_fraction;
+        let prefix = if hot { "hot".to_string() } else { format!("cold-{i}") };
+        let policy = Policy::new(
+            PolicyId::new(format!("p-{i}")),
+            CombiningAlg::PermitOverrides,
+        )
+        .with_target(Target::all(vec![AttrMatch::glob(
+            AttributeId::resource("id"),
+            format!("{prefix}/*"),
+        )]))
+        .with_rule(
+            Rule::new("readers", Effect::Permit).with_target(Target::all(vec![
+                AttrMatch::equals(AttributeId::action("id"), "read"),
+            ])),
+        );
+        out.push(policy);
+    }
+    (out, "hot/item".to_string())
+}
+
+/// E3 (Fig. 3): pull-model PDP cost as the policy base grows.
+pub fn e3_policy_scaling() -> Table {
+    let mut table = Table::new(
+        "E3 — Fig. 3: policy-issuing (pull) PDP cost vs policy count",
+        &[
+            "policies",
+            "targets checked/req",
+            "rules eval/req",
+            "decide µs (mean)",
+        ],
+    );
+    for p in [16usize, 64, 256, 1024] {
+        let (policies, probe) = synthetic_policies(p, 0.05, 42);
+        let pap = Arc::new(dacs_pap::Pap::new("pap.e3"));
+        // deny-overrides cannot short-circuit on Permit, so every policy
+        // target is inspected: the linear-scan worst case (the paper's
+        // per-request evaluation cost concern).
+        let mut root = PolicySet::new("root", CombiningAlg::DenyOverrides);
+        for pol in policies {
+            root = root.with_policy_ref(PolicyId::new(pol.id.as_str()));
+            pap.submit("bench", pol, 0).unwrap();
+        }
+        pap.install_set(root);
+        let pdp = Pdp::new(
+            "pdp.e3",
+            pap,
+            PolicyElement::PolicySetRef(PolicyId::new("root")),
+            Arc::new(PipRegistry::new()),
+        );
+        let request = RequestContext::basic("u@d", probe.as_str(), "read");
+        let iters = 200usize;
+        let start = Instant::now();
+        for _ in 0..iters {
+            pdp.decide(&request, 0);
+        }
+        let elapsed_us = start.elapsed().as_micros() as f64 / iters as f64;
+        let m = pdp.metrics();
+        table.row(vec![
+            p.to_string(),
+            f2(m.eval.targets_checked as f64 / m.decisions as f64),
+            f2(m.eval.rules_evaluated as f64 / m.decisions as f64),
+            f2(elapsed_us),
+        ]);
+    }
+    table
+}
+
+/// E4 (Fig. 4): PIP attribute retrieval volume and combining-algorithm
+/// behaviour.
+pub fn e4_xacml_dataflow() -> Table {
+    let mut table = Table::new(
+        "E4 — Fig. 4: XACML data flow — attribute volume and combining algorithms",
+        &["series", "param", "lookups/req", "decision", "rules eval"],
+    );
+    // Part A: attribute volume.
+    for a in [1usize, 4, 16, 64] {
+        let statics = Arc::new(StaticAttributes::new());
+        let mut conj = Vec::new();
+        for i in 0..a {
+            statics.add_subject_attr("alice", &format!("attr-{i}"), i as i64);
+            conj.push(dacs_policy::Expr::apply(
+                dacs_policy::Func::Eq,
+                vec![
+                    dacs_policy::Expr::attr_required(AttributeId::subject(format!("attr-{i}"))),
+                    dacs_policy::Expr::val(i as i64),
+                ],
+            ));
+        }
+        let policy = Policy::new("attrs", CombiningAlg::DenyUnlessPermit).with_rule(
+            Rule::new("all-attrs", Effect::Permit)
+                .with_condition(dacs_policy::Expr::and(conj)),
+        );
+        let pap = Arc::new(dacs_pap::Pap::new("pap.e4"));
+        pap.submit("bench", policy, 0).unwrap();
+        let mut pips = PipRegistry::new();
+        pips.add(statics);
+        let pdp = Pdp::new(
+            "pdp.e4",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("attrs")),
+            Arc::new(pips),
+        );
+        let request = RequestContext::basic("alice", "r", "read");
+        let resp = pdp.decide(&request, 0);
+        let m = pdp.metrics();
+        table.row(vec![
+            "attribute-volume".into(),
+            a.to_string(),
+            f2(m.eval.expr.attribute_lookups as f64),
+            resp.decision.to_string(),
+            m.eval.rules_evaluated.to_string(),
+        ]);
+    }
+    // Part B: combining algorithms over a permit+deny conflict.
+    for alg in CombiningAlg::ALL {
+        if alg == CombiningAlg::OnlyOneApplicable {
+            // Applicability-based: evaluated over disjoint targets below.
+            continue;
+        }
+        let policy = Policy::new("mix", alg)
+            .with_rule(Rule::new("r-permit", Effect::Permit))
+            .with_rule(Rule::new("r-deny", Effect::Deny));
+        let store = dacs_policy::eval::EmptyStore;
+        let request = RequestContext::basic("u", "r", "read");
+        let mut ev = dacs_policy::Evaluator::new(&store, &request);
+        let resp = ev.evaluate_policy(&policy);
+        table.row(vec![
+            "combining".into(),
+            alg.name().into(),
+            f2(ev.metrics.expr.attribute_lookups as f64),
+            resp.decision.to_string(),
+            ev.metrics.rules_evaluated.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E5 (Fig. 5): syndication-tree propagation cost.
+pub fn e5_syndication() -> Table {
+    let mut table = Table::new(
+        "E5 — Fig. 5: PAP syndication hierarchy propagation",
+        &[
+            "depth",
+            "fanout",
+            "nodes",
+            "msgs/update",
+            "vs pull-per-decision (1k decisions)",
+        ],
+    );
+    for (depth, fanout) in [(1u32, 2u32), (2, 2), (3, 2), (2, 4), (3, 4)] {
+        let mut tree = SyndicationTree::uniform("root", depth, fanout);
+        let policy = Policy::new("global-baseline", CombiningAlg::DenyOverrides)
+            .with_rule(Rule::new("ok", Effect::Permit));
+        let report = tree.propagate(policy, 0);
+        assert!(tree.converged(&PolicyId::new("global-baseline")));
+        // Baseline: every decision fetches the policy remotely
+        // (request + response = 2 messages per decision at each node).
+        let nodes = tree.len();
+        let pull_baseline = 1000u64 * 2;
+        table.row(vec![
+            depth.to_string(),
+            fanout.to_string(),
+            nodes.to_string(),
+            report.total_messages().to_string(),
+            format!("{} vs {}", report.total_messages(), pull_baseline),
+        ]);
+    }
+    table
+}
+
+/// E6: decision caching — hit rate vs staleness (false permits).
+pub fn e6_caching(requests: usize) -> Table {
+    let mut table = Table::new(
+        "E6 — §3.2 caching: TTL vs hit rate vs stale (false) permits",
+        &[
+            "ttl (ms)",
+            "hit rate",
+            "false-permit %",
+            "pdp evals",
+        ],
+    );
+    for ttl in [0u64, 100, 1_000, 10_000] {
+        let pap = Arc::new(dacs_pap::Pap::new("pap.e6"));
+        let policy = dacs_policy::dsl::parse_policy(
+            r#"
+policy "gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#,
+        )
+        .unwrap();
+        pap.submit("bench", policy, 0).unwrap();
+        let statics = Arc::new(StaticAttributes::new());
+        for u in 0..20 {
+            statics.add_subject_attr(&format!("user-{u}"), "role", "doctor");
+        }
+        let mut pips = PipRegistry::new();
+        pips.add(statics.clone());
+        let mut pdp = Pdp::new(
+            "pdp.e6",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("gate")),
+            Arc::new(pips),
+        );
+        if ttl > 0 {
+            pdp = pdp.with_cache(CacheConfig {
+                capacity: 1024,
+                ttl_ms: ttl,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut revoked: Vec<bool> = vec![false; 20];
+        let mut false_permits = 0usize;
+        // One request per ms; revoke one random user every 500 ms.
+        for t in 0..requests as u64 {
+            if t % 500 == 499 {
+                let victim = rng.gen_range(0..20);
+                if !revoked[victim] {
+                    statics.remove_subject(&format!("user-{victim}"));
+                    revoked[victim] = true;
+                }
+            }
+            let u = rng.gen_range(0..20);
+            let request = RequestContext::basic(format!("user-{u}"), "records/1", "read");
+            let resp = pdp.decide(&request, t);
+            if resp.decision == Decision::Permit && revoked[u] {
+                false_permits += 1;
+            }
+        }
+        let m = pdp.metrics();
+        let hit_rate = m.cache_hits as f64 / m.decisions as f64;
+        table.row(vec![
+            ttl.to_string(),
+            f2(hit_rate),
+            f2(100.0 * false_permits as f64 / requests as f64),
+            (m.decisions - m.cache_hits).to_string(),
+        ]);
+    }
+    table
+}
+
+/// E7: message security overhead (Juric et al. comparison).
+pub fn e7_message_security(iters: usize) -> Table {
+    let mut table = Table::new(
+        "E7 — §3.2 message security: size and throughput by protection mode",
+        &[
+            "mode",
+            "scheme",
+            "codec",
+            "wire bytes",
+            "size ×plain",
+            "wrap+unwrap µs",
+        ],
+    );
+    // Representative message: a decision request for a mid-size context.
+    let msg = dacs_federation::Msg::DecisionRequest {
+        request: RequestContext::basic("user-7@domain-1", "records/патология-42", "read")
+            .with_subject_attr("role", "doctor")
+            .with_subject_attr("dept", "radiology"),
+    };
+    for model in [SizeModel::Compact, SizeModel::Verbose] {
+        let payload_len = msg.size(model);
+        let payload = vec![0u8; payload_len];
+        let mut plain_len = 0usize;
+        for (mode, scheme) in [
+            (SecurityMode::Plain, "—"),
+            (SecurityMode::Signed, "sim-pki"),
+            (SecurityMode::Signed, "merkle"),
+            (SecurityMode::SignedEncrypted, "sim-pki"),
+        ] {
+            let ctx = CryptoCtx::new();
+            let mut rng = StdRng::seed_from_u64(9);
+            let key = Arc::new(match scheme {
+                "merkle" => SigningKey::generate_merkle(&mut rng, 12),
+                _ => SigningKey::generate_sim(ctx.registry(), &mut rng),
+            });
+            let make = |id: &str| -> SecureChannel {
+                match mode {
+                    SecurityMode::Plain => SecureChannel::plain(id, ctx.clone()),
+                    SecurityMode::Signed => SecureChannel::signed(id, ctx.clone(), key.clone()),
+                    SecurityMode::SignedEncrypted => SecureChannel::signed_encrypted(
+                        id,
+                        ctx.clone(),
+                        key.clone(),
+                        b"secret",
+                        "e7",
+                    ),
+                }
+            };
+            let mut sender = make("pep");
+            let mut receiver = make("pdp");
+            receiver.add_peer("pep", key.public_key());
+
+            let sample = sender.wrap(&payload).expect("key not exhausted");
+            let wire = sample.wire_len();
+            if mode == SecurityMode::Plain {
+                plain_len = wire;
+            }
+            receiver.unwrap(&sample).expect("verifies");
+
+            let start = Instant::now();
+            for _ in 0..iters {
+                let m = sender.wrap(&payload).expect("key not exhausted");
+                receiver.unwrap(&m).expect("verifies");
+            }
+            let us = start.elapsed().as_micros() as f64 / iters as f64;
+            table.row(vec![
+                mode.name().into(),
+                scheme.into(),
+                format!("{model:?}"),
+                wire.to_string(),
+                f2(wire as f64 / plain_len.max(1) as f64),
+                f2(us),
+            ]);
+        }
+    }
+    table
+}
+
+/// E8: push-vs-pull trade-off, measured over real flows.
+pub fn e8_push_vs_pull() -> Table {
+    let mut table = Table::new(
+        "E8 — §2.2 push vs pull (measured): K cross-domain requests per client",
+        &[
+            "K",
+            "pull msgs",
+            "pull bytes",
+            "push msgs (incl. issuance)",
+            "push bytes",
+            "msg winner",
+        ],
+    );
+    for k in [1u64, 2, 4, 8, 16] {
+        let ctx = CryptoCtx::new();
+        let vo = with_shared_cas(healthcare_vo(2, 8, &ctx), 3_600_000);
+        let mut fnet = flownet(&vo, 29);
+        let subject = "user-1@domain-1";
+
+        // Pull: K cross-domain reads on records/* (6 messages each:
+        // service round trip + decision round trip + attribute fetch).
+        let (mut pull_msgs, mut pull_bytes) = (0u64, 0u64);
+        for i in 0..k {
+            let t = request_flow(
+                &mut fnet,
+                &vo,
+                FlowKind::Pull,
+                subject,
+                0,
+                &format!("records/{i}"),
+                "read",
+                i,
+                SizeModel::Compact,
+            );
+            assert!(t.allowed, "doctor read must pass: {t:?}");
+            pull_msgs += t.messages;
+            pull_bytes += t.bytes;
+        }
+
+        // Push: one issuance then K capability-bearing requests.
+        let (cap, issue_trace) = issue_capability_flow(
+            &mut fnet,
+            &vo,
+            subject,
+            "shared/*",
+            &["read".to_string()],
+            "domain-0",
+            0,
+            SizeModel::Compact,
+        );
+        let cap = cap.expect("prescreen permits shared reads");
+        let (mut push_msgs, mut push_bytes) = (issue_trace.messages, issue_trace.bytes);
+        for i in 0..k {
+            let t = push_flow(
+                &mut fnet,
+                &vo,
+                subject,
+                0,
+                &format!("shared/{i}"),
+                "read",
+                &cap,
+                100 + i,
+                SizeModel::Compact,
+            );
+            assert!(t.allowed, "capability must carry: {t:?}");
+            push_msgs += t.messages;
+            push_bytes += t.bytes;
+        }
+
+        table.row(vec![
+            k.to_string(),
+            pull_msgs.to_string(),
+            pull_bytes.to_string(),
+            push_msgs.to_string(),
+            push_bytes.to_string(),
+            if push_msgs < pull_msgs {
+                "push"
+            } else if push_msgs == pull_msgs {
+                "tie"
+            } else {
+                "pull"
+            }
+            .into(),
+        ]);
+    }
+    table
+}
+
+/// E9: static conflict analysis scaling.
+pub fn e9_conflict_analysis() -> Table {
+    let mut table = Table::new(
+        "E9 — §3.1 static conflict analysis scaling",
+        &[
+            "policies",
+            "conflicts found",
+            "cube pairs",
+            "analysis µs",
+        ],
+    );
+    for p in [32usize, 64, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut policies = Vec::with_capacity(p);
+        for i in 0..p {
+            // Half permit, half deny; resources drawn from 16 shared
+            // prefixes so overlaps occur.
+            let effect = if i % 2 == 0 { Effect::Permit } else { Effect::Deny };
+            let prefix = rng.gen_range(0..16);
+            let role = format!("role-{}", rng.gen_range(0..8));
+            let policy = Policy::new(
+                PolicyId::new(format!("p{i}")),
+                CombiningAlg::DenyOverrides,
+            )
+            .with_rule(
+                Rule::new("r", effect).with_target(Target::all(vec![
+                    AttrMatch::glob(AttributeId::resource("id"), format!("area-{prefix}/*")),
+                    AttrMatch::equals(AttributeId::subject("role"), role),
+                ])),
+            );
+            policies.push(policy);
+        }
+        let start = Instant::now();
+        let analysis = conflict::analyze(policies.iter());
+        let us = start.elapsed().as_micros();
+        table.row(vec![
+            p.to_string(),
+            analysis.conflicts.len().to_string(),
+            analysis.cubes_compared.to_string(),
+            us.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E10: trust negotiation rounds/disclosure vs chain depth.
+pub fn e10_trust_negotiation() -> Table {
+    let mut table = Table::new(
+        "E10 — §3.1 trust negotiation: chain depth × strategy",
+        &[
+            "depth",
+            "strategy",
+            "success",
+            "rounds",
+            "client disclosed",
+            "server disclosed",
+        ],
+    );
+    for depth in [0u32, 1, 2, 4, 8] {
+        for (strategy, name) in [(Strategy::Eager, "eager"), (Strategy::Parsimonious, "parsimonious")]
+        {
+            let (client, server, goal) = chain_scenario(depth, 6);
+            let out = negotiate(&client, &server, &goal, strategy, 100);
+            table.row(vec![
+                depth.to_string(),
+                name.into(),
+                out.success.to_string(),
+                out.rounds.to_string(),
+                out.disclosed_by_client.len().to_string(),
+                out.disclosed_by_server.len().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E11: delegation chain depth vs validation and revocation cost.
+pub fn e11_delegation() -> Table {
+    let mut table = Table::new(
+        "E11 — §3.2 delegation: chain depth vs validation / revocation",
+        &[
+            "chain depth",
+            "validate µs",
+            "chain length found",
+            "revoked grants",
+        ],
+    );
+    for depth in [1u32, 2, 4, 8, 16] {
+        let mut reg = DelegationRegistry::new();
+        reg.add_root("vo-root");
+        let mut delegator = "vo-root".to_string();
+        let mut first_grant = None;
+        for d in 0..depth {
+            let delegatee = format!("authority-{d}");
+            let g = reg
+                .grant(&delegator, &delegatee, "ns/*", depth - d, 1_000_000, 0)
+                .expect("chain grant");
+            if first_grant.is_none() {
+                first_grant = Some(g);
+            }
+            delegator = delegatee;
+        }
+        let leaf = format!("authority-{}", depth - 1);
+        let start = Instant::now();
+        let iters = 200;
+        let mut found = None;
+        for _ in 0..iters {
+            found = reg.validate(&leaf, "ns/policy-1", 10);
+        }
+        let us = start.elapsed().as_micros() as f64 / iters as f64;
+        let revoked = reg.revoke(first_grant.expect("depth >= 1")).unwrap();
+        table.row(vec![
+            depth.to_string(),
+            f2(us),
+            found.map(|d| d.to_string()).unwrap_or("-".into()),
+            revoked.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E12: RBAC scale — check latency vs users and hierarchy depth.
+pub fn e12_rbac_scale() -> Table {
+    let mut table = Table::new(
+        "E12 — §3.1 RBAC scale: access check cost vs users / hierarchy depth",
+        &["users", "roles", "depth", "check µs (warm)"],
+    );
+    for (users, roles, depth) in [(100usize, 10usize, 2u32), (1_000, 32, 4), (10_000, 64, 6)] {
+        let mut rbac = dacs_rbac::Rbac::new();
+        for r in 0..roles {
+            rbac.add_role(format!("role-{r}"));
+        }
+        // Chain the first `depth` roles into a hierarchy.
+        for d in 1..depth as usize {
+            rbac.add_inheritance(&format!("role-{d}"), &format!("role-{}", d - 1))
+                .unwrap();
+        }
+        for r in 0..roles {
+            rbac.grant(
+                &format!("role-{r}"),
+                dacs_rbac::Permission::new("read", format!("area-{r}/*")),
+            )
+            .unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        for u in 0..users {
+            let name = format!("user-{u}");
+            rbac.add_user(&name);
+            rbac.assign(&name, &format!("role-{}", rng.gen_range(0..roles)))
+                .unwrap();
+        }
+        // Warm the closure cache, then measure.
+        assert!(rbac.check("user-0", "read", "area-0/x") || true);
+        let iters = 2_000;
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for i in 0..iters {
+            let u = i % users;
+            if rbac.check(&format!("user-{u}"), "read", "area-0/doc") {
+                hits += 1;
+            }
+        }
+        let us = start.elapsed().as_micros() as f64 / iters as f64;
+        let _ = hits;
+        table.row(vec![
+            users.to_string(),
+            roles.to_string(),
+            depth.to_string(),
+            f2(us),
+        ]);
+    }
+    table
+}
+
+/// E13: PDP location — static binding vs discovery under churn.
+pub fn e13_pdp_discovery(requests: usize) -> Table {
+    let mut table = Table::new(
+        "E13 — §3.2 PDP location: static binding vs discovery under churn",
+        &[
+            "binding",
+            "pdp replicas",
+            "failure rate",
+            "availability %",
+        ],
+    );
+    for (replicas, fail_p) in [(1usize, 0.1f64), (3, 0.1), (3, 0.3)] {
+        for binding_name in ["static", "discovery"] {
+            let dir = PdpDirectory::new();
+            for r in 0..replicas {
+                dir.register(format!("pdp-{r}"), "domain-a");
+            }
+            let binding = match binding_name {
+                "static" => Binding::Static {
+                    target: "pdp-0".into(),
+                },
+                _ => Binding::Discovery,
+            };
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut served = 0usize;
+            for _ in 0..requests {
+                // Churn: each window, each endpoint flips down/up.
+                for r in 0..replicas {
+                    let name = format!("pdp-{r}");
+                    if rng.gen::<f64>() < fail_p {
+                        dir.mark_down(&name);
+                    } else {
+                        dir.mark_up(&name);
+                    }
+                }
+                if dir.resolve(&binding, "domain-a").is_some() {
+                    served += 1;
+                }
+            }
+            table.row(vec![
+                binding_name.into(),
+                replicas.to_string(),
+                f2(fail_p),
+                f2(100.0 * served as f64 / requests as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// Runs every experiment at default scale (used by the harness's `all`).
+pub fn run_all() -> Vec<Table> {
+    vec![
+        e1_vo_end_to_end(400),
+        e2_capability_flow(),
+        e3_policy_scaling(),
+        e4_xacml_dataflow(),
+        e5_syndication(),
+        e6_caching(4000),
+        e7_message_security(50),
+        e8_push_vs_pull(),
+        e9_conflict_analysis(),
+        e10_trust_negotiation(),
+        e11_delegation(),
+        e12_rbac_scale(),
+        e13_pdp_discovery(2000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shapes() {
+        let t = e1_vo_end_to_end(60);
+        assert_eq!(t.rows.len(), 3);
+        // Messages per request sit between 4 (intra) and 6 (cross).
+        for row in &t.rows {
+            let msgs: f64 = row[3].parse().unwrap();
+            assert!((4.0..=6.0).contains(&msgs), "msgs/req {msgs}");
+        }
+    }
+
+    #[test]
+    fn e2_amortization_shape() {
+        let t = e2_capability_flow();
+        let first: f64 = t.rows[0].rows_cell(2);
+        let last: f64 = t.rows[t.rows.len() - 1].rows_cell(2);
+        assert!(last < first, "per-request messages must fall with K");
+    }
+
+    trait Cell {
+        fn rows_cell(&self, i: usize) -> f64;
+    }
+    impl Cell for Vec<String> {
+        fn rows_cell(&self, i: usize) -> f64 {
+            self[i].parse().unwrap()
+        }
+    }
+
+    #[test]
+    fn e6_staleness_grows_with_ttl() {
+        let t = e6_caching(3000);
+        let no_cache_fp: f64 = t.rows[0].rows_cell(2);
+        let big_ttl_fp: f64 = t.rows[t.rows.len() - 1].rows_cell(2);
+        assert_eq!(no_cache_fp, 0.0, "no cache → no stale permits");
+        assert!(big_ttl_fp >= no_cache_fp);
+        // Hit rate rises with TTL.
+        let hr_small: f64 = t.rows[1].rows_cell(1);
+        let hr_big: f64 = t.rows[t.rows.len() - 1].rows_cell(1);
+        assert!(hr_big >= hr_small);
+    }
+
+    #[test]
+    fn e8_push_saves_messages_and_savings_grow() {
+        let t = e8_push_vs_pull();
+        let mut prev_ratio = f64::MAX;
+        for row in &t.rows {
+            let pull: f64 = row[1].parse().unwrap();
+            let push: f64 = row[3].parse().unwrap();
+            // Cross-domain pull costs 6 msgs/request; push costs
+            // 2/request plus a one-off issuance — push wins and the
+            // advantage grows with K.
+            assert!(push < pull, "push {push} vs pull {pull}");
+            let ratio = push / pull;
+            assert!(ratio <= prev_ratio + 1e-9);
+            prev_ratio = ratio;
+        }
+    }
+
+    #[test]
+    fn e10_parsimonious_never_worse() {
+        let t = e10_trust_negotiation();
+        for pair in t.rows.chunks(2) {
+            let eager_disclosed: usize = pair[0][4].parse().unwrap();
+            let pars_disclosed: usize = pair[1][4].parse().unwrap();
+            assert!(pars_disclosed <= eager_disclosed);
+        }
+    }
+
+    #[test]
+    fn e13_discovery_dominates_static() {
+        let t = e13_pdp_discovery(500);
+        // Rows come in (static, discovery) pairs.
+        for pair in t.rows.chunks(2) {
+            let stat: f64 = pair[0][3].parse().unwrap();
+            let disc: f64 = pair[1][3].parse().unwrap();
+            assert!(disc >= stat, "discovery {disc} < static {stat}");
+        }
+    }
+}

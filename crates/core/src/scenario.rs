@@ -1,0 +1,221 @@
+//! Canned multi-domain scenarios used by examples, integration tests
+//! and the experiment harness.
+
+use dacs_crypto::sign::CryptoCtx;
+use dacs_federation::{CapabilityService, Domain, Vo};
+use dacs_pep::Pep;
+use std::sync::Arc;
+
+/// Builds a healthcare-style VO of `n` domains named `domain-0..n-1`.
+///
+/// Each domain:
+/// * permits `read` on `records/*` for subjects holding the `doctor`
+///   role (wherever asserted — locally or by a federated IdP);
+/// * permits `write` only for the domain's own subjects with the
+///   `doctor` role;
+/// * explicitly denies everything else on `records/*` (first-applicable
+///   with a targeted final deny) while staying silent on other resource
+///   trees such as `shared/*`, so that VO capabilities can carry there
+///   (push-model semantics); every permit carries a `log` obligation.
+///
+/// Users `user-0..users_per_domain-1` are provisioned at their home IdP;
+/// 70% hold `doctor`, the rest `auditor`.
+pub fn healthcare_vo(n: usize, users_per_domain: usize, ctx: &CryptoCtx) -> Vo {
+    let mut domains = Vec::with_capacity(n);
+    for d in 0..n {
+        let name = format!("domain-{d}");
+        let src = format!(
+            r#"
+policy "{name}-gate" first-applicable {{
+  rule "doctors-read" permit {{
+    target {{
+      resource "id" ~= "records/*";
+      action "id" == "read";
+    }}
+    condition is-in("doctor", attr(subject, "role"))
+    obligation "log" on permit {{
+      "who" = attr(subject, "id");
+    }}
+  }}
+  rule "local-doctors-write" permit {{
+    target {{
+      resource "id" ~= "records/*";
+      action "id" == "write";
+      subject "id" ~= "*@{name}";
+    }}
+    condition is-in("doctor", attr(subject, "role"))
+    obligation "log" on permit {{
+      "who" = attr(subject, "id");
+    }}
+  }}
+  rule "default-deny" deny {{
+    target {{ resource "id" ~= "records/*"; }}
+  }}
+}}
+"#
+        );
+        let mut builder = Domain::builder(&name).policy_dsl(&src).seed(d as u64 + 1);
+        for u in 0..users_per_domain {
+            let subject = format!("user-{u}@{name}");
+            let role = if u * 10 < users_per_domain * 7 {
+                "doctor"
+            } else {
+                "auditor"
+            };
+            builder = builder.subject_attr(&subject, "role", role);
+            builder = builder.subject_attr(&subject, "dept", "general");
+        }
+        domains.push(builder.build(ctx));
+    }
+    Vo::new("vo-health", ctx.clone(), domains)
+}
+
+/// Adds a CAS to a VO whose member domains run permissive overlay
+/// policies on `shared/*` (so capabilities can carry), and registers the
+/// CAS as a trusted issuer at every member PEP.
+pub fn with_shared_cas(mut vo: Vo, ttl_ms: u64) -> Vo {
+    let prescreen = dacs_policy::dsl::parse_policy(
+        r#"
+policy "vo-prescreen" deny-unless-permit {
+  rule "members-read-shared" permit {
+    target {
+      resource "id" ~= "shared/*";
+      action "id" == "read";
+    }
+  }
+}
+"#,
+    )
+    .expect("static DSL");
+    let cas = CapabilityService::new("cas.vo", &vo.ctx, prescreen, ttl_ms, 4242);
+    let key = cas.public_key();
+    let ctx = vo.ctx.clone();
+    for d in &mut vo.domains {
+        let pep = Pep::new(
+            format!("pep.{}", d.name),
+            d.name.clone(),
+            d.pdp.clone(),
+            ctx.clone(),
+        )
+        .with_handler(d.log_handler.clone())
+        .with_trusted_issuer("cas.vo", key.clone());
+        d.pep = Arc::new(pep);
+    }
+    vo.with_cas(cas)
+}
+
+/// Builds a grid-computing style VO: compute sites exposing job-submit
+/// services, where submission rights come from VOMS-style role
+/// attributes provisioned at the home IdP.
+pub fn grid_vo(sites: usize, ctx: &CryptoCtx) -> Vo {
+    let mut domains = Vec::with_capacity(sites);
+    for s in 0..sites {
+        let name = format!("site-{s}");
+        let src = format!(
+            r#"
+policy "{name}-jobs" first-applicable {{
+  rule "members-submit" permit {{
+    target {{
+      resource "id" ~= "queue/*";
+      action "id" == "submit";
+    }}
+    condition is-in("vo-member", attr(subject, "role"))
+  }}
+  rule "operators-manage" permit {{
+    target {{
+      resource "id" ~= "queue/*";
+    }}
+    condition is-in("operator", attr(subject, "role"))
+  }}
+  rule "default-deny" deny {{ }}
+}}
+"#
+        );
+        let builder = Domain::builder(&name)
+            .policy_dsl(&src)
+            .seed(1000 + s as u64)
+            .subject_attr(&format!("researcher@{name}"), "role", "vo-member")
+            .subject_attr(&format!("operator@{name}"), "role", "operator");
+        domains.push(builder.build(ctx));
+    }
+    Vo::new("vo-grid", ctx.clone(), domains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacs_policy::request::RequestContext;
+
+    #[test]
+    fn healthcare_policies_behave() {
+        let ctx = CryptoCtx::new();
+        let vo = healthcare_vo(2, 10, &ctx);
+        let d0 = &vo.domains[0];
+        // user-0 is a doctor (70% rule).
+        let read = RequestContext::basic("user-0@domain-0", "records/1", "read");
+        assert!(d0.pep.enforce(&read, 0).allowed);
+        // Write allowed at home...
+        let write = RequestContext::basic("user-0@domain-0", "records/1", "write");
+        assert!(d0.pep.enforce(&write, 0).allowed);
+        // ...but a foreign doctor cannot write here even with the role.
+        let foreign_write = RequestContext::basic("user-0@domain-1", "records/1", "write")
+            .with_subject_attr("role", "doctor");
+        assert!(!d0.pep.enforce(&foreign_write, 0).allowed);
+        // Auditors (rank >= 7 of 10) cannot read records.
+        let auditor = RequestContext::basic("user-9@domain-0", "records/1", "read");
+        assert!(!d0.pep.enforce(&auditor, 0).allowed);
+        // Obligations were logged for the permits.
+        assert_eq!(d0.log_handler.entries().len(), 2);
+    }
+
+    #[test]
+    fn grid_roles_gate_submission() {
+        let ctx = CryptoCtx::new();
+        let vo = grid_vo(1, &ctx);
+        let site = &vo.domains[0];
+        let ok = RequestContext::basic("researcher@site-0", "queue/batch", "submit");
+        assert!(site.pep.enforce(&ok, 0).allowed);
+        let cancel = RequestContext::basic("operator@site-0", "queue/batch", "cancel");
+        assert!(site.pep.enforce(&cancel, 0).allowed);
+        let anon = RequestContext::basic("stranger@site-0", "queue/batch", "submit");
+        assert!(!site.pep.enforce(&anon, 0).allowed);
+    }
+
+    #[test]
+    fn cas_overlay_trusts_capabilities() {
+        let ctx = CryptoCtx::new();
+        let vo = with_shared_cas(healthcare_vo(2, 4, &ctx), 60_000);
+        let cas = vo.cas.as_ref().unwrap();
+        let cap = cas
+            .issue(
+                "user-1@domain-1",
+                "shared/*",
+                &["read".to_string()],
+                "domain-0",
+                0,
+            )
+            .expect("prescreen permits shared reads");
+        let req = RequestContext::basic("user-1@domain-1", "shared/set-1", "read");
+        let d0 = &vo.domains[0];
+        // The local gate policy is silent on shared/*, so the capability
+        // carries (push-model pre-screening)...
+        let r = d0.pep.enforce_with_capability(&req, &cap, 10);
+        assert!(r.allowed, "{:?}", r.reason);
+        // ...but the capability cannot override records/* where the local
+        // policy explicitly decides.
+        let blocked = RequestContext::basic("user-1@domain-1", "records/7", "read");
+        let cap2 = cas
+            .issue(
+                "user-1@domain-1",
+                "shared/*",
+                &["read".to_string()],
+                "domain-0",
+                0,
+            )
+            .unwrap();
+        assert!(!d0.pep.enforce_with_capability(&blocked, &cap2, 10).allowed);
+        // And without any capability, plain pull on shared/* is denied
+        // fail-safe (NotApplicable).
+        assert!(!d0.pep.enforce(&req, 10).allowed);
+    }
+}

@@ -1,0 +1,459 @@
+//! Certificates and trust-anchor chain validation — the simulated PKI
+//! the paper assumes as "a fundamental block of building trust between
+//! collaborating parties" (§3.1).
+//!
+//! A [`Certificate`] binds a subject name to a [`PublicKey`], carries a
+//! validity window and CA flags, and is signed by an issuer. A
+//! [`TrustStore`] holds trust anchors per domain and validates chains:
+//! leaf first, each certificate signed by the next one's subject key, and
+//! the final certificate signed by an anchor.
+
+use crate::sign::{CryptoCtx, PublicKey, Signature, SigningKey};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The to-be-signed portion of a certificate.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CertificateData {
+    /// Monotonic serial number assigned by the issuer.
+    pub serial: u64,
+    /// Subject name, e.g. `"pdp.hospital-a"`.
+    pub subject: String,
+    /// Subject's verification key.
+    pub subject_key: PublicKey,
+    /// Issuer name, e.g. `"ca.hospital-a"`.
+    pub issuer: String,
+    /// Validity start (simulation time, milliseconds).
+    pub not_before: u64,
+    /// Validity end, exclusive (simulation time, milliseconds).
+    pub not_after: u64,
+    /// Whether the subject may itself issue certificates.
+    pub is_ca: bool,
+    /// Maximum number of CA certificates allowed *below* this one,
+    /// mirroring X.509 path length constraints. `None` = unlimited.
+    pub max_path_len: Option<u32>,
+}
+
+impl CertificateData {
+    /// Deterministic byte encoding covered by the issuer's signature.
+    pub fn to_canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(b"dacs-cert-v1");
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        push_str(&mut out, &self.subject);
+        let key_bytes = self.subject_key.to_canonical_bytes();
+        out.extend_from_slice(&(key_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&key_bytes);
+        push_str(&mut out, &self.issuer);
+        out.extend_from_slice(&self.not_before.to_be_bytes());
+        out.extend_from_slice(&self.not_after.to_be_bytes());
+        out.push(self.is_ca as u8);
+        match self.max_path_len {
+            None => out.push(0),
+            Some(n) => {
+                out.push(1);
+                out.extend_from_slice(&n.to_be_bytes());
+            }
+        }
+        out
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A signed certificate.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The signed content.
+    pub data: CertificateData,
+    /// Issuer's signature over [`CertificateData::to_canonical_bytes`].
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// Issues a certificate: signs `data` with the issuer's key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::sign::SignError`] if the issuer key is
+    /// exhausted.
+    pub fn issue(
+        data: CertificateData,
+        issuer_key: &SigningKey,
+    ) -> Result<Certificate, crate::sign::SignError> {
+        let signature = issuer_key.sign(&data.to_canonical_bytes())?;
+        Ok(Certificate { data, signature })
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.to_canonical_bytes().len() + self.signature.byte_len()
+    }
+}
+
+/// Why chain validation failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CertError {
+    /// The chain was empty.
+    EmptyChain,
+    /// A certificate's validity window excludes the evaluation time.
+    Expired {
+        /// Subject of the offending certificate.
+        subject: String,
+    },
+    /// A signature failed to verify.
+    BadSignature {
+        /// Subject of the offending certificate.
+        subject: String,
+    },
+    /// An intermediate certificate is not marked as a CA.
+    NotCa {
+        /// Subject of the offending certificate.
+        subject: String,
+    },
+    /// A path length constraint was violated.
+    PathLenExceeded {
+        /// Subject of the constraining certificate.
+        subject: String,
+    },
+    /// Issuer/subject names do not chain correctly.
+    BrokenChain {
+        /// The issuer name that did not match.
+        expected_issuer: String,
+    },
+    /// The chain does not terminate at a known trust anchor.
+    UntrustedRoot {
+        /// The issuer name the chain ends at.
+        issuer: String,
+    },
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::EmptyChain => write!(f, "empty certificate chain"),
+            CertError::Expired { subject } => write!(f, "certificate for {subject} expired"),
+            CertError::BadSignature { subject } => {
+                write!(f, "bad signature on certificate for {subject}")
+            }
+            CertError::NotCa { subject } => {
+                write!(f, "certificate for {subject} is not a CA certificate")
+            }
+            CertError::PathLenExceeded { subject } => {
+                write!(f, "path length constraint of {subject} exceeded")
+            }
+            CertError::BrokenChain { expected_issuer } => {
+                write!(f, "chain broken: expected issuer {expected_issuer}")
+            }
+            CertError::UntrustedRoot { issuer } => {
+                write!(f, "chain terminates at unknown anchor {issuer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// A per-domain set of trust anchors.
+///
+/// Mirrors the paper's requirement that enforcement points "have access
+/// to trusted public key certificates of those services" (§2.2).
+#[derive(Clone, Debug, Default)]
+pub struct TrustStore {
+    anchors: HashMap<String, PublicKey>,
+}
+
+impl TrustStore {
+    /// Creates an empty trust store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a trust anchor under `name`.
+    pub fn add_anchor(&mut self, name: impl Into<String>, key: PublicKey) {
+        self.anchors.insert(name.into(), key);
+    }
+
+    /// Removes an anchor (e.g. when a collaboration ends).
+    pub fn remove_anchor(&mut self, name: &str) -> Option<PublicKey> {
+        self.anchors.remove(name)
+    }
+
+    /// Looks up an anchor key.
+    pub fn anchor(&self, name: &str) -> Option<&PublicKey> {
+        self.anchors.get(name)
+    }
+
+    /// Number of registered anchors.
+    pub fn len(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Whether the store has no anchors.
+    pub fn is_empty(&self) -> bool {
+        self.anchors.is_empty()
+    }
+
+    /// Validates a certificate chain at time `now`.
+    ///
+    /// `chain[0]` is the leaf; each `chain[i]` must be issued by
+    /// `chain[i+1]`'s subject; the last certificate's issuer must be a
+    /// registered anchor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CertError`] encountered walking the chain.
+    pub fn validate_chain(
+        &self,
+        ctx: &CryptoCtx,
+        chain: &[Certificate],
+        now: u64,
+    ) -> Result<(), CertError> {
+        if chain.is_empty() {
+            return Err(CertError::EmptyChain);
+        }
+        for (i, cert) in chain.iter().enumerate() {
+            let d = &cert.data;
+            if now < d.not_before || now >= d.not_after {
+                return Err(CertError::Expired {
+                    subject: d.subject.clone(),
+                });
+            }
+            // Non-leaf certificates must be CA certificates.
+            if i > 0 && !d.is_ca {
+                return Err(CertError::NotCa {
+                    subject: d.subject.clone(),
+                });
+            }
+            // Path length: certificate at position i has i-1 CA certs below it.
+            if i > 0 {
+                if let Some(max) = d.max_path_len {
+                    let below = (i - 1) as u32;
+                    if below > max {
+                        return Err(CertError::PathLenExceeded {
+                            subject: d.subject.clone(),
+                        });
+                    }
+                }
+            }
+            let issuer_key = if i + 1 < chain.len() {
+                let next = &chain[i + 1].data;
+                if next.subject != d.issuer {
+                    return Err(CertError::BrokenChain {
+                        expected_issuer: d.issuer.clone(),
+                    });
+                }
+                next.subject_key.clone()
+            } else {
+                self.anchors
+                    .get(&d.issuer)
+                    .cloned()
+                    .ok_or_else(|| CertError::UntrustedRoot {
+                        issuer: d.issuer.clone(),
+                    })?
+            };
+            if !ctx.verify(&issuer_key, &d.to_canonical_bytes(), &cert.signature) {
+                return Err(CertError::BadSignature {
+                    subject: d.subject.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Pki {
+        ctx: CryptoCtx,
+        root_key: SigningKey,
+        store: TrustStore,
+    }
+
+    fn pki(seed: u64) -> Pki {
+        let ctx = CryptoCtx::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root_key = SigningKey::generate_sim(ctx.registry(), &mut rng);
+        let mut store = TrustStore::new();
+        store.add_anchor("ca.root", root_key.public_key());
+        Pki {
+            ctx,
+            root_key,
+            store,
+        }
+    }
+
+    fn cert(
+        subject: &str,
+        subject_key: &SigningKey,
+        issuer: &str,
+        issuer_key: &SigningKey,
+        is_ca: bool,
+        max_path_len: Option<u32>,
+    ) -> Certificate {
+        Certificate::issue(
+            CertificateData {
+                serial: 1,
+                subject: subject.into(),
+                subject_key: subject_key.public_key(),
+                issuer: issuer.into(),
+                not_before: 0,
+                not_after: 1_000_000,
+                is_ca,
+                max_path_len,
+            },
+            issuer_key,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn direct_anchor_issued_leaf_validates() {
+        let p = pki(1);
+        let mut rng = StdRng::seed_from_u64(10);
+        let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let leaf = cert("pdp.domain-a", &leaf_key, "ca.root", &p.root_key, false, None);
+        assert_eq!(p.store.validate_chain(&p.ctx, &[leaf], 500), Ok(()));
+    }
+
+    #[test]
+    fn three_level_chain_validates() {
+        let p = pki(2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let inter_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let inter = cert("ca.dept", &inter_key, "ca.root", &p.root_key, true, Some(0));
+        let leaf = cert("pep.service", &leaf_key, "ca.dept", &inter_key, false, None);
+        assert_eq!(
+            p.store.validate_chain(&p.ctx, &[leaf, inter], 500),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn expired_certificate_rejected() {
+        let p = pki(3);
+        let mut rng = StdRng::seed_from_u64(12);
+        let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let leaf = cert("pdp", &leaf_key, "ca.root", &p.root_key, false, None);
+        assert_eq!(
+            p.store.validate_chain(&p.ctx, &[leaf], 2_000_000),
+            Err(CertError::Expired {
+                subject: "pdp".into()
+            })
+        );
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let p = pki(4);
+        let mut rng = StdRng::seed_from_u64(13);
+        let rogue_ca = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let leaf = cert("pdp", &leaf_key, "ca.rogue", &rogue_ca, false, None);
+        assert_eq!(
+            p.store.validate_chain(&p.ctx, &[leaf], 500),
+            Err(CertError::UntrustedRoot {
+                issuer: "ca.rogue".into()
+            })
+        );
+    }
+
+    #[test]
+    fn non_ca_intermediate_rejected() {
+        let p = pki(5);
+        let mut rng = StdRng::seed_from_u64(14);
+        let inter_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        // Intermediate not marked as CA.
+        let inter = cert("notca", &inter_key, "ca.root", &p.root_key, false, None);
+        let leaf = cert("pep", &leaf_key, "notca", &inter_key, false, None);
+        assert_eq!(
+            p.store.validate_chain(&p.ctx, &[leaf, inter], 500),
+            Err(CertError::NotCa {
+                subject: "notca".into()
+            })
+        );
+    }
+
+    #[test]
+    fn tampered_subject_rejected() {
+        let p = pki(6);
+        let mut rng = StdRng::seed_from_u64(15);
+        let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let mut leaf = cert("pdp", &leaf_key, "ca.root", &p.root_key, false, None);
+        leaf.data.subject = "pdp-malicious".into();
+        assert_eq!(
+            p.store.validate_chain(&p.ctx, &[leaf], 500),
+            Err(CertError::BadSignature {
+                subject: "pdp-malicious".into()
+            })
+        );
+    }
+
+    #[test]
+    fn path_length_constraint_enforced() {
+        let p = pki(7);
+        let mut rng = StdRng::seed_from_u64(16);
+        let ca1 = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let ca2 = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        // ca1 allows zero CAs below it, but ca2 sits below it.
+        let c1 = cert("ca.one", &ca1, "ca.root", &p.root_key, true, Some(0));
+        let c2 = cert("ca.two", &ca2, "ca.one", &ca1, true, None);
+        let leaf = cert("pep", &leaf_key, "ca.two", &ca2, false, None);
+        assert_eq!(
+            p.store.validate_chain(&p.ctx, &[leaf, c2, c1], 500),
+            Err(CertError::PathLenExceeded {
+                subject: "ca.one".into()
+            })
+        );
+    }
+
+    #[test]
+    fn broken_name_chain_rejected() {
+        let p = pki(8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let inter_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
+        let inter = cert("ca.dept", &inter_key, "ca.root", &p.root_key, true, None);
+        // Leaf claims a different issuer than the chain provides.
+        let leaf = cert("pep", &leaf_key, "ca.other", &inter_key, false, None);
+        assert_eq!(
+            p.store.validate_chain(&p.ctx, &[leaf, inter], 500),
+            Err(CertError::BrokenChain {
+                expected_issuer: "ca.other".into()
+            })
+        );
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let p = pki(9);
+        assert_eq!(
+            p.store.validate_chain(&p.ctx, &[], 0),
+            Err(CertError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn anchor_management() {
+        let mut store = TrustStore::new();
+        assert!(store.is_empty());
+        let ctx = CryptoCtx::new();
+        let mut rng = StdRng::seed_from_u64(20);
+        let k = SigningKey::generate_sim(ctx.registry(), &mut rng);
+        store.add_anchor("a", k.public_key());
+        assert_eq!(store.len(), 1);
+        assert!(store.anchor("a").is_some());
+        assert!(store.remove_anchor("a").is_some());
+        assert!(store.anchor("a").is_none());
+    }
+}

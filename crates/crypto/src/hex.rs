@@ -1,0 +1,64 @@
+//! Minimal hex encoding/decoding used for fingerprints and test vectors.
+
+/// Encodes bytes as a lowercase hex string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dacs_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a hex string (case-insensitive) into bytes.
+///
+/// Returns `None` for odd-length or non-hex input.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dacs_crypto::hex::decode("DEad"), Some(vec![0xde, 0xad]));
+/// assert_eq!(dacs_crypto::hex::decode("xy"), None);
+/// ```
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)), Some(data));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), None);
+        assert_eq!(decode("zz"), None);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode(""), Some(vec![]));
+    }
+}

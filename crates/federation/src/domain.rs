@@ -1,0 +1,282 @@
+//! An administrative domain: the unit of autonomy in the multi-domain
+//! environment (Fig. 1). Each domain wires together its own PAP, PDP,
+//! PEP, PIP chain, identity provider (attribute authority) and keys.
+
+use dacs_crypto::sign::{CryptoCtx, SigningKey};
+use dacs_pap::Pap;
+use dacs_pdp::{CacheConfig, Pdp};
+use dacs_pep::{LogObligationHandler, NotifyObligationHandler, Pep};
+use dacs_pip::{EnvironmentProvider, PipRegistry, RbacProvider, StaticAttributes};
+use dacs_policy::policy::{CombiningAlg, Policy, PolicyElement, PolicyId, PolicySet};
+use dacs_rbac::Rbac;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A fully wired administrative domain.
+pub struct Domain {
+    /// Domain name, e.g. `"hospital-a"`.
+    pub name: String,
+    /// The domain's policy administration point.
+    pub pap: Arc<Pap>,
+    /// The domain's decision point.
+    pub pdp: Arc<Pdp>,
+    /// The enforcement point guarding the domain's services.
+    pub pep: Arc<Pep>,
+    /// Identity-provider attribute store (serves federated attribute
+    /// queries about this domain's subjects).
+    pub idp_attributes: Arc<StaticAttributes>,
+    /// Optional RBAC model backing `subject.role`.
+    pub rbac: Option<Arc<RwLock<Rbac>>>,
+    /// The domain's signing key (certificates, assertions).
+    pub key: Arc<SigningKey>,
+    /// The `log` obligation sink, for audit inspection in tests and
+    /// experiments.
+    pub log_handler: Arc<LogObligationHandler>,
+}
+
+impl Domain {
+    /// Whether `subject` (convention: `user@domain`) is homed here.
+    pub fn is_home_of(&self, subject: &str) -> bool {
+        subject
+            .rsplit_once('@')
+            .map(|(_, d)| d == self.name)
+            .unwrap_or(false)
+    }
+
+    /// Starts building a domain.
+    pub fn builder(name: impl Into<String>) -> DomainBuilder {
+        DomainBuilder {
+            name: name.into(),
+            policies: Vec::new(),
+            root_combining: CombiningAlg::DenyOverrides,
+            subject_attrs: Vec::new(),
+            pdp_cache: None,
+            pep_cache: None,
+            rbac: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Home domain of a federated subject id (`user@domain`).
+pub fn home_domain(subject: &str) -> Option<&str> {
+    subject.rsplit_once('@').map(|(_, d)| d)
+}
+
+/// Builder for [`Domain`].
+pub struct DomainBuilder {
+    name: String,
+    policies: Vec<Policy>,
+    root_combining: CombiningAlg,
+    subject_attrs: Vec<(String, String, dacs_policy::attr::AttrValue)>,
+    pdp_cache: Option<CacheConfig>,
+    pep_cache: Option<CacheConfig>,
+    rbac: Option<Rbac>,
+    seed: u64,
+}
+
+impl DomainBuilder {
+    /// Adds a policy to the domain's repository (combined under the
+    /// domain root policy set).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Parses and adds a DSL policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on DSL parse errors (builder inputs are programmer-owned).
+    pub fn policy_dsl(self, src: &str) -> Self {
+        let policy = dacs_policy::dsl::parse_policy(src).expect("valid policy DSL");
+        self.policy(policy)
+    }
+
+    /// Sets how domain policies are combined at the root.
+    pub fn root_combining(mut self, alg: CombiningAlg) -> Self {
+        self.root_combining = alg;
+        self
+    }
+
+    /// Provisions a subject attribute at the domain's IdP.
+    pub fn subject_attr(
+        mut self,
+        subject: &str,
+        name: &str,
+        value: impl Into<dacs_policy::attr::AttrValue>,
+    ) -> Self {
+        self.subject_attrs
+            .push((subject.to_owned(), name.to_owned(), value.into()));
+        self
+    }
+
+    /// Enables the PDP decision cache.
+    pub fn pdp_cache(mut self, config: CacheConfig) -> Self {
+        self.pdp_cache = Some(config);
+        self
+    }
+
+    /// Enables the PEP decision cache.
+    pub fn pep_cache(mut self, config: CacheConfig) -> Self {
+        self.pep_cache = Some(config);
+        self
+    }
+
+    /// Installs an RBAC model whose role closure feeds `subject.role`.
+    pub fn rbac(mut self, rbac: Rbac) -> Self {
+        self.rbac = Some(rbac);
+        self
+    }
+
+    /// Key-generation seed (determinism across runs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Wires everything together.
+    pub fn build(self, ctx: &CryptoCtx) -> Domain {
+        let name = self.name;
+        let pap = Arc::new(Pap::new(format!("pap.{name}")));
+        let root_id = PolicyId::new(format!("{name}-root"));
+        let mut root = PolicySet::new(root_id.clone(), self.root_combining);
+        for policy in self.policies {
+            root = root.with_policy_ref(PolicyId::new(policy.id.as_str()));
+            pap.submit("domain-bootstrap", policy, 0)
+                .expect("bootstrap submission cannot be denied");
+        }
+        pap.install_set(root);
+
+        let idp_attributes = Arc::new(StaticAttributes::new());
+        for (subject, attr, value) in self.subject_attrs {
+            idp_attributes.add_subject_attr(&subject, &attr, value);
+        }
+
+        let rbac = self.rbac.map(|r| Arc::new(RwLock::new(r)));
+
+        let mut pips = PipRegistry::new();
+        pips.add(idp_attributes.clone());
+        pips.add(Arc::new(EnvironmentProvider));
+        if let Some(r) = &rbac {
+            pips.add(Arc::new(RbacProvider::new(r.clone())));
+        }
+
+        let mut pdp = Pdp::new(
+            format!("pdp.{name}"),
+            pap.clone(),
+            PolicyElement::PolicySetRef(root_id),
+            Arc::new(pips),
+        );
+        if let Some(cfg) = self.pdp_cache {
+            pdp = pdp.with_cache(cfg);
+        }
+        let pdp = Arc::new(pdp);
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let key = Arc::new(SigningKey::generate_sim(ctx.registry(), &mut rng));
+
+        let log_handler = Arc::new(LogObligationHandler::new());
+        let mut pep = Pep::new(format!("pep.{name}"), name.clone(), pdp.clone(), ctx.clone())
+            .with_handler(log_handler.clone())
+            .with_handler(Arc::new(NotifyObligationHandler::new()));
+        if let Some(cfg) = self.pep_cache {
+            pep = pep.with_cache(cfg);
+        }
+
+        Domain {
+            name,
+            pap,
+            pdp,
+            pep: Arc::new(pep),
+            idp_attributes,
+            rbac,
+            key,
+            log_handler,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacs_policy::policy::Decision;
+    use dacs_policy::request::RequestContext;
+
+    #[test]
+    fn builder_wires_working_domain() {
+        let ctx = CryptoCtx::new();
+        let domain = Domain::builder("hospital-a")
+            .policy_dsl(
+                r#"
+policy "gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#,
+            )
+            .subject_attr("alice@hospital-a", "role", "doctor")
+            .build(&ctx);
+
+        let req = RequestContext::basic("alice@hospital-a", "ehr/1", "read");
+        assert_eq!(domain.pdp.decide(&req, 0).decision, Decision::Permit);
+        let result = domain.pep.enforce(&req, 0);
+        assert!(result.allowed);
+        assert!(domain.is_home_of("alice@hospital-a"));
+        assert!(!domain.is_home_of("bob@lab-b"));
+        assert_eq!(home_domain("bob@lab-b"), Some("lab-b"));
+        assert_eq!(home_domain("no-at-sign"), None);
+    }
+
+    #[test]
+    fn rbac_backed_roles() {
+        let ctx = CryptoCtx::new();
+        let mut rbac = Rbac::new();
+        rbac.add_role("doctor");
+        rbac.add_user("carol@clinic");
+        rbac.assign("carol@clinic", "doctor").unwrap();
+        let domain = Domain::builder("clinic")
+            .policy_dsl(
+                r#"
+policy "gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#,
+            )
+            .rbac(rbac)
+            .build(&ctx);
+        let req = RequestContext::basic("carol@clinic", "ehr/1", "read");
+        assert!(domain.pep.enforce(&req, 0).allowed);
+    }
+
+    #[test]
+    fn multiple_policies_combined_at_root() {
+        let ctx = CryptoCtx::new();
+        let domain = Domain::builder("d")
+            .policy_dsl(
+                r#"
+policy "allow-reads" permit-overrides {
+  rule "r" permit { target { action "id" == "read"; } }
+}
+"#,
+            )
+            .policy_dsl(
+                r#"
+policy "block-secret" deny-overrides {
+  rule "d" deny { target { resource "id" ~= "secret/*"; } }
+}
+"#,
+            )
+            .build(&ctx);
+        // Root combines with deny-overrides: secret reads denied.
+        let ok = RequestContext::basic("u@d", "public/1", "read");
+        let blocked = RequestContext::basic("u@d", "secret/1", "read");
+        assert!(domain.pep.enforce(&ok, 0).allowed);
+        assert!(!domain.pep.enforce(&blocked, 0).allowed);
+    }
+}

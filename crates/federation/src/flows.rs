@@ -1,0 +1,719 @@
+//! The measured cross-domain authorization flows: the paper's Fig. 2
+//! (capability-issuing / push), Fig. 3 (policy-issuing / pull) and the
+//! agent deployment, executed over the simulated network with full
+//! message, byte and latency accounting.
+//!
+//! Architecture of the simulation: component *logic* runs in-process on
+//! the real PEP/PDP/CAS objects (one authoritative computation); the
+//! *communication* each step implies is modelled explicitly as network
+//! hops whose sizes come from encoding the real protocol messages. Lossy
+//! links trigger timeout-and-retransmit, and flows fail closed after
+//! five attempts.
+
+use crate::domain::home_domain;
+use crate::proto::{Msg, SizeModel};
+use crate::vo::Vo;
+use dacs_assert::SignedAssertion;
+use dacs_policy::request::RequestContext;
+use dacs_simnet::{LinkSpec, Network, NodeId};
+use std::collections::HashMap;
+
+/// Retransmission timeout for lost messages (microseconds).
+const RETRANSMIT_TIMEOUT_US: u64 = 200_000;
+/// Attempts before a hop is abandoned (flow then fails closed).
+const MAX_ATTEMPTS: u32 = 5;
+
+/// Accounting for one end-to-end flow.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FlowTrace {
+    /// Whether access was ultimately granted.
+    pub allowed: bool,
+    /// Messages sent (including retransmissions).
+    pub messages: u64,
+    /// Total bytes sent.
+    pub bytes: u64,
+    /// End-to-end latency in microseconds.
+    pub latency_us: u64,
+    /// Message kinds in order (for flow-shape assertions).
+    pub kinds: Vec<&'static str>,
+    /// Whether the flow aborted on transport failure.
+    pub transport_failure: bool,
+}
+
+/// The query-sequence model used for a flow (§2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowKind {
+    /// PEP co-located with the service, PDP embedded (no PEP↔PDP hops).
+    Agent,
+    /// Policy-issuing: PEP queries a separate PDP per request (Fig. 3).
+    Pull,
+    /// Capability-issuing: client presents a pre-issued capability
+    /// (Fig. 2).
+    Push,
+}
+
+/// The simulated deployment of a VO: one PEP, PDP and IdP node per
+/// domain, optional CAS node, and client nodes added on demand.
+pub struct FlowNet {
+    /// The underlying event-driven network.
+    pub net: Network<&'static str>,
+    /// Per-domain PEP node.
+    pub peps: Vec<NodeId>,
+    /// Per-domain PDP node.
+    pub pdps: Vec<NodeId>,
+    /// Per-domain IdP node.
+    pub idps: Vec<NodeId>,
+    /// The capability service node, when a CAS is configured.
+    pub cas: Option<NodeId>,
+    clients: HashMap<String, NodeId>,
+    intra: LinkSpec,
+    inter: LinkSpec,
+}
+
+impl FlowNet {
+    /// Builds the deployment for `vo` with intra-domain and
+    /// inter-domain link characteristics.
+    pub fn build(vo: &Vo, seed: u64, intra: LinkSpec, inter: LinkSpec) -> Self {
+        let mut net = Network::new(seed);
+        let mut peps = Vec::new();
+        let mut pdps = Vec::new();
+        let mut idps = Vec::new();
+        for d in &vo.domains {
+            peps.push(net.add_node(format!("pep.{}", d.name)));
+            pdps.push(net.add_node(format!("pdp.{}", d.name)));
+            idps.push(net.add_node(format!("idp.{}", d.name)));
+        }
+        // Intra-domain links.
+        for i in 0..vo.domains.len() {
+            net.set_link_bidir(peps[i], pdps[i], intra);
+            net.set_link_bidir(pdps[i], idps[i], intra);
+        }
+        // Cross-domain links (PDP to remote IdPs for federated
+        // attribute queries).
+        for i in 0..vo.domains.len() {
+            for j in 0..vo.domains.len() {
+                if i != j {
+                    net.set_link_bidir(pdps[i], idps[j], inter);
+                }
+            }
+        }
+        let cas = vo.cas.as_ref().map(|c| {
+            let node = net.add_node(format!("{}", c.name));
+            for i in 0..vo.domains.len() {
+                net.set_link_bidir(node, peps[i], inter);
+                net.set_link_bidir(node, pdps[i], inter);
+            }
+            node
+        });
+        net.set_default_link(inter);
+        FlowNet {
+            net,
+            peps,
+            pdps,
+            idps,
+            cas,
+            clients: HashMap::new(),
+            intra,
+            inter,
+        }
+    }
+
+    /// Registers (or reuses) a client node for `subject`; home-domain
+    /// links are intra-domain, everything else inter-domain.
+    pub fn client(&mut self, vo: &Vo, subject: &str) -> NodeId {
+        if let Some(&node) = self.clients.get(subject) {
+            return node;
+        }
+        let node = self.net.add_node(format!("client.{subject}"));
+        let home = home_domain(subject).and_then(|h| vo.domain_index(h));
+        for i in 0..self.peps.len() {
+            let spec = if Some(i) == home { self.intra } else { self.inter };
+            self.net.set_link_bidir(node, self.peps[i], spec);
+        }
+        if let Some(cas) = self.cas {
+            self.net.set_link_bidir(node, cas, self.inter);
+        }
+        self.clients.insert(subject.to_owned(), node);
+        node
+    }
+
+    /// Sends one protocol hop, with timeout/retransmit on loss. Returns
+    /// `false` when the hop was abandoned.
+    fn hop(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &Msg,
+        model: SizeModel,
+        trace: &mut FlowTrace,
+    ) -> bool {
+        let size = msg.size(model);
+        for _ in 0..MAX_ATTEMPTS {
+            trace.messages += 1;
+            trace.bytes += size as u64;
+            trace.kinds.push(msg.kind());
+            if self.net.send(from, to, size, msg.kind()).is_some() {
+                let delivery = self
+                    .net
+                    .next_event()
+                    .expect("scripted flows have exactly one message in flight");
+                debug_assert_eq!(delivery.to, to);
+                return true;
+            }
+            // Lost: wait for the timeout before retransmitting.
+            let deadline = self.net.now() + RETRANSMIT_TIMEOUT_US;
+            self.net.advance_to(deadline);
+        }
+        trace.transport_failure = true;
+        false
+    }
+}
+
+/// Enriches a cross-domain request with the subject's home-IdP
+/// attributes (the federated attribute fetch of Fig. 4), returning the
+/// enriched request.
+fn federated_enrich(vo: &Vo, request: &RequestContext, subject: &str) -> RequestContext {
+    let mut enriched = request.clone();
+    if let Some(home) = home_domain(subject).and_then(|h| vo.domain(h)) {
+        for (name, value) in home.idp_attributes.attributes_of(subject) {
+            enriched.add(
+                dacs_policy::attr::AttributeId::subject(&name),
+                value,
+            );
+        }
+    }
+    enriched
+}
+
+/// Runs one pull-model (policy-issuing, Fig. 3) or agent-model request.
+///
+/// Steps: client → PEP (I); PEP → PDP decision query (II, skipped for
+/// agent); optional PDP → home-IdP attribute fetch; PDP → PEP response
+/// (III); PEP → client (IV). VO-level Chinese Wall is enforced before
+/// local policy; a successful access is recorded in the wall history.
+pub fn request_flow(
+    fnet: &mut FlowNet,
+    vo: &Vo,
+    kind: FlowKind,
+    subject: &str,
+    domain_idx: usize,
+    resource: &str,
+    action: &str,
+    now_ms: u64,
+    model: SizeModel,
+) -> FlowTrace {
+    assert!(
+        kind != FlowKind::Push,
+        "push flows need a capability; use push_flow"
+    );
+    let client = fnet.client(vo, subject);
+    let started = fnet.net.now();
+    let mut trace = FlowTrace::default();
+    let domain = &vo.domains[domain_idx];
+    let request = RequestContext::basic(subject, resource, action);
+
+    // I. Client invokes the service.
+    let svc = Msg::ServiceRequest {
+        request: request.clone(),
+        capability: None,
+    };
+    if !fnet.hop(client, fnet.peps[domain_idx], &svc, model, &mut trace) {
+        trace.latency_us = fnet.net.now() - started;
+        return trace;
+    }
+
+    // VO meta-policy: Chinese Wall.
+    let wall_ok = vo.wall_permits(subject, &domain.name);
+
+    let mut allowed = false;
+    if wall_ok {
+        let cross_domain = !domain.is_home_of(subject);
+        if kind == FlowKind::Pull {
+            // II. PEP → PDP.
+            let dq = Msg::DecisionRequest {
+                request: request.clone(),
+            };
+            if !fnet.hop(
+                fnet.peps[domain_idx],
+                fnet.pdps[domain_idx],
+                &dq,
+                model,
+                &mut trace,
+            ) {
+                trace.latency_us = fnet.net.now() - started;
+                return trace;
+            }
+        }
+        // Federated attribute fetch from the subject's home IdP.
+        let enriched = if cross_domain {
+            if let Some(home_idx) =
+                home_domain(subject).and_then(|h| vo.domain_index(h))
+            {
+                let query = Msg::AttributeQuery {
+                    subject: subject.to_owned(),
+                    names: vec!["role".into(), "dept".into()],
+                };
+                let pdp_node = if kind == FlowKind::Pull {
+                    fnet.pdps[domain_idx]
+                } else {
+                    fnet.peps[domain_idx] // agent: PDP embedded in PEP
+                };
+                if !fnet.hop(pdp_node, fnet.idps[home_idx], &query, model, &mut trace) {
+                    trace.latency_us = fnet.net.now() - started;
+                    return trace;
+                }
+                let enriched = federated_enrich(vo, &request, subject);
+                let resp = Msg::AttributeResponse {
+                    attributes: enriched.clone(),
+                };
+                if !fnet.hop(fnet.idps[home_idx], pdp_node, &resp, model, &mut trace) {
+                    trace.latency_us = fnet.net.now() - started;
+                    return trace;
+                }
+                enriched
+            } else {
+                request.clone()
+            }
+        } else {
+            request.clone()
+        };
+
+        // The authoritative decision + enforcement.
+        let result = domain.pep.enforce(&enriched, now_ms);
+        allowed = result.allowed;
+
+        if kind == FlowKind::Pull {
+            // III. PDP → PEP.
+            let dr = Msg::DecisionResponse {
+                decision: result.decision,
+                obligations: Vec::new(),
+            };
+            if !fnet.hop(
+                fnet.pdps[domain_idx],
+                fnet.peps[domain_idx],
+                &dr,
+                model,
+                &mut trace,
+            ) {
+                trace.latency_us = fnet.net.now() - started;
+                return trace;
+            }
+        }
+    }
+
+    // IV. PEP → client.
+    let sr = Msg::ServiceResponse { allowed };
+    let _ = fnet.hop(fnet.peps[domain_idx], client, &sr, model, &mut trace);
+
+    if allowed {
+        vo.record_access(subject, &domain.name);
+    }
+    trace.allowed = allowed;
+    trace.latency_us = fnet.net.now() - started;
+    trace
+}
+
+/// Runs the capability-issuance interaction (Fig. 2 steps I–II).
+pub fn issue_capability_flow(
+    fnet: &mut FlowNet,
+    vo: &Vo,
+    subject: &str,
+    resource_pattern: &str,
+    actions: &[String],
+    audience_domain: &str,
+    now_ms: u64,
+    model: SizeModel,
+) -> (Option<SignedAssertion>, FlowTrace) {
+    let mut trace = FlowTrace::default();
+    let started = fnet.net.now();
+    let Some(cas_node) = fnet.cas else {
+        trace.transport_failure = true;
+        return (None, trace);
+    };
+    let client = fnet.client(vo, subject);
+    let req = Msg::CapabilityRequest {
+        subject: subject.to_owned(),
+        resource_pattern: resource_pattern.to_owned(),
+        actions: actions.to_vec(),
+        audience: audience_domain.to_owned(),
+    };
+    if !fnet.hop(client, cas_node, &req, model, &mut trace) {
+        trace.latency_us = fnet.net.now() - started;
+        return (None, trace);
+    }
+    let capability = vo.cas.as_ref().and_then(|cas| {
+        cas.issue(subject, resource_pattern, actions, audience_domain, now_ms)
+    });
+    let resp = Msg::CapabilityResponse {
+        capability: capability.clone(),
+    };
+    let _ = fnet.hop(cas_node, client, &resp, model, &mut trace);
+    trace.allowed = capability.is_some();
+    trace.latency_us = fnet.net.now() - started;
+    (capability, trace)
+}
+
+/// Runs one push-model request (Fig. 2 steps III–IV): the client
+/// presents a capability; the PEP validates it and applies local policy
+/// as an autonomy overlay.
+#[allow(clippy::too_many_arguments)]
+pub fn push_flow(
+    fnet: &mut FlowNet,
+    vo: &Vo,
+    subject: &str,
+    domain_idx: usize,
+    resource: &str,
+    action: &str,
+    capability: &SignedAssertion,
+    now_ms: u64,
+    model: SizeModel,
+) -> FlowTrace {
+    let client = fnet.client(vo, subject);
+    let started = fnet.net.now();
+    let mut trace = FlowTrace::default();
+    let domain = &vo.domains[domain_idx];
+    let request = RequestContext::basic(subject, resource, action);
+
+    // III. Client → PEP with the capability attached.
+    let svc = Msg::ServiceRequest {
+        request: request.clone(),
+        capability: Some(capability.clone()),
+    };
+    if !fnet.hop(client, fnet.peps[domain_idx], &svc, model, &mut trace) {
+        trace.latency_us = fnet.net.now() - started;
+        return trace;
+    }
+
+    let allowed = if vo.wall_permits(subject, &domain.name) {
+        domain
+            .pep
+            .enforce_with_capability(&request, capability, now_ms)
+            .allowed
+    } else {
+        false
+    };
+
+    // IV. PEP → client.
+    let sr = Msg::ServiceResponse { allowed };
+    let _ = fnet.hop(fnet.peps[domain_idx], client, &sr, model, &mut trace);
+
+    if allowed {
+        vo.record_access(subject, &domain.name);
+    }
+    trace.allowed = allowed;
+    trace.latency_us = fnet.net.now() - started;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::vo::CapabilityService;
+    use dacs_crypto::sign::CryptoCtx;
+    use dacs_pep::Pep;
+
+    fn build_vo(with_cas: bool) -> Vo {
+        let ctx = CryptoCtx::new();
+        // With a CAS, member domains run *overlay* policies: explicit
+        // denials only, silent (NotApplicable) on VO-shared resources so
+        // capability pre-screening can carry (Fig. 2 semantics). Without
+        // a CAS they run closed deny-unless-permit policies.
+        let a_src = if with_cas {
+            r#"
+policy "a-gate" first-applicable {
+  rule "no-writes" deny { target { action "id" == "write"; } }
+}
+"#
+        } else {
+            r#"
+policy "a-gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#
+        };
+        let a = Domain::builder("hospital-a")
+            .policy_dsl(a_src)
+            .subject_attr("alice@hospital-a", "role", "doctor")
+            .seed(1)
+            .build(&ctx);
+        let b = Domain::builder("lab-b")
+            .policy_dsl(
+                r#"
+policy "b-gate" deny-unless-permit {
+  rule "doctors-read" permit {
+    target { action "id" == "read"; }
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#,
+            )
+            .seed(2)
+            .build(&ctx);
+        let mut vo = Vo::new("vo-health", ctx.clone(), vec![a, b]);
+        if with_cas {
+            let prescreen = dacs_policy::dsl::parse_policy(
+                r#"
+policy "vo-prescreen" deny-unless-permit {
+  rule "any-member-reads-shared" permit {
+    target {
+      resource "id" ~= "shared/*";
+      action "id" == "read";
+    }
+  }
+}
+"#,
+            )
+            .unwrap();
+            let cas = CapabilityService::new("cas.vo-health", &ctx, prescreen, 600_000, 99);
+            // Rebuild domain PEPs to trust the CAS.
+            let cas_key = cas.public_key();
+            for d in &mut vo.domains {
+                let trusted = Pep::new(
+                    format!("pep.{}", d.name),
+                    d.name.clone(),
+                    d.pdp.clone(),
+                    ctx.clone(),
+                )
+                .with_handler(d.log_handler.clone())
+                .with_trusted_issuer("cas.vo-health", cas_key.clone());
+                d.pep = std::sync::Arc::new(trusted);
+            }
+            vo = vo.with_cas(cas);
+        }
+        vo
+    }
+
+    fn flownet(vo: &Vo) -> FlowNet {
+        FlowNet::build(vo, 7, LinkSpec::lan(), LinkSpec::wan())
+    }
+
+    #[test]
+    fn intra_domain_pull_flow_shape() {
+        let vo = build_vo(false);
+        let mut fnet = flownet(&vo);
+        let trace = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            "alice@hospital-a",
+            0,
+            "ehr/1",
+            "read",
+            0,
+            SizeModel::Compact,
+        );
+        assert!(trace.allowed);
+        // Local subject: 4 messages, no federated fetch.
+        assert_eq!(
+            trace.kinds,
+            vec![
+                "service-request",
+                "decision-request",
+                "decision-response",
+                "service-response"
+            ]
+        );
+        assert!(trace.latency_us > 0);
+        assert!(trace.bytes > 0);
+    }
+
+    #[test]
+    fn cross_domain_pull_adds_attribute_fetch() {
+        let vo = build_vo(false);
+        let mut fnet = flownet(&vo);
+        let trace = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            "alice@hospital-a",
+            1, // lab-b
+            "samples/9",
+            "read",
+            0,
+            SizeModel::Compact,
+        );
+        assert!(trace.allowed, "home attributes carry the doctor role");
+        assert_eq!(trace.messages, 6);
+        assert!(trace.kinds.contains(&"attribute-query"));
+        assert!(trace.kinds.contains(&"attribute-response"));
+    }
+
+    #[test]
+    fn agent_flow_saves_pep_pdp_hops() {
+        let vo = build_vo(false);
+        let mut fnet = flownet(&vo);
+        let pull = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            "alice@hospital-a",
+            0,
+            "ehr/1",
+            "read",
+            0,
+            SizeModel::Compact,
+        );
+        let agent = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Agent,
+            "alice@hospital-a",
+            0,
+            "ehr/2",
+            "read",
+            1,
+            SizeModel::Compact,
+        );
+        assert!(agent.allowed);
+        assert_eq!(agent.messages + 2, pull.messages);
+    }
+
+    #[test]
+    fn push_flow_amortizes_issuance() {
+        let vo = build_vo(true);
+        let mut fnet = flownet(&vo);
+        let (cap, issue_trace) = issue_capability_flow(
+            &mut fnet,
+            &vo,
+            "carol@lab-b",
+            "shared/*",
+            &["read".to_string()],
+            "hospital-a",
+            0,
+            SizeModel::Compact,
+        );
+        assert!(issue_trace.allowed);
+        let cap = cap.expect("prescreen permits shared reads");
+        assert_eq!(issue_trace.messages, 2);
+
+        // K requests under the same capability: 2 messages each.
+        for k in 0..3 {
+            let trace = push_flow(
+                &mut fnet,
+                &vo,
+                "carol@lab-b",
+                0,
+                &format!("shared/data-{k}"),
+                "read",
+                &cap,
+                10 + k,
+                SizeModel::Compact,
+            );
+            assert!(trace.allowed, "request {k}: {:?}", trace);
+            assert_eq!(trace.messages, 2);
+        }
+    }
+
+    #[test]
+    fn chinese_wall_blocks_flow() {
+        let ctx = CryptoCtx::new();
+        let mk = |name: &str, seed: u64| {
+            Domain::builder(name)
+                .policy_dsl(
+                    r#"
+policy "open" deny-unless-permit {
+  rule "reads" permit { target { action "id" == "read"; } }
+}
+"#,
+                )
+                .seed(seed)
+                .build(&ctx)
+        };
+        let mut vo = Vo::new(
+            "vo",
+            ctx.clone(),
+            vec![mk("pharma-a", 1), mk("pharma-b", 2)],
+        );
+        vo.add_conflict_class(crate::vo::ConflictClass {
+            name: "competitors".into(),
+            domains: ["pharma-a".to_string(), "pharma-b".to_string()]
+                .into_iter()
+                .collect(),
+        });
+        let mut fnet = flownet(&vo);
+        let first = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            "eve@pharma-a",
+            0,
+            "trials/1",
+            "read",
+            0,
+            SizeModel::Compact,
+        );
+        assert!(first.allowed);
+        let second = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            "eve@pharma-a",
+            1,
+            "trials/2",
+            "read",
+            1,
+            SizeModel::Compact,
+        );
+        assert!(!second.allowed, "wall must block the competitor domain");
+        // Blocked at the PEP: only service request/response travelled.
+        assert_eq!(second.messages, 2);
+    }
+
+    #[test]
+    fn verbose_model_costs_more_bytes() {
+        let vo = build_vo(false);
+        let mut fnet = flownet(&vo);
+        let compact = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            "alice@hospital-a",
+            0,
+            "ehr/1",
+            "read",
+            0,
+            SizeModel::Compact,
+        );
+        let verbose = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            "alice@hospital-a",
+            0,
+            "ehr/1",
+            "read",
+            1,
+            SizeModel::Verbose,
+        );
+        assert!(verbose.bytes > 2 * compact.bytes);
+        assert_eq!(verbose.messages, compact.messages);
+    }
+
+    #[test]
+    fn lossy_links_retransmit_and_account() {
+        let vo = build_vo(false);
+        let mut fnet = FlowNet::build(&vo, 11, LinkSpec::lan(), LinkSpec::wan_lossy(0.4));
+        // Cross-domain flow over lossy WAN links.
+        let trace = request_flow(
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            "alice@hospital-a",
+            1,
+            "samples/1",
+            "read",
+            0,
+            SizeModel::Compact,
+        );
+        // Either it succeeded with >= the base 6 messages, or it failed
+        // closed on transport.
+        if trace.transport_failure {
+            assert!(!trace.allowed);
+        } else {
+            assert!(trace.messages >= 6);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # dacs-pap
+//!
+//! Policy Administration Point for the DACS reproduction of the DSN 2008
+//! paper:
+//!
+//! * [`repository`] — versioned policy storage with an append-only
+//!   audit log and an administrative policy that guards every mutation
+//!   using the *same* policy language and engine that protect ordinary
+//!   resources (§3.2 "Security of Access Control Systems").
+//! * [`delegation`] — decentralized administrative delegation with
+//!   namespace narrowing, depth limits, expiry and cascading revocation
+//!   (§3.2 "Access Control Delegation").
+//! * [`syndication`] — the PAP / policy-syndication-server hierarchy of
+//!   Fig. 5, with per-node accept filters and report accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delegation;
+pub mod repository;
+pub mod syndication;
+
+pub use delegation::{Delegation, DelegationError, DelegationRegistry};
+pub use repository::{AdminAction, AuditEntry, Pap, PapError};
+pub use syndication::{PropagationReport, SyndicationTree};

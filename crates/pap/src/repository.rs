@@ -1,0 +1,487 @@
+//! The versioned policy repository with an audit log and an
+//! administrative (meta) policy guarding every mutation — the paper's
+//! §3.2 "Security of Access Control Systems": the authorization system
+//! is protected "based on the same PEP/PDP mechanisms that protect
+//! ordinary resources", using one policy language for both.
+
+use dacs_policy::eval::{EmptyStore, Evaluator, PolicyStore};
+use dacs_policy::policy::{Decision, Policy, PolicyId, PolicySet};
+use dacs_policy::request::RequestContext;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Administrative operations recorded in the audit log.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdminAction {
+    /// A new policy (version 1) was inserted.
+    Insert,
+    /// A new version of an existing policy was installed.
+    Update,
+    /// The active version was rolled back.
+    Rollback,
+    /// A policy was removed entirely.
+    Remove,
+    /// A syndication update was applied.
+    SyndicationApply,
+}
+
+impl std::fmt::Display for AdminAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AdminAction::Insert => "insert",
+            AdminAction::Update => "update",
+            AdminAction::Rollback => "rollback",
+            AdminAction::Remove => "remove",
+            AdminAction::SyndicationApply => "syndication-apply",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One append-only audit record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AuditEntry {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Simulation time of the operation.
+    pub at_ms: u64,
+    /// The administrator (or syndication peer) that performed it.
+    pub actor: String,
+    /// What was done.
+    pub action: AdminAction,
+    /// The policy affected.
+    pub policy: PolicyId,
+    /// The resulting active version.
+    pub version: u64,
+}
+
+/// Why an administrative operation was refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PapError {
+    /// The administrative policy denied the operation.
+    AdminDenied {
+        /// The actor that was refused.
+        actor: String,
+        /// The operation attempted.
+        action: String,
+    },
+    /// Referenced policy does not exist.
+    UnknownPolicy(PolicyId),
+    /// Referenced version does not exist.
+    UnknownVersion {
+        /// The policy.
+        policy: PolicyId,
+        /// The missing version.
+        version: u64,
+    },
+}
+
+impl std::fmt::Display for PapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PapError::AdminDenied { actor, action } => {
+                write!(f, "administrative policy denied {action} by {actor}")
+            }
+            PapError::UnknownPolicy(id) => write!(f, "unknown policy {id}"),
+            PapError::UnknownVersion { policy, version } => {
+                write!(f, "policy {policy} has no version {version}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PapError {}
+
+#[derive(Debug, Default)]
+struct Versioned {
+    versions: Vec<Arc<Policy>>,
+    /// Index into `versions` of the active one.
+    active: usize,
+}
+
+/// The Policy Administration Point for one domain.
+///
+/// All reads go through the [`PolicyStore`] impl (giving PDPs the
+/// *active* version of each policy); all writes are checked against the
+/// administrative policy and audited.
+pub struct Pap {
+    name: String,
+    policies: RwLock<HashMap<PolicyId, Versioned>>,
+    sets: RwLock<HashMap<PolicyId, Arc<PolicySet>>>,
+    admin_policy: RwLock<Option<Policy>>,
+    audit: RwLock<Vec<AuditEntry>>,
+    seq: RwLock<u64>,
+    /// Bumped on every mutation; PDP/PEP caches key their validity on it.
+    epoch: RwLock<u64>,
+}
+
+impl Pap {
+    /// Creates a PAP with no administrative policy (all actors allowed —
+    /// for single-authority tests; production domains install one).
+    pub fn new(name: impl Into<String>) -> Self {
+        Pap {
+            name: name.into(),
+            policies: RwLock::new(HashMap::new()),
+            sets: RwLock::new(HashMap::new()),
+            admin_policy: RwLock::new(None),
+            audit: RwLock::new(Vec::new()),
+            seq: RwLock::new(0),
+            epoch: RwLock::new(0),
+        }
+    }
+
+    /// The PAP's name (used as audit context).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs the administrative policy. Subsequent mutations are
+    /// evaluated against it with a request of the form
+    /// `subject.id = actor`, `resource.id = policy id`,
+    /// `action.id = insert|update|rollback|remove`.
+    pub fn set_admin_policy(&self, policy: Policy) {
+        *self.admin_policy.write() = Some(policy);
+    }
+
+    /// Current mutation epoch (cache validity token).
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.read()
+    }
+
+    fn authorize_admin(&self, actor: &str, policy: &PolicyId, op: &str) -> Result<(), PapError> {
+        let guard = self.admin_policy.read();
+        let Some(admin) = guard.as_ref() else {
+            return Ok(());
+        };
+        let request = RequestContext::basic(actor, policy.as_str(), op);
+        let store = EmptyStore;
+        let mut ev = Evaluator::new(&store, &request);
+        let resp = ev.evaluate_policy(admin);
+        if resp.decision == Decision::Permit {
+            Ok(())
+        } else {
+            Err(PapError::AdminDenied {
+                actor: actor.to_owned(),
+                action: format!("{op} {policy}"),
+            })
+        }
+    }
+
+    fn record(&self, at_ms: u64, actor: &str, action: AdminAction, policy: &PolicyId, version: u64) {
+        let mut seq = self.seq.write();
+        *seq += 1;
+        self.audit.write().push(AuditEntry {
+            seq: *seq,
+            at_ms,
+            actor: actor.to_owned(),
+            action,
+            policy: policy.clone(),
+            version,
+        });
+        *self.epoch.write() += 1;
+    }
+
+    /// Inserts a new policy or a new version of an existing one.
+    ///
+    /// # Errors
+    ///
+    /// [`PapError::AdminDenied`] if the administrative policy refuses.
+    pub fn submit(&self, actor: &str, mut policy: Policy, at_ms: u64) -> Result<u64, PapError> {
+        let id = policy.id.clone();
+        let exists = self.policies.read().contains_key(&id);
+        let op = if exists { "update" } else { "insert" };
+        self.authorize_admin(actor, &id, op)?;
+        let mut guard = self.policies.write();
+        let entry = guard.entry(id.clone()).or_default();
+        let version = entry.versions.len() as u64 + 1;
+        policy.version = version;
+        entry.versions.push(Arc::new(policy));
+        entry.active = entry.versions.len() - 1;
+        drop(guard);
+        self.record(
+            at_ms,
+            actor,
+            if exists {
+                AdminAction::Update
+            } else {
+                AdminAction::Insert
+            },
+            &id,
+            version,
+        );
+        Ok(version)
+    }
+
+    /// Applies a syndicated policy (bypasses the admin policy check —
+    /// trust in the syndication parent was established at tree setup —
+    /// but is still audited).
+    pub fn apply_syndicated(&self, from: &str, mut policy: Policy, at_ms: u64) -> u64 {
+        let id = policy.id.clone();
+        let mut guard = self.policies.write();
+        let entry = guard.entry(id.clone()).or_default();
+        let version = entry.versions.len() as u64 + 1;
+        policy.version = version;
+        entry.versions.push(Arc::new(policy));
+        entry.active = entry.versions.len() - 1;
+        drop(guard);
+        self.record(at_ms, from, AdminAction::SyndicationApply, &id, version);
+        version
+    }
+
+    /// Rolls the active version of `id` back to `version`.
+    ///
+    /// # Errors
+    ///
+    /// [`PapError::AdminDenied`], [`PapError::UnknownPolicy`] or
+    /// [`PapError::UnknownVersion`].
+    pub fn rollback(
+        &self,
+        actor: &str,
+        id: &PolicyId,
+        version: u64,
+        at_ms: u64,
+    ) -> Result<(), PapError> {
+        self.authorize_admin(actor, id, "rollback")?;
+        let mut guard = self.policies.write();
+        let entry = guard
+            .get_mut(id)
+            .ok_or_else(|| PapError::UnknownPolicy(id.clone()))?;
+        if version == 0 || version as usize > entry.versions.len() {
+            return Err(PapError::UnknownVersion {
+                policy: id.clone(),
+                version,
+            });
+        }
+        entry.active = version as usize - 1;
+        drop(guard);
+        self.record(at_ms, actor, AdminAction::Rollback, id, version);
+        Ok(())
+    }
+
+    /// Removes a policy entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`PapError::AdminDenied`] or [`PapError::UnknownPolicy`].
+    pub fn remove(&self, actor: &str, id: &PolicyId, at_ms: u64) -> Result<(), PapError> {
+        self.authorize_admin(actor, id, "remove")?;
+        let removed = self.policies.write().remove(id).is_some();
+        if !removed {
+            return Err(PapError::UnknownPolicy(id.clone()));
+        }
+        self.record(at_ms, actor, AdminAction::Remove, id, 0);
+        Ok(())
+    }
+
+    /// Installs a policy set (sets are unversioned containers; their
+    /// children are versioned policies referenced by id).
+    pub fn install_set(&self, set: PolicySet) {
+        self.sets.write().insert(set.id.clone(), Arc::new(set));
+        *self.epoch.write() += 1;
+    }
+
+    /// The active version of a policy.
+    pub fn active(&self, id: &PolicyId) -> Option<Arc<Policy>> {
+        let guard = self.policies.read();
+        let entry = guard.get(id)?;
+        entry.versions.get(entry.active).cloned()
+    }
+
+    /// The number of stored versions of a policy.
+    pub fn version_count(&self, id: &PolicyId) -> usize {
+        self.policies
+            .read()
+            .get(id)
+            .map(|v| v.versions.len())
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct policies.
+    pub fn len(&self) -> usize {
+        self.policies.read().len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.policies.read().is_empty()
+    }
+
+    /// Snapshot of the audit log.
+    pub fn audit_log(&self) -> Vec<AuditEntry> {
+        self.audit.read().clone()
+    }
+
+    /// All active policies (for conflict analysis sweeps).
+    pub fn active_policies(&self) -> Vec<Arc<Policy>> {
+        self.policies
+            .read()
+            .values()
+            .filter_map(|v| v.versions.get(v.active).cloned())
+            .collect()
+    }
+}
+
+impl PolicyStore for Pap {
+    fn policy(&self, id: &PolicyId) -> Option<Arc<Policy>> {
+        self.active(id)
+    }
+    fn policy_set(&self, id: &PolicyId) -> Option<Arc<PolicySet>> {
+        self.sets.read().get(id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacs_policy::dsl::parse_policy;
+    use dacs_policy::policy::{CombiningAlg, Effect, Rule};
+
+    fn sample(id: &str) -> Policy {
+        Policy::new(PolicyId::new(id), CombiningAlg::DenyUnlessPermit)
+            .with_rule(Rule::new("ok", Effect::Permit))
+    }
+
+    #[test]
+    fn insert_update_versions() {
+        let pap = Pap::new("pap.a");
+        let id = PolicyId::new("p1");
+        assert_eq!(pap.submit("admin", sample("p1"), 10).unwrap(), 1);
+        assert_eq!(pap.submit("admin", sample("p1"), 20).unwrap(), 2);
+        assert_eq!(pap.version_count(&id), 2);
+        assert_eq!(pap.active(&id).unwrap().version, 2);
+        assert_eq!(pap.len(), 1);
+    }
+
+    #[test]
+    fn rollback_switches_active() {
+        let pap = Pap::new("pap.a");
+        let id = PolicyId::new("p1");
+        pap.submit("admin", sample("p1"), 10).unwrap();
+        pap.submit("admin", sample("p1"), 20).unwrap();
+        pap.rollback("admin", &id, 1, 30).unwrap();
+        assert_eq!(pap.active(&id).unwrap().version, 1);
+        assert_eq!(
+            pap.rollback("admin", &id, 9, 40),
+            Err(PapError::UnknownVersion {
+                policy: id.clone(),
+                version: 9
+            })
+        );
+    }
+
+    #[test]
+    fn remove_policy() {
+        let pap = Pap::new("pap.a");
+        let id = PolicyId::new("p1");
+        pap.submit("admin", sample("p1"), 10).unwrap();
+        pap.remove("admin", &id, 20).unwrap();
+        assert!(pap.active(&id).is_none());
+        assert_eq!(pap.remove("admin", &id, 30), Err(PapError::UnknownPolicy(id)));
+    }
+
+    #[test]
+    fn audit_log_records_everything() {
+        let pap = Pap::new("pap.a");
+        pap.submit("alice", sample("p1"), 10).unwrap();
+        pap.submit("bob", sample("p1"), 20).unwrap();
+        pap.rollback("alice", &PolicyId::new("p1"), 1, 30).unwrap();
+        let log = pap.audit_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].action, AdminAction::Insert);
+        assert_eq!(log[1].action, AdminAction::Update);
+        assert_eq!(log[2].action, AdminAction::Rollback);
+        assert_eq!(log[1].actor, "bob");
+        // Sequence numbers are strictly increasing.
+        assert!(log.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn admin_policy_gates_writers() {
+        let pap = Pap::new("pap.a");
+        let admin = parse_policy(
+            r#"
+policy "admin" deny-unless-permit {
+  rule "security-team-writes" permit {
+    target {
+      subject "id" ~= "sec-*";
+    }
+  }
+}
+"#,
+        )
+        .unwrap();
+        pap.set_admin_policy(admin);
+        assert!(pap.submit("sec-alice", sample("p1"), 10).is_ok());
+        assert_eq!(
+            pap.submit("dev-bob", sample("p2"), 20).unwrap_err(),
+            PapError::AdminDenied {
+                actor: "dev-bob".into(),
+                action: "insert p2".into()
+            }
+        );
+        // Denied operations are not audited as applied.
+        assert_eq!(pap.audit_log().len(), 1);
+        assert_eq!(pap.len(), 1);
+    }
+
+    #[test]
+    fn admin_policy_can_scope_namespaces() {
+        let pap = Pap::new("pap.a");
+        let admin = parse_policy(
+            r#"
+policy "admin" deny-unless-permit {
+  rule "team-a-owns-ehr" permit {
+    target {
+      subject "id" == "team-a";
+      resource "id" ~= "ehr-*";
+    }
+  }
+}
+"#,
+        )
+        .unwrap();
+        pap.set_admin_policy(admin);
+        assert!(pap.submit("team-a", sample("ehr-read"), 10).is_ok());
+        assert!(pap.submit("team-a", sample("lab-read"), 20).is_err());
+    }
+
+    #[test]
+    fn policy_store_serves_active_versions() {
+        use dacs_policy::eval::PolicyStore as _;
+        let pap = Pap::new("pap.a");
+        pap.submit("admin", sample("p1"), 10).unwrap();
+        let got = pap.policy(&PolicyId::new("p1")).unwrap();
+        assert_eq!(got.id.as_str(), "p1");
+        assert!(pap.policy(&PolicyId::new("zzz")).is_none());
+    }
+
+    #[test]
+    fn epoch_bumps_on_mutation() {
+        let pap = Pap::new("pap.a");
+        let e0 = pap.epoch();
+        pap.submit("admin", sample("p1"), 10).unwrap();
+        assert!(pap.epoch() > e0);
+    }
+
+    #[test]
+    fn syndicated_apply_bypasses_admin_but_audits() {
+        let pap = Pap::new("pap.child");
+        let admin = parse_policy(
+            r#"
+policy "admin" deny-unless-permit {
+  rule "nobody" permit {
+    target { subject "id" == "no-such-actor"; }
+  }
+}
+"#,
+        )
+        .unwrap();
+        pap.set_admin_policy(admin);
+        let v = pap.apply_syndicated("pap.parent", sample("global-baseline"), 50);
+        assert_eq!(v, 1);
+        let log = pap.audit_log();
+        assert_eq!(log[0].action, AdminAction::SyndicationApply);
+        assert_eq!(log[0].actor, "pap.parent");
+    }
+}

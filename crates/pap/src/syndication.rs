@@ -1,0 +1,283 @@
+//! Hierarchical policy syndication (Fig. 5 of the paper): a global PAP
+//! pushes policy updates down a tree of syndication servers / local
+//! PAPs; each hop may filter updates against local constraints; reports
+//! flow back up. Turns per-decision remote policy fetches into
+//! O(tree edges) pushes per update — the message-count trade-off
+//! experiment E5 measures.
+
+use crate::repository::Pap;
+use dacs_policy::glob::glob_match;
+use dacs_policy::policy::{Policy, PolicyId};
+use std::sync::Arc;
+
+/// A node in the syndication tree.
+pub struct SyndicationNode {
+    /// Node name (e.g. `"pap.hospital-a"`).
+    pub name: String,
+    /// Children indices in the tree's node table.
+    pub children: Vec<usize>,
+    /// Accept only policies whose id matches this glob (`None` = all).
+    /// This is how a local authority constrains which global updates it
+    /// incorporates (§3.2).
+    pub accept_filter: Option<String>,
+    /// The node's local repository.
+    pub pap: Arc<Pap>,
+}
+
+/// One hop of a propagation (for message accounting).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hop {
+    /// Sender node index.
+    pub from: usize,
+    /// Receiver node index.
+    pub to: usize,
+    /// Whether the receiver applied (vs filtered) the update.
+    pub applied: bool,
+}
+
+/// Result of propagating one update through the tree.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PropagationReport {
+    /// Every parent→child push performed.
+    pub hops: Vec<Hop>,
+    /// Nodes that applied the update.
+    pub applied: usize,
+    /// Nodes that filtered the update out.
+    pub filtered: usize,
+    /// Report messages sent back up (one per push, child→parent).
+    pub reports: usize,
+}
+
+impl PropagationReport {
+    /// Total messages exchanged (pushes + reports).
+    pub fn total_messages(&self) -> usize {
+        self.hops.len() + self.reports
+    }
+}
+
+/// A tree of syndication nodes. Node 0 is the root (the global PAP).
+pub struct SyndicationTree {
+    nodes: Vec<SyndicationNode>,
+}
+
+impl SyndicationTree {
+    /// Creates a tree with a root node.
+    pub fn new(root_name: impl Into<String>) -> Self {
+        let name = root_name.into();
+        SyndicationTree {
+            nodes: vec![SyndicationNode {
+                pap: Arc::new(Pap::new(name.clone())),
+                name,
+                children: Vec::new(),
+                accept_filter: None,
+            }],
+        }
+    }
+
+    /// Adds a child under `parent`, returning the new node's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of range.
+    pub fn add_child(
+        &mut self,
+        parent: usize,
+        name: impl Into<String>,
+        accept_filter: Option<String>,
+    ) -> usize {
+        assert!(parent < self.nodes.len(), "parent index out of range");
+        let name = name.into();
+        let idx = self.nodes.len();
+        self.nodes.push(SyndicationNode {
+            pap: Arc::new(Pap::new(name.clone())),
+            name,
+            children: Vec::new(),
+            accept_filter,
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// Builds a uniform tree of the given depth and fan-out under the
+    /// root (depth 0 = root only). Returns the tree.
+    pub fn uniform(root_name: &str, depth: u32, fanout: u32) -> Self {
+        let mut tree = Self::new(root_name);
+        let mut frontier = vec![0usize];
+        for d in 1..=depth {
+            let mut next = Vec::new();
+            for &p in &frontier {
+                for k in 0..fanout {
+                    let name = format!("{root_name}/d{d}-p{p}-c{k}");
+                    next.push(tree.add_child(p, name, None));
+                }
+            }
+            frontier = next;
+        }
+        tree
+    }
+
+    /// Node accessor.
+    pub fn node(&self, idx: usize) -> &SyndicationNode {
+        &self.nodes[idx]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never: the root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Installs the update at the root and pushes it down the tree,
+    /// honouring per-node accept filters. `at_ms` stamps audit records.
+    pub fn propagate(&mut self, policy: Policy, at_ms: u64) -> PropagationReport {
+        let mut report = PropagationReport::default();
+        self.nodes[0]
+            .pap
+            .apply_syndicated("origin", policy.clone(), at_ms);
+        report.applied += 1;
+        let mut frontier = vec![0usize];
+        while let Some(parent) = frontier.pop() {
+            let children = self.nodes[parent].children.clone();
+            for child in children {
+                let accept = match &self.nodes[child].accept_filter {
+                    Some(filter) => glob_match(filter, policy.id.as_str()),
+                    None => true,
+                };
+                report.hops.push(Hop {
+                    from: parent,
+                    to: child,
+                    applied: accept,
+                });
+                // Child acknowledges with a report either way.
+                report.reports += 1;
+                if accept {
+                    let from = self.nodes[parent].name.clone();
+                    self.nodes[child]
+                        .pap
+                        .apply_syndicated(&from, policy.clone(), at_ms);
+                    report.applied += 1;
+                    frontier.push(child);
+                } else {
+                    report.filtered += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Checks convergence: every node whose filters accept `id` holds
+    /// the same active version bytes as the root.
+    pub fn converged(&self, id: &PolicyId) -> bool {
+        let Some(root_policy) = self.nodes[0].pap.active(id) else {
+            return false;
+        };
+        // Walk the tree; below a filtering node nothing is expected.
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if n != 0 {
+                let accept = match &node.accept_filter {
+                    Some(f) => glob_match(f, id.as_str()),
+                    None => true,
+                };
+                if !accept {
+                    continue;
+                }
+                match node.pap.active(id) {
+                    Some(p) => {
+                        if p.rules.len() != root_policy.rules.len() || p.id != root_policy.id {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+            stack.extend(node.children.iter().copied());
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacs_policy::policy::{CombiningAlg, Effect, Rule};
+
+    fn sample(id: &str) -> Policy {
+        Policy::new(PolicyId::new(id), CombiningAlg::DenyUnlessPermit)
+            .with_rule(Rule::new("ok", Effect::Permit))
+    }
+
+    #[test]
+    fn propagation_reaches_all_nodes() {
+        let mut tree = SyndicationTree::uniform("root", 2, 3);
+        assert_eq!(tree.len(), 1 + 3 + 9);
+        let report = tree.propagate(sample("global"), 100);
+        assert_eq!(report.applied, 13);
+        assert_eq!(report.filtered, 0);
+        // One push per edge, one report per push.
+        assert_eq!(report.hops.len(), 12);
+        assert_eq!(report.reports, 12);
+        assert_eq!(report.total_messages(), 24);
+        assert!(tree.converged(&PolicyId::new("global")));
+    }
+
+    #[test]
+    fn filters_stop_subtrees() {
+        let mut tree = SyndicationTree::new("root");
+        let a = tree.add_child(0, "accepts-ehr", Some("ehr-*".into()));
+        let _a1 = tree.add_child(a, "below-a", None);
+        let b = tree.add_child(0, "accepts-all", None);
+        let _b1 = tree.add_child(b, "below-b", None);
+
+        let report = tree.propagate(sample("lab-policy"), 10);
+        // Node a filters; its subtree is never contacted.
+        assert_eq!(report.filtered, 1);
+        assert_eq!(report.applied, 3); // root, b, below-b
+        assert_eq!(report.hops.len(), 3); // root→a (filtered), root→b, b→b1
+        assert!(tree.converged(&PolicyId::new("lab-policy")));
+
+        let report = tree.propagate(sample("ehr-policy"), 20);
+        assert_eq!(report.filtered, 0);
+        assert_eq!(report.applied, 5);
+    }
+
+    #[test]
+    fn convergence_false_before_propagation() {
+        let mut tree = SyndicationTree::uniform("root", 1, 2);
+        assert!(!tree.converged(&PolicyId::new("nothing")));
+        tree.propagate(sample("p"), 1);
+        assert!(tree.converged(&PolicyId::new("p")));
+        assert!(!tree.converged(&PolicyId::new("q")));
+    }
+
+    #[test]
+    fn updates_create_new_versions_downstream() {
+        let mut tree = SyndicationTree::uniform("root", 1, 1);
+        tree.propagate(sample("p"), 1);
+        tree.propagate(sample("p"), 2);
+        let child = tree.node(1);
+        assert_eq!(child.pap.version_count(&PolicyId::new("p")), 2);
+        assert_eq!(child.pap.active(&PolicyId::new("p")).unwrap().version, 2);
+        // Audit shows syndication actor.
+        let log = child.pap.audit_log();
+        assert!(log
+            .iter()
+            .all(|e| e.action == crate::repository::AdminAction::SyndicationApply));
+    }
+
+    #[test]
+    fn message_count_scales_with_edges() {
+        for (depth, fanout) in [(1u32, 2u32), (2, 2), (3, 2), (2, 4)] {
+            let mut tree = SyndicationTree::uniform("r", depth, fanout);
+            let edges = tree.len() - 1;
+            let report = tree.propagate(sample("p"), 1);
+            assert_eq!(report.hops.len(), edges);
+            assert_eq!(report.total_messages(), 2 * edges);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! A TTL + LRU cache used for decision caching at PDPs and PEPs — the
+//! §3.2 message-reduction mechanism whose staleness risk experiment E6
+//! quantifies.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Cache effectiveness counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that missed (absent or expired).
+    pub misses: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+    /// Entries dropped because their TTL had passed.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    expires_at: u64,
+    stamp: u64,
+}
+
+/// A bounded cache with per-entry TTL and least-recently-used eviction.
+pub struct TtlLruCache<K, V> {
+    capacity: usize,
+    ttl_ms: u64,
+    map: HashMap<K, Entry<V>>,
+    order: BTreeMap<u64, K>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> TtlLruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries, each valid
+    /// for `ttl_ms` after insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, ttl_ms: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        TtlLruCache {
+            capacity,
+            ttl_ms,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(entry) = self.map.get_mut(key) {
+            self.order.remove(&entry.stamp);
+            self.next_stamp += 1;
+            entry.stamp = self.next_stamp;
+            self.order.insert(entry.stamp, key.clone());
+        }
+    }
+
+    /// Looks up `key` at time `now_ms`, refreshing its LRU position.
+    pub fn get(&mut self, key: &K, now_ms: u64) -> Option<V> {
+        match self.map.get(key) {
+            Some(entry) if now_ms < entry.expires_at => {
+                let v = entry.value.clone();
+                self.touch(key);
+                self.stats.hits += 1;
+                Some(v)
+            }
+            Some(_) => {
+                // Expired: drop it.
+                if let Some(entry) = self.map.remove(key) {
+                    self.order.remove(&entry.stamp);
+                }
+                self.stats.expirations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a value at time `now_ms`, evicting the LRU entry if full.
+    pub fn insert(&mut self, key: K, value: V, now_ms: u64) {
+        if let Some(old) = self.map.remove(&key) {
+            self.order.remove(&old.stamp);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                if let Some(victim) = self.order.remove(&oldest) {
+                    self.map.remove(&victim);
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+        self.next_stamp += 1;
+        self.order.insert(self.next_stamp, key.clone());
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                expires_at: now_ms + self.ttl_ms,
+                stamp: self.next_stamp,
+            },
+        );
+    }
+
+    /// Removes every entry (explicit invalidation on policy change).
+    pub fn invalidate_all(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Removes one entry.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let entry = self.map.remove(key)?;
+        self.order.remove(&entry.stamp);
+        Some(entry.value)
+    }
+
+    /// Number of live entries (including possibly-expired ones not yet
+    /// touched).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let mut c: TtlLruCache<u32, &'static str> = TtlLruCache::new(4, 100);
+        c.insert(1, "permit", 0);
+        assert_eq!(c.get(&1, 50), Some("permit"));
+        assert_eq!(c.get(&1, 100), None); // TTL boundary: expired
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: TtlLruCache<u32, u32> = TtlLruCache::new(2, 1000);
+        c.insert(1, 10, 0);
+        c.insert(2, 20, 1);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.get(&1, 2), Some(10));
+        c.insert(3, 30, 3);
+        assert_eq!(c.get(&2, 4), None);
+        assert_eq!(c.get(&1, 4), Some(10));
+        assert_eq!(c.get(&3, 4), Some(30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c: TtlLruCache<u32, u32> = TtlLruCache::new(2, 1000);
+        c.insert(1, 10, 0);
+        c.insert(1, 11, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1, 2), Some(11));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c: TtlLruCache<u32, u32> = TtlLruCache::new(4, 1000);
+        c.insert(1, 10, 0);
+        c.insert(2, 20, 0);
+        c.invalidate_all();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1, 1), None);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c: TtlLruCache<u32, u32> = TtlLruCache::new(4, 1000);
+        c.insert(1, 10, 0);
+        c.get(&1, 1);
+        c.get(&2, 1);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TtlLruCache::<u32, u32>::new(0, 10);
+    }
+
+    #[test]
+    fn remove_single_entry() {
+        let mut c: TtlLruCache<u32, u32> = TtlLruCache::new(4, 1000);
+        c.insert(1, 10, 0);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.remove(&1), None);
+    }
+}

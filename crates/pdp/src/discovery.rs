@@ -1,0 +1,187 @@
+//! PDP location: static binding vs directory-based discovery with
+//! health tracking and failover (§3.2 "Location of Policy Decision
+//! Points"). Experiment E13 compares the two under PDP churn.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A PDP known to the directory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PdpEndpoint {
+    /// Endpoint name, e.g. `"pdp-2.hospital-a"`.
+    pub name: String,
+    /// The administrative domain it serves.
+    pub domain: String,
+    /// Health as last observed.
+    pub healthy: bool,
+}
+
+/// How an enforcement point locates its decision point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Binding {
+    /// Fixed at deployment time; no failover (simple but fragile).
+    Static {
+        /// The bound PDP name.
+        target: String,
+    },
+    /// Resolved per request through the directory (round-robin over
+    /// healthy endpoints of the domain).
+    Discovery,
+}
+
+/// A per-environment registry of PDP endpoints.
+#[derive(Debug, Default)]
+pub struct PdpDirectory {
+    endpoints: RwLock<Vec<PdpEndpoint>>,
+    rr: RwLock<HashMap<String, usize>>,
+}
+
+impl PdpDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a healthy endpoint.
+    pub fn register(&self, name: impl Into<String>, domain: impl Into<String>) {
+        self.endpoints.write().push(PdpEndpoint {
+            name: name.into(),
+            domain: domain.into(),
+            healthy: true,
+        });
+    }
+
+    /// Marks an endpoint unhealthy (crash, partition).
+    pub fn mark_down(&self, name: &str) {
+        for e in self.endpoints.write().iter_mut() {
+            if e.name == name {
+                e.healthy = false;
+            }
+        }
+    }
+
+    /// Marks an endpoint healthy again.
+    pub fn mark_up(&self, name: &str) {
+        for e in self.endpoints.write().iter_mut() {
+            if e.name == name {
+                e.healthy = true;
+            }
+        }
+    }
+
+    /// Whether a named endpoint is currently healthy.
+    pub fn is_healthy(&self, name: &str) -> bool {
+        self.endpoints
+            .read()
+            .iter()
+            .any(|e| e.name == name && e.healthy)
+    }
+
+    /// Resolves a binding to a concrete healthy endpoint name.
+    ///
+    /// Static bindings resolve to their target only while it is healthy
+    /// (`None` otherwise — the availability gap E13 measures);
+    /// discovery round-robins over the domain's healthy endpoints.
+    pub fn resolve(&self, binding: &Binding, domain: &str) -> Option<String> {
+        match binding {
+            Binding::Static { target } => {
+                if self.is_healthy(target) {
+                    Some(target.clone())
+                } else {
+                    None
+                }
+            }
+            Binding::Discovery => {
+                let endpoints = self.endpoints.read();
+                let healthy: Vec<&PdpEndpoint> = endpoints
+                    .iter()
+                    .filter(|e| e.domain == domain && e.healthy)
+                    .collect();
+                if healthy.is_empty() {
+                    return None;
+                }
+                let mut rr = self.rr.write();
+                let counter = rr.entry(domain.to_owned()).or_insert(0);
+                let chosen = healthy[*counter % healthy.len()].name.clone();
+                *counter += 1;
+                Some(chosen)
+            }
+        }
+    }
+
+    /// All endpoints of a domain (healthy or not).
+    pub fn endpoints_in(&self, domain: &str) -> Vec<PdpEndpoint> {
+        self.endpoints
+            .read()
+            .iter()
+            .filter(|e| e.domain == domain)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.read().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory() -> PdpDirectory {
+        let d = PdpDirectory::new();
+        d.register("pdp-1", "hospital-a");
+        d.register("pdp-2", "hospital-a");
+        d.register("pdp-x", "lab-b");
+        d
+    }
+
+    #[test]
+    fn static_binding_follows_health() {
+        let d = directory();
+        let b = Binding::Static {
+            target: "pdp-1".into(),
+        };
+        assert_eq!(d.resolve(&b, "hospital-a"), Some("pdp-1".into()));
+        d.mark_down("pdp-1");
+        assert_eq!(d.resolve(&b, "hospital-a"), None);
+        d.mark_up("pdp-1");
+        assert_eq!(d.resolve(&b, "hospital-a"), Some("pdp-1".into()));
+    }
+
+    #[test]
+    fn discovery_round_robins() {
+        let d = directory();
+        let b = Binding::Discovery;
+        let picks: Vec<_> = (0..4).map(|_| d.resolve(&b, "hospital-a").unwrap()).collect();
+        assert_eq!(picks, vec!["pdp-1", "pdp-2", "pdp-1", "pdp-2"]);
+    }
+
+    #[test]
+    fn discovery_fails_over() {
+        let d = directory();
+        d.mark_down("pdp-1");
+        let b = Binding::Discovery;
+        for _ in 0..3 {
+            assert_eq!(d.resolve(&b, "hospital-a"), Some("pdp-2".into()));
+        }
+        d.mark_down("pdp-2");
+        assert_eq!(d.resolve(&b, "hospital-a"), None);
+    }
+
+    #[test]
+    fn domains_are_isolated() {
+        let d = directory();
+        let b = Binding::Discovery;
+        assert_eq!(d.resolve(&b, "lab-b"), Some("pdp-x".into()));
+        assert_eq!(d.endpoints_in("lab-b").len(), 1);
+        assert_eq!(d.endpoints_in("hospital-a").len(), 2);
+        assert_eq!(d.resolve(&b, "no-such-domain"), None);
+    }
+}

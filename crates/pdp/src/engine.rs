@@ -1,0 +1,263 @@
+//! The Policy Decision Point service: evaluates authorization decision
+//! queries against the PAP's active policies with PIP-backed attribute
+//! resolution and optional decision caching (Fig. 3/4 of the paper).
+
+use crate::cache::{CacheStats, TtlLruCache};
+use dacs_pap::Pap;
+use dacs_pip::{PipRegistry, ResolvingSource};
+use dacs_policy::eval::{EvalMetrics, Evaluator, Response};
+use dacs_policy::policy::PolicyElement;
+use dacs_policy::request::RequestContext;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Work counters for one PDP.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PdpMetrics {
+    /// Decision queries served.
+    pub decisions: u64,
+    /// Queries served from the decision cache.
+    pub cache_hits: u64,
+    /// Aggregate evaluation work.
+    pub eval: EvalMetrics,
+}
+
+/// Decision cache configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum cached decisions.
+    pub capacity: usize,
+    /// Time-to-live of each cached decision in milliseconds.
+    pub ttl_ms: u64,
+}
+
+/// A Policy Decision Point bound to one PAP and one PIP registry.
+pub struct Pdp {
+    name: String,
+    pap: Arc<Pap>,
+    root: PolicyElement,
+    pips: Arc<PipRegistry>,
+    cache: Option<Mutex<TtlLruCache<Vec<u8>, Response>>>,
+    /// PAP epoch the cache was valid for; a mismatch flushes it.
+    cache_epoch: Mutex<u64>,
+    metrics: Mutex<PdpMetrics>,
+}
+
+impl Pdp {
+    /// Creates a PDP evaluating `root` (usually a `PolicySetRef` into
+    /// the PAP) with no decision cache.
+    pub fn new(
+        name: impl Into<String>,
+        pap: Arc<Pap>,
+        root: PolicyElement,
+        pips: Arc<PipRegistry>,
+    ) -> Self {
+        Pdp {
+            name: name.into(),
+            pap,
+            root,
+            pips,
+            cache: None,
+            cache_epoch: Mutex::new(0),
+            metrics: Mutex::new(PdpMetrics::default()),
+        }
+    }
+
+    /// Enables decision caching (builder style).
+    pub fn with_cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(Mutex::new(TtlLruCache::new(config.capacity, config.ttl_ms)));
+        self
+    }
+
+    /// The PDP's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The PAP this PDP reads policies from.
+    pub fn pap(&self) -> &Arc<Pap> {
+        &self.pap
+    }
+
+    /// Serves an authorization decision query.
+    ///
+    /// Policy changes at the PAP (tracked by its epoch) flush the
+    /// decision cache automatically, implementing explicit invalidation;
+    /// within an epoch, cached decisions may be up to `ttl_ms` stale
+    /// with respect to *attribute* changes — the trade-off E6 measures.
+    pub fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
+        self.metrics.lock().decisions += 1;
+
+        let key = if self.cache.is_some() {
+            Some(request.to_canonical_bytes())
+        } else {
+            None
+        };
+
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            let mut epoch = self.cache_epoch.lock();
+            let current = self.pap.epoch();
+            let mut cache = cache.lock();
+            if *epoch != current {
+                cache.invalidate_all();
+                *epoch = current;
+            }
+            if let Some(resp) = cache.get(key, now_ms) {
+                self.metrics.lock().cache_hits += 1;
+                return resp;
+            }
+        }
+
+        let source = ResolvingSource::new(request, &self.pips, now_ms);
+        let mut evaluator = Evaluator::with_source(self.pap.as_ref(), request, &source);
+        let response = evaluator.evaluate_element(&self.root);
+        self.metrics.lock().eval.absorb(&evaluator.metrics);
+
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.lock().insert(key, response.clone(), now_ms);
+        }
+        response
+    }
+
+    /// Explicitly flushes the decision cache (used when attribute
+    /// revocations must take effect immediately).
+    pub fn invalidate_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.lock().invalidate_all();
+        }
+    }
+
+    /// Snapshot of work counters.
+    pub fn metrics(&self) -> PdpMetrics {
+        *self.metrics.lock()
+    }
+
+    /// Decision-cache statistics, if caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.lock().stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacs_pip::StaticAttributes;
+    use dacs_policy::dsl::parse_policy;
+    use dacs_policy::policy::{Decision, PolicyId};
+
+    fn setup(cache: Option<CacheConfig>) -> (Arc<Pap>, Pdp, Arc<StaticAttributes>) {
+        let pap = Arc::new(Pap::new("pap.test"));
+        let policy = parse_policy(
+            r#"
+policy "gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#,
+        )
+        .unwrap();
+        pap.submit("admin", policy, 0).unwrap();
+
+        let statics = Arc::new(StaticAttributes::new());
+        statics.add_subject_attr("alice", "role", "doctor");
+        let mut pips = PipRegistry::new();
+        pips.add(statics.clone());
+
+        let mut pdp = Pdp::new(
+            "pdp.test",
+            pap.clone(),
+            PolicyElement::PolicyRef(PolicyId::new("gate")),
+            Arc::new(pips),
+        );
+        if let Some(cfg) = cache {
+            pdp = pdp.with_cache(cfg);
+        }
+        (pap, pdp, statics)
+    }
+
+    #[test]
+    fn decides_with_pip_attributes() {
+        let (_pap, pdp, _s) = setup(None);
+        let alice = RequestContext::basic("alice", "ehr/1", "read");
+        assert_eq!(pdp.decide(&alice, 0).decision, Decision::Permit);
+        let bob = RequestContext::basic("bob", "ehr/1", "read");
+        assert_eq!(pdp.decide(&bob, 0).decision, Decision::Deny);
+        assert_eq!(pdp.metrics().decisions, 2);
+        assert!(pdp.metrics().eval.policies_evaluated >= 2);
+    }
+
+    #[test]
+    fn cache_serves_repeats() {
+        let cfg = CacheConfig {
+            capacity: 128,
+            ttl_ms: 1000,
+        };
+        let (_pap, pdp, _s) = setup(Some(cfg));
+        let alice = RequestContext::basic("alice", "ehr/1", "read");
+        pdp.decide(&alice, 0);
+        pdp.decide(&alice, 100);
+        pdp.decide(&alice, 200);
+        let m = pdp.metrics();
+        assert_eq!(m.decisions, 3);
+        assert_eq!(m.cache_hits, 2);
+        // Only one real evaluation.
+        assert_eq!(m.eval.policies_evaluated, 1);
+    }
+
+    #[test]
+    fn cache_staleness_and_explicit_invalidation() {
+        let cfg = CacheConfig {
+            capacity: 128,
+            ttl_ms: 10_000,
+        };
+        let (_pap, pdp, statics) = setup(Some(cfg));
+        let alice = RequestContext::basic("alice", "ehr/1", "read");
+        assert_eq!(pdp.decide(&alice, 0).decision, Decision::Permit);
+        // Role revoked upstream, but the cached Permit is served — the
+        // false-permit window the paper warns about.
+        statics.remove_subject("alice");
+        assert_eq!(pdp.decide(&alice, 100).decision, Decision::Permit);
+        pdp.invalidate_cache();
+        assert_eq!(pdp.decide(&alice, 101).decision, Decision::Deny);
+    }
+
+    #[test]
+    fn policy_update_flushes_cache() {
+        let cfg = CacheConfig {
+            capacity: 128,
+            ttl_ms: 1_000_000,
+        };
+        let (pap, pdp, _s) = setup(Some(cfg));
+        let alice = RequestContext::basic("alice", "ehr/1", "read");
+        assert_eq!(pdp.decide(&alice, 0).decision, Decision::Permit);
+        // New policy version denies everyone.
+        let lockdown = parse_policy(
+            r#"
+policy "gate" deny-unless-permit {
+  rule "nobody" permit {
+    condition is-in("nobody", attr(subject, "role"))
+  }
+}
+"#,
+        )
+        .unwrap();
+        pap.submit("admin", lockdown, 50).unwrap();
+        assert_eq!(pdp.decide(&alice, 60).decision, Decision::Deny);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_reevaluation() {
+        let cfg = CacheConfig {
+            capacity: 128,
+            ttl_ms: 100,
+        };
+        let (_pap, pdp, statics) = setup(Some(cfg));
+        let alice = RequestContext::basic("alice", "ehr/1", "read");
+        assert_eq!(pdp.decide(&alice, 0).decision, Decision::Permit);
+        statics.remove_subject("alice");
+        // Within TTL: stale permit. Past TTL: fresh deny.
+        assert_eq!(pdp.decide(&alice, 50).decision, Decision::Permit);
+        assert_eq!(pdp.decide(&alice, 150).decision, Decision::Deny);
+    }
+}

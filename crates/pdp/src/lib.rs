@@ -1,0 +1,23 @@
+//! # dacs-pdp
+//!
+//! Policy Decision Point for the DACS reproduction of the DSN 2008
+//! paper: the component that evaluates authorization decision queries
+//! (Fig. 3/4) against the PAP's active policies, resolving attributes
+//! through PIPs.
+//!
+//! * [`engine`] — the PDP service with PIP-backed attribute resolution
+//!   and a decision cache keyed to the PAP mutation epoch.
+//! * [`cache`] — the TTL + LRU cache shared by PDPs and PEPs.
+//! * [`discovery`] — static binding vs directory-based PDP discovery
+//!   with health tracking (§3.2 "Location of Policy Decision Points").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod discovery;
+pub mod engine;
+
+pub use cache::{CacheStats, TtlLruCache};
+pub use discovery::{Binding, PdpDirectory, PdpEndpoint};
+pub use engine::{CacheConfig, Pdp, PdpMetrics};

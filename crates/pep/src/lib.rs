@@ -1,0 +1,712 @@
+//! # dacs-pep
+//!
+//! Policy Enforcement Point for the DACS reproduction of the DSN 2008
+//! paper: the barrier around each protected service (Fig. 1–3).
+//!
+//! Supports the paper's three authorization decision query sequences
+//! (§2.2):
+//!
+//! * **pull** (policy-issuing, Fig. 3) — [`Pep::enforce`]: the PEP
+//!   queries its PDP per request.
+//! * **push** (capability-issuing, Fig. 2) —
+//!   [`Pep::enforce_with_capability`]: the client presents a signed
+//!   capability assertion; the PEP validates it and additionally applies
+//!   local policy (resource autonomy: local deny always wins).
+//! * **agent** — a PEP deployed as a proxy in front of the service; the
+//!   data path is identical to pull, the deployment difference is
+//!   captured by the federation layer's topology.
+//!
+//! Dependability posture (DESIGN.md §7): Indeterminate decisions,
+//! unverifiable assertions, and obligations without a registered handler
+//! all result in **deny** (fail-safe defaults), and every enforcement is
+//! recorded for audit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dacs_assert::{AssertError, SignedAssertion};
+use dacs_crypto::sign::{CryptoCtx, PublicKey};
+use dacs_pdp::{CacheConfig, Pdp, TtlLruCache};
+use dacs_policy::policy::{Decision, Obligation};
+use dacs_policy::request::RequestContext;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Something that can discharge one kind of obligation.
+pub trait ObligationHandler: Send + Sync {
+    /// The obligation id this handler serves (e.g. `"log"`).
+    fn obligation_id(&self) -> &str;
+
+    /// Performs the obligation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; the PEP converts failures into denials
+    /// (an obligation the PEP cannot discharge must not be skipped).
+    fn fulfill(&self, obligation: &Obligation, request: &RequestContext) -> Result<(), String>;
+}
+
+/// Records `log` obligations into an in-memory audit buffer.
+#[derive(Debug, Default)]
+pub struct LogObligationHandler {
+    entries: Mutex<Vec<String>>,
+}
+
+impl LogObligationHandler {
+    /// Creates an empty log handler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of recorded entries.
+    pub fn entries(&self) -> Vec<String> {
+        self.entries.lock().clone()
+    }
+}
+
+impl ObligationHandler for LogObligationHandler {
+    fn obligation_id(&self) -> &str {
+        "log"
+    }
+
+    fn fulfill(&self, obligation: &Obligation, request: &RequestContext) -> Result<(), String> {
+        let mut line = format!(
+            "subject={} resource={} action={}",
+            request.subject_id().unwrap_or("?"),
+            request.resource_id().unwrap_or("?"),
+            request.action_id().unwrap_or("?"),
+        );
+        for (k, v) in &obligation.params {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        self.entries.lock().push(line);
+        Ok(())
+    }
+}
+
+/// Counts `notify` obligations (stands in for alerting integrations).
+#[derive(Debug, Default)]
+pub struct NotifyObligationHandler {
+    count: Mutex<u64>,
+}
+
+impl NotifyObligationHandler {
+    /// Creates the handler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of notifications fired.
+    pub fn count(&self) -> u64 {
+        *self.count.lock()
+    }
+}
+
+impl ObligationHandler for NotifyObligationHandler {
+    fn obligation_id(&self) -> &str {
+        "notify"
+    }
+
+    fn fulfill(&self, _obligation: &Obligation, _request: &RequestContext) -> Result<(), String> {
+        *self.count.lock() += 1;
+        Ok(())
+    }
+}
+
+/// The outcome of one enforcement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EnforcementResult {
+    /// Whether access was granted.
+    pub allowed: bool,
+    /// The decision that produced the outcome.
+    pub decision: Decision,
+    /// Obligation ids fulfilled before granting/denying.
+    pub fulfilled: Vec<String>,
+    /// Why access was denied (when it was).
+    pub reason: Option<String>,
+}
+
+/// One audit record per enforcement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EnforcementRecord {
+    /// Enforcement time (simulation milliseconds).
+    pub at_ms: u64,
+    /// Subject id.
+    pub subject: String,
+    /// Resource id.
+    pub resource: String,
+    /// Action id.
+    pub action: String,
+    /// Whether access was granted.
+    pub allowed: bool,
+}
+
+/// Aggregate enforcement counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EnforcementStats {
+    /// Requests granted.
+    pub allowed: u64,
+    /// Requests denied by explicit Deny.
+    pub denied: u64,
+    /// Requests denied fail-safe (Indeterminate, NotApplicable under
+    /// deny-biased policy, broken assertions, obligation failures).
+    pub failsafe_denials: u64,
+    /// Obligation fulfilment failures.
+    pub obligation_failures: u64,
+    /// Decisions served from the PEP-side cache.
+    pub cache_hits: u64,
+}
+
+/// A Policy Enforcement Point guarding one service.
+pub struct Pep {
+    name: String,
+    /// The audience string capabilities must be issued for (usually the
+    /// domain name).
+    audience: String,
+    pdp: Arc<Pdp>,
+    handlers: HashMap<String, Arc<dyn ObligationHandler>>,
+    cache: Option<Mutex<TtlLruCache<Vec<u8>, dacs_policy::eval::Response>>>,
+    crypto: CryptoCtx,
+    /// Trusted capability issuers: name → verification key.
+    trusted_issuers: HashMap<String, PublicKey>,
+    /// If true, NotApplicable is denied (default); if false, it is
+    /// allowed (open policy — not recommended, but configurable for
+    /// ablation).
+    deny_not_applicable: bool,
+    audit: Mutex<Vec<EnforcementRecord>>,
+    stats: Mutex<EnforcementStats>,
+}
+
+impl Pep {
+    /// Creates an enforcement point bound to a PDP (pull model).
+    pub fn new(
+        name: impl Into<String>,
+        audience: impl Into<String>,
+        pdp: Arc<Pdp>,
+        crypto: CryptoCtx,
+    ) -> Self {
+        Pep {
+            name: name.into(),
+            audience: audience.into(),
+            pdp,
+            handlers: HashMap::new(),
+            cache: None,
+            crypto,
+            trusted_issuers: HashMap::new(),
+            deny_not_applicable: true,
+            audit: Mutex::new(Vec::new()),
+            stats: Mutex::new(EnforcementStats::default()),
+        }
+    }
+
+    /// Registers an obligation handler (builder style).
+    pub fn with_handler(mut self, handler: Arc<dyn ObligationHandler>) -> Self {
+        self.handlers
+            .insert(handler.obligation_id().to_owned(), handler);
+        self
+    }
+
+    /// Enables the PEP-side decision cache (builder style).
+    pub fn with_cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(Mutex::new(TtlLruCache::new(config.capacity, config.ttl_ms)));
+        self
+    }
+
+    /// Trusts a capability issuer (builder style).
+    pub fn with_trusted_issuer(mut self, name: impl Into<String>, key: PublicKey) -> Self {
+        self.trusted_issuers.insert(name.into(), key);
+        self
+    }
+
+    /// Treats NotApplicable as permit (open enforcement, for ablation
+    /// only; default is fail-safe deny).
+    pub fn with_open_not_applicable(mut self) -> Self {
+        self.deny_not_applicable = false;
+        self
+    }
+
+    /// The PEP's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pull-model enforcement (Fig. 3): query the PDP, fulfil
+    /// obligations, grant or deny.
+    pub fn enforce(&self, request: &RequestContext, now_ms: u64) -> EnforcementResult {
+        let response = self.decide_cached(request, now_ms);
+        self.conclude(request, response, now_ms)
+    }
+
+    /// Push-model enforcement (Fig. 2): validate the presented
+    /// capability, then apply local policy as an autonomy overlay —
+    /// a local Deny/Indeterminate overrides the capability.
+    pub fn enforce_with_capability(
+        &self,
+        request: &RequestContext,
+        capability: &SignedAssertion,
+        now_ms: u64,
+    ) -> EnforcementResult {
+        // 1. Issuer trust.
+        let issuer = &capability.assertion.issuer;
+        let Some(key) = self.trusted_issuers.get(issuer) else {
+            return self.deny_failsafe(request, now_ms, format!("untrusted issuer {issuer}"));
+        };
+        // 2. Signature + validity window + audience.
+        if let Err(e) = capability.verify(&self.crypto, key, now_ms, Some(&self.audience)) {
+            return self.deny_failsafe(request, now_ms, e.to_string());
+        }
+        // 3. Capability sufficiency for this very request.
+        let (subject, resource, action) = match (
+            request.subject_id(),
+            request.resource_id(),
+            request.action_id(),
+        ) {
+            (Some(s), Some(r), Some(a)) => (s, r, a),
+            _ => {
+                return self.deny_failsafe(request, now_ms, "request lacks identifiers".into());
+            }
+        };
+        if let Err(e) = capability.check_capability(subject, resource, action) {
+            let msg = match e {
+                AssertError::CapabilityInsufficient { .. } | AssertError::SubjectMismatch { .. } => {
+                    e.to_string()
+                }
+                other => other.to_string(),
+            };
+            return self.deny_failsafe(request, now_ms, msg);
+        }
+        // 4. Local restriction overlay: the resource provider still makes
+        //    the final decision (§2.2). Local Deny or error wins.
+        let local = self.decide_cached(request, now_ms);
+        match local.decision {
+            Decision::Deny => self.conclude(request, local, now_ms),
+            Decision::Indeterminate => {
+                self.deny_failsafe(request, now_ms, "local policy indeterminate".into())
+            }
+            Decision::Permit | Decision::NotApplicable => {
+                // Capability pre-screening grants; local obligations (if
+                // the local decision was Permit) still apply.
+                let obligations = if local.decision == Decision::Permit {
+                    local.obligations
+                } else {
+                    Vec::new()
+                };
+                let synthetic = dacs_policy::eval::Response {
+                    decision: Decision::Permit,
+                    obligations,
+                    status: dacs_policy::eval::Status::Ok,
+                };
+                self.conclude(request, synthetic, now_ms)
+            }
+        }
+    }
+
+    fn decide_cached(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+    ) -> dacs_policy::eval::Response {
+        if let Some(cache) = &self.cache {
+            let key = request.to_canonical_bytes();
+            {
+                let mut cache = cache.lock();
+                if let Some(resp) = cache.get(&key, now_ms) {
+                    self.stats.lock().cache_hits += 1;
+                    return resp;
+                }
+            }
+            let resp = self.pdp.decide(request, now_ms);
+            cache.lock().insert(key, resp.clone(), now_ms);
+            resp
+        } else {
+            self.pdp.decide(request, now_ms)
+        }
+    }
+
+    fn conclude(
+        &self,
+        request: &RequestContext,
+        response: dacs_policy::eval::Response,
+        now_ms: u64,
+    ) -> EnforcementResult {
+        let mut fulfilled = Vec::new();
+        let grant = match response.decision {
+            Decision::Permit => true,
+            Decision::Deny => false,
+            Decision::NotApplicable => !self.deny_not_applicable,
+            Decision::Indeterminate => false,
+        };
+
+        // Obligations must be discharged regardless of effect direction;
+        // inability to discharge any of them forces deny (fail-safe).
+        for ob in &response.obligations {
+            match self.handlers.get(&ob.id) {
+                Some(h) => match h.fulfill(ob, request) {
+                    Ok(()) => fulfilled.push(ob.id.clone()),
+                    Err(e) => {
+                        self.stats.lock().obligation_failures += 1;
+                        return self.deny_failsafe(
+                            request,
+                            now_ms,
+                            format!("obligation {} failed: {e}", ob.id),
+                        );
+                    }
+                },
+                None => {
+                    self.stats.lock().obligation_failures += 1;
+                    return self.deny_failsafe(
+                        request,
+                        now_ms,
+                        format!("no handler for obligation {}", ob.id),
+                    );
+                }
+            }
+        }
+
+        let reason = if grant {
+            None
+        } else {
+            Some(match &response.status {
+                dacs_policy::eval::Status::Error(e) => e.clone(),
+                dacs_policy::eval::Status::Ok => format!("decision {}", response.decision),
+            })
+        };
+        {
+            let mut stats = self.stats.lock();
+            if grant {
+                stats.allowed += 1;
+            } else if response.decision == Decision::Deny {
+                stats.denied += 1;
+            } else {
+                stats.failsafe_denials += 1;
+            }
+        }
+        self.record(request, grant, now_ms);
+        EnforcementResult {
+            allowed: grant,
+            decision: response.decision,
+            fulfilled,
+            reason,
+        }
+    }
+
+    fn deny_failsafe(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        reason: String,
+    ) -> EnforcementResult {
+        self.stats.lock().failsafe_denials += 1;
+        self.record(request, false, now_ms);
+        EnforcementResult {
+            allowed: false,
+            decision: Decision::Indeterminate,
+            fulfilled: Vec::new(),
+            reason: Some(reason),
+        }
+    }
+
+    fn record(&self, request: &RequestContext, allowed: bool, at_ms: u64) {
+        self.audit.lock().push(EnforcementRecord {
+            at_ms,
+            subject: request.subject_id().unwrap_or("?").to_owned(),
+            resource: request.resource_id().unwrap_or("?").to_owned(),
+            action: request.action_id().unwrap_or("?").to_owned(),
+            allowed,
+        });
+    }
+
+    /// Snapshot of the enforcement audit trail.
+    pub fn audit_log(&self) -> Vec<EnforcementRecord> {
+        self.audit.lock().clone()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EnforcementStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacs_assert::{Assertion, Conditions, Statement};
+    use dacs_crypto::sign::SigningKey;
+    use dacs_pap::Pap;
+    use dacs_pip::{PipRegistry, StaticAttributes};
+    use dacs_policy::dsl::parse_policy;
+    use dacs_policy::policy::{PolicyElement, PolicyId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct World {
+        pep: Pep,
+        log: Arc<LogObligationHandler>,
+        cas_key: SigningKey,
+        ctx: CryptoCtx,
+    }
+
+    fn world(policy_src: &str, with_log_handler: bool) -> World {
+        let ctx = CryptoCtx::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cas_key = SigningKey::generate_sim(ctx.registry(), &mut rng);
+
+        let pap = Arc::new(Pap::new("pap.b"));
+        pap.submit("admin", parse_policy(policy_src).unwrap(), 0)
+            .unwrap();
+        let statics = Arc::new(StaticAttributes::new());
+        statics.add_subject_attr("alice", "role", "doctor");
+        let mut pips = PipRegistry::new();
+        pips.add(statics);
+        let pdp = Arc::new(Pdp::new(
+            "pdp.b",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("gate")),
+            Arc::new(pips),
+        ));
+
+        let log = Arc::new(LogObligationHandler::new());
+        let mut pep = Pep::new("pep.b", "hospital-b", pdp, ctx.clone())
+            .with_trusted_issuer("cas.vo", cas_key.public_key());
+        if with_log_handler {
+            pep = pep.with_handler(log.clone());
+        }
+        World {
+            pep,
+            log,
+            cas_key,
+            ctx,
+        }
+    }
+
+    const GATE: &str = r#"
+policy "gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+    obligation "log" on permit {
+      "who" = attr(subject, "id");
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn pull_model_permits_and_logs() {
+        let w = world(GATE, true);
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        let r = w.pep.enforce(&req, 10);
+        assert!(r.allowed);
+        assert_eq!(r.fulfilled, vec!["log".to_string()]);
+        assert_eq!(w.log.entries().len(), 1);
+        assert!(w.log.entries()[0].contains("subject=alice"));
+        assert_eq!(w.pep.stats().allowed, 1);
+        assert_eq!(w.pep.audit_log().len(), 1);
+    }
+
+    #[test]
+    fn pull_model_denies_unknown_subject() {
+        let w = world(GATE, true);
+        let req = RequestContext::basic("mallory", "ehr/1", "read");
+        let r = w.pep.enforce(&req, 10);
+        assert!(!r.allowed);
+        assert_eq!(r.decision, Decision::Deny);
+        assert_eq!(w.pep.stats().denied, 1);
+    }
+
+    #[test]
+    fn missing_obligation_handler_is_failsafe_deny() {
+        let w = world(GATE, false); // no log handler registered
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        let r = w.pep.enforce(&req, 10);
+        assert!(!r.allowed);
+        assert!(r.reason.unwrap().contains("no handler"));
+        let stats = w.pep.stats();
+        assert_eq!(stats.failsafe_denials, 1);
+        assert_eq!(stats.obligation_failures, 1);
+    }
+
+    fn capability(w: &World, subject: &str, ttl: u64, audience: &str) -> SignedAssertion {
+        SignedAssertion::sign(
+            Assertion {
+                id: 1,
+                issuer: "cas.vo".into(),
+                subject: subject.into(),
+                issued_at: 0,
+                conditions: Conditions::window(0, ttl).for_audience(audience),
+                statements: vec![Statement::Capability {
+                    resource_pattern: "ehr/*".into(),
+                    actions: vec!["read".into()],
+                }],
+            },
+            &w.cas_key,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_model_accepts_valid_capability() {
+        // Local policy is NotApplicable for bob (no role) — capability
+        // pre-screening carries the permit.
+        let w = world(GATE, true);
+        let cap = capability(&w, "bob", 1000, "hospital-b");
+        let req = RequestContext::basic("bob", "ehr/1", "read");
+        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        // GATE is deny-unless-permit: local decision for bob is Deny, so
+        // local autonomy wins and bob is denied despite the capability.
+        assert!(!r.allowed);
+
+        // With an overlay policy that is silent about bob, the
+        // capability should carry.
+        let overlay = r#"
+policy "gate" first-applicable {
+  rule "block-writes" deny {
+    target { action "id" == "write"; }
+  }
+}
+"#;
+        let w = world(overlay, true);
+        let cap = capability(&w, "bob", 1000, "hospital-b");
+        let req = RequestContext::basic("bob", "ehr/1", "read");
+        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        assert!(r.allowed, "reason: {:?}", r.reason);
+    }
+
+    #[test]
+    fn push_model_local_deny_overrides_capability() {
+        let overlay = r#"
+policy "gate" first-applicable {
+  rule "lockdown" deny {
+    target { resource "id" ~= "ehr/*"; }
+  }
+}
+"#;
+        let w = world(overlay, true);
+        let cap = capability(&w, "bob", 1000, "hospital-b");
+        let req = RequestContext::basic("bob", "ehr/1", "read");
+        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        assert!(!r.allowed, "local autonomy must win");
+    }
+
+    #[test]
+    fn push_model_rejects_expired_and_wrong_audience() {
+        let overlay = r#"
+policy "gate" first-applicable {
+  rule "nothing" deny {
+    target { action "id" == "never-matches"; }
+  }
+}
+"#;
+        let w = world(overlay, true);
+        let req = RequestContext::basic("bob", "ehr/1", "read");
+
+        let expired = capability(&w, "bob", 5, "hospital-b");
+        let r = w.pep.enforce_with_capability(&req, &expired, 10);
+        assert!(!r.allowed);
+        assert!(r.reason.unwrap().contains("expired"));
+
+        let wrong_aud = capability(&w, "bob", 1000, "hospital-z");
+        let r = w.pep.enforce_with_capability(&req, &wrong_aud, 10);
+        assert!(!r.allowed);
+    }
+
+    #[test]
+    fn push_model_rejects_untrusted_issuer_and_tamper() {
+        let w = world(GATE, true);
+        let mut cap = capability(&w, "bob", 1000, "hospital-b");
+        cap.assertion.issuer = "cas.rogue".into();
+        let req = RequestContext::basic("bob", "ehr/1", "read");
+        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        assert!(!r.allowed);
+        assert!(r.reason.unwrap().contains("untrusted issuer"));
+
+        // Tampered subject breaks the signature.
+        let mut cap = capability(&w, "bob", 1000, "hospital-b");
+        cap.assertion.subject = "mallory".into();
+        let req = RequestContext::basic("mallory", "ehr/1", "read");
+        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        assert!(!r.allowed);
+    }
+
+    #[test]
+    fn push_model_capability_scope_enforced() {
+        let overlay = r#"
+policy "gate" first-applicable {
+  rule "nothing" deny {
+    target { action "id" == "never-matches"; }
+  }
+}
+"#;
+        let w = world(overlay, true);
+        let cap = capability(&w, "bob", 1000, "hospital-b");
+        // Write is not in the capability's action list.
+        let req = RequestContext::basic("bob", "ehr/1", "write");
+        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        assert!(!r.allowed);
+        // Resource outside the pattern.
+        let req = RequestContext::basic("bob", "lab/1", "read");
+        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        assert!(!r.allowed);
+        // Different subject presenting bob's capability.
+        let req = RequestContext::basic("eve", "ehr/1", "read");
+        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        assert!(!r.allowed);
+    }
+
+    #[test]
+    fn pep_cache_reduces_pdp_load() {
+        let ctx = CryptoCtx::new();
+        let pap = Arc::new(Pap::new("pap.c"));
+        pap.submit("admin", parse_policy(GATE).unwrap(), 0).unwrap();
+        let statics = Arc::new(StaticAttributes::new());
+        statics.add_subject_attr("alice", "role", "doctor");
+        let mut pips = PipRegistry::new();
+        pips.add(statics);
+        let pdp = Arc::new(Pdp::new(
+            "pdp.c",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("gate")),
+            Arc::new(pips),
+        ));
+        let pep = Pep::new("pep.c", "hospital-c", pdp.clone(), ctx)
+            .with_handler(Arc::new(LogObligationHandler::new()))
+            .with_cache(CacheConfig {
+                capacity: 64,
+                ttl_ms: 1000,
+            });
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        for t in 0..5 {
+            assert!(pep.enforce(&req, t).allowed);
+        }
+        assert_eq!(pdp.metrics().decisions, 1, "four hits served locally");
+        assert_eq!(pep.stats().cache_hits, 4);
+    }
+
+    #[test]
+    fn open_not_applicable_ablation() {
+        let silent = r#"
+policy "gate" first-applicable {
+  rule "only-writes" deny {
+    target { action "id" == "write"; }
+  }
+}
+"#;
+        let w = world(silent, true);
+        let req = RequestContext::basic("bob", "ehr/1", "read");
+        // Default: fail-safe deny on NotApplicable.
+        assert!(!w.pep.enforce(&req, 1).allowed);
+
+        // Open configuration grants.
+        let ctx = CryptoCtx::new();
+        let pap = Arc::new(Pap::new("pap.d"));
+        pap.submit("admin", parse_policy(silent).unwrap(), 0).unwrap();
+        let pdp = Arc::new(Pdp::new(
+            "pdp.d",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("gate")),
+            Arc::new(PipRegistry::new()),
+        ));
+        let open_pep = Pep::new("pep.d", "d", pdp, ctx).with_open_not_applicable();
+        assert!(open_pep.enforce(&req, 1).allowed);
+    }
+}

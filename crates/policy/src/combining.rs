@@ -1,0 +1,247 @@
+//! Combining algorithms: turning a sequence of child decisions into one
+//! decision, with correct obligation propagation.
+//!
+//! The evaluator feeds child results into a [`Combiner`] one at a time;
+//! [`Combiner::feed`] returns `true` when the outcome can no longer
+//! change, enabling short-circuit evaluation (first-applicable,
+//! deny-overrides on first Deny, ...). Obligations follow XACML §7.14:
+//! only obligations from children whose decision equals the combined
+//! decision are propagated.
+
+use crate::policy::{CombiningAlg, Decision, Obligation};
+
+/// Incremental decision combiner.
+#[derive(Clone, Debug)]
+pub struct Combiner {
+    alg: CombiningAlg,
+    seen_permit: bool,
+    seen_deny: bool,
+    seen_indeterminate: bool,
+    decided: Option<Decision>,
+    permit_obligations: Vec<Obligation>,
+    deny_obligations: Vec<Obligation>,
+}
+
+impl Combiner {
+    /// Creates a combiner for `alg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`CombiningAlg::OnlyOneApplicable`], which is not a
+    /// feed-based algorithm: the evaluator implements it by target
+    /// inspection (see `eval` module).
+    pub fn new(alg: CombiningAlg) -> Self {
+        assert!(
+            alg != CombiningAlg::OnlyOneApplicable,
+            "only-one-applicable is handled by target inspection, not feeding"
+        );
+        Combiner {
+            alg,
+            seen_permit: false,
+            seen_deny: false,
+            seen_indeterminate: false,
+            decided: None,
+            permit_obligations: Vec::new(),
+            deny_obligations: Vec::new(),
+        }
+    }
+
+    /// Feeds one child result. Returns `true` if the combined outcome is
+    /// now fixed and remaining children need not be evaluated.
+    pub fn feed(&mut self, decision: Decision, obligations: Vec<Obligation>) -> bool {
+        if self.decided.is_some() {
+            return true;
+        }
+        match decision {
+            Decision::Permit => {
+                self.seen_permit = true;
+                self.permit_obligations.extend(obligations);
+            }
+            Decision::Deny => {
+                self.seen_deny = true;
+                self.deny_obligations.extend(obligations);
+            }
+            Decision::Indeterminate => self.seen_indeterminate = true,
+            Decision::NotApplicable => {}
+        }
+        let done = match self.alg {
+            CombiningAlg::DenyOverrides => decision == Decision::Deny,
+            CombiningAlg::PermitOverrides => decision == Decision::Permit,
+            CombiningAlg::FirstApplicable => decision != Decision::NotApplicable,
+            CombiningAlg::DenyUnlessPermit => decision == Decision::Permit,
+            CombiningAlg::PermitUnlessDeny => decision == Decision::Deny,
+            CombiningAlg::OnlyOneApplicable => unreachable!("rejected in constructor"),
+        };
+        if done {
+            self.decided = Some(match self.alg {
+                CombiningAlg::FirstApplicable => decision,
+                CombiningAlg::DenyOverrides | CombiningAlg::PermitUnlessDeny => Decision::Deny,
+                CombiningAlg::PermitOverrides | CombiningAlg::DenyUnlessPermit => Decision::Permit,
+                CombiningAlg::OnlyOneApplicable => unreachable!("rejected in constructor"),
+            });
+        }
+        done
+    }
+
+    /// Finishes combination, returning the decision and the obligations
+    /// that travel with it.
+    pub fn finish(self) -> (Decision, Vec<Obligation>) {
+        let decision = self.decided.unwrap_or(match self.alg {
+            CombiningAlg::DenyOverrides => {
+                if self.seen_indeterminate {
+                    Decision::Indeterminate
+                } else if self.seen_permit {
+                    Decision::Permit
+                } else {
+                    Decision::NotApplicable
+                }
+            }
+            CombiningAlg::PermitOverrides => {
+                if self.seen_indeterminate {
+                    Decision::Indeterminate
+                } else if self.seen_deny {
+                    Decision::Deny
+                } else {
+                    Decision::NotApplicable
+                }
+            }
+            CombiningAlg::FirstApplicable => Decision::NotApplicable,
+            CombiningAlg::DenyUnlessPermit => Decision::Deny,
+            CombiningAlg::PermitUnlessDeny => Decision::Permit,
+            CombiningAlg::OnlyOneApplicable => unreachable!("rejected in constructor"),
+        });
+        let obligations = match decision {
+            Decision::Permit => self.permit_obligations,
+            Decision::Deny => self.deny_obligations,
+            _ => Vec::new(),
+        };
+        (decision, obligations)
+    }
+
+    /// Convenience: combines a complete sequence of results.
+    pub fn combine_all(
+        alg: CombiningAlg,
+        results: impl IntoIterator<Item = (Decision, Vec<Obligation>)>,
+    ) -> (Decision, Vec<Obligation>) {
+        let mut c = Combiner::new(alg);
+        for (d, o) in results {
+            if c.feed(d, o) {
+                break;
+            }
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CombiningAlg::*;
+
+    fn ob(id: &str) -> Obligation {
+        Obligation {
+            id: id.into(),
+            params: vec![],
+        }
+    }
+
+    fn combine(alg: CombiningAlg, ds: &[Decision]) -> Decision {
+        Combiner::combine_all(alg, ds.iter().map(|d| (*d, vec![])))
+            .0
+    }
+
+    use Decision::*;
+
+    #[test]
+    fn deny_overrides_truth_table() {
+        assert_eq!(combine(DenyOverrides, &[Permit, Deny, Permit]), Deny);
+        assert_eq!(combine(DenyOverrides, &[Permit, Indeterminate]), Indeterminate);
+        assert_eq!(combine(DenyOverrides, &[Permit, NotApplicable]), Permit);
+        assert_eq!(combine(DenyOverrides, &[NotApplicable]), NotApplicable);
+        assert_eq!(combine(DenyOverrides, &[]), NotApplicable);
+        // Deny wins over indeterminate even if indeterminate came first.
+        assert_eq!(combine(DenyOverrides, &[Indeterminate, Deny]), Deny);
+    }
+
+    #[test]
+    fn permit_overrides_truth_table() {
+        assert_eq!(combine(PermitOverrides, &[Deny, Permit]), Permit);
+        assert_eq!(combine(PermitOverrides, &[Deny, Indeterminate]), Indeterminate);
+        assert_eq!(combine(PermitOverrides, &[Deny, NotApplicable]), Deny);
+        assert_eq!(combine(PermitOverrides, &[]), NotApplicable);
+    }
+
+    #[test]
+    fn first_applicable_truth_table() {
+        assert_eq!(combine(FirstApplicable, &[NotApplicable, Deny, Permit]), Deny);
+        assert_eq!(combine(FirstApplicable, &[Permit, Deny]), Permit);
+        assert_eq!(combine(FirstApplicable, &[Indeterminate, Permit]), Indeterminate);
+        assert_eq!(combine(FirstApplicable, &[NotApplicable]), NotApplicable);
+    }
+
+    #[test]
+    fn deny_unless_permit_never_not_applicable() {
+        assert_eq!(combine(DenyUnlessPermit, &[]), Deny);
+        assert_eq!(combine(DenyUnlessPermit, &[NotApplicable]), Deny);
+        assert_eq!(combine(DenyUnlessPermit, &[Indeterminate]), Deny);
+        assert_eq!(combine(DenyUnlessPermit, &[Deny, Permit]), Permit);
+    }
+
+    #[test]
+    fn permit_unless_deny_never_not_applicable() {
+        assert_eq!(combine(PermitUnlessDeny, &[]), Permit);
+        assert_eq!(combine(PermitUnlessDeny, &[Indeterminate]), Permit);
+        assert_eq!(combine(PermitUnlessDeny, &[Permit, Deny]), Deny);
+    }
+
+    #[test]
+    fn short_circuit_signals() {
+        let mut c = Combiner::new(DenyOverrides);
+        assert!(!c.feed(Permit, vec![]));
+        assert!(c.feed(Deny, vec![]));
+        // Further feeds are ignored.
+        assert!(c.feed(Permit, vec![ob("late")]));
+        let (d, obs) = c.finish();
+        assert_eq!(d, Deny);
+        assert!(obs.is_empty());
+
+        let mut c = Combiner::new(FirstApplicable);
+        assert!(c.feed(Permit, vec![]));
+    }
+
+    #[test]
+    fn obligations_follow_matching_decision() {
+        let results = vec![
+            (Permit, vec![ob("log-permit")]),
+            (Deny, vec![ob("notify-deny")]),
+        ];
+        let (d, obs) = Combiner::combine_all(DenyOverrides, results);
+        assert_eq!(d, Deny);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].id, "notify-deny");
+
+        let results = vec![
+            (Permit, vec![ob("log-a")]),
+            (Permit, vec![ob("log-b")]),
+            (NotApplicable, vec![]),
+        ];
+        let (d, obs) = Combiner::combine_all(PermitOverrides, results);
+        assert_eq!(d, Permit);
+        // permit-overrides stops at the first permit, so only log-a.
+        assert_eq!(obs.len(), 1);
+    }
+
+    #[test]
+    fn obligations_dropped_on_indeterminate() {
+        let results = vec![(Permit, vec![ob("log")]), (Indeterminate, vec![])];
+        let (d, obs) = Combiner::combine_all(DenyOverrides, results);
+        assert_eq!(d, Indeterminate);
+        assert!(obs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "only-one-applicable")]
+    fn only_one_applicable_rejected() {
+        let _ = Combiner::new(OnlyOneApplicable);
+    }
+}

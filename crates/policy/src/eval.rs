@@ -1,0 +1,751 @@
+//! The policy evaluation engine: turns a request context plus a policy
+//! tree into an authorization decision with obligations — the core of a
+//! Policy Decision Point (Fig. 3/4 of the paper).
+
+use crate::combining::Combiner;
+use crate::expr::{eval as eval_expr, Evaluated};
+use crate::expr::{eval_condition, AttributeSource, EvalError, ExprStats};
+use crate::policy::{
+    CombiningAlg, Decision, Effect, Obligation, ObligationExpr, Policy, PolicyElement, PolicyId,
+    PolicySet, Rule,
+};
+use crate::request::RequestContext;
+use crate::target::{MatchResult, Target};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Resolves policy references encountered during evaluation (the PAP's
+/// repository implements this).
+pub trait PolicyStore: Send + Sync {
+    /// Looks up a policy by id.
+    fn policy(&self, id: &PolicyId) -> Option<Arc<Policy>>;
+    /// Looks up a policy set by id.
+    fn policy_set(&self, id: &PolicyId) -> Option<Arc<PolicySet>>;
+}
+
+/// A store with no policies (for evaluating self-contained trees).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EmptyStore;
+
+impl PolicyStore for EmptyStore {
+    fn policy(&self, _id: &PolicyId) -> Option<Arc<Policy>> {
+        None
+    }
+    fn policy_set(&self, _id: &PolicyId) -> Option<Arc<PolicySet>> {
+        None
+    }
+}
+
+/// Simple in-memory policy store keyed by id.
+#[derive(Clone, Debug, Default)]
+pub struct InMemoryStore {
+    policies: HashMap<PolicyId, Arc<Policy>>,
+    sets: HashMap<PolicyId, Arc<PolicySet>>,
+}
+
+impl InMemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a policy.
+    pub fn add_policy(&mut self, policy: Policy) {
+        self.policies.insert(policy.id.clone(), Arc::new(policy));
+    }
+
+    /// Inserts (or replaces) a policy set.
+    pub fn add_policy_set(&mut self, set: PolicySet) {
+        self.sets.insert(set.id.clone(), Arc::new(set));
+    }
+
+    /// Number of stored policies (not counting sets).
+    pub fn policy_count(&self) -> usize {
+        self.policies.len()
+    }
+}
+
+impl PolicyStore for InMemoryStore {
+    fn policy(&self, id: &PolicyId) -> Option<Arc<Policy>> {
+        self.policies.get(id).cloned()
+    }
+    fn policy_set(&self, id: &PolicyId) -> Option<Arc<PolicySet>> {
+        self.sets.get(id).cloned()
+    }
+}
+
+/// Work counters for one evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalMetrics {
+    /// Rules whose evaluation was reached.
+    pub rules_evaluated: u64,
+    /// Policies evaluated (target matched or not).
+    pub policies_evaluated: u64,
+    /// Policy sets evaluated.
+    pub policy_sets_evaluated: u64,
+    /// Target evaluations performed.
+    pub targets_checked: u64,
+    /// Expression work (functions, attribute lookups).
+    pub expr: ExprStats,
+}
+
+impl EvalMetrics {
+    /// Merges another metrics record into this one.
+    pub fn absorb(&mut self, other: &EvalMetrics) {
+        self.rules_evaluated += other.rules_evaluated;
+        self.policies_evaluated += other.policies_evaluated;
+        self.policy_sets_evaluated += other.policy_sets_evaluated;
+        self.targets_checked += other.targets_checked;
+        self.expr.functions_applied += other.expr.functions_applied;
+        self.expr.attribute_lookups += other.expr.attribute_lookups;
+    }
+}
+
+/// Evaluation status accompanying a decision.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Evaluation completed normally.
+    Ok,
+    /// Evaluation hit an error; the message describes the first cause.
+    Error(String),
+}
+
+impl Status {
+    /// Whether the status is [`Status::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Status::Ok)
+    }
+}
+
+/// The authorization decision response returned to the PEP.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// The decision.
+    pub decision: Decision,
+    /// Obligations the PEP must fulfil.
+    pub obligations: Vec<Obligation>,
+    /// Evaluation status.
+    pub status: Status,
+}
+
+impl Response {
+    /// A plain decision with no obligations.
+    pub fn decision(decision: Decision) -> Self {
+        Response {
+            decision,
+            obligations: Vec::new(),
+            status: Status::Ok,
+        }
+    }
+
+    /// An Indeterminate response with an error message.
+    pub fn indeterminate(msg: impl Into<String>) -> Self {
+        Response {
+            decision: Decision::Indeterminate,
+            obligations: Vec::new(),
+            status: Status::Error(msg.into()),
+        }
+    }
+}
+
+const MAX_POLICY_DEPTH: u32 = 64;
+
+/// The evaluation engine.
+///
+/// Holds the request context (used for target matching), an attribute
+/// source (used for conditions and obligations — typically the same
+/// context, or a PIP-backed resolver) and a policy store for references.
+pub struct Evaluator<'a> {
+    store: &'a dyn PolicyStore,
+    request: &'a RequestContext,
+    source: &'a dyn AttributeSource,
+    /// Work counters, accumulated across evaluations by this instance.
+    pub metrics: EvalMetrics,
+    depth: u32,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator where conditions read straight from the
+    /// request context.
+    pub fn new(store: &'a dyn PolicyStore, request: &'a RequestContext) -> Self {
+        Evaluator {
+            store,
+            request,
+            source: request,
+            metrics: EvalMetrics::default(),
+            depth: 0,
+        }
+    }
+
+    /// Creates an evaluator with a separate attribute source (e.g. a
+    /// PIP-backed resolver that falls back to the request).
+    pub fn with_source(
+        store: &'a dyn PolicyStore,
+        request: &'a RequestContext,
+        source: &'a dyn AttributeSource,
+    ) -> Self {
+        Evaluator {
+            store,
+            request,
+            source,
+            metrics: EvalMetrics::default(),
+            depth: 0,
+        }
+    }
+
+    /// Evaluates a policy element (the generic entry point).
+    pub fn evaluate_element(&mut self, element: &PolicyElement) -> Response {
+        if self.depth > MAX_POLICY_DEPTH {
+            return Response::indeterminate("policy nesting depth exceeded");
+        }
+        match element {
+            PolicyElement::Policy(p) => self.evaluate_policy(p),
+            PolicyElement::PolicySet(ps) => self.evaluate_policy_set(ps),
+            PolicyElement::PolicyRef(id) => match self.store.policy(id) {
+                Some(p) => self.evaluate_policy(&p),
+                None => Response::indeterminate(format!("unresolved policy reference {id}")),
+            },
+            PolicyElement::PolicySetRef(id) => match self.store.policy_set(id) {
+                Some(ps) => self.evaluate_policy_set(&ps),
+                None => Response::indeterminate(format!("unresolved policy set reference {id}")),
+            },
+        }
+    }
+
+    /// Evaluates a single policy.
+    pub fn evaluate_policy(&mut self, policy: &Policy) -> Response {
+        self.metrics.policies_evaluated += 1;
+        match self.check_target(&policy.target) {
+            MatchResult::NoMatch => return Response::decision(Decision::NotApplicable),
+            MatchResult::Indeterminate => {
+                return Response::indeterminate(format!("indeterminate target in {}", policy.id))
+            }
+            MatchResult::Match => {}
+        }
+        if policy.rule_combining == CombiningAlg::OnlyOneApplicable {
+            return Response::indeterminate(format!(
+                "only-one-applicable is not a rule-combining algorithm (policy {})",
+                policy.id
+            ));
+        }
+        let mut combiner = Combiner::new(policy.rule_combining);
+        let mut first_error: Option<String> = None;
+        for rule in &policy.rules {
+            let (d, obs, err) = self.evaluate_rule(rule);
+            if first_error.is_none() {
+                first_error = err;
+            }
+            if combiner.feed(d, obs) {
+                break;
+            }
+        }
+        let (decision, mut obligations) = combiner.finish();
+        if let Err(resp) =
+            self.attach_own_obligations(&policy.obligations, decision, &mut obligations, &policy.id)
+        {
+            return resp;
+        }
+        Response {
+            decision,
+            obligations,
+            status: indeterminate_status(decision, first_error),
+        }
+    }
+
+    /// Evaluates a policy set.
+    pub fn evaluate_policy_set(&mut self, set: &PolicySet) -> Response {
+        self.metrics.policy_sets_evaluated += 1;
+        match self.check_target(&set.target) {
+            MatchResult::NoMatch => return Response::decision(Decision::NotApplicable),
+            MatchResult::Indeterminate => {
+                return Response::indeterminate(format!("indeterminate target in {}", set.id))
+            }
+            MatchResult::Match => {}
+        }
+        self.depth += 1;
+        let mut resp = if set.policy_combining == CombiningAlg::OnlyOneApplicable {
+            self.evaluate_only_one_applicable(set)
+        } else {
+            let mut combiner = Combiner::new(set.policy_combining);
+            let mut first_error: Option<String> = None;
+            for element in &set.elements {
+                let child = self.evaluate_element(element);
+                if first_error.is_none() {
+                    if let Status::Error(e) = &child.status {
+                        first_error = Some(e.clone());
+                    }
+                }
+                if combiner.feed(child.decision, child.obligations) {
+                    break;
+                }
+            }
+            let (decision, obligations) = combiner.finish();
+            Response {
+                decision,
+                obligations,
+                status: indeterminate_status(decision, first_error),
+            }
+        };
+        self.depth -= 1;
+
+        let mut obligations = std::mem::take(&mut resp.obligations);
+        if let Err(err_resp) =
+            self.attach_own_obligations(&set.obligations, resp.decision, &mut obligations, &set.id)
+        {
+            return err_resp;
+        }
+        resp.obligations = obligations;
+        resp
+    }
+
+    fn evaluate_only_one_applicable(&mut self, set: &PolicySet) -> Response {
+        let mut applicable: Option<usize> = None;
+        for (i, element) in set.elements.iter().enumerate() {
+            let target = match self.element_target(element) {
+                Ok(t) => t,
+                Err(msg) => return Response::indeterminate(msg),
+            };
+            self.metrics.targets_checked += 1;
+            match target.evaluate(self.request) {
+                MatchResult::Match => {
+                    if applicable.is_some() {
+                        return Response::indeterminate(format!(
+                            "more than one applicable child in {}",
+                            set.id
+                        ));
+                    }
+                    applicable = Some(i);
+                }
+                MatchResult::NoMatch => {}
+                MatchResult::Indeterminate => {
+                    return Response::indeterminate(format!(
+                        "indeterminate child target in {}",
+                        set.id
+                    ))
+                }
+            }
+        }
+        match applicable {
+            Some(i) => self.evaluate_element(&set.elements[i]),
+            None => Response::decision(Decision::NotApplicable),
+        }
+    }
+
+    fn element_target(&self, element: &PolicyElement) -> Result<Target, String> {
+        match element {
+            PolicyElement::Policy(p) => Ok(p.target.clone()),
+            PolicyElement::PolicySet(ps) => Ok(ps.target.clone()),
+            PolicyElement::PolicyRef(id) => self
+                .store
+                .policy(id)
+                .map(|p| p.target.clone())
+                .ok_or_else(|| format!("unresolved policy reference {id}")),
+            PolicyElement::PolicySetRef(id) => self
+                .store
+                .policy_set(id)
+                .map(|ps| ps.target.clone())
+                .ok_or_else(|| format!("unresolved policy set reference {id}")),
+        }
+    }
+
+    fn evaluate_rule(&mut self, rule: &Rule) -> (Decision, Vec<Obligation>, Option<String>) {
+        self.metrics.rules_evaluated += 1;
+        match self.check_target(&rule.target) {
+            MatchResult::NoMatch => return (Decision::NotApplicable, Vec::new(), None),
+            MatchResult::Indeterminate => {
+                return (
+                    Decision::Indeterminate,
+                    Vec::new(),
+                    Some(format!("indeterminate target in rule {}", rule.id)),
+                )
+            }
+            MatchResult::Match => {}
+        }
+        if let Some(condition) = &rule.condition {
+            match eval_condition(condition, self.source, &mut self.metrics.expr) {
+                Ok(true) => {}
+                Ok(false) => return (Decision::NotApplicable, Vec::new(), None),
+                Err(e) => {
+                    return (
+                        Decision::Indeterminate,
+                        Vec::new(),
+                        Some(format!("condition error in rule {}: {e}", rule.id)),
+                    )
+                }
+            }
+        }
+        let decision = Decision::from_effect(rule.effect);
+        match self.instantiate_obligations(&rule.obligations, rule.effect) {
+            Ok(obs) => (decision, obs, None),
+            Err(e) => (
+                Decision::Indeterminate,
+                Vec::new(),
+                Some(format!("obligation error in rule {}: {e}", rule.id)),
+            ),
+        }
+    }
+
+    fn check_target(&mut self, target: &Target) -> MatchResult {
+        self.metrics.targets_checked += 1;
+        target.evaluate(self.request)
+    }
+
+    fn instantiate_obligations(
+        &mut self,
+        templates: &[ObligationExpr],
+        effect: Effect,
+    ) -> Result<Vec<Obligation>, EvalError> {
+        let mut out = Vec::new();
+        for t in templates {
+            if t.fulfill_on != effect {
+                continue;
+            }
+            let mut params = Vec::with_capacity(t.params.len());
+            for (name, expr) in &t.params {
+                let v = match eval_expr(expr, self.source, &mut self.metrics.expr)? {
+                    Evaluated::Scalar(v) => v,
+                    Evaluated::Bag(mut bag) => {
+                        if bag.len() == 1 {
+                            bag.pop().expect("len checked")
+                        } else {
+                            return Err(EvalError::NotSingleton { size: bag.len() });
+                        }
+                    }
+                    Evaluated::Function(_) => return Err(EvalError::NotAFunction),
+                };
+                params.push((name.clone(), v));
+            }
+            out.push(Obligation {
+                id: t.id.clone(),
+                params,
+            });
+        }
+        Ok(out)
+    }
+
+    fn attach_own_obligations(
+        &mut self,
+        templates: &[ObligationExpr],
+        decision: Decision,
+        obligations: &mut Vec<Obligation>,
+        id: &PolicyId,
+    ) -> Result<(), Response> {
+        let effect = match decision {
+            Decision::Permit => Effect::Permit,
+            Decision::Deny => Effect::Deny,
+            _ => return Ok(()),
+        };
+        match self.instantiate_obligations(templates, effect) {
+            Ok(own) => {
+                obligations.extend(own);
+                Ok(())
+            }
+            Err(e) => Err(Response::indeterminate(format!(
+                "obligation error in {id}: {e}"
+            ))),
+        }
+    }
+}
+
+fn indeterminate_status(decision: Decision, first_error: Option<String>) -> Status {
+    if decision == Decision::Indeterminate {
+        Status::Error(first_error.unwrap_or_else(|| "indeterminate combination".into()))
+    } else {
+        Status::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{AttrValue, AttributeId};
+    use crate::expr::{Expr, Func};
+    use crate::target::AttrMatch;
+
+    fn doctor_request() -> RequestContext {
+        RequestContext::basic("alice", "ehr/records/42", "read")
+            .with_subject_attr("role", "doctor")
+            .with_env_attr("current-time", AttrValue::Time(9 * 3_600_000))
+    }
+
+    fn doctors_read_policy() -> Policy {
+        Policy::new("doctors-read", CombiningAlg::FirstApplicable)
+            .with_target(Target::all(vec![AttrMatch::glob(
+                AttributeId::resource("id"),
+                "ehr/*",
+            )]))
+            .with_rule(
+                Rule::new("permit-doctors", Effect::Permit)
+                    .with_target(Target::all(vec![
+                        AttrMatch::equals(AttributeId::subject("role"), "doctor"),
+                        AttrMatch::equals(AttributeId::action("id"), "read"),
+                    ]))
+                    .with_obligation(
+                        ObligationExpr::new("log", Effect::Permit)
+                            .with_param("subject", Expr::attr(AttributeId::subject("id"))),
+                    ),
+            )
+            .with_rule(Rule::new("default-deny", Effect::Deny))
+    }
+
+    #[test]
+    fn permit_path_with_obligation() {
+        let req = doctor_request();
+        let store = EmptyStore;
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy(&doctors_read_policy());
+        assert_eq!(resp.decision, Decision::Permit);
+        assert_eq!(resp.obligations.len(), 1);
+        assert_eq!(resp.obligations[0].id, "log");
+        assert_eq!(
+            resp.obligations[0].param("subject"),
+            Some(&AttrValue::from("alice"))
+        );
+        assert!(resp.status.is_ok());
+        assert_eq!(ev.metrics.policies_evaluated, 1);
+        assert!(ev.metrics.rules_evaluated >= 1);
+    }
+
+    #[test]
+    fn deny_path_when_role_missing() {
+        let req = RequestContext::basic("mallory", "ehr/records/42", "read");
+        let store = EmptyStore;
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy(&doctors_read_policy());
+        assert_eq!(resp.decision, Decision::Deny);
+        assert!(resp.obligations.is_empty());
+    }
+
+    #[test]
+    fn not_applicable_outside_target() {
+        let req = RequestContext::basic("alice", "lab/results/7", "read");
+        let store = EmptyStore;
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy(&doctors_read_policy());
+        assert_eq!(resp.decision, Decision::NotApplicable);
+    }
+
+    #[test]
+    fn condition_gates_rule() {
+        let policy = Policy::new("hours", CombiningAlg::DenyUnlessPermit).with_rule(
+            Rule::new("business-hours", Effect::Permit).with_condition(Expr::apply(
+                Func::Lt,
+                vec![
+                    Expr::apply(
+                        Func::HourOf,
+                        vec![Expr::attr_required(AttributeId::environment("current-time"))],
+                    ),
+                    Expr::val(17i64),
+                ],
+            )),
+        );
+        let store = EmptyStore;
+
+        let morning = doctor_request();
+        let mut ev = Evaluator::new(&store, &morning);
+        assert_eq!(ev.evaluate_policy(&policy).decision, Decision::Permit);
+
+        let night = RequestContext::basic("alice", "ehr/1", "read")
+            .with_env_attr("current-time", AttrValue::Time(22 * 3_600_000));
+        let mut ev = Evaluator::new(&store, &night);
+        assert_eq!(ev.evaluate_policy(&policy).decision, Decision::Deny);
+    }
+
+    #[test]
+    fn missing_required_attribute_is_indeterminate_then_failsafe() {
+        let policy = Policy::new("needs-time", CombiningAlg::DenyOverrides).with_rule(
+            Rule::new("r", Effect::Permit).with_condition(Expr::apply(
+                Func::Lt,
+                vec![
+                    Expr::apply(
+                        Func::HourOf,
+                        vec![Expr::attr_required(AttributeId::environment("current-time"))],
+                    ),
+                    Expr::val(17i64),
+                ],
+            )),
+        );
+        let req = RequestContext::basic("alice", "ehr/1", "read"); // no time
+        let store = EmptyStore;
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy(&policy);
+        assert_eq!(resp.decision, Decision::Indeterminate);
+        assert!(matches!(resp.status, Status::Error(_)));
+    }
+
+    #[test]
+    fn policy_set_combines_children() {
+        let ps = PolicySet::new("root", CombiningAlg::DenyOverrides)
+            .with_policy(doctors_read_policy())
+            .with_policy(
+                Policy::new("lockdown", CombiningAlg::DenyOverrides).with_rule(
+                    Rule::new("deny-writes", Effect::Deny).with_target(Target::all(vec![
+                        AttrMatch::equals(AttributeId::action("id"), "write"),
+                    ])),
+                ),
+            );
+        let store = EmptyStore;
+        let req = doctor_request();
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy_set(&ps);
+        assert_eq!(resp.decision, Decision::Permit);
+        assert_eq!(resp.obligations.len(), 1);
+    }
+
+    #[test]
+    fn policy_reference_resolution() {
+        let mut store = InMemoryStore::new();
+        store.add_policy(doctors_read_policy());
+        let ps = PolicySet::new("root", CombiningAlg::FirstApplicable)
+            .with_policy_ref("doctors-read");
+        let req = doctor_request();
+        let mut ev = Evaluator::new(&store, &req);
+        assert_eq!(ev.evaluate_policy_set(&ps).decision, Decision::Permit);
+    }
+
+    #[test]
+    fn broken_reference_is_indeterminate() {
+        let store = EmptyStore;
+        let ps = PolicySet::new("root", CombiningAlg::FirstApplicable)
+            .with_policy_ref("no-such-policy");
+        let req = doctor_request();
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy_set(&ps);
+        assert_eq!(resp.decision, Decision::Indeterminate);
+    }
+
+    #[test]
+    fn only_one_applicable_selects_unique_child() {
+        let ehr = Policy::new("ehr-policy", CombiningAlg::DenyUnlessPermit)
+            .with_target(Target::all(vec![AttrMatch::glob(
+                AttributeId::resource("id"),
+                "ehr/*",
+            )]))
+            .with_rule(Rule::new("ok", Effect::Permit));
+        let lab = Policy::new("lab-policy", CombiningAlg::DenyUnlessPermit)
+            .with_target(Target::all(vec![AttrMatch::glob(
+                AttributeId::resource("id"),
+                "lab/*",
+            )]))
+            .with_rule(Rule::new("ok", Effect::Permit));
+        let ps = PolicySet::new("root", CombiningAlg::OnlyOneApplicable)
+            .with_policy(ehr)
+            .with_policy(lab);
+        let store = EmptyStore;
+
+        let req = doctor_request(); // ehr/*
+        let mut ev = Evaluator::new(&store, &req);
+        assert_eq!(ev.evaluate_policy_set(&ps).decision, Decision::Permit);
+
+        let req = RequestContext::basic("alice", "hr/files/1", "read");
+        let mut ev = Evaluator::new(&store, &req);
+        assert_eq!(
+            ev.evaluate_policy_set(&ps).decision,
+            Decision::NotApplicable
+        );
+    }
+
+    #[test]
+    fn only_one_applicable_rejects_overlap() {
+        let a = Policy::new("a", CombiningAlg::DenyUnlessPermit)
+            .with_rule(Rule::new("ok", Effect::Permit));
+        let b = Policy::new("b", CombiningAlg::DenyUnlessPermit)
+            .with_rule(Rule::new("ok", Effect::Permit));
+        // Both have match-all targets.
+        let ps = PolicySet::new("root", CombiningAlg::OnlyOneApplicable)
+            .with_policy(a)
+            .with_policy(b);
+        let store = EmptyStore;
+        let req = doctor_request();
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy_set(&ps);
+        assert_eq!(resp.decision, Decision::Indeterminate);
+    }
+
+    #[test]
+    fn nested_policy_sets() {
+        let inner = PolicySet::new("inner", CombiningAlg::DenyOverrides)
+            .with_policy(doctors_read_policy());
+        let outer = PolicySet::new("outer", CombiningAlg::FirstApplicable)
+            .with_policy_set(inner);
+        let store = EmptyStore;
+        let req = doctor_request();
+        let mut ev = Evaluator::new(&store, &req);
+        assert_eq!(ev.evaluate_policy_set(&outer).decision, Decision::Permit);
+        assert_eq!(ev.metrics.policy_sets_evaluated, 2);
+    }
+
+    #[test]
+    fn set_level_obligations_added() {
+        let ps = PolicySet::new("root", CombiningAlg::DenyOverrides)
+            .with_policy(doctors_read_policy())
+            .with_obligation(
+                ObligationExpr::new("audit", Effect::Permit)
+                    .with_param("scope", Expr::val("vo-wide")),
+            );
+        let store = EmptyStore;
+        let req = doctor_request();
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy_set(&ps);
+        assert_eq!(resp.decision, Decision::Permit);
+        let ids: Vec<_> = resp.obligations.iter().map(|o| o.id.as_str()).collect();
+        assert!(ids.contains(&"log"));
+        assert!(ids.contains(&"audit"));
+    }
+
+    #[test]
+    fn obligation_evaluation_error_is_indeterminate() {
+        let policy = Policy::new("p", CombiningAlg::DenyUnlessPermit)
+            .with_rule(Rule::new("ok", Effect::Permit))
+            .with_obligation(
+                ObligationExpr::new("log", Effect::Permit).with_param(
+                    "who",
+                    Expr::attr_required(AttributeId::subject("nonexistent")),
+                ),
+            );
+        let store = EmptyStore;
+        let req = doctor_request();
+        let mut ev = Evaluator::new(&store, &req);
+        let resp = ev.evaluate_policy(&policy);
+        assert_eq!(resp.decision, Decision::Indeterminate);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let store = EmptyStore;
+        let req = doctor_request();
+        let mut ev = Evaluator::new(&store, &req);
+        let p = doctors_read_policy();
+        ev.evaluate_policy(&p);
+        ev.evaluate_policy(&p);
+        assert_eq!(ev.metrics.policies_evaluated, 2);
+    }
+
+    #[test]
+    fn first_applicable_rule_order_matters() {
+        let policy = Policy::new("ordered", CombiningAlg::FirstApplicable)
+            .with_rule(
+                Rule::new("deny-night", Effect::Deny).with_condition(Expr::apply(
+                    Func::Ge,
+                    vec![
+                        Expr::apply(
+                            Func::HourOf,
+                            vec![Expr::attr_required(AttributeId::environment(
+                                "current-time",
+                            ))],
+                        ),
+                        Expr::val(17i64),
+                    ],
+                )),
+            )
+            .with_rule(Rule::new("permit-rest", Effect::Permit));
+        let store = EmptyStore;
+        let morning = doctor_request();
+        let mut ev = Evaluator::new(&store, &morning);
+        assert_eq!(ev.evaluate_policy(&policy).decision, Decision::Permit);
+        let night = RequestContext::basic("a", "r", "x")
+            .with_env_attr("current-time", AttrValue::Time(20 * 3_600_000));
+        let mut ev = Evaluator::new(&store, &night);
+        assert_eq!(ev.evaluate_policy(&policy).decision, Decision::Deny);
+    }
+}

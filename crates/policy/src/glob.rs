@@ -1,0 +1,137 @@
+//! Glob pattern matching (`*` and `?`) used by targets and string
+//! functions — e.g. resource hierarchies such as `ehr/records/*`.
+
+/// Matches `text` against `pattern`, where `*` matches any (possibly
+/// empty) substring and `?` matches exactly one character.
+///
+/// Matching is case-sensitive and operates on Unicode scalar values.
+///
+/// # Examples
+///
+/// ```
+/// use dacs_policy::glob::glob_match;
+///
+/// assert!(glob_match("ehr/records/*", "ehr/records/42"));
+/// assert!(glob_match("user-??", "user-ab"));
+/// assert!(!glob_match("ehr/*", "lab/1"));
+/// ```
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Classic iterative matcher with single-star backtracking.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after '*', text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last '*' swallow one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Conservatively decides whether two glob patterns could match a common
+/// string. Used by static conflict analysis: a `false` answer is always
+/// sound (no overlap); `true` may be a false positive.
+pub fn globs_may_overlap(a: &str, b: &str) -> bool {
+    // Exact match when neither has wildcards.
+    let a_wild = a.contains('*') || a.contains('?');
+    let b_wild = b.contains('*') || b.contains('?');
+    match (a_wild, b_wild) {
+        (false, false) => a == b,
+        (false, true) => glob_match(b, a),
+        (true, false) => glob_match(a, b),
+        (true, true) => {
+            // Compare the literal prefixes up to the first wildcard; if
+            // they disagree, no common string exists.
+            let pa: String = a.chars().take_while(|c| *c != '*' && *c != '?').collect();
+            let pb: String = b.chars().take_while(|c| *c != '*' && *c != '?').collect();
+            let n = pa.len().min(pb.len());
+            pa.as_bytes()[..n] == pb.as_bytes()[..n]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "abd"));
+        assert!(!glob_match("abc", "ab"));
+        assert!(!glob_match("ab", "abc"));
+    }
+
+    #[test]
+    fn star_matches_any_run() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*c", "ac"));
+        assert!(glob_match("a*c", "abbbc"));
+        assert!(!glob_match("a*c", "abbbd"));
+    }
+
+    #[test]
+    fn question_matches_one() {
+        assert!(glob_match("?", "x"));
+        assert!(!glob_match("?", ""));
+        assert!(!glob_match("?", "xy"));
+        assert!(glob_match("a?c", "abc"));
+    }
+
+    #[test]
+    fn multiple_stars_backtrack() {
+        assert!(glob_match("*a*b*", "xaxbx"));
+        assert!(glob_match("**", "abc"));
+        assert!(!glob_match("*a*b*", "bxa"));
+    }
+
+    #[test]
+    fn resource_hierarchies() {
+        assert!(glob_match("ehr/*/labs", "ehr/patient-9/labs"));
+        assert!(!glob_match("ehr/*/labs", "ehr/patient-9/notes"));
+        assert!(glob_match("ehr/**", "ehr/a/b/c"));
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert!(glob_match("caf?", "café"));
+        assert!(glob_match("*é", "café"));
+    }
+
+    #[test]
+    fn overlap_literal_vs_literal() {
+        assert!(globs_may_overlap("a", "a"));
+        assert!(!globs_may_overlap("a", "b"));
+    }
+
+    #[test]
+    fn overlap_literal_vs_glob() {
+        assert!(globs_may_overlap("ehr/1", "ehr/*"));
+        assert!(!globs_may_overlap("lab/1", "ehr/*"));
+        assert!(globs_may_overlap("ehr/*", "ehr/1"));
+    }
+
+    #[test]
+    fn overlap_glob_vs_glob_prefix_rule() {
+        assert!(globs_may_overlap("ehr/*", "ehr/records/*"));
+        assert!(!globs_may_overlap("lab/*", "ehr/*"));
+        // Conservative: same prefix up to wildcard counts as overlap.
+        assert!(globs_may_overlap("e*", "ehr/*"));
+    }
+}

@@ -1,0 +1,698 @@
+//! # dacs-rbac
+//!
+//! RBAC96-style role-based access control (Sandhu et al.), the access
+//! control *model* the paper singles out as "well suited for distributed
+//! environments that need to address protection requirements for a large
+//! base of subjects and objects" (§2.2).
+//!
+//! Implements:
+//! * users, roles, permissions (action + resource glob)
+//! * role hierarchies (a senior role inherits its juniors' permissions),
+//!   with cycle prevention
+//! * static separation of duty (SSD) enforced at assignment time
+//! * sessions with dynamic separation of duty (DSD) enforced at role
+//!   activation
+//! * access review (users-of-role, permissions-of-user)
+//!
+//! The [`Rbac::authorized_roles`] closure is what the PIP exposes to the
+//! policy engine as the `subject.role` attribute bag, bridging the model
+//! level to the policy level exactly as §2.2 describes.
+//!
+//! # Examples
+//!
+//! ```
+//! use dacs_rbac::{Permission, Rbac};
+//!
+//! let mut rbac = Rbac::new();
+//! rbac.add_role("doctor");
+//! rbac.add_role("chief");
+//! rbac.add_inheritance("chief", "doctor")?;
+//! rbac.grant("doctor", Permission::new("read", "ehr/*"))?;
+//! rbac.add_user("alice");
+//! rbac.assign("alice", "chief")?;
+//! assert!(rbac.check("alice", "read", "ehr/42"));
+//! # Ok::<(), dacs_rbac::RbacError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dacs_policy::glob::glob_match;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// A permission: an action on resources matching a glob pattern.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Permission {
+    /// Action identifier, e.g. `"read"`.
+    pub action: String,
+    /// Resource pattern, e.g. `"ehr/records/*"`.
+    pub resource: String,
+}
+
+impl Permission {
+    /// Creates a permission.
+    pub fn new(action: impl Into<String>, resource: impl Into<String>) -> Self {
+        Permission {
+            action: action.into(),
+            resource: resource.into(),
+        }
+    }
+
+    /// Whether this permission authorizes `action` on `resource`.
+    pub fn covers(&self, action: &str, resource: &str) -> bool {
+        self.action == action && glob_match(&self.resource, resource)
+    }
+}
+
+/// A separation-of-duty constraint over a role set.
+///
+/// At most `limit` roles from `roles` may be simultaneously assigned to
+/// one user (SSD) or activated in one session (DSD).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SodConstraint {
+    /// Constraint name, for diagnostics and audit.
+    pub name: String,
+    /// The mutually-constrained role set.
+    pub roles: BTreeSet<String>,
+    /// Maximum number of roles from the set one user/session may hold.
+    pub limit: usize,
+}
+
+impl SodConstraint {
+    /// Creates a constraint.
+    pub fn new(name: impl Into<String>, roles: impl IntoIterator<Item = String>, limit: usize) -> Self {
+        SodConstraint {
+            name: name.into(),
+            roles: roles.into_iter().collect(),
+            limit,
+        }
+    }
+
+    fn violated_by(&self, held: &BTreeSet<String>) -> bool {
+        held.intersection(&self.roles).count() > self.limit
+    }
+}
+
+/// Errors from RBAC administration and session operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RbacError {
+    /// Referenced user does not exist.
+    UnknownUser(String),
+    /// Referenced role does not exist.
+    UnknownRole(String),
+    /// Adding this inheritance edge would create a cycle.
+    HierarchyCycle {
+        /// The proposed senior role.
+        senior: String,
+        /// The proposed junior role.
+        junior: String,
+    },
+    /// Assignment would violate a static separation-of-duty constraint.
+    SsdViolation {
+        /// The violated constraint.
+        constraint: String,
+        /// The user affected.
+        user: String,
+    },
+    /// Activation would violate a dynamic separation-of-duty constraint.
+    DsdViolation {
+        /// The violated constraint.
+        constraint: String,
+    },
+    /// Session tried to activate a role the user is not authorized for.
+    RoleNotAuthorized {
+        /// The offending role.
+        role: String,
+    },
+}
+
+impl std::fmt::Display for RbacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RbacError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            RbacError::UnknownRole(r) => write!(f, "unknown role {r}"),
+            RbacError::HierarchyCycle { senior, junior } => {
+                write!(f, "inheritance {senior} -> {junior} would create a cycle")
+            }
+            RbacError::SsdViolation { constraint, user } => {
+                write!(f, "static separation-of-duty {constraint} violated for {user}")
+            }
+            RbacError::DsdViolation { constraint } => {
+                write!(f, "dynamic separation-of-duty {constraint} violated")
+            }
+            RbacError::RoleNotAuthorized { role } => {
+                write!(f, "role {role} is not authorized for this user")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RbacError {}
+
+/// A user session with a set of activated roles (RBAC96 sessions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Session {
+    /// Session id.
+    pub id: u64,
+    /// The owning user.
+    pub user: String,
+    /// Roles currently activated (closure not included; checks expand).
+    pub active_roles: BTreeSet<String>,
+}
+
+/// The RBAC model state for one administrative domain.
+#[derive(Debug, Default)]
+pub struct Rbac {
+    users: BTreeSet<String>,
+    roles: BTreeSet<String>,
+    assignments: BTreeMap<String, BTreeSet<String>>,
+    permissions: BTreeMap<String, BTreeSet<Permission>>,
+    /// senior → direct juniors (senior inherits junior permissions).
+    juniors: BTreeMap<String, BTreeSet<String>>,
+    ssd: Vec<SodConstraint>,
+    dsd: Vec<SodConstraint>,
+    next_session: u64,
+    closure_cache: RwLock<Option<HashMap<String, Arc<BTreeSet<String>>>>>,
+}
+
+impl Rbac {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn invalidate(&mut self) {
+        *self.closure_cache.write() = None;
+    }
+
+    /// Adds a user (idempotent).
+    pub fn add_user(&mut self, user: impl Into<String>) {
+        self.users.insert(user.into());
+    }
+
+    /// Adds a role (idempotent).
+    pub fn add_role(&mut self, role: impl Into<String>) {
+        self.roles.insert(role.into());
+        self.invalidate();
+    }
+
+    /// Grants a permission to a role.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownRole`] if the role does not exist.
+    pub fn grant(&mut self, role: &str, permission: Permission) -> Result<(), RbacError> {
+        if !self.roles.contains(role) {
+            return Err(RbacError::UnknownRole(role.to_owned()));
+        }
+        self.permissions
+            .entry(role.to_owned())
+            .or_default()
+            .insert(permission);
+        Ok(())
+    }
+
+    /// Adds an inheritance edge: `senior` inherits `junior`'s
+    /// permissions.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownRole`] for missing roles and
+    /// [`RbacError::HierarchyCycle`] if the edge would create a cycle.
+    pub fn add_inheritance(&mut self, senior: &str, junior: &str) -> Result<(), RbacError> {
+        for r in [senior, junior] {
+            if !self.roles.contains(r) {
+                return Err(RbacError::UnknownRole(r.to_owned()));
+            }
+        }
+        // A cycle appears iff senior is reachable (junior-wards) from junior.
+        if senior == junior || self.reachable(junior, senior) {
+            return Err(RbacError::HierarchyCycle {
+                senior: senior.to_owned(),
+                junior: junior.to_owned(),
+            });
+        }
+        self.juniors
+            .entry(senior.to_owned())
+            .or_default()
+            .insert(junior.to_owned());
+        self.invalidate();
+        Ok(())
+    }
+
+    fn reachable(&self, from: &str, to: &str) -> bool {
+        let mut stack = vec![from.to_owned()];
+        let mut seen = BTreeSet::new();
+        while let Some(r) = stack.pop() {
+            if r == to {
+                return true;
+            }
+            if !seen.insert(r.clone()) {
+                continue;
+            }
+            if let Some(js) = self.juniors.get(&r) {
+                stack.extend(js.iter().cloned());
+            }
+        }
+        false
+    }
+
+    /// Registers a static separation-of-duty constraint.
+    pub fn add_ssd(&mut self, constraint: SodConstraint) {
+        self.ssd.push(constraint);
+    }
+
+    /// Registers a dynamic separation-of-duty constraint.
+    pub fn add_dsd(&mut self, constraint: SodConstraint) {
+        self.dsd.push(constraint);
+    }
+
+    /// Assigns a role to a user, enforcing SSD over the *closure* of the
+    /// user's roles (inherited roles count).
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownUser`], [`RbacError::UnknownRole`] or
+    /// [`RbacError::SsdViolation`].
+    pub fn assign(&mut self, user: &str, role: &str) -> Result<(), RbacError> {
+        if !self.users.contains(user) {
+            return Err(RbacError::UnknownUser(user.to_owned()));
+        }
+        if !self.roles.contains(role) {
+            return Err(RbacError::UnknownRole(role.to_owned()));
+        }
+        let mut would_have: BTreeSet<String> = self
+            .assignments
+            .get(user)
+            .cloned()
+            .unwrap_or_default();
+        would_have.insert(role.to_owned());
+        // Expand closure for SSD purposes.
+        let mut expanded = BTreeSet::new();
+        for r in &would_have {
+            expanded.extend(self.role_closure(r).iter().cloned());
+        }
+        for c in &self.ssd {
+            if c.violated_by(&expanded) {
+                return Err(RbacError::SsdViolation {
+                    constraint: c.name.clone(),
+                    user: user.to_owned(),
+                });
+            }
+        }
+        self.assignments
+            .entry(user.to_owned())
+            .or_default()
+            .insert(role.to_owned());
+        Ok(())
+    }
+
+    /// Removes a role assignment (idempotent).
+    pub fn revoke(&mut self, user: &str, role: &str) {
+        if let Some(set) = self.assignments.get_mut(user) {
+            set.remove(role);
+        }
+    }
+
+    /// The role plus every junior it transitively inherits.
+    pub fn role_closure(&self, role: &str) -> Arc<BTreeSet<String>> {
+        {
+            let cache = self.closure_cache.read();
+            if let Some(map) = cache.as_ref() {
+                if let Some(c) = map.get(role) {
+                    return c.clone();
+                }
+            }
+        }
+        let mut cache = self.closure_cache.write();
+        let map = cache.get_or_insert_with(HashMap::new);
+        if let Some(c) = map.get(role) {
+            return c.clone();
+        }
+        let mut closure = BTreeSet::new();
+        let mut stack = vec![role.to_owned()];
+        while let Some(r) = stack.pop() {
+            if !closure.insert(r.clone()) {
+                continue;
+            }
+            if let Some(js) = self.juniors.get(&r) {
+                stack.extend(js.iter().cloned());
+            }
+        }
+        let arc = Arc::new(closure);
+        map.insert(role.to_owned(), arc.clone());
+        arc
+    }
+
+    /// All roles a user holds, directly or through inheritance.
+    pub fn authorized_roles(&self, user: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        if let Some(assigned) = self.assignments.get(user) {
+            for r in assigned {
+                out.extend(self.role_closure(r).iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Whether `user` may perform `action` on `resource`.
+    pub fn check(&self, user: &str, action: &str, resource: &str) -> bool {
+        for role in self.authorized_roles(user) {
+            if let Some(perms) = self.permissions.get(&role) {
+                if perms.iter().any(|p| p.covers(action, resource)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Creates a session with an initial set of activated roles.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownUser`], [`RbacError::RoleNotAuthorized`] or
+    /// [`RbacError::DsdViolation`].
+    pub fn create_session(
+        &mut self,
+        user: &str,
+        activate: impl IntoIterator<Item = String>,
+    ) -> Result<Session, RbacError> {
+        if !self.users.contains(user) {
+            return Err(RbacError::UnknownUser(user.to_owned()));
+        }
+        self.next_session += 1;
+        let mut session = Session {
+            id: self.next_session,
+            user: user.to_owned(),
+            active_roles: BTreeSet::new(),
+        };
+        for role in activate {
+            self.activate_role(&mut session, &role)?;
+        }
+        Ok(session)
+    }
+
+    /// Activates an additional role within a session, enforcing DSD.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::RoleNotAuthorized`] or [`RbacError::DsdViolation`].
+    pub fn activate_role(&self, session: &mut Session, role: &str) -> Result<(), RbacError> {
+        let authorized = self.authorized_roles(&session.user);
+        if !authorized.contains(role) {
+            return Err(RbacError::RoleNotAuthorized {
+                role: role.to_owned(),
+            });
+        }
+        let mut would_be = session.active_roles.clone();
+        would_be.insert(role.to_owned());
+        // DSD over the closure of activated roles.
+        let mut expanded = BTreeSet::new();
+        for r in &would_be {
+            expanded.extend(self.role_closure(r).iter().cloned());
+        }
+        for c in &self.dsd {
+            if c.violated_by(&expanded) {
+                return Err(RbacError::DsdViolation {
+                    constraint: c.name.clone(),
+                });
+            }
+        }
+        session.active_roles = would_be;
+        Ok(())
+    }
+
+    /// Deactivates a role within a session (idempotent).
+    pub fn deactivate_role(&self, session: &mut Session, role: &str) {
+        session.active_roles.remove(role);
+    }
+
+    /// Whether the session's activated roles permit the access.
+    pub fn session_check(&self, session: &Session, action: &str, resource: &str) -> bool {
+        for role in &session.active_roles {
+            for r in self.role_closure(role).iter() {
+                if let Some(perms) = self.permissions.get(r) {
+                    if perms.iter().any(|p| p.covers(action, resource)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Access review: every user authorized for `role` (directly or via
+    /// a senior role).
+    pub fn users_with_role(&self, role: &str) -> Vec<&str> {
+        self.assignments
+            .iter()
+            .filter(|(_, roles)| {
+                roles
+                    .iter()
+                    .any(|r| self.role_closure(r).contains(role))
+            })
+            .map(|(u, _)| u.as_str())
+            .collect()
+    }
+
+    /// Access review: the effective permission set of a user.
+    pub fn permissions_of(&self, user: &str) -> BTreeSet<Permission> {
+        let mut out = BTreeSet::new();
+        for role in self.authorized_roles(user) {
+            if let Some(perms) = self.permissions.get(&role) {
+                out.extend(perms.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Numbers of users and roles (scale metrics).
+    pub fn size(&self) -> (usize, usize) {
+        (self.users.len(), self.roles.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hospital() -> Rbac {
+        let mut r = Rbac::new();
+        for role in ["staff", "nurse", "doctor", "chief", "auditor", "pharmacist"] {
+            r.add_role(role);
+        }
+        // chief > doctor > staff; nurse > staff.
+        r.add_inheritance("doctor", "staff").unwrap();
+        r.add_inheritance("chief", "doctor").unwrap();
+        r.add_inheritance("nurse", "staff").unwrap();
+        r.grant("staff", Permission::new("read", "bulletin/*")).unwrap();
+        r.grant("doctor", Permission::new("read", "ehr/*")).unwrap();
+        r.grant("doctor", Permission::new("write", "ehr/*/notes")).unwrap();
+        r.grant("chief", Permission::new("approve", "ehr/*")).unwrap();
+        r.grant("auditor", Permission::new("read", "audit/*")).unwrap();
+        for u in ["alice", "bob", "carol"] {
+            r.add_user(u);
+        }
+        r
+    }
+
+    #[test]
+    fn direct_permission_check() {
+        let mut r = hospital();
+        r.assign("alice", "doctor").unwrap();
+        assert!(r.check("alice", "read", "ehr/42"));
+        assert!(!r.check("alice", "approve", "ehr/42"));
+        assert!(!r.check("bob", "read", "ehr/42"));
+    }
+
+    #[test]
+    fn inheritance_grants_junior_permissions() {
+        let mut r = hospital();
+        r.assign("alice", "chief").unwrap();
+        // chief inherits doctor and staff permissions transitively.
+        assert!(r.check("alice", "read", "ehr/42"));
+        assert!(r.check("alice", "read", "bulletin/today"));
+        assert!(r.check("alice", "approve", "ehr/42"));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut r = hospital();
+        assert_eq!(
+            r.add_inheritance("staff", "chief"),
+            Err(RbacError::HierarchyCycle {
+                senior: "staff".into(),
+                junior: "chief".into()
+            })
+        );
+        assert!(matches!(
+            r.add_inheritance("doctor", "doctor"),
+            Err(RbacError::HierarchyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_entities_rejected() {
+        let mut r = hospital();
+        assert_eq!(
+            r.assign("nobody", "doctor"),
+            Err(RbacError::UnknownUser("nobody".into()))
+        );
+        assert_eq!(
+            r.assign("alice", "wizard"),
+            Err(RbacError::UnknownRole("wizard".into()))
+        );
+        assert_eq!(
+            r.grant("wizard", Permission::new("a", "b")),
+            Err(RbacError::UnknownRole("wizard".into()))
+        );
+    }
+
+    #[test]
+    fn ssd_blocks_conflicting_assignment() {
+        let mut r = hospital();
+        r.add_ssd(SodConstraint::new(
+            "no-doctor-and-auditor",
+            ["doctor".to_string(), "auditor".to_string()],
+            1,
+        ));
+        r.assign("alice", "doctor").unwrap();
+        assert_eq!(
+            r.assign("alice", "auditor"),
+            Err(RbacError::SsdViolation {
+                constraint: "no-doctor-and-auditor".into(),
+                user: "alice".into()
+            })
+        );
+        // Other users unaffected.
+        r.assign("bob", "auditor").unwrap();
+    }
+
+    #[test]
+    fn ssd_counts_inherited_roles() {
+        let mut r = hospital();
+        r.add_ssd(SodConstraint::new(
+            "no-doctor-and-auditor",
+            ["doctor".to_string(), "auditor".to_string()],
+            1,
+        ));
+        // chief inherits doctor, so chief + auditor also violates.
+        r.assign("alice", "chief").unwrap();
+        assert!(matches!(
+            r.assign("alice", "auditor"),
+            Err(RbacError::SsdViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn sessions_and_dsd() {
+        let mut r = hospital();
+        r.add_dsd(SodConstraint::new(
+            "not-both-at-once",
+            ["doctor".to_string(), "pharmacist".to_string()],
+            1,
+        ));
+        r.assign("alice", "doctor").unwrap();
+        r.assign("alice", "pharmacist").unwrap(); // SSD allows both
+        let mut s = r
+            .create_session("alice", ["doctor".to_string()])
+            .unwrap();
+        // Activating pharmacist in the same session violates DSD.
+        assert_eq!(
+            r.activate_role(&mut s, "pharmacist"),
+            Err(RbacError::DsdViolation {
+                constraint: "not-both-at-once".into()
+            })
+        );
+        // Deactivate, then it works.
+        r.deactivate_role(&mut s, "doctor");
+        r.activate_role(&mut s, "pharmacist").unwrap();
+    }
+
+    #[test]
+    fn session_checks_use_active_roles_only() {
+        let mut r = hospital();
+        r.assign("alice", "doctor").unwrap();
+        r.assign("alice", "auditor").unwrap();
+        let s = r
+            .create_session("alice", ["auditor".to_string()])
+            .unwrap();
+        assert!(r.session_check(&s, "read", "audit/log-1"));
+        // doctor not activated: least privilege.
+        assert!(!r.session_check(&s, "read", "ehr/42"));
+    }
+
+    #[test]
+    fn session_cannot_activate_unauthorized_role() {
+        let mut r = hospital();
+        r.assign("alice", "nurse").unwrap();
+        assert_eq!(
+            r.create_session("alice", ["doctor".to_string()])
+                .unwrap_err(),
+            RbacError::RoleNotAuthorized {
+                role: "doctor".into()
+            }
+        );
+    }
+
+    #[test]
+    fn access_review() {
+        let mut r = hospital();
+        r.assign("alice", "chief").unwrap();
+        r.assign("bob", "doctor").unwrap();
+        let mut users = r.users_with_role("doctor");
+        users.sort();
+        assert_eq!(users, vec!["alice", "bob"]); // chief inherits doctor
+        let perms = r.permissions_of("bob");
+        assert!(perms.contains(&Permission::new("read", "ehr/*")));
+        assert!(perms.contains(&Permission::new("read", "bulletin/*")));
+        assert!(!perms.contains(&Permission::new("approve", "ehr/*")));
+    }
+
+    #[test]
+    fn revoke_removes_access() {
+        let mut r = hospital();
+        r.assign("alice", "doctor").unwrap();
+        assert!(r.check("alice", "read", "ehr/1"));
+        r.revoke("alice", "doctor");
+        assert!(!r.check("alice", "read", "ehr/1"));
+    }
+
+    #[test]
+    fn closure_cache_consistent_after_mutation() {
+        let mut r = hospital();
+        r.assign("alice", "doctor").unwrap();
+        assert!(r.check("alice", "read", "ehr/1"));
+        // Mutating the hierarchy invalidates cached closures.
+        r.add_role("intern");
+        r.add_inheritance("intern", "staff").unwrap();
+        r.add_user("dave");
+        r.assign("dave", "intern").unwrap();
+        assert!(r.check("dave", "read", "bulletin/x"));
+        assert!(!r.check("dave", "read", "ehr/1"));
+    }
+
+    #[test]
+    fn glob_permissions() {
+        let mut r = Rbac::new();
+        r.add_role("reader");
+        r.add_user("u");
+        r.grant("reader", Permission::new("read", "docs/*/public"))
+            .unwrap();
+        r.assign("u", "reader").unwrap();
+        assert!(r.check("u", "read", "docs/team-a/public"));
+        assert!(!r.check("u", "read", "docs/team-a/private"));
+    }
+
+    #[test]
+    fn size_reports_scale() {
+        let r = hospital();
+        let (users, roles) = r.size();
+        assert_eq!(users, 3);
+        assert_eq!(roles, 6);
+    }
+}

@@ -1,0 +1,131 @@
+//! Standard base64 (RFC 4648) encoding, used by the XML-ish codec to
+//! model how binary content (signatures, digests) expands inside
+//! text-based envelopes — the 4/3 growth the paper's message-size
+//! discussion implies.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes to base64 with padding.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dacs_wire::base64::encode(b"Man"), "TWFu");
+/// assert_eq!(dacs_wire::base64::encode(b"Ma"), "TWE=");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn value_of(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a') as u32 + 26),
+        b'0'..=b'9' => Some((c - b'0') as u32 + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes padded base64. Returns `None` on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dacs_wire::base64::decode("TWFu"), Some(b"Man".to_vec()));
+/// assert_eq!(dacs_wire::base64::decode("bad!"), None);
+/// ```
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = i == bytes.len() / 4 - 1;
+        let pad = if last {
+            chunk.iter().rev().take_while(|&&c| c == b'=').count()
+        } else {
+            0
+        };
+        if pad > 2 {
+            return None;
+        }
+        let mut n: u32 = 0;
+        for (j, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                if j < 4 - pad {
+                    return None; // '=' only allowed at the end
+                }
+                0
+            } else {
+                value_of(c)?
+            };
+            n = (n << 6) | v;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)), Some(data));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(decode("abc"), None); // not multiple of 4
+        assert_eq!(decode("a=bc"), None); // pad in the middle
+        assert_eq!(decode("????"), None); // bad alphabet
+        assert_eq!(decode("===="), None); // too much padding
+    }
+
+    #[test]
+    fn growth_factor_is_four_thirds() {
+        let data = vec![0u8; 300];
+        assert_eq!(encode(&data).len(), 400);
+    }
+}

@@ -1,0 +1,698 @@
+//! A compact, non-self-describing binary codec (bincode-like), written
+//! from scratch on top of serde.
+//!
+//! This is the functional wire format of the system: every protocol
+//! message round-trips through it, and message-level security (signing,
+//! encryption) operates on its output. The XML-style expansion the paper
+//! worries about (§3.2 Communication Performance) is modelled by
+//! [`crate::xmlish`].
+//!
+//! Format:
+//! * integers: fixed-width little-endian
+//! * `bool`: one byte (0/1)
+//! * `f32`/`f64`: IEEE bits, little-endian
+//! * strings/bytes: `u32` length prefix + raw bytes
+//! * `Option`: one-byte tag + value
+//! * sequences/maps: `u32` length prefix + elements
+//! * structs/tuples: fields in order, no tags
+//! * enums: `u32` variant index + payload
+
+use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
+use serde::{ser, Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised by encoding or decoding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// A serde error message.
+    Message(String),
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// Trailing bytes remained after deserialization.
+    TrailingBytes(usize),
+    /// The format cannot represent this (e.g. unsized sequences).
+    Unsupported(&'static str),
+    /// A length prefix or variant index was out of range.
+    InvalidData(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Message(m) => write!(f, "{m}"),
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            CodecError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            CodecError::InvalidData(what) => write!(f, "invalid data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+/// Encodes a value to compact bytes.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if the value contains an unsized sequence or a
+/// type the format cannot represent.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut ser = CompactSerializer { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Decodes a value from compact bytes, requiring full consumption.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed or truncated input or trailing
+/// bytes.
+pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, CodecError> {
+    let mut de = CompactDeserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if de.input.is_empty() {
+        Ok(value)
+    } else {
+        Err(CodecError::TrailingBytes(de.input.len()))
+    }
+}
+
+// ----------------------------------------------------------- serializer --
+
+struct CompactSerializer {
+    out: Vec<u8>,
+}
+
+impl CompactSerializer {
+    fn write_len(&mut self, len: usize) -> Result<(), CodecError> {
+        let len32 = u32::try_from(len).map_err(|_| CodecError::InvalidData("length > u32"))?;
+        self.out.extend_from_slice(&len32.to_le_bytes());
+        Ok(())
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut CompactSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.write_len(v.len())?;
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.write_len(v.len())?;
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or(CodecError::Unsupported("unsized sequences"))?;
+        self.write_len(len)?;
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or(CodecError::Unsupported("unsized maps"))?;
+        self.write_len(len)?;
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+}
+
+macro_rules! forward_compound {
+    ($trait:ident, $method:ident $(, $key:ident)?) => {
+        impl<'a> ser::$trait for &'a mut CompactSerializer {
+            type Ok = ();
+            type Error = CodecError;
+            $(
+                fn $key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+                    key.serialize(&mut **self)
+                }
+            )?
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+forward_compound!(SerializeSeq, serialize_element);
+forward_compound!(SerializeTuple, serialize_element);
+forward_compound!(SerializeTupleStruct, serialize_field);
+forward_compound!(SerializeTupleVariant, serialize_field);
+forward_compound!(SerializeMap, serialize_value, serialize_key);
+
+impl<'a> ser::SerializeStruct for &'a mut CompactSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStructVariant for &'a mut CompactSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------- deserializer --
+
+struct CompactDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> CompactDeserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn read_len(&mut self) -> Result<usize, CodecError> {
+        // Element counts are validated lazily: a lying length prefix hits
+        // UnexpectedEof while reading elements.
+        Ok(self.read_u32()? as usize)
+    }
+
+    fn read_str(&mut self) -> Result<&'de str, CodecError> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidData("invalid utf-8"))
+    }
+}
+
+impl<'de, 'a> de::Deserializer<'de> for &'a mut CompactDeserializer<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::Unsupported(
+            "deserialize_any (format is not self-describing)",
+        ))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_bool(self.read_u8()? != 0)
+    }
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_i8(self.read_u8()? as i8)
+    }
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(2)?;
+        visitor.visit_i16(i16::from_le_bytes([b[0], b[1]]))
+    }
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(4)?;
+        visitor.visit_i32(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_i64(self.read_u64()? as i64)
+    }
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u8(self.read_u8()?)
+    }
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(2)?;
+        visitor.visit_u16(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u32(self.read_u32()?)
+    }
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u64(self.read_u64()?)
+    }
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_f32(f32::from_bits(self.read_u32()?))
+    }
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_f64(f64::from_bits(self.read_u64()?))
+    }
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let c = char::from_u32(self.read_u32()?)
+            .ok_or(CodecError::InvalidData("invalid char"))?;
+        visitor.visit_char(c)
+    }
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_borrowed_str(self.read_str()?)
+    }
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.read_u32()? as usize;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.read_u8()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            _ => Err(CodecError::InvalidData("invalid option tag")),
+        }
+    }
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.read_len()?;
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.read_len()?;
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumReader { de: self })
+    }
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u32(self.read_u32()?)
+    }
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::Unsupported("ignored_any"))
+    }
+}
+
+struct Counted<'de, 'a> {
+    de: &'a mut CompactDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de, 'a> de::SeqAccess<'de> for Counted<'de, 'a> {
+    type Error = CodecError;
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de, 'a> de::MapAccess<'de> for Counted<'de, 'a> {
+    type Error = CodecError;
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumReader<'de, 'a> {
+    de: &'a mut CompactDeserializer<'de>,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for EnumReader<'de, 'a> {
+    type Error = CodecError;
+    type Variant = VariantReader<'de, 'a>;
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), CodecError> {
+        let idx = self.de.read_u32()?;
+        let val = seed.deserialize(idx.into_deserializer())?;
+        Ok((val, VariantReader { de: self.de }))
+    }
+}
+
+struct VariantReader<'de, 'a> {
+    de: &'a mut CompactDeserializer<'de>,
+}
+
+impl<'de, 'a> de::VariantAccess<'de> for VariantReader<'de, 'a> {
+    type Error = CodecError;
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Sample {
+        Unit,
+        Newtype(u64),
+        Tuple(i32, String),
+        Struct { name: String, flags: Vec<bool> },
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        id: u64,
+        label: String,
+        maybe: Option<f64>,
+        children: Vec<Sample>,
+        map: BTreeMap<String, i64>,
+        pair: (u8, char),
+    }
+
+    fn roundtrip<T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v).expect("encodes");
+        let back: T = from_bytes(&bytes).expect("decodes");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&42u8);
+        roundtrip(&-7i64);
+        roundtrip(&3.25f64);
+        roundtrip(&'é');
+        roundtrip(&"hello world".to_string());
+        roundtrip(&Option::<u32>::None);
+        roundtrip(&Some(99u32));
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(&Sample::Unit);
+        roundtrip(&Sample::Newtype(12345));
+        roundtrip(&Sample::Tuple(-1, "x".into()));
+        roundtrip(&Sample::Struct {
+            name: "pep".into(),
+            flags: vec![true, false, true],
+        });
+    }
+
+    #[test]
+    fn nested_struct_roundtrip() {
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1i64);
+        map.insert("b".to_string(), -2i64);
+        roundtrip(&Nested {
+            id: 7,
+            label: "envelope".into(),
+            maybe: Some(2.5),
+            children: vec![Sample::Unit, Sample::Newtype(1)],
+            map,
+            pair: (255, 'z'),
+        });
+    }
+
+    #[test]
+    fn policy_types_roundtrip() {
+        // Integration with the policy crate's serde derives happens in
+        // the workspace integration tests; here we check representative
+        // shapes (nested enums with struct variants).
+        roundtrip(&vec![Sample::Struct {
+            name: String::new(),
+            flags: vec![],
+        }]);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&Sample::Newtype(1)).unwrap();
+        for cut in 0..bytes.len() {
+            let r: Result<Sample, _> = from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        let r: Result<u32, _> = from_bytes(&bytes);
+        assert_eq!(r, Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn invalid_option_tag_rejected() {
+        let r: Result<Option<u8>, _> = from_bytes(&[2u8, 0]);
+        assert!(matches!(r, Err(CodecError::InvalidData(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // String of length 2 with invalid UTF-8.
+        let bytes = vec![2, 0, 0, 0, 0xff, 0xfe];
+        let r: Result<String, _> = from_bytes(&bytes);
+        assert!(matches!(r, Err(CodecError::InvalidData(_))));
+    }
+
+    #[test]
+    fn compactness() {
+        // A u64 is exactly 8 bytes; a short string is 4 + len.
+        assert_eq!(to_bytes(&0u64).unwrap().len(), 8);
+        assert_eq!(to_bytes(&"abc".to_string()).unwrap().len(), 7);
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: write a policy in the DSL, stand up a PAP → PDP → PEP
+//! stack for one domain, and enforce a few requests.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dacs::crypto::sign::CryptoCtx;
+use dacs::pap::Pap;
+use dacs::pdp::Pdp;
+use dacs::pep::{LogObligationHandler, Pep};
+use dacs::pip::{EnvironmentProvider, PipRegistry, StaticAttributes};
+use dacs::policy::dsl::parse_policy;
+use dacs::policy::policy::{PolicyElement, PolicyId};
+use dacs::policy::request::RequestContext;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A policy in the textual DSL (XACML semantics: target, rules,
+    //    combining algorithm, obligations).
+    let policy = parse_policy(
+        r#"
+policy "clinic-gate" first-applicable {
+  target {
+    resource "id" ~= "records/*";
+  }
+  rule "doctors-in-hours" permit {
+    target { action "id" == "read"; }
+    condition and(
+      is-in("doctor", attr(subject, "role")),
+      lt(hour-of(attr!(env, "current-time")), 17)
+    )
+    obligation "log" on permit {
+      "who" = attr(subject, "id");
+    }
+  }
+  rule "default-deny" deny { }
+}
+"#,
+    )
+    .expect("policy parses");
+
+    // 2. PAP: the policy repository (versioned, audited).
+    let pap = Arc::new(Pap::new("pap.clinic"));
+    pap.submit("admin", policy, 0).expect("no admin policy yet");
+
+    // 3. PIPs: where subject/environment attributes come from.
+    let statics = Arc::new(StaticAttributes::new());
+    statics.add_subject_attr("alice", "role", "doctor");
+    let mut pips = PipRegistry::new();
+    pips.add(statics);
+    pips.add(Arc::new(EnvironmentProvider));
+
+    // 4. PDP evaluates; 5. PEP enforces with fail-safe defaults.
+    let pdp = Arc::new(Pdp::new(
+        "pdp.clinic",
+        pap,
+        PolicyElement::PolicyRef(PolicyId::new("clinic-gate")),
+        Arc::new(pips),
+    ));
+    let log = Arc::new(LogObligationHandler::new());
+    let pep = Pep::new("pep.clinic", "clinic", pdp, CryptoCtx::new()).with_handler(log.clone());
+
+    let nine_am = 9 * 3_600_000;
+    let ten_pm = 22 * 3_600_000;
+    for (subject, resource, action, at) in [
+        ("alice", "records/42", "read", nine_am),
+        ("alice", "records/42", "read", ten_pm), // after hours
+        ("mallory", "records/42", "read", nine_am), // no doctor role
+        ("alice", "billing/1", "read", nine_am), // outside target → fail-safe deny
+    ] {
+        let request = RequestContext::basic(subject, resource, action);
+        let result = pep.enforce(&request, at);
+        println!(
+            "{subject:>8} {action} {resource:<12} at {:>2}h -> {:<6} ({})",
+            at / 3_600_000,
+            if result.allowed { "ALLOW" } else { "DENY" },
+            result.reason.unwrap_or_else(|| "policy permit".into()),
+        );
+    }
+
+    println!("\naudit log entries: {:?}", log.entries());
+}

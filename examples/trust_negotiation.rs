@@ -1,0 +1,57 @@
+//! Automated trust negotiation (§3.1): two strangers — a researcher and
+//! a data provider — incrementally establish trust by exchanging
+//! credentials guarded by release policies, comparing the eager and
+//! parsimonious strategies.
+//!
+//! Run with: `cargo run --example trust_negotiation`
+
+use dacs::trust::{negotiate, Credential, Party, ReleasePolicy, Strategy};
+
+fn main() {
+    // The provider requires a research-ethics certificate before
+    // releasing genome data. The researcher will only show that
+    // certificate to an accredited data provider; accreditation in turn
+    // is only shown to identified institutions.
+    let researcher = Party::new(
+        "researcher",
+        vec![
+            Credential::public("institution-id"),
+            Credential::guarded(
+                "ethics-cert",
+                2,
+                ReleasePolicy::RequiresAll(vec!["provider-accreditation".into()]),
+            ),
+            Credential::public("conference-badge"), // irrelevant noise
+        ],
+    );
+    let provider = Party::new(
+        "provider",
+        vec![
+            Credential::guarded(
+                "provider-accreditation",
+                1,
+                ReleasePolicy::RequiresAll(vec!["institution-id".into()]),
+            ),
+            Credential::public("marketing-brochure"), // irrelevant noise
+        ],
+    );
+    let resource_policy = ReleasePolicy::RequiresAll(vec!["ethics-cert".into()]);
+
+    for (strategy, name) in [
+        (Strategy::Eager, "eager"),
+        (Strategy::Parsimonious, "parsimonious"),
+    ] {
+        let out = negotiate(&researcher, &provider, &resource_policy, strategy, 20);
+        println!("--- {name} strategy ---");
+        println!("success: {} in {} rounds ({} messages)", out.success, out.rounds, out.messages);
+        for d in &out.transcript {
+            println!(
+                "  round {}: {} disclosed {}",
+                d.round,
+                if d.by_client { "researcher" } else { "provider" },
+                d.credential
+            );
+        }
+        println!();
+    }
+}

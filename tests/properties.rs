@@ -1,0 +1,191 @@
+//! Property-based tests over core invariants: combining algorithms,
+//! glob matching, DSL round-trips, codec round-trips, cache behaviour,
+//! and the crypto substrate.
+
+use dacs::policy::combining::Combiner;
+use dacs::policy::dsl::{parse_policy, print_policy};
+use dacs::policy::glob::{glob_match, globs_may_overlap};
+use dacs::policy::policy::{
+    CombiningAlg, Decision, Effect, Obligation, Policy, PolicyId, Rule,
+};
+use dacs::policy::target::{AttrMatch, Target};
+use dacs::policy::AttributeId;
+use proptest::prelude::*;
+
+fn arb_decision() -> impl Strategy<Value = Decision> {
+    prop_oneof![
+        Just(Decision::Permit),
+        Just(Decision::Deny),
+        Just(Decision::NotApplicable),
+        Just(Decision::Indeterminate),
+    ]
+}
+
+fn combine(alg: CombiningAlg, ds: &[Decision]) -> Decision {
+    Combiner::combine_all(alg, ds.iter().map(|d| (*d, Vec::<Obligation>::new()))).0
+}
+
+proptest! {
+    #[test]
+    fn deny_overrides_honours_any_deny(ds in prop::collection::vec(arb_decision(), 0..12)) {
+        let out = combine(CombiningAlg::DenyOverrides, &ds);
+        if ds.contains(&Decision::Deny) {
+            prop_assert_eq!(out, Decision::Deny);
+        } else {
+            prop_assert_ne!(out, Decision::Deny);
+        }
+    }
+
+    #[test]
+    fn permit_overrides_honours_any_permit(ds in prop::collection::vec(arb_decision(), 0..12)) {
+        let out = combine(CombiningAlg::PermitOverrides, &ds);
+        if ds.contains(&Decision::Permit) {
+            prop_assert_eq!(out, Decision::Permit);
+        } else {
+            prop_assert_ne!(out, Decision::Permit);
+        }
+    }
+
+    #[test]
+    fn deny_unless_permit_is_total(ds in prop::collection::vec(arb_decision(), 0..12)) {
+        let out = combine(CombiningAlg::DenyUnlessPermit, &ds);
+        prop_assert!(out == Decision::Permit || out == Decision::Deny);
+        prop_assert_eq!(out == Decision::Permit, ds.contains(&Decision::Permit));
+    }
+
+    #[test]
+    fn first_applicable_returns_first_applicable(ds in prop::collection::vec(arb_decision(), 0..12)) {
+        let out = combine(CombiningAlg::FirstApplicable, &ds);
+        let first = ds.iter().find(|d| **d != Decision::NotApplicable);
+        match first {
+            Some(d) => prop_assert_eq!(out, *d),
+            None => prop_assert_eq!(out, Decision::NotApplicable),
+        }
+    }
+
+    #[test]
+    fn glob_literal_prefix_matches_itself(s in "[a-z/]{0,20}") {
+        prop_assert!(glob_match(&s, &s));
+        let prefixed = format!("{s}*");
+        prop_assert!(glob_match(&prefixed, &s));
+        prop_assert!(glob_match("*", &s));
+    }
+
+    #[test]
+    fn glob_overlap_is_sound(a in "[ab/]{0,6}", b in "[ab/]{0,6}", probe in "[ab/]{0,6}") {
+        // If both patterns match a common literal, overlap must be true.
+        if glob_match(&a, &probe) && glob_match(&b, &probe) {
+            prop_assert!(globs_may_overlap(&a, &b));
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_request_contexts(
+        subject in "[a-z]{1,8}", resource in "[a-z/]{1,12}", action in "[a-z]{1,6}",
+        extra in prop::collection::vec(("[a-z]{1,6}", -100i64..100), 0..4),
+    ) {
+        let mut req = dacs::policy::request::RequestContext::basic(
+            subject.as_str(), resource.as_str(), action.as_str());
+        for (name, v) in &extra {
+            req.add(AttributeId::subject(name), *v);
+        }
+        let bytes = dacs::wire::codec::to_bytes(&req).unwrap();
+        let back: dacs::policy::request::RequestContext =
+            dacs::wire::codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(req, back);
+    }
+
+    #[test]
+    fn dsl_roundtrip_for_generated_policies(
+        id in "[a-z][a-z0-9-]{0,12}",
+        role in "[a-z]{1,8}",
+        resource in "[a-z]{1,8}",
+        effect_permit in any::<bool>(),
+        n_rules in 1usize..4,
+    ) {
+        let mut policy = Policy::new(PolicyId::new(id), CombiningAlg::FirstApplicable);
+        for i in 0..n_rules {
+            let effect = if effect_permit { Effect::Permit } else { Effect::Deny };
+            policy = policy.with_rule(
+                Rule::new(format!("r{i}"), effect).with_target(Target::all(vec![
+                    AttrMatch::equals(AttributeId::subject("role"), role.as_str()),
+                    AttrMatch::glob(AttributeId::resource("id"), format!("{resource}/*")),
+                ])),
+            );
+        }
+        let printed = print_policy(&policy);
+        let reparsed = parse_policy(&printed).unwrap();
+        prop_assert_eq!(policy, reparsed);
+    }
+
+    #[test]
+    fn hmac_tags_differ_on_any_input_change(
+        key in prop::collection::vec(any::<u8>(), 1..32),
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+        flip in 0usize..64,
+    ) {
+        let t1 = dacs::crypto::hmac::hmac_sha256(&key, &msg);
+        let mut msg2 = msg.clone();
+        if msg2.is_empty() {
+            msg2.push(1);
+        } else {
+            let i = flip % msg2.len();
+            msg2[i] ^= 1;
+        }
+        let t2 = dacs::crypto::hmac::hmac_sha256(&key, &msg2);
+        prop_assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn base64_roundtrips(data in prop::collection::vec(any::<u8>(), 0..128)) {
+        let enc = dacs::wire::base64::encode(&data);
+        prop_assert_eq!(dacs::wire::base64::decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn ttl_cache_never_serves_expired(
+        ttl in 1u64..50,
+        ops in prop::collection::vec((0u32..8, 0u64..200), 1..40),
+    ) {
+        let mut cache = dacs::pdp::TtlLruCache::<u32, u64>::new(4, ttl);
+        let mut inserted_at: std::collections::HashMap<u32, u64> = Default::default();
+        let mut now = 0;
+        for (key, advance) in ops {
+            now += advance;
+            if let Some(_v) = cache.get(&key, now) {
+                let at = inserted_at[&key];
+                prop_assert!(now < at + ttl, "expired entry served");
+            } else {
+                cache.insert(key, now, now);
+                inserted_at.insert(key, now);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_in_range(n in 1usize..200, s in 0.0f64..2.5, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = dacs::core::workload::ZipfSampler::new(n, s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}
+
+#[test]
+fn merkle_signature_forgery_resistance_smoke() {
+    use dacs::crypto::merkle::MerkleKeypair;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut kp = MerkleKeypair::generate(&mut rng, 3);
+    let root = kp.public_root();
+    let sig = kp.sign(b"permit alice").unwrap();
+    // Any single-bit flip in the serialized WOTS signature must break it.
+    for byte in [0usize, 100, 1000, 2000] {
+        let mut forged = sig.clone();
+        let idx = byte % forged.wots_sig.len();
+        forged.wots_sig[idx] ^= 0x01;
+        assert!(!root.verify(b"permit alice", &forged));
+    }
+}
