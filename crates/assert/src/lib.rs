@@ -353,8 +353,7 @@ impl AttributeCertificate {
     ) -> Result<Self, SignError> {
         let holder = holder.into();
         let issuer = issuer.into();
-        let bytes =
-            Self::canonical_bytes(serial, &holder, &issuer, &fqans, not_before, not_after);
+        let bytes = Self::canonical_bytes(serial, &holder, &issuer, &fqans, not_before, not_after);
         Ok(AttributeCertificate {
             serial,
             holder,
@@ -512,7 +511,10 @@ mod tests {
     fn capability_coverage() {
         let i = issuer(5);
         let sa = SignedAssertion::sign(capability_assertion(0, 1000), &i.key).unwrap();
-        assert_eq!(sa.check_capability("alice", "ehr/records/42", "read"), Ok(()));
+        assert_eq!(
+            sa.check_capability("alice", "ehr/records/42", "read"),
+            Ok(())
+        );
         assert!(matches!(
             sa.check_capability("alice", "ehr/records/42", "write"),
             Err(AssertError::CapabilityInsufficient { .. })

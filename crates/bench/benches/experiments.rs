@@ -4,6 +4,7 @@
 //! full tables.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dacs_cluster::{BatchSubmitter, ClusterBuilder, DecisionBackend, QuorumMode, StaticBackend};
 use dacs_core::scenario::{healthcare_vo, with_shared_cas};
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
 use dacs_federation::{
@@ -41,8 +42,8 @@ fn bench_substrates(c: &mut Criterion) {
     g.bench_function("merkle_sign", |b| b.iter(|| merkle.sign(&data).unwrap()));
     let sig = merkle.sign(&data).unwrap();
     g.bench_function("merkle_verify", |b| b.iter(|| ctx.verify(&pk, &data, &sig)));
-    let request = RequestContext::basic("alice@a", "records/42", "read")
-        .with_subject_attr("role", "doctor");
+    let request =
+        RequestContext::basic("alice@a", "records/42", "read").with_subject_attr("role", "doctor");
     g.bench_function("codec_encode_request", |b| {
         b.iter(|| dacs_wire::codec::to_bytes(&request).unwrap())
     });
@@ -233,7 +234,9 @@ fn bench_e7_security(c: &mut Criterion) {
     let mut plain = SecureChannel::plain("a", ctx.clone());
     g.bench_function("wrap_plain", |b| b.iter(|| plain.wrap(&payload).unwrap()));
     let mut signed = SecureChannel::signed("a", ctx.clone(), key.clone());
-    g.bench_function("wrap_signed_sim", |b| b.iter(|| signed.wrap(&payload).unwrap()));
+    g.bench_function("wrap_signed_sim", |b| {
+        b.iter(|| signed.wrap(&payload).unwrap())
+    });
     let mut enc = SecureChannel::signed_encrypted("a", ctx.clone(), key.clone(), b"s", "l");
     g.bench_function("wrap_signed_encrypted_sim", |b| {
         b.iter(|| enc.wrap(&payload).unwrap())
@@ -245,15 +248,18 @@ fn bench_e9_conflicts(c: &mut Criterion) {
     c.bench_function("e9_conflict_analysis_128", |b| {
         let mut policies = Vec::new();
         for i in 0..128 {
-            let effect = if i % 2 == 0 { Effect::Permit } else { Effect::Deny };
+            let effect = if i % 2 == 0 {
+                Effect::Permit
+            } else {
+                Effect::Deny
+            };
             policies.push(
-                Policy::new(PolicyId::new(format!("p{i}")), CombiningAlg::DenyOverrides)
-                    .with_rule(Rule::new("r", effect).with_target(Target::all(vec![
-                        AttrMatch::glob(
-                            AttributeId::resource("id"),
-                            format!("area-{}/*", i % 16),
-                        ),
-                    ]))),
+                Policy::new(PolicyId::new(format!("p{i}")), CombiningAlg::DenyOverrides).with_rule(
+                    Rule::new("r", effect).with_target(Target::all(vec![AttrMatch::glob(
+                        AttributeId::resource("id"),
+                        format!("area-{}/*", i % 16),
+                    )])),
+                ),
             );
         }
         b.iter(|| conflict::analyze(policies.iter()))
@@ -308,6 +314,58 @@ fn bench_e10_e11_e12(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_e14_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_cluster");
+    let build = |quorum| {
+        let mut builder = ClusterBuilder::new("bench").quorum(quorum);
+        for s in 0..4 {
+            builder = builder.shard(
+                (0..3)
+                    .map(|r| {
+                        std::sync::Arc::new(StaticBackend::new(
+                            format!("s{s}-r{r}"),
+                            dacs_policy::policy::Decision::Permit,
+                        )) as std::sync::Arc<dyn DecisionBackend>
+                    })
+                    .collect(),
+            );
+        }
+        builder.build()
+    };
+    for quorum in [QuorumMode::FirstHealthy, QuorumMode::Majority] {
+        let cluster = build(quorum);
+        let mut i = 0u64;
+        g.bench_function(format!("decide_{}", quorum.name()), |b| {
+            b.iter(|| {
+                i += 1;
+                let req = RequestContext::basic(
+                    format!("user-{}", i % 64),
+                    format!("records/{}", i % 16),
+                    "read",
+                );
+                cluster.decide(&req, i)
+            })
+        });
+    }
+    let cluster = build(QuorumMode::Majority);
+    let mut t = 0u64;
+    g.bench_function("batch_flush_64", |b| {
+        b.iter(|| {
+            t += 1;
+            let mut batch = BatchSubmitter::new(&cluster);
+            for i in 0..64u64 {
+                batch.submit(RequestContext::basic(
+                    format!("user-{}", i % 16),
+                    format!("records/{}", i % 8),
+                    "read",
+                ));
+            }
+            batch.flush(t)
+        })
+    });
+    g.finish();
+}
+
 fn bench_e13_discovery(c: &mut Criterion) {
     c.bench_function("e13_discovery_resolve", |b| {
         let dir = PdpDirectory::new();
@@ -337,6 +395,7 @@ criterion_group!(
     bench_e7_security,
     bench_e9_conflicts,
     bench_e10_e11_e12,
-    bench_e13_discovery
+    bench_e13_discovery,
+    bench_e14_cluster
 );
 criterion_main!(benches);

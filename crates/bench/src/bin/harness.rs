@@ -4,11 +4,19 @@
 //! Usage:
 //! ```text
 //! cargo run -p dacs-bench --release --bin harness -- all
-//! cargo run -p dacs-bench --release --bin harness -- e5 e8 e10
+//! cargo run -p dacs-bench --release --bin harness -- e5 e8 e14
+//! cargo run -p dacs-bench --release --bin harness -- all --json BENCH_all.json
 //! ```
+//!
+//! `--json PATH` additionally writes one JSON object per data cell
+//! (`experiment`, `key`, `metric`, `value`) so successive runs form a
+//! machine-readable trajectory.
 
+use dacs_bench::table_to_json_rows;
 use dacs_core::experiments as exp;
 use dacs_core::stats::Table;
+
+const EXPERIMENT_COUNT: usize = 14;
 
 fn run(id: &str) -> Option<Table> {
     Some(match id {
@@ -25,30 +33,57 @@ fn run(id: &str) -> Option<Table> {
         "e11" => exp::e11_delegation(),
         "e12" => exp::e12_rbac_scale(),
         "e13" => exp::e13_pdp_discovery(2000),
+        "e14" => exp::e14_cluster_dependability(4000),
         _ => return None,
     })
 }
 
+fn usage() -> ! {
+    eprintln!("usage: harness <all | e1 .. e{EXPERIMENT_COUNT}>... [--json PATH]");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: harness <all | e1 .. e13>...");
-        std::process::exit(2);
+    let mut ids: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => usage(),
+            },
+            _ => ids.push(arg),
+        }
     }
-    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        (1..=13).map(|i| format!("e{i}")).collect()
-    } else {
-        args
-    };
-    for id in ids {
-        match run(&id) {
+    if ids.is_empty() {
+        usage();
+    }
+    if ids.iter().any(|a| a == "all") {
+        ids = (1..=EXPERIMENT_COUNT).map(|i| format!("e{i}")).collect();
+    }
+
+    let mut json = String::new();
+    for id in &ids {
+        match run(id) {
             Some(table) => {
                 println!("{}", table.render());
+                if json_path.is_some() {
+                    json.push_str(&table_to_json_rows(id, &table));
+                }
             }
             None => {
                 eprintln!("unknown experiment {id}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON rows to {path}");
     }
 }

@@ -1,3 +1,96 @@
 //! Support crate for the DACS benchmark suite: see the `harness` binary
 //! (`cargo run -p dacs-bench --release --bin harness -- all`) and the
 //! criterion benches (`cargo bench`).
+//!
+//! Besides the binaries, this crate provides the machine-readable
+//! result format: [`table_to_json_rows`] flattens an experiment
+//! [`Table`] into JSON-lines rows of `(experiment, metric, value)` so
+//! successive PR runs can be diffed as a `BENCH_*.json` trajectory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dacs_core::stats::Table;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Flattens one experiment table into JSON-lines rows.
+///
+/// Each data cell beyond the key column becomes one line of the form
+/// `{"experiment":"e14","key":"majority","metric":"availability %","value":"99.85"}`
+/// — `key` is the row's first column, `metric` the header of the cell's
+/// column. Numeric-looking values are emitted as JSON numbers.
+pub fn table_to_json_rows(experiment: &str, table: &Table) -> String {
+    let mut out = String::new();
+    for row in &table.rows {
+        let key = row.first().map(String::as_str).unwrap_or("");
+        for (metric, value) in table.headers.iter().zip(row.iter()).skip(1) {
+            let rendered = if value.parse::<f64>().map(f64::is_finite).unwrap_or(false) {
+                value.clone()
+            } else {
+                format!("\"{}\"", json_escape(value))
+            };
+            out.push_str(&format!(
+                "{{\"experiment\":\"{}\",\"key\":\"{}\",\"metric\":\"{}\",\"value\":{}}}\n",
+                json_escape(experiment),
+                json_escape(key),
+                json_escape(metric),
+                rendered
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_carry_experiment_metric_and_value() {
+        let mut t = Table::new("demo", &["mode", "availability %", "note"]);
+        t.row(vec![
+            "majority".into(),
+            "99.85".into(),
+            "ok \"quoted\"".into(),
+        ]);
+        t.row(vec![
+            "unanimous".into(),
+            "97.10".into(),
+            "fail\nclosed".into(),
+        ]);
+        let json = table_to_json_rows("e14", &t);
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "{\"experiment\":\"e14\",\"key\":\"majority\",\"metric\":\"availability %\",\"value\":99.85}"
+        );
+        assert!(lines[1].contains("\\\"quoted\\\""));
+        assert!(lines[3].contains("fail\\nclosed"));
+    }
+
+    #[test]
+    fn numeric_cells_are_numbers_text_cells_are_strings() {
+        let mut t = Table::new("demo", &["k", "n", "s"]);
+        t.row(vec!["a".into(), "42".into(), "push".into()]);
+        let json = table_to_json_rows("e8", &t);
+        assert!(json.contains("\"value\":42"));
+        assert!(json.contains("\"value\":\"push\""));
+    }
+}

@@ -1,0 +1,187 @@
+//! Query batching: coalesce outstanding decisions per shard.
+//!
+//! A PEP under load submits many decision queries per scheduling
+//! quantum. Flushing them shard-by-shard amortizes evaluation two ways:
+//! identical outstanding queries (same canonical request bytes) are
+//! evaluated once and answered together, and each shard's replicas see
+//! their keyspace slice back-to-back, keeping decision caches hot.
+
+use crate::cluster::{ClusterOutcome, PdpCluster};
+use dacs_policy::request::RequestContext;
+use std::collections::HashMap;
+
+/// Handle to one submitted query; redeem it against the flush result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ticket(usize);
+
+impl Ticket {
+    /// Position of this query's outcome in the flush result.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+struct Pending {
+    shard: usize,
+    key: Vec<u8>,
+    request: RequestContext,
+}
+
+/// Collects queries and evaluates them per shard on flush.
+pub struct BatchSubmitter<'a> {
+    cluster: &'a PdpCluster,
+    pending: Vec<Pending>,
+}
+
+impl<'a> BatchSubmitter<'a> {
+    /// Creates an empty batch against `cluster`.
+    pub fn new(cluster: &'a PdpCluster) -> Self {
+        BatchSubmitter {
+            cluster,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Queues one query; the returned ticket indexes the flush result.
+    pub fn submit(&mut self, request: RequestContext) -> Ticket {
+        let shard = self.cluster.router().shard_for(&request);
+        let ticket = Ticket(self.pending.len());
+        self.pending.push(Pending {
+            shard,
+            key: request.to_canonical_bytes(),
+            request,
+        });
+        ticket
+    }
+
+    /// Queries queued so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Evaluates every queued query, shard by shard, coalescing
+    /// identical requests; returns outcomes aligned with the tickets.
+    pub fn flush(&mut self, now_ms: u64) -> Vec<ClusterOutcome> {
+        let pending = std::mem::take(&mut self.pending);
+        let submitted = pending.len();
+        let mut order: Vec<usize> = (0..pending.len()).collect();
+        // Stable sort groups each shard's queries back-to-back while
+        // preserving submission order within a shard.
+        order.sort_by_key(|&i| pending[i].shard);
+
+        let mut outcomes: Vec<Option<ClusterOutcome>> = (0..pending.len()).map(|_| None).collect();
+        let mut answered: HashMap<&[u8], ClusterOutcome> = HashMap::new();
+        let mut coalesced = 0usize;
+        let mut current_shard = usize::MAX;
+        for i in order {
+            let p = &pending[i];
+            if p.shard != current_shard {
+                // Identical keys never span shards (routing is keyed),
+                // but clearing per shard keeps the map small.
+                answered.clear();
+                current_shard = p.shard;
+            }
+            let outcome = match answered.get(p.key.as_slice()) {
+                Some(prior) => {
+                    coalesced += 1;
+                    prior.clone()
+                }
+                None => {
+                    let outcome = self.cluster.decide_on_shard(p.shard, &p.request, now_ms);
+                    answered.insert(p.key.as_slice(), outcome.clone());
+                    outcome
+                }
+            };
+            outcomes[i] = Some(outcome);
+        }
+        self.cluster.note_batch(submitted, coalesced);
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every ticket answered"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+    use crate::quorum::QuorumMode;
+    use crate::replica::{DecisionBackend, StaticBackend};
+    use dacs_policy::policy::Decision;
+    use std::sync::Arc;
+
+    fn cluster(shards: usize) -> PdpCluster {
+        let mut builder = ClusterBuilder::new("batch-test").quorum(QuorumMode::FirstHealthy);
+        for s in 0..shards {
+            builder = builder.shard(vec![Arc::new(StaticBackend::new(
+                format!("s{s}-r0"),
+                Decision::Permit,
+            )) as Arc<dyn DecisionBackend>]);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn flush_answers_every_ticket_in_submission_order() {
+        let cluster = cluster(4);
+        let mut batch = BatchSubmitter::new(&cluster);
+        let mut tickets = Vec::new();
+        for i in 0..20 {
+            tickets.push(batch.submit(RequestContext::basic(
+                format!("user-{i}"),
+                format!("res/{}", i % 5),
+                "read",
+            )));
+        }
+        assert_eq!(batch.len(), 20);
+        let outcomes = batch.flush(0);
+        assert!(batch.is_empty());
+        assert_eq!(outcomes.len(), 20);
+        for (i, t) in tickets.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(
+                outcomes[t.index()].response.as_ref().unwrap().decision,
+                Decision::Permit
+            );
+        }
+    }
+
+    #[test]
+    fn identical_queries_coalesce_to_one_evaluation() {
+        let cluster = cluster(2);
+        let mut batch = BatchSubmitter::new(&cluster);
+        for _ in 0..10 {
+            batch.submit(RequestContext::basic("alice", "ehr/1", "read"));
+        }
+        batch.submit(RequestContext::basic("bob", "ehr/2", "read"));
+        let outcomes = batch.flush(0);
+        assert_eq!(outcomes.len(), 11);
+        let m = cluster.metrics();
+        // 10 identical + 1 distinct → 2 evaluations, 9 coalesced.
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.coalesced, 9);
+        assert_eq!(m.batched_queries, 11);
+        assert_eq!(m.batches, 1);
+    }
+
+    #[test]
+    fn coalescing_resets_between_flushes() {
+        let cluster = cluster(1);
+        let mut batch = BatchSubmitter::new(&cluster);
+        batch.submit(RequestContext::basic("alice", "ehr/1", "read"));
+        batch.flush(0);
+        batch.submit(RequestContext::basic("alice", "ehr/1", "read"));
+        batch.flush(1);
+        let m = cluster.metrics();
+        // Separate flushes re-evaluate (freshness over reuse).
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.coalesced, 0);
+        assert_eq!(m.batches, 2);
+    }
+}

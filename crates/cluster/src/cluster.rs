@@ -1,0 +1,310 @@
+//! The cluster facade: router + replica groups + directory + metrics.
+
+use crate::metrics::ClusterMetrics;
+use crate::quorum::QuorumMode;
+use crate::replica::{DecisionBackend, GroupOutcome, ReplicaGroup};
+use crate::shard::ShardRouter;
+use dacs_pdp::PdpDirectory;
+use dacs_policy::eval::Response;
+use dacs_policy::request::RequestContext;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The outcome of one cluster decision.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClusterOutcome {
+    /// The combined response; `None` when the target shard had no
+    /// healthy replica (an availability gap).
+    pub response: Option<Response>,
+    /// The shard the request routed to.
+    pub shard: usize,
+    /// Replicas queried for this decision.
+    pub replicas_queried: usize,
+    /// Whether the shard served with fewer healthy replicas than
+    /// configured.
+    pub degraded: bool,
+}
+
+/// Builds a [`PdpCluster`] shard by shard.
+pub struct ClusterBuilder {
+    name: String,
+    quorum: QuorumMode,
+    vnodes: usize,
+    shards: Vec<Vec<Arc<dyn DecisionBackend>>>,
+    directory: Option<Arc<PdpDirectory>>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for a cluster registered under `name` (used as
+    /// the directory domain for all replicas).
+    pub fn new(name: impl Into<String>) -> Self {
+        ClusterBuilder {
+            name: name.into(),
+            quorum: QuorumMode::Majority,
+            vnodes: crate::shard::DEFAULT_VNODES,
+            shards: Vec::new(),
+            directory: None,
+        }
+    }
+
+    /// Sets the quorum mode (default [`QuorumMode::Majority`]).
+    pub fn quorum(mut self, mode: QuorumMode) -> Self {
+        self.quorum = mode;
+        self
+    }
+
+    /// Sets the virtual-point count per shard on the hash ring.
+    pub fn vnodes(mut self, vnodes: usize) -> Self {
+        self.vnodes = vnodes;
+        self
+    }
+
+    /// Uses an existing directory (e.g. one shared with PEP discovery)
+    /// instead of a fresh one.
+    pub fn directory(mut self, directory: Arc<PdpDirectory>) -> Self {
+        self.directory = Some(directory);
+        self
+    }
+
+    /// Appends one shard served by the given replicas.
+    pub fn shard(mut self, replicas: Vec<Arc<dyn DecisionBackend>>) -> Self {
+        self.shards.push(replicas);
+        self
+    }
+
+    /// Finishes the cluster, registering every replica as healthy in
+    /// the directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shard was added.
+    pub fn build(self) -> PdpCluster {
+        assert!(!self.shards.is_empty(), "cluster needs at least one shard");
+        let directory = self
+            .directory
+            .unwrap_or_else(|| Arc::new(PdpDirectory::new()));
+        let groups: Vec<ReplicaGroup> = self.shards.into_iter().map(ReplicaGroup::new).collect();
+        for group in &groups {
+            for replica in group.replica_names() {
+                // A shared directory may already know this endpoint from
+                // PEP discovery; re-registering would duplicate it and
+                // skew discovery round-robin toward the duplicate.
+                if !directory.contains(&replica) {
+                    directory.register(replica, &self.name);
+                }
+            }
+        }
+        PdpCluster {
+            router: ShardRouter::with_vnodes(groups.len(), self.vnodes),
+            name: self.name,
+            groups,
+            directory,
+            quorum: self.quorum,
+            metrics: Mutex::new(ClusterMetrics::default()),
+        }
+    }
+}
+
+/// A sharded, replicated decision service over N PDP backends.
+pub struct PdpCluster {
+    name: String,
+    router: ShardRouter,
+    groups: Vec<ReplicaGroup>,
+    directory: Arc<PdpDirectory>,
+    quorum: QuorumMode,
+    metrics: Mutex<ClusterMetrics>,
+}
+
+impl PdpCluster {
+    /// The cluster name (its directory domain).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configured quorum mode.
+    pub fn quorum_mode(&self) -> QuorumMode {
+        self.quorum
+    }
+
+    /// The consistent-hash router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The shared health directory.
+    pub fn directory(&self) -> &Arc<PdpDirectory> {
+        &self.directory
+    }
+
+    /// Marks a replica unhealthy (crash / partition).
+    pub fn mark_down(&self, replica: &str) {
+        self.directory.mark_down(replica);
+    }
+
+    /// Marks a replica healthy again.
+    pub fn mark_up(&self, replica: &str) {
+        self.directory.mark_up(replica);
+    }
+
+    /// Serves one decision: route to a shard, fan out, combine.
+    pub fn decide(&self, request: &RequestContext, now_ms: u64) -> ClusterOutcome {
+        let shard = self.router.shard_for(request);
+        self.decide_on_shard(shard, request, now_ms)
+    }
+
+    /// Serves a decision on an explicit shard (used by the batcher,
+    /// which has already routed).
+    pub(crate) fn decide_on_shard(
+        &self,
+        shard: usize,
+        request: &RequestContext,
+        now_ms: u64,
+    ) -> ClusterOutcome {
+        let group = &self.groups[shard];
+        let outcome = group.query(&self.directory, self.quorum, request, now_ms);
+        self.account(group, &outcome);
+        ClusterOutcome {
+            degraded: outcome.response.is_some() && outcome.healthy < group.len(),
+            response: outcome.response,
+            shard,
+            replicas_queried: outcome.replicas_queried,
+        }
+    }
+
+    fn account(&self, group: &ReplicaGroup, outcome: &GroupOutcome) {
+        let mut m = self.metrics.lock();
+        m.queries += 1;
+        m.replica_queries += outcome.replicas_queried as u64;
+        match &outcome.response {
+            None => m.unavailable += 1,
+            Some(_) => {
+                if outcome.healthy < group.len() {
+                    m.degraded += 1;
+                }
+                if outcome.disagreement {
+                    m.disagreements += 1;
+                }
+                if outcome.fail_closed {
+                    m.fail_closed_denies += 1;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn note_batch(&self, submitted: usize, coalesced: usize) {
+        let mut m = self.metrics.lock();
+        m.batches += 1;
+        m.batched_queries += submitted as u64;
+        m.coalesced += coalesced as u64;
+    }
+
+    /// Snapshot of the cluster counters.
+    pub fn metrics(&self) -> ClusterMetrics {
+        *self.metrics.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::StaticBackend;
+    use dacs_policy::policy::Decision;
+
+    fn permit_cluster(shards: usize, replicas: usize, quorum: QuorumMode) -> PdpCluster {
+        let mut builder = ClusterBuilder::new("test-cluster").quorum(quorum);
+        for s in 0..shards {
+            builder = builder.shard(
+                (0..replicas)
+                    .map(|r| {
+                        Arc::new(StaticBackend::new(format!("s{s}-r{r}"), Decision::Permit))
+                            as Arc<dyn DecisionBackend>
+                    })
+                    .collect(),
+            );
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn routes_and_serves() {
+        let cluster = permit_cluster(4, 3, QuorumMode::Majority);
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        let out = cluster.decide(&req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert_eq!(out.replicas_queried, 3);
+        assert!(!out.degraded);
+        // Same key routes to the same shard every time.
+        assert_eq!(out.shard, cluster.decide(&req, 1).shard);
+        let m = cluster.metrics();
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.replica_queries, 6);
+    }
+
+    #[test]
+    fn killing_a_replica_keeps_availability_and_marks_degraded() {
+        let cluster = permit_cluster(1, 3, QuorumMode::Majority);
+        cluster.mark_down("s0-r1");
+        let req = RequestContext::basic("bob", "lab/9", "read");
+        let out = cluster.decide(&req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert!(out.degraded);
+        assert_eq!(out.replicas_queried, 2);
+        let m = cluster.metrics();
+        assert_eq!(m.unavailable, 0);
+        assert_eq!(m.degraded, 1);
+        assert!((m.availability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_shard_down_counts_unavailable_and_recovers() {
+        let cluster = permit_cluster(1, 2, QuorumMode::FirstHealthy);
+        cluster.mark_down("s0-r0");
+        cluster.mark_down("s0-r1");
+        let req = RequestContext::basic("eve", "ehr/3", "write");
+        assert_eq!(cluster.decide(&req, 0).response, None);
+        cluster.mark_up("s0-r1");
+        assert!(cluster.decide(&req, 1).response.is_some());
+        let m = cluster.metrics();
+        assert_eq!(m.unavailable, 1);
+        assert!((m.availability() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_directory_integrates_with_discovery() {
+        let directory = Arc::new(PdpDirectory::new());
+        let cluster = ClusterBuilder::new("vo-a")
+            .directory(directory.clone())
+            .shard(vec![
+                Arc::new(StaticBackend::new("pdp-1", Decision::Permit)) as Arc<dyn DecisionBackend>,
+            ])
+            .build();
+        // The replica is discoverable through the ordinary directory API.
+        assert!(directory.is_healthy("pdp-1"));
+        assert_eq!(directory.endpoints_in("vo-a").len(), 1);
+        cluster.mark_down("pdp-1");
+        assert!(!directory.is_healthy("pdp-1"));
+    }
+
+    #[test]
+    fn shared_directory_does_not_duplicate_known_endpoints() {
+        let directory = Arc::new(PdpDirectory::new());
+        // "pdp-1" is already registered for ordinary PEP discovery.
+        directory.register("pdp-1", "hospital-a");
+        let _cluster = ClusterBuilder::new("vo-a")
+            .directory(directory.clone())
+            .shard(vec![
+                Arc::new(StaticBackend::new("pdp-1", Decision::Permit)) as Arc<dyn DecisionBackend>,
+                Arc::new(StaticBackend::new("pdp-2", Decision::Permit)) as Arc<dyn DecisionBackend>,
+            ])
+            .build();
+        // One row total for pdp-1: discovery rotation stays unskewed.
+        assert_eq!(directory.len(), 2);
+        assert_eq!(directory.endpoints_in("hospital-a").len(), 1);
+        assert_eq!(directory.endpoints_in("vo-a").len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! # dacs-cluster
+//!
+//! Turns N independent [`dacs_pdp::Pdp`] instances into one dependable
+//! decision service — the horizontal-scaling layer the DSN 2008 paper's
+//! dependability argument needs between a single PDP and a federation:
+//!
+//! * [`shard`] — a [`ShardRouter`] that consistent-hashes request
+//!   contexts (by subject/resource key) onto replica groups, so each
+//!   shard's decision caches stay hot for its slice of the keyspace.
+//! * [`replica`] — a [`ReplicaGroup`] that fans a query out to `k`
+//!   replicas and combines the answers under a pluggable
+//!   [`QuorumMode`], so a Byzantine or stale replica cannot silently
+//!   grant access.
+//! * [`quorum`] — the combination rules: `FirstHealthy` (fast, trusts
+//!   one replica), `Majority` (outvotes a minority of wrong replicas)
+//!   and `UnanimousFailClosed` (any disagreement denies).
+//! * [`batch`] — a [`BatchSubmitter`] that coalesces outstanding
+//!   queries per shard to amortize evaluation.
+//! * [`metrics`] — [`ClusterMetrics`]: availability, degraded-mode and
+//!   disagreement accounting.
+//!
+//! Health tracking and failover integrate with the existing
+//! [`dacs_pdp::PdpDirectory`] (`mark_down` / `mark_up`): every replica
+//! registers there, and the cluster routes around endpoints the
+//! directory reports unhealthy.
+//!
+//! # Examples
+//!
+//! ```
+//! use dacs_cluster::{ClusterBuilder, QuorumMode, StaticBackend};
+//! use dacs_policy::policy::Decision;
+//! use dacs_policy::request::RequestContext;
+//! use std::sync::Arc;
+//!
+//! let cluster = ClusterBuilder::new("vo-pdp")
+//!     .quorum(QuorumMode::Majority)
+//!     .shard(vec![
+//!         Arc::new(StaticBackend::new("s0-a", Decision::Permit)),
+//!         Arc::new(StaticBackend::new("s0-b", Decision::Permit)),
+//!         Arc::new(StaticBackend::new("s0-c", Decision::Deny)), // stale
+//!     ])
+//!     .build();
+//! let req = RequestContext::basic("alice", "ehr/1", "read");
+//! let outcome = cluster.decide(&req, 0);
+//! // The majority outvotes the stale replica.
+//! assert_eq!(outcome.response.unwrap().decision, Decision::Permit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod metrics;
+pub mod quorum;
+pub mod replica;
+pub mod shard;
+
+mod cluster;
+
+pub use batch::{BatchSubmitter, Ticket};
+pub use cluster::{ClusterBuilder, ClusterOutcome, PdpCluster};
+pub use metrics::ClusterMetrics;
+pub use quorum::QuorumMode;
+pub use replica::{DecisionBackend, GroupOutcome, ReplicaGroup, StaticBackend};
+pub use shard::ShardRouter;

@@ -1,0 +1,80 @@
+//! Cluster-level dependability accounting.
+
+/// Work and dependability counters for one [`crate::PdpCluster`].
+///
+/// `availability()` and `degraded_rate()` are the two numbers the
+/// paper's dependability argument turns on: how often the cluster
+/// answered at all, and how often it answered with less protection
+/// than configured.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ClusterMetrics {
+    /// Decision queries accepted by the cluster.
+    pub queries: u64,
+    /// Replica sub-queries issued (fan-out cost).
+    pub replica_queries: u64,
+    /// Queries that found no healthy replica in their shard.
+    pub unavailable: u64,
+    /// Queries served by fewer healthy replicas than configured.
+    pub degraded: u64,
+    /// Queries whose healthy replicas disagreed on the decision.
+    pub disagreements: u64,
+    /// Queries forced to a fail-closed deny by the quorum rule.
+    pub fail_closed_denies: u64,
+    /// Batches flushed by a [`crate::BatchSubmitter`].
+    pub batches: u64,
+    /// Queries submitted through batches.
+    pub batched_queries: u64,
+    /// Batched queries answered by coalescing onto an identical
+    /// outstanding query (evaluation saved).
+    pub coalesced: u64,
+}
+
+impl ClusterMetrics {
+    /// Fraction of queries that produced a decision, in `[0, 1]`.
+    pub fn availability(&self) -> f64 {
+        if self.queries == 0 {
+            return 1.0;
+        }
+        (self.queries - self.unavailable) as f64 / self.queries as f64
+    }
+
+    /// Fraction of queries served in degraded mode, in `[0, 1]`.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.degraded as f64 / self.queries as f64
+    }
+
+    /// Mean replica sub-queries per cluster query (fan-out amplification).
+    pub fn amplification(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.replica_queries as f64 / self.queries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_and_counts() {
+        let empty = ClusterMetrics::default();
+        assert_eq!(empty.availability(), 1.0);
+        assert_eq!(empty.degraded_rate(), 0.0);
+        assert_eq!(empty.amplification(), 0.0);
+
+        let m = ClusterMetrics {
+            queries: 10,
+            replica_queries: 30,
+            unavailable: 2,
+            degraded: 5,
+            ..Default::default()
+        };
+        assert!((m.availability() - 0.8).abs() < 1e-9);
+        assert!((m.degraded_rate() - 0.5).abs() < 1e-9);
+        assert!((m.amplification() - 3.0).abs() < 1e-9);
+    }
+}

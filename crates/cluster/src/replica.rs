@@ -1,0 +1,257 @@
+//! Replica groups: `k` decision backends serving one shard, with
+//! directory-driven health tracking and quorum combination.
+
+use crate::quorum::{self, QuorumMode};
+use dacs_pdp::{Pdp, PdpDirectory};
+use dacs_policy::eval::Response;
+use dacs_policy::policy::Decision;
+use dacs_policy::request::RequestContext;
+use std::sync::Arc;
+
+/// Anything that can answer an authorization decision query.
+///
+/// [`Pdp`] is the production backend; experiments wrap it (or replace
+/// it) to model stale, Byzantine or crashed replicas.
+pub trait DecisionBackend {
+    /// The backend's endpoint name (registered in the [`PdpDirectory`]).
+    fn name(&self) -> &str;
+    /// Serves one decision query.
+    fn decide(&self, request: &RequestContext, now_ms: u64) -> Response;
+}
+
+impl DecisionBackend for Pdp {
+    fn name(&self) -> &str {
+        Pdp::name(self)
+    }
+    fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
+        Pdp::decide(self, request, now_ms)
+    }
+}
+
+/// A backend that always answers the same decision — a stand-in for a
+/// stale or Byzantine replica in tests and experiments.
+pub struct StaticBackend {
+    name: String,
+    decision: Decision,
+}
+
+impl StaticBackend {
+    /// Creates a backend answering `decision` for every query.
+    pub fn new(name: impl Into<String>, decision: Decision) -> Self {
+        StaticBackend {
+            name: name.into(),
+            decision,
+        }
+    }
+}
+
+impl DecisionBackend for StaticBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn decide(&self, _request: &RequestContext, _now_ms: u64) -> Response {
+        Response::decision(self.decision)
+    }
+}
+
+/// The outcome of querying one replica group.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroupOutcome {
+    /// The combined response; `None` when no replica was healthy.
+    pub response: Option<Response>,
+    /// Replicas actually queried.
+    pub replicas_queried: usize,
+    /// Healthy replicas at query time (equals `replicas_queried` for
+    /// fan-out modes).
+    pub healthy: usize,
+    /// Whether healthy replicas disagreed on the decision.
+    pub disagreement: bool,
+    /// Whether the quorum forced a fail-closed deny.
+    pub fail_closed: bool,
+}
+
+/// `k` replicas serving one shard of the keyspace.
+pub struct ReplicaGroup {
+    replicas: Vec<Arc<dyn DecisionBackend>>,
+}
+
+impl ReplicaGroup {
+    /// Creates a group over the given backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<Arc<dyn DecisionBackend>>) -> Self {
+        assert!(!replicas.is_empty(), "a replica group needs replicas");
+        ReplicaGroup { replicas }
+    }
+
+    /// Replica count (healthy or not).
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the group has no replicas (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Names of all replicas, for directory registration.
+    pub fn replica_names(&self) -> Vec<String> {
+        self.replicas.iter().map(|r| r.name().to_string()).collect()
+    }
+
+    /// Replicas the directory currently reports healthy.
+    pub fn healthy_replicas(&self, directory: &PdpDirectory) -> Vec<&Arc<dyn DecisionBackend>> {
+        self.replicas
+            .iter()
+            .filter(|r| directory.is_healthy(r.name()))
+            .collect()
+    }
+
+    /// Fans `request` out to the group's healthy replicas and combines
+    /// the answers under `mode`.
+    pub fn query(
+        &self,
+        directory: &PdpDirectory,
+        mode: QuorumMode,
+        request: &RequestContext,
+        now_ms: u64,
+    ) -> GroupOutcome {
+        let healthy = self.healthy_replicas(directory);
+        if healthy.is_empty() {
+            return GroupOutcome {
+                response: None,
+                replicas_queried: 0,
+                healthy: 0,
+                disagreement: false,
+                fail_closed: false,
+            };
+        }
+
+        // Unanimity is only meaningful over a majority of the configured
+        // group: a minority partition might consist entirely of stale or
+        // Byzantine replicas, so it may not decide — fail closed without
+        // spending any evaluations.
+        if mode == QuorumMode::UnanimousFailClosed && healthy.len() * 2 <= self.replicas.len() {
+            return GroupOutcome {
+                response: Some(Response::decision(Decision::Deny)),
+                replicas_queried: 0,
+                healthy: healthy.len(),
+                disagreement: false,
+                fail_closed: true,
+            };
+        }
+
+        let queried: Vec<&Arc<dyn DecisionBackend>> = if mode.fans_out() {
+            healthy.clone()
+        } else {
+            vec![healthy[0]]
+        };
+        let responses: Vec<Response> = queried.iter().map(|r| r.decide(request, now_ms)).collect();
+        let verdict = quorum::combine(mode, &responses);
+        GroupOutcome {
+            response: Some(verdict.response),
+            replicas_queried: queried.len(),
+            healthy: healthy.len(),
+            disagreement: verdict.disagreement,
+            fail_closed: verdict.fail_closed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(decisions: &[Decision]) -> (ReplicaGroup, PdpDirectory) {
+        let directory = PdpDirectory::new();
+        let mut replicas: Vec<Arc<dyn DecisionBackend>> = Vec::new();
+        for (i, d) in decisions.iter().enumerate() {
+            let name = format!("r{i}");
+            directory.register(&name, "cluster");
+            replicas.push(Arc::new(StaticBackend::new(name, *d)));
+        }
+        (ReplicaGroup::new(replicas), directory)
+    }
+
+    #[test]
+    fn first_healthy_queries_exactly_one() {
+        let (g, dir) = group(&[Decision::Permit, Decision::Permit, Decision::Permit]);
+        let out = g.query(&dir, QuorumMode::FirstHealthy, &RequestContext::new(), 0);
+        assert_eq!(out.replicas_queried, 1);
+        assert_eq!(out.healthy, 3);
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+    }
+
+    #[test]
+    fn failover_skips_unhealthy_replicas() {
+        let (g, dir) = group(&[Decision::Deny, Decision::Permit]);
+        dir.mark_down("r0");
+        let out = g.query(&dir, QuorumMode::FirstHealthy, &RequestContext::new(), 0);
+        // r0 (the Deny) is down; the query routes around it.
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert_eq!(out.healthy, 1);
+        dir.mark_up("r0");
+        let out = g.query(&dir, QuorumMode::FirstHealthy, &RequestContext::new(), 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+    }
+
+    #[test]
+    fn all_down_is_unavailable_not_a_decision() {
+        let (g, dir) = group(&[Decision::Permit, Decision::Permit]);
+        dir.mark_down("r0");
+        dir.mark_down("r1");
+        let out = g.query(&dir, QuorumMode::Majority, &RequestContext::new(), 0);
+        assert_eq!(out.response, None);
+        assert_eq!(out.replicas_queried, 0);
+    }
+
+    #[test]
+    fn majority_fans_out_to_all_healthy() {
+        let (g, dir) = group(&[Decision::Permit, Decision::Deny, Decision::Permit]);
+        let out = g.query(&dir, QuorumMode::Majority, &RequestContext::new(), 0);
+        assert_eq!(out.replicas_queried, 3);
+        assert!(out.disagreement);
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+    }
+
+    #[test]
+    fn unanimity_refuses_minority_partitions() {
+        // Only the stale replica survives; unanimity over {stale} would
+        // rubber-stamp it, so the group fails closed instead.
+        let (g, dir) = group(&[Decision::Permit, Decision::Permit, Decision::Permit]);
+        dir.mark_down("r0");
+        dir.mark_down("r1");
+        let out = g.query(
+            &dir,
+            QuorumMode::UnanimousFailClosed,
+            &RequestContext::new(),
+            0,
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+        assert!(out.fail_closed);
+        assert_eq!(out.replicas_queried, 0, "no evaluations spent");
+        // Restore a majority: unanimity can permit again.
+        dir.mark_up("r0");
+        let out = g.query(
+            &dir,
+            QuorumMode::UnanimousFailClosed,
+            &RequestContext::new(),
+            0,
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+    }
+
+    #[test]
+    fn quorum_degrades_with_health() {
+        // With the honest majority down, the stale replica wins the vote:
+        // the degraded-mode risk ClusterMetrics tracks.
+        let (g, dir) = group(&[Decision::Permit, Decision::Permit, Decision::Deny]);
+        dir.mark_down("r0");
+        dir.mark_down("r1");
+        let out = g.query(&dir, QuorumMode::Majority, &RequestContext::new(), 0);
+        assert_eq!(out.healthy, 1);
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+    }
+}

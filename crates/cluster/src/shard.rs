@@ -1,0 +1,164 @@
+//! Consistent-hash routing of request contexts onto replica groups.
+//!
+//! Each shard owns a set of virtual points on a 64-bit hash ring; a
+//! request routes to the shard owning the first point at or after the
+//! hash of its *routing key* (subject id + resource id). Two properties
+//! matter here:
+//!
+//! 1. **Stability** — the same key always lands on the same shard, so
+//!    that shard's decision caches stay hot for its slice of the
+//!    keyspace.
+//! 2. **Minimal movement** — growing the cluster by one shard remaps
+//!    only the keys that the new shard's points capture (roughly
+//!    `1/(n+1)` of them), instead of reshuffling everything the way
+//!    `hash % n` would.
+
+use dacs_policy::request::RequestContext;
+
+/// Default virtual points per shard on the ring.
+pub const DEFAULT_VNODES: usize = 128;
+
+/// FNV-1a with a SplitMix64 finalizer: FNV alone mixes the high bits of
+/// short, similar keys poorly, which skews arc lengths on the ring.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash = (hash ^ (hash >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    hash = (hash ^ (hash >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    hash ^ (hash >> 31)
+}
+
+/// The routing key of a request: subject and resource identifiers.
+///
+/// Keying on (subject, resource) keeps a principal's repeated accesses
+/// to the same resource on one shard — exactly the repetition a decision
+/// cache exploits — while still spreading distinct resources.
+pub fn routing_key(request: &RequestContext) -> String {
+    format!(
+        "{}\u{1f}{}",
+        request.subject_id().unwrap_or(""),
+        request.resource_id().unwrap_or("")
+    )
+}
+
+/// Maps routing keys onto `shards` replica groups via a consistent ring.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    /// `(ring_point, shard_index)` sorted by point.
+    ring: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Builds a ring for `shards` groups with [`DEFAULT_VNODES`] points
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        Self::with_vnodes(shards, DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit virtual-point count per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `vnodes` is zero.
+    pub fn with_vnodes(shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "router needs at least one shard");
+        assert!(vnodes > 0, "router needs at least one vnode per shard");
+        let mut ring = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for v in 0..vnodes {
+                ring.push((fnv1a(format!("shard-{shard}/vnode-{v}").as_bytes()), shard));
+            }
+        }
+        ring.sort_unstable();
+        ring.dedup_by_key(|entry| entry.0);
+        ShardRouter { ring, shards }
+    }
+
+    /// Number of shards the router spreads keys over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns an explicit routing key.
+    pub fn shard_for_key(&self, key: &str) -> usize {
+        let point = fnv1a(key.as_bytes());
+        let idx = self.ring.partition_point(|(p, _)| *p < point);
+        // Wrap past the last point back to the ring start.
+        let (_, shard) = self.ring[idx % self.ring.len()];
+        shard
+    }
+
+    /// The shard that owns a request's routing key.
+    pub fn shard_for(&self, request: &RequestContext) -> usize {
+        self.shard_for_key(&routing_key(request))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_shard_across_calls_and_rebuilds() {
+        let router = ShardRouter::new(4);
+        let rebuilt = ShardRouter::new(4);
+        for i in 0..200 {
+            let key = format!("user-{i}\u{1f}records/{}", i % 17);
+            let first = router.shard_for_key(&key);
+            assert_eq!(first, router.shard_for_key(&key), "unstable within router");
+            assert_eq!(first, rebuilt.shard_for_key(&key), "unstable across builds");
+            assert!(first < 4);
+        }
+    }
+
+    #[test]
+    fn request_routing_uses_subject_and_resource() {
+        let router = ShardRouter::new(8);
+        let a = RequestContext::basic("alice", "ehr/1", "read");
+        let a_write = RequestContext::basic("alice", "ehr/1", "write");
+        // The action does not move a (subject, resource) pair off its shard.
+        assert_eq!(router.shard_for(&a), router.shard_for(&a_write));
+    }
+
+    #[test]
+    fn keys_spread_over_all_shards() {
+        let router = ShardRouter::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..2000 {
+            counts[router.shard_for_key(&format!("key-{i}"))] += 1;
+        }
+        for (shard, count) in counts.iter().enumerate() {
+            assert!(
+                (200..=800).contains(count),
+                "shard {shard} got {count} of 2000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_by_one_shard_moves_a_minority_of_keys() {
+        let before = ShardRouter::new(4);
+        let after = ShardRouter::new(5);
+        let total = 2000;
+        let moved = (0..total)
+            .filter(|i| {
+                let key = format!("key-{i}");
+                before.shard_for_key(&key) != after.shard_for_key(&key)
+            })
+            .count();
+        // Consistent hashing: expect ~1/5 moved; hash % n would move ~4/5.
+        assert!(
+            moved < total / 2,
+            "{moved} of {total} keys moved on scale-out"
+        );
+        assert!(moved > 0, "a new shard must take over some keys");
+    }
+}

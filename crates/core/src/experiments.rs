@@ -5,6 +5,7 @@
 use crate::scenario::{healthcare_vo, with_shared_cas};
 use crate::stats::{f2, us_as_ms, Summary, Table};
 use crate::workload::{generate, WorkloadSpec};
+use dacs_cluster::{ClusterBuilder, DecisionBackend, PdpCluster, QuorumMode};
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
 use dacs_federation::{
     issue_capability_flow, push_flow, request_flow, FlowKind, FlowNet, SizeModel, Vo,
@@ -159,7 +160,11 @@ fn synthetic_policies(count: usize, matching_fraction: f64, seed: u64) -> (Vec<P
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let hot = rng.gen::<f64>() < matching_fraction;
-        let prefix = if hot { "hot".to_string() } else { format!("cold-{i}") };
+        let prefix = if hot {
+            "hot".to_string()
+        } else {
+            format!("cold-{i}")
+        };
         let policy = Policy::new(
             PolicyId::new(format!("p-{i}")),
             CombiningAlg::PermitOverrides,
@@ -169,9 +174,10 @@ fn synthetic_policies(count: usize, matching_fraction: f64, seed: u64) -> (Vec<P
             format!("{prefix}/*"),
         )]))
         .with_rule(
-            Rule::new("readers", Effect::Permit).with_target(Target::all(vec![
-                AttrMatch::equals(AttributeId::action("id"), "read"),
-            ])),
+            Rule::new("readers", Effect::Permit).with_target(Target::all(vec![AttrMatch::equals(
+                AttributeId::action("id"),
+                "read",
+            )])),
         );
         out.push(policy);
     }
@@ -247,8 +253,7 @@ pub fn e4_xacml_dataflow() -> Table {
             ));
         }
         let policy = Policy::new("attrs", CombiningAlg::DenyUnlessPermit).with_rule(
-            Rule::new("all-attrs", Effect::Permit)
-                .with_condition(dacs_policy::Expr::and(conj)),
+            Rule::new("all-attrs", Effect::Permit).with_condition(dacs_policy::Expr::and(conj)),
         );
         let pap = Arc::new(dacs_pap::Pap::new("pap.e4"));
         pap.submit("bench", policy, 0).unwrap();
@@ -332,12 +337,7 @@ pub fn e5_syndication() -> Table {
 pub fn e6_caching(requests: usize) -> Table {
     let mut table = Table::new(
         "E6 — §3.2 caching: TTL vs hit rate vs stale (false) permits",
-        &[
-            "ttl (ms)",
-            "hit rate",
-            "false-permit %",
-            "pdp evals",
-        ],
+        &["ttl (ms)", "hit rate", "false-permit %", "pdp evals"],
     );
     for ttl in [0u64, 100, 1_000, 10_000] {
         let pap = Arc::new(dacs_pap::Pap::new("pap.e6"));
@@ -571,12 +571,7 @@ pub fn e8_push_vs_pull() -> Table {
 pub fn e9_conflict_analysis() -> Table {
     let mut table = Table::new(
         "E9 — §3.1 static conflict analysis scaling",
-        &[
-            "policies",
-            "conflicts found",
-            "cube pairs",
-            "analysis µs",
-        ],
+        &["policies", "conflicts found", "cube pairs", "analysis µs"],
     );
     for p in [32usize, 64, 128, 256] {
         let mut rng = StdRng::seed_from_u64(77);
@@ -584,19 +579,18 @@ pub fn e9_conflict_analysis() -> Table {
         for i in 0..p {
             // Half permit, half deny; resources drawn from 16 shared
             // prefixes so overlaps occur.
-            let effect = if i % 2 == 0 { Effect::Permit } else { Effect::Deny };
+            let effect = if i % 2 == 0 {
+                Effect::Permit
+            } else {
+                Effect::Deny
+            };
             let prefix = rng.gen_range(0..16);
             let role = format!("role-{}", rng.gen_range(0..8));
-            let policy = Policy::new(
-                PolicyId::new(format!("p{i}")),
-                CombiningAlg::DenyOverrides,
-            )
-            .with_rule(
-                Rule::new("r", effect).with_target(Target::all(vec![
+            let policy = Policy::new(PolicyId::new(format!("p{i}")), CombiningAlg::DenyOverrides)
+                .with_rule(Rule::new("r", effect).with_target(Target::all(vec![
                     AttrMatch::glob(AttributeId::resource("id"), format!("area-{prefix}/*")),
                     AttrMatch::equals(AttributeId::subject("role"), role),
-                ])),
-            );
+                ])));
             policies.push(policy);
         }
         let start = Instant::now();
@@ -626,8 +620,10 @@ pub fn e10_trust_negotiation() -> Table {
         ],
     );
     for depth in [0u32, 1, 2, 4, 8] {
-        for (strategy, name) in [(Strategy::Eager, "eager"), (Strategy::Parsimonious, "parsimonious")]
-        {
+        for (strategy, name) in [
+            (Strategy::Eager, "eager"),
+            (Strategy::Parsimonious, "parsimonious"),
+        ] {
             let (client, server, goal) = chain_scenario(depth, 6);
             let out = negotiate(&client, &server, &goal, strategy, 100);
             table.row(vec![
@@ -719,7 +715,7 @@ pub fn e12_rbac_scale() -> Table {
                 .unwrap();
         }
         // Warm the closure cache, then measure.
-        assert!(rbac.check("user-0", "read", "area-0/x") || true);
+        let _warmed = rbac.check("user-0", "read", "area-0/x");
         let iters = 2_000;
         let start = Instant::now();
         let mut hits = 0usize;
@@ -745,12 +741,7 @@ pub fn e12_rbac_scale() -> Table {
 pub fn e13_pdp_discovery(requests: usize) -> Table {
     let mut table = Table::new(
         "E13 — §3.2 PDP location: static binding vs discovery under churn",
-        &[
-            "binding",
-            "pdp replicas",
-            "failure rate",
-            "availability %",
-        ],
+        &["binding", "pdp replicas", "failure rate", "availability %"],
     );
     for (replicas, fail_p) in [(1usize, 0.1f64), (3, 0.1), (3, 0.3)] {
         for binding_name in ["static", "discovery"] {
@@ -791,6 +782,177 @@ pub fn e13_pdp_discovery(requests: usize) -> Table {
     table
 }
 
+/// Builds the E14 testbed: a sharded PDP cluster where each shard runs
+/// one *stale* replica (bound to a pre-lockdown PAP that permits
+/// everyone) ahead of `fresh_per_shard` fresh replicas. Returns the
+/// cluster plus a ground-truth PDP on the fresh policy.
+fn e14_cluster(
+    shards: usize,
+    fresh_per_shard: usize,
+    quorum: QuorumMode,
+) -> (PdpCluster, Pdp, Vec<String>) {
+    let fresh_pap = Arc::new(dacs_pap::Pap::new("pap.fresh"));
+    let gate = dacs_policy::dsl::parse_policy(
+        r#"
+policy "gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#,
+    )
+    .unwrap();
+    fresh_pap.submit("admin", gate, 0).unwrap();
+
+    // The stale PAP still carries the pre-lockdown policy: permit all.
+    let stale_pap = Arc::new(dacs_pap::Pap::new("pap.stale"));
+    let permissive = dacs_policy::dsl::parse_policy(
+        r#"
+policy "gate" deny-unless-permit {
+  rule "everyone" permit { }
+}
+"#,
+    )
+    .unwrap();
+    stale_pap.submit("admin", permissive, 0).unwrap();
+
+    let statics = Arc::new(StaticAttributes::new());
+    for u in 0..10 {
+        statics.add_subject_attr(&format!("user-{u}"), "role", "doctor");
+    }
+    let mut pips = PipRegistry::new();
+    pips.add(statics);
+    let pips = Arc::new(pips);
+    let root = PolicyElement::PolicyRef(PolicyId::new("gate"));
+
+    let mut builder = ClusterBuilder::new("e14").quorum(quorum);
+    let mut replica_names = Vec::new();
+    for s in 0..shards {
+        let mut replicas: Vec<Arc<dyn DecisionBackend>> = Vec::new();
+        // Stale replica first: the worst case for FirstHealthy, which
+        // trusts whichever healthy replica it reaches first.
+        let stale_name = format!("s{s}-stale");
+        replica_names.push(stale_name.clone());
+        replicas.push(Arc::new(Pdp::new(
+            stale_name,
+            stale_pap.clone(),
+            root.clone(),
+            pips.clone(),
+        )));
+        for r in 0..fresh_per_shard {
+            let name = format!("s{s}-r{r}");
+            replica_names.push(name.clone());
+            replicas.push(Arc::new(
+                Pdp::new(name, fresh_pap.clone(), root.clone(), pips.clone()).with_cache(
+                    CacheConfig {
+                        capacity: 512,
+                        ttl_ms: 1_000,
+                    },
+                ),
+            ));
+        }
+        builder = builder.shard(replicas);
+    }
+    let truth = Pdp::new("truth", fresh_pap, root, pips);
+    (builder.build(), truth, replica_names)
+}
+
+/// E14: cluster dependability — availability, degraded service and
+/// wrong decisions under replica crash churn, by quorum mode.
+///
+/// Fault injection runs on `dacs-simnet`: a controller node schedules
+/// crash/recover messages over a LAN link; as the simulated clock
+/// passes each delivery, the corresponding replica is marked down/up in
+/// the cluster's directory. Each shard carries one stale replica that
+/// never saw the lockdown policy update, so "wrong" decisions separate
+/// into false permits (stale replica trusted) and false denies
+/// (fail-closed quorum overruled a correct permit).
+pub fn e14_cluster_dependability(requests: usize) -> Table {
+    let mut table = Table::new(
+        "E14 — cluster dependability: quorum mode under replica churn (4 shards × 3 replicas, 1 stale/shard)",
+        &[
+            "quorum",
+            "availability %",
+            "degraded %",
+            "false permits",
+            "false denies",
+            "fanout/req",
+            "decide µs (mean)",
+        ],
+    );
+    #[derive(Clone, PartialEq, Debug)]
+    enum Churn {
+        Crash(String),
+        Recover(String),
+    }
+    for quorum in QuorumMode::ALL {
+        let (cluster, truth, replica_names) = e14_cluster(4, 2, quorum);
+
+        // Schedule crash/recover churn on the simulated network.
+        let horizon_us = requests as u64 * 1_000;
+        let mut net: dacs_simnet::Network<Churn> = dacs_simnet::Network::new(14);
+        let controller = net.add_node("controller");
+        let control_plane = net.add_node("control-plane");
+        net.set_link(controller, control_plane, LinkSpec::lan());
+        let mut rng = StdRng::seed_from_u64(41);
+        for name in &replica_names {
+            let mut t = rng.gen_range(0..horizon_us / 2);
+            while t < horizon_us {
+                let outage = rng.gen_range(horizon_us / 20..horizon_us / 8);
+                net.send_after(t, controller, control_plane, 64, Churn::Crash(name.clone()));
+                net.send_after(
+                    t + outage,
+                    controller,
+                    control_plane,
+                    64,
+                    Churn::Recover(name.clone()),
+                );
+                t += outage + rng.gen_range(horizon_us / 10..horizon_us / 3);
+            }
+        }
+
+        let mut false_permits = 0u64;
+        let mut false_denies = 0u64;
+        // Time only the cluster decide itself — ground-truth evaluation
+        // and fault-event bookkeeping are measurement scaffolding.
+        let mut decide_time = std::time::Duration::ZERO;
+        for t in 0..requests as u64 {
+            // Apply every fault event the simulated clock has passed.
+            net.run_until(t * 1_000, |_net, delivery| match delivery.payload {
+                Churn::Crash(ref name) => cluster.mark_down(name),
+                Churn::Recover(ref name) => cluster.mark_up(name),
+            });
+            let u = rng.gen_range(0..20);
+            let request =
+                RequestContext::basic(format!("user-{u}"), format!("records/{}", u % 7), "read");
+            let expected = truth.decide(&request, t).decision;
+            let started = Instant::now();
+            let outcome = cluster.decide(&request, t);
+            decide_time += started.elapsed();
+            if let Some(response) = outcome.response {
+                if response.decision == Decision::Permit && expected != Decision::Permit {
+                    false_permits += 1;
+                }
+                if response.decision != Decision::Permit && expected == Decision::Permit {
+                    false_denies += 1;
+                }
+            }
+        }
+        let elapsed_us = decide_time.as_micros() as f64 / requests as f64;
+        let m = cluster.metrics();
+        table.row(vec![
+            quorum.name().into(),
+            f2(100.0 * m.availability()),
+            f2(100.0 * m.degraded_rate()),
+            false_permits.to_string(),
+            false_denies.to_string(),
+            f2(m.amplification()),
+            f2(elapsed_us),
+        ]);
+    }
+    table
+}
+
 /// Runs every experiment at default scale (used by the harness's `all`).
 pub fn run_all() -> Vec<Table> {
     vec![
@@ -807,6 +969,7 @@ pub fn run_all() -> Vec<Table> {
         e11_delegation(),
         e12_rbac_scale(),
         e13_pdp_discovery(2000),
+        e14_cluster_dependability(4000),
     ]
 }
 
@@ -880,6 +1043,43 @@ mod tests {
             let pars_disclosed: usize = pair[1][4].parse().unwrap();
             assert!(pars_disclosed <= eager_disclosed);
         }
+    }
+
+    #[test]
+    fn e14_quorum_modes_bound_wrong_decisions() {
+        let t = e14_cluster_dependability(1500);
+        assert_eq!(t.rows.len(), 3);
+        let row = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .clone()
+        };
+        let first = row("first-healthy");
+        let majority = row("majority");
+        let unanimous = row("unanimous-fail-closed");
+        // Replication keeps the cluster answering through churn.
+        for r in [&first, &majority, &unanimous] {
+            let avail: f64 = r[1].parse().unwrap();
+            assert!(avail > 50.0, "availability {avail} too low for {}", r[0]);
+        }
+        // The stale replica poisons first-healthy but is outvoted by
+        // majority while a fresh majority is up.
+        let fp_first: u64 = first[3].parse().unwrap();
+        let fp_majority: u64 = majority[3].parse().unwrap();
+        let fp_unanimous: u64 = unanimous[3].parse().unwrap();
+        assert!(fp_first > 0, "stale-first replica must leak permits");
+        assert!(fp_majority < fp_first);
+        assert_eq!(fp_unanimous, 0, "fail-closed must never falsely permit");
+        // Fail-closed pays in false denies instead.
+        let fd_unanimous: u64 = unanimous[4].parse().unwrap();
+        assert!(fd_unanimous > 0);
+        // Fan-out cost: quorum modes query more replicas per request.
+        let fan_first: f64 = first[5].parse().unwrap();
+        let fan_majority: f64 = majority[5].parse().unwrap();
+        assert!(fan_first <= 1.0 + 1e-9);
+        assert!(fan_majority > fan_first);
     }
 
     #[test]

@@ -198,13 +198,7 @@ mod tests {
         assert!((1600..=2400).contains(&cross), "cross count {cross}");
         // Cross requests never target the home domain.
         for w in &items {
-            let home: usize = w
-                .subject
-                .rsplit_once("domain-")
-                .unwrap()
-                .1
-                .parse()
-                .unwrap();
+            let home: usize = w.subject.rsplit_once("domain-").unwrap().1.parse().unwrap();
             if w.cross_domain {
                 assert_ne!(home, w.target_domain);
             } else {

@@ -319,7 +319,14 @@ mod tests {
         let p = pki(1);
         let mut rng = StdRng::seed_from_u64(10);
         let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
-        let leaf = cert("pdp.domain-a", &leaf_key, "ca.root", &p.root_key, false, None);
+        let leaf = cert(
+            "pdp.domain-a",
+            &leaf_key,
+            "ca.root",
+            &p.root_key,
+            false,
+            None,
+        );
         assert_eq!(p.store.validate_chain(&p.ctx, &[leaf], 500), Ok(()));
     }
 
@@ -331,10 +338,7 @@ mod tests {
         let leaf_key = SigningKey::generate_sim(p.ctx.registry(), &mut rng);
         let inter = cert("ca.dept", &inter_key, "ca.root", &p.root_key, true, Some(0));
         let leaf = cert("pep.service", &leaf_key, "ca.dept", &inter_key, false, None);
-        assert_eq!(
-            p.store.validate_chain(&p.ctx, &[leaf, inter], 500),
-            Ok(())
-        );
+        assert_eq!(p.store.validate_chain(&p.ctx, &[leaf, inter], 500), Ok(()));
     }
 
     #[test]

@@ -52,12 +52,8 @@ fn initial_state(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> 
     state[2] = 0x7962_2d32;
     state[3] = 0x6b20_6574;
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key[i * 4],
-            key[i * 4 + 1],
-            key[i * 4 + 2],
-            key[i * 4 + 3],
-        ]);
+        state[4 + i] =
+            u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
@@ -105,16 +101,19 @@ pub fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8;
 /// Panics if the message is long enough to overflow the 32-bit block
 /// counter (more than ~256 GiB), which cannot occur for protocol
 /// messages in this system.
-pub fn apply_keystream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+pub fn apply_keystream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    counter: u32,
+    data: &mut [u8],
+) {
     let mut ctr = counter;
     for chunk in data.chunks_mut(64) {
         let ks = block(key, nonce, ctr);
         for (b, k) in chunk.iter_mut().zip(ks.iter()) {
             *b ^= k;
         }
-        ctr = ctr
-            .checked_add(1)
-            .expect("chacha20 block counter overflow");
+        ctr = ctr.checked_add(1).expect("chacha20 block counter overflow");
     }
 }
 
@@ -176,10 +175,7 @@ mod tests {
 only one tip for the future, sunscreen would be it.";
         let mut data = plaintext.to_vec();
         apply_keystream(&key, &nonce, 1, &mut data);
-        assert_eq!(
-            hex::encode(&data[..16]),
-            "6e2e359a2568f98041ba0728dd0d6981"
-        );
+        assert_eq!(hex::encode(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
         // Round-trips.
         apply_keystream(&key, &nonce, 1, &mut data);
         assert_eq!(&data, plaintext);

@@ -167,8 +167,8 @@ pub fn recover_public_key(sig: &WotsSignature, message: &[u8]) -> WotsPublicKey 
     let ds = digits(&digest);
     let mut h = Sha256::new();
     h.update(b"dacs-wots-pk");
-    for i in 0..LEN {
-        let head = chain(&sig.values[i], i, ds[i], CHAIN_MAX - ds[i]);
+    for (i, (value, digit)) in sig.values.iter().zip(ds.iter()).enumerate() {
+        let head = chain(value, i, *digit, CHAIN_MAX - digit);
         h.update(&head);
     }
     WotsPublicKey(h.finalize())

@@ -179,9 +179,14 @@ impl DomainBuilder {
         let key = Arc::new(SigningKey::generate_sim(ctx.registry(), &mut rng));
 
         let log_handler = Arc::new(LogObligationHandler::new());
-        let mut pep = Pep::new(format!("pep.{name}"), name.clone(), pdp.clone(), ctx.clone())
-            .with_handler(log_handler.clone())
-            .with_handler(Arc::new(NotifyObligationHandler::new()));
+        let mut pep = Pep::new(
+            format!("pep.{name}"),
+            name.clone(),
+            pdp.clone(),
+            ctx.clone(),
+        )
+        .with_handler(log_handler.clone())
+        .with_handler(Arc::new(NotifyObligationHandler::new()));
         if let Some(cfg) = self.pep_cache {
             pep = pep.with_cache(cfg);
         }

@@ -73,6 +73,9 @@ pub struct FlowNet {
 impl FlowNet {
     /// Builds the deployment for `vo` with intra-domain and
     /// inter-domain link characteristics.
+    // Index-based loops: the cross-product wiring below reads i × j
+    // pairs over three parallel node vectors.
+    #[allow(clippy::needless_range_loop)]
     pub fn build(vo: &Vo, seed: u64, intra: LinkSpec, inter: LinkSpec) -> Self {
         let mut net = Network::new(seed);
         let mut peps = Vec::new();
@@ -98,7 +101,7 @@ impl FlowNet {
             }
         }
         let cas = vo.cas.as_ref().map(|c| {
-            let node = net.add_node(format!("{}", c.name));
+            let node = net.add_node(c.name.to_string());
             for i in 0..vo.domains.len() {
                 net.set_link_bidir(node, peps[i], inter);
                 net.set_link_bidir(node, pdps[i], inter);
@@ -127,7 +130,11 @@ impl FlowNet {
         let node = self.net.add_node(format!("client.{subject}"));
         let home = home_domain(subject).and_then(|h| vo.domain_index(h));
         for i in 0..self.peps.len() {
-            let spec = if Some(i) == home { self.intra } else { self.inter };
+            let spec = if Some(i) == home {
+                self.intra
+            } else {
+                self.inter
+            };
             self.net.set_link_bidir(node, self.peps[i], spec);
         }
         if let Some(cas) = self.cas {
@@ -176,10 +183,7 @@ fn federated_enrich(vo: &Vo, request: &RequestContext, subject: &str) -> Request
     let mut enriched = request.clone();
     if let Some(home) = home_domain(subject).and_then(|h| vo.domain(h)) {
         for (name, value) in home.idp_attributes.attributes_of(subject) {
-            enriched.add(
-                dacs_policy::attr::AttributeId::subject(&name),
-                value,
-            );
+            enriched.add(dacs_policy::attr::AttributeId::subject(&name), value);
         }
     }
     enriched
@@ -191,6 +195,7 @@ fn federated_enrich(vo: &Vo, request: &RequestContext, subject: &str) -> Request
 /// agent); optional PDP → home-IdP attribute fetch; PDP → PEP response
 /// (III); PEP → client (IV). VO-level Chinese Wall is enforced before
 /// local policy; a successful access is recorded in the wall history.
+#[allow(clippy::too_many_arguments)] // flow parameters mirror the paper's message fields
 pub fn request_flow(
     fnet: &mut FlowNet,
     vo: &Vo,
@@ -246,9 +251,7 @@ pub fn request_flow(
         }
         // Federated attribute fetch from the subject's home IdP.
         let enriched = if cross_domain {
-            if let Some(home_idx) =
-                home_domain(subject).and_then(|h| vo.domain_index(h))
-            {
+            if let Some(home_idx) = home_domain(subject).and_then(|h| vo.domain_index(h)) {
                 let query = Msg::AttributeQuery {
                     subject: subject.to_owned(),
                     names: vec!["role".into(), "dept".into()],
@@ -314,6 +317,7 @@ pub fn request_flow(
 }
 
 /// Runs the capability-issuance interaction (Fig. 2 steps I–II).
+#[allow(clippy::too_many_arguments)] // flow parameters mirror the paper's message fields
 pub fn issue_capability_flow(
     fnet: &mut FlowNet,
     vo: &Vo,
@@ -341,9 +345,10 @@ pub fn issue_capability_flow(
         trace.latency_us = fnet.net.now() - started;
         return (None, trace);
     }
-    let capability = vo.cas.as_ref().and_then(|cas| {
-        cas.issue(subject, resource_pattern, actions, audience_domain, now_ms)
-    });
+    let capability = vo
+        .cas
+        .as_ref()
+        .and_then(|cas| cas.issue(subject, resource_pattern, actions, audience_domain, now_ms));
     let resp = Msg::CapabilityResponse {
         capability: capability.clone(),
     };

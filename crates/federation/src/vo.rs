@@ -320,7 +320,9 @@ policy "vo-prescreen" deny-unless-permit {
             )
             .is_none());
         // Refused: empty actions.
-        assert!(cas.issue("alice@university", "shared/*", &[], "x", 100).is_none());
+        assert!(cas
+            .issue("alice@university", "shared/*", &[], "x", 100)
+            .is_none());
         assert_eq!(cas.counters(), (1, 3));
     }
 

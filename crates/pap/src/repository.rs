@@ -168,7 +168,14 @@ impl Pap {
         }
     }
 
-    fn record(&self, at_ms: u64, actor: &str, action: AdminAction, policy: &PolicyId, version: u64) {
+    fn record(
+        &self,
+        at_ms: u64,
+        actor: &str,
+        action: AdminAction,
+        policy: &PolicyId,
+        version: u64,
+    ) {
         let mut seq = self.seq.write();
         *seq += 1;
         self.audit.write().push(AuditEntry {
@@ -377,7 +384,10 @@ mod tests {
         pap.submit("admin", sample("p1"), 10).unwrap();
         pap.remove("admin", &id, 20).unwrap();
         assert!(pap.active(&id).is_none());
-        assert_eq!(pap.remove("admin", &id, 30), Err(PapError::UnknownPolicy(id)));
+        assert_eq!(
+            pap.remove("admin", &id, 30),
+            Err(PapError::UnknownPolicy(id))
+        );
     }
 
     #[test]

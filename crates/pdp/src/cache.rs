@@ -227,3 +227,157 @@ mod tests {
         assert_eq!(c.remove(&1), None);
     }
 }
+
+/// Property-style tests: random operation sequences checked against a
+/// straightforward reference model of TTL + LRU semantics.
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference model: a vector ordered least- to most-recently used.
+    struct Model {
+        capacity: usize,
+        ttl_ms: u64,
+        /// `(key, value, expires_at)`, LRU first.
+        entries: Vec<(u32, u64, u64)>,
+    }
+
+    impl Model {
+        fn get(&mut self, key: u32, now: u64) -> Option<u64> {
+            let pos = self.entries.iter().position(|(k, _, _)| *k == key)?;
+            if now >= self.entries[pos].2 {
+                self.entries.remove(pos);
+                return None;
+            }
+            let entry = self.entries.remove(pos);
+            let value = entry.1;
+            self.entries.push(entry);
+            Some(value)
+        }
+
+        fn insert(&mut self, key: u32, value: u64, now: u64) {
+            if let Some(pos) = self.entries.iter().position(|(k, _, _)| *k == key) {
+                self.entries.remove(pos);
+            } else if self.entries.len() >= self.capacity {
+                self.entries.remove(0);
+            }
+            self.entries.push((key, value, now + self.ttl_ms));
+        }
+    }
+
+    #[test]
+    fn random_ops_match_reference_model() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let capacity = rng.gen_range(1..6usize);
+            let ttl = rng.gen_range(1..80u64);
+            let mut cache: TtlLruCache<u32, u64> = TtlLruCache::new(capacity, ttl);
+            let mut model = Model {
+                capacity,
+                ttl_ms: ttl,
+                entries: Vec::new(),
+            };
+            let mut now = 0u64;
+            for op in 0..400 {
+                now += rng.gen_range(0..20u64);
+                let key = rng.gen_range(0..8u32);
+                if rng.gen_bool(0.5) {
+                    assert_eq!(
+                        cache.get(&key, now),
+                        model.get(key, now),
+                        "seed {seed} op {op}: get({key}) at {now} diverged"
+                    );
+                } else {
+                    let value = rng.gen_range(0..1000u64);
+                    cache.insert(key, value, now);
+                    model.insert(key, value, now);
+                }
+                assert!(cache.len() <= capacity, "capacity exceeded");
+                assert_eq!(cache.len(), model.entries.len(), "seed {seed} op {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_serves_past_ttl_and_expiry_is_ordered() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let ttl = 50u64;
+        let mut cache: TtlLruCache<u32, u64> = TtlLruCache::new(8, ttl);
+        let mut inserted_at: std::collections::HashMap<u32, u64> = Default::default();
+        let mut now = 0u64;
+        for _ in 0..600 {
+            now += rng.gen_range(0..15u64);
+            let key = rng.gen_range(0..12u32);
+            match cache.get(&key, now) {
+                Some(insert_time) => {
+                    // Values store their insertion time: a hit within the
+                    // TTL window proves expiry ordering was honoured.
+                    assert_eq!(insert_time, inserted_at[&key]);
+                    assert!(
+                        now < insert_time + ttl,
+                        "served at {now}, dead at {}",
+                        insert_time + ttl
+                    );
+                }
+                None => {
+                    cache.insert(key, now, now);
+                    inserted_at.insert(key, now);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recent_under_load() {
+        let mut cache: TtlLruCache<u32, u64> = TtlLruCache::new(4, 1_000_000);
+        for k in 0..4u32 {
+            cache.insert(k, k as u64, 0);
+        }
+        // Touch everything except key 2; the next insert must evict 2.
+        for k in [0u32, 1, 3] {
+            assert!(cache.get(&k, 1).is_some());
+        }
+        cache.insert(9, 9, 2);
+        assert_eq!(cache.get(&2, 3), None);
+        for k in [0u32, 1, 3, 9] {
+            assert!(cache.get(&k, 3).is_some(), "{k} wrongly evicted");
+        }
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn stats_stay_consistent_with_observed_outcomes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cache: TtlLruCache<u32, u64> = TtlLruCache::new(4, 30);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let mut now = 0u64;
+        for _ in 0..500 {
+            now += rng.gen_range(0..10u64);
+            let key = rng.gen_range(0..10u32);
+            if rng.gen_bool(0.6) {
+                match cache.get(&key, now) {
+                    Some(_) => hits += 1,
+                    None => misses += 1,
+                }
+            } else {
+                cache.insert(key, 1, now);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, hits);
+        assert_eq!(stats.misses, misses);
+        assert_eq!(stats.hits + stats.misses, hits + misses);
+        assert!(
+            stats.expirations <= stats.misses,
+            "expired lookups are misses"
+        );
+        let expected_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        assert!((stats.hit_rate() - expected_rate).abs() < 1e-12);
+    }
+}

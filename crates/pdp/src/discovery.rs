@@ -69,6 +69,12 @@ impl PdpDirectory {
         }
     }
 
+    /// Whether an endpoint of this name is registered (in any domain,
+    /// healthy or not).
+    pub fn contains(&self, name: &str) -> bool {
+        self.endpoints.read().iter().any(|e| e.name == name)
+    }
+
     /// Whether a named endpoint is currently healthy.
     pub fn is_healthy(&self, name: &str) -> bool {
         self.endpoints
@@ -102,9 +108,14 @@ impl PdpDirectory {
                 }
                 let mut rr = self.rr.write();
                 let counter = rr.entry(domain.to_owned()).or_insert(0);
-                let chosen = healthy[*counter % healthy.len()].name.clone();
-                *counter += 1;
-                Some(chosen)
+                // Keep the cursor bounded by the *current* healthy count:
+                // an unbounded counter carries a stale offset across
+                // mark_down/mark_up churn, which can skew the rotation
+                // (e.g. repeatedly restarting at the same endpoint) once
+                // the healthy set changes size.
+                let index = *counter % healthy.len();
+                *counter = (index + 1) % healthy.len();
+                Some(healthy[index].name.clone())
             }
         }
     }
@@ -159,7 +170,9 @@ mod tests {
     fn discovery_round_robins() {
         let d = directory();
         let b = Binding::Discovery;
-        let picks: Vec<_> = (0..4).map(|_| d.resolve(&b, "hospital-a").unwrap()).collect();
+        let picks: Vec<_> = (0..4)
+            .map(|_| d.resolve(&b, "hospital-a").unwrap())
+            .collect();
         assert_eq!(picks, vec!["pdp-1", "pdp-2", "pdp-1", "pdp-2"]);
     }
 
@@ -173,6 +186,60 @@ mod tests {
         }
         d.mark_down("pdp-2");
         assert_eq!(d.resolve(&b, "hospital-a"), None);
+    }
+
+    #[test]
+    fn rotation_stays_fair_after_health_churn() {
+        let d = PdpDirectory::new();
+        for name in ["pdp-1", "pdp-2", "pdp-3"] {
+            d.register(name, "hospital-a");
+        }
+        let b = Binding::Discovery;
+        // Leave the cursor mid-rotation, then shrink and regrow the
+        // healthy set several times.
+        d.resolve(&b, "hospital-a").unwrap();
+        for _ in 0..5 {
+            d.mark_down("pdp-2");
+            d.mark_down("pdp-3");
+            d.resolve(&b, "hospital-a").unwrap();
+            d.mark_up("pdp-2");
+            d.mark_up("pdp-3");
+            d.resolve(&b, "hospital-a").unwrap();
+        }
+        // Fairness: over any window of 3×N consecutive resolves, each of
+        // the three healthy endpoints is chosen exactly N times.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..30 {
+            *counts
+                .entry(d.resolve(&b, "hospital-a").unwrap())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3, "all endpoints in rotation: {counts:?}");
+        for (name, count) in counts {
+            assert_eq!(count, 10, "{name} over- or under-selected");
+        }
+    }
+
+    #[test]
+    fn rotation_cursor_stays_bounded() {
+        let d = directory();
+        let b = Binding::Discovery;
+        for _ in 0..1000 {
+            d.resolve(&b, "hospital-a").unwrap();
+        }
+        // Dropping to one endpoint must not strand the cursor on an
+        // offset computed against the old healthy count.
+        d.mark_down("pdp-1");
+        for _ in 0..3 {
+            assert_eq!(d.resolve(&b, "hospital-a"), Some("pdp-2".into()));
+        }
+        d.mark_up("pdp-1");
+        let mut window: Vec<String> = (0..4)
+            .map(|_| d.resolve(&b, "hospital-a").unwrap())
+            .collect();
+        window.sort();
+        window.dedup();
+        assert_eq!(window.len(), 2, "both endpoints return to rotation");
     }
 
     #[test]

@@ -269,9 +269,8 @@ impl Pep {
         };
         if let Err(e) = capability.check_capability(subject, resource, action) {
             let msg = match e {
-                AssertError::CapabilityInsufficient { .. } | AssertError::SubjectMismatch { .. } => {
-                    e.to_string()
-                }
+                AssertError::CapabilityInsufficient { .. }
+                | AssertError::SubjectMismatch { .. } => e.to_string(),
                 other => other.to_string(),
             };
             return self.deny_failsafe(request, now_ms, msg);
@@ -302,11 +301,7 @@ impl Pep {
         }
     }
 
-    fn decide_cached(
-        &self,
-        request: &RequestContext,
-        now_ms: u64,
-    ) -> dacs_policy::eval::Response {
+    fn decide_cached(&self, request: &RequestContext, now_ms: u64) -> dacs_policy::eval::Response {
         if let Some(cache) = &self.cache {
             let key = request.to_canonical_bytes();
             {
@@ -444,6 +439,8 @@ mod tests {
         pep: Pep,
         log: Arc<LogObligationHandler>,
         cas_key: SigningKey,
+        // Held so the simulated-PKI registry outlives the test world.
+        #[allow(dead_code)]
         ctx: CryptoCtx,
     }
 
@@ -699,7 +696,8 @@ policy "gate" first-applicable {
         // Open configuration grants.
         let ctx = CryptoCtx::new();
         let pap = Arc::new(Pap::new("pap.d"));
-        pap.submit("admin", parse_policy(silent).unwrap(), 0).unwrap();
+        pap.submit("admin", parse_policy(silent).unwrap(), 0)
+            .unwrap();
         let pdp = Arc::new(Pdp::new(
             "pdp.d",
             pap,

@@ -282,9 +282,12 @@ pub struct CacheStats {
 pub struct CachingProvider {
     inner: Arc<dyn AttributeProvider>,
     ttl_ms: u64,
-    cache: Mutex<HashMap<(AttributeId, String), (u64, Option<Vec<AttrValue>>)>>,
+    cache: Mutex<AttrCache>,
     stats: Mutex<CacheStats>,
 }
+
+/// Cached lookups: `(attribute, subject) → (expiry_ms, resolved bag)`.
+type AttrCache = HashMap<(AttributeId, String), (u64, Option<Vec<AttrValue>>)>;
 
 impl CachingProvider {
     /// Wraps `inner` with a TTL of `ttl_ms`.
@@ -480,7 +483,10 @@ mod tests {
         let e = EnvironmentProvider;
         let t = e.provide(&AttributeId::environment(TIME_ATTR), &req(), 12345);
         assert_eq!(t, Some(vec![AttrValue::Time(12345)]));
-        assert_eq!(e.provide(&AttributeId::environment("weather"), &req(), 0), None);
+        assert_eq!(
+            e.provide(&AttributeId::environment("weather"), &req(), 0),
+            None
+        );
     }
 
     #[test]
@@ -505,13 +511,12 @@ mod tests {
         rbac.add_role("doctor");
         rbac.add_role("staff");
         rbac.add_inheritance("doctor", "staff").unwrap();
-        rbac.grant("doctor", Permission::new("read", "ehr/*")).unwrap();
+        rbac.grant("doctor", Permission::new("read", "ehr/*"))
+            .unwrap();
         rbac.add_user("alice");
         rbac.assign("alice", "doctor").unwrap();
         let p = RbacProvider::new(Arc::new(RwLock::new(rbac)));
-        let roles = p
-            .provide(&AttributeId::subject("role"), &req(), 0)
-            .unwrap();
+        let roles = p.provide(&AttributeId::subject("role"), &req(), 0).unwrap();
         assert!(roles.contains(&AttrValue::from("doctor")));
         assert!(roles.contains(&AttrValue::from("staff")));
     }

@@ -299,7 +299,10 @@ mod tests {
     fn attribute_id_display() {
         let id = AttributeId::subject("role");
         assert_eq!(id.to_string(), "subject.role");
-        assert_eq!(AttributeId::environment("current-time").to_string(), "env.current-time");
+        assert_eq!(
+            AttributeId::environment("current-time").to_string(),
+            "env.current-time"
+        );
     }
 
     #[test]

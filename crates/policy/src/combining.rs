@@ -146,8 +146,7 @@ mod tests {
     }
 
     fn combine(alg: CombiningAlg, ds: &[Decision]) -> Decision {
-        Combiner::combine_all(alg, ds.iter().map(|d| (*d, vec![])))
-            .0
+        Combiner::combine_all(alg, ds.iter().map(|d| (*d, vec![]))).0
     }
 
     use Decision::*;
@@ -155,7 +154,10 @@ mod tests {
     #[test]
     fn deny_overrides_truth_table() {
         assert_eq!(combine(DenyOverrides, &[Permit, Deny, Permit]), Deny);
-        assert_eq!(combine(DenyOverrides, &[Permit, Indeterminate]), Indeterminate);
+        assert_eq!(
+            combine(DenyOverrides, &[Permit, Indeterminate]),
+            Indeterminate
+        );
         assert_eq!(combine(DenyOverrides, &[Permit, NotApplicable]), Permit);
         assert_eq!(combine(DenyOverrides, &[NotApplicable]), NotApplicable);
         assert_eq!(combine(DenyOverrides, &[]), NotApplicable);
@@ -166,16 +168,25 @@ mod tests {
     #[test]
     fn permit_overrides_truth_table() {
         assert_eq!(combine(PermitOverrides, &[Deny, Permit]), Permit);
-        assert_eq!(combine(PermitOverrides, &[Deny, Indeterminate]), Indeterminate);
+        assert_eq!(
+            combine(PermitOverrides, &[Deny, Indeterminate]),
+            Indeterminate
+        );
         assert_eq!(combine(PermitOverrides, &[Deny, NotApplicable]), Deny);
         assert_eq!(combine(PermitOverrides, &[]), NotApplicable);
     }
 
     #[test]
     fn first_applicable_truth_table() {
-        assert_eq!(combine(FirstApplicable, &[NotApplicable, Deny, Permit]), Deny);
+        assert_eq!(
+            combine(FirstApplicable, &[NotApplicable, Deny, Permit]),
+            Deny
+        );
         assert_eq!(combine(FirstApplicable, &[Permit, Deny]), Permit);
-        assert_eq!(combine(FirstApplicable, &[Indeterminate, Permit]), Indeterminate);
+        assert_eq!(
+            combine(FirstApplicable, &[Indeterminate, Permit]),
+            Indeterminate
+        );
         assert_eq!(combine(FirstApplicable, &[NotApplicable]), NotApplicable);
     }
 

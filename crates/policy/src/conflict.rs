@@ -75,9 +75,7 @@ pub fn runtime_resolution(alg: CombiningAlg) -> Decision {
         CombiningAlg::PermitOverrides | CombiningAlg::DenyUnlessPermit => Decision::Permit,
         // Order- and applicability-dependent: cannot be resolved
         // statically.
-        CombiningAlg::FirstApplicable | CombiningAlg::OnlyOneApplicable => {
-            Decision::Indeterminate
-        }
+        CombiningAlg::FirstApplicable | CombiningAlg::OnlyOneApplicable => Decision::Indeterminate,
     }
 }
 
@@ -148,10 +146,9 @@ fn matches_may_overlap(a: &AttrMatch, b: &AttrMatch) -> bool {
         },
         (Equals, op) if is_range(op) => range_accepts(op, &b.value, &a.value),
         (op, Equals) if is_range(op) => range_accepts(op, &a.value, &b.value),
-        (op1, op2) if is_range(op1) && is_range(op2) => ranges_may_overlap(
-            (op1, &a.value),
-            (op2, &b.value),
-        ),
+        (op1, op2) if is_range(op1) && is_range(op2) => {
+            ranges_may_overlap((op1, &a.value), (op2, &b.value))
+        }
         // Contains and mixed string ops: conservative.
         _ => true,
     }
@@ -165,7 +162,11 @@ fn is_range(op: MatchOp) -> bool {
 }
 
 /// Does `value OP bound` hold?
-fn range_accepts(op: MatchOp, bound: &crate::attr::AttrValue, value: &crate::attr::AttrValue) -> bool {
+fn range_accepts(
+    op: MatchOp,
+    bound: &crate::attr::AttrValue,
+    value: &crate::attr::AttrValue,
+) -> bool {
     use std::cmp::Ordering::*;
     let Some(ord) = value.partial_cmp_same_type(bound) else {
         return false; // incompatible types can never both hold
@@ -312,9 +313,7 @@ pub fn analyze<'a>(policies: impl IntoIterator<Item = &'a Policy>) -> ConflictAn
                     let (Some(ci), Some(cj)) = (&rules[i].cubes, &rules[j].cubes) else {
                         continue;
                     };
-                    let shadowed = cj
-                        .iter()
-                        .all(|c| ci.iter().any(|g| cube_subsumes(g, c)));
+                    let shadowed = cj.iter().all(|c| ci.iter().any(|g| cube_subsumes(g, c)));
                     if shadowed {
                         analysis.shadowings.push(Shadowing {
                             earlier: rules[i].rule.clone(),
@@ -404,10 +403,7 @@ mod tests {
     fn overlapping_opposite_effects_conflict() {
         let p = Policy::new("p", CombiningAlg::DenyOverrides)
             .with_rule(permit_rule("permit-doctors", vec![role("doctor")]))
-            .with_rule(deny_rule(
-                "deny-ehr",
-                vec![resource_glob("ehr/*")],
-            ));
+            .with_rule(deny_rule("deny-ehr", vec![resource_glob("ehr/*")]));
         // A doctor reading ehr/1 hits both.
         let analysis = analyze([&p]);
         assert_eq!(analysis.conflicts.len(), 1);
@@ -423,7 +419,10 @@ mod tests {
             .with_rule(deny_rule("d", vec![resource_glob("shared/data/*")]));
         let analysis = analyze([&a, &b]);
         assert_eq!(analysis.conflicts.len(), 1);
-        assert_eq!(analysis.conflicts[0].permit_rule.policy.as_str(), "domain-a");
+        assert_eq!(
+            analysis.conflicts[0].permit_rule.policy.as_str(),
+            "domain-a"
+        );
     }
 
     #[test]
@@ -438,8 +437,10 @@ mod tests {
     #[test]
     fn range_constraints_respected() {
         let age = |op, v: i64| AttrMatch::new(AttributeId::subject("age"), op, v);
-        let a = Policy::new("a", CombiningAlg::DenyOverrides)
-            .with_rule(permit_rule("adults", vec![age(MatchOp::GreaterOrEqual, 18)]));
+        let a = Policy::new("a", CombiningAlg::DenyOverrides).with_rule(permit_rule(
+            "adults",
+            vec![age(MatchOp::GreaterOrEqual, 18)],
+        ));
         let b = Policy::new("b", CombiningAlg::DenyOverrides)
             .with_rule(deny_rule("minors", vec![age(MatchOp::LessThan, 18)]));
         assert!(analyze([&a, &b]).is_conflict_free());

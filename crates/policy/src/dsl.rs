@@ -166,50 +166,94 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '{' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LBrace, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    line: tl,
+                    col: tc,
+                });
             }
             '}' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RBrace, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    line: tl,
+                    col: tc,
+                });
             }
             '(' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LParen, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ')' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RParen, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ',' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Comma, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line: tl,
+                    col: tc,
+                });
             }
             ';' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Semi, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    line: tl,
+                    col: tc,
+                });
             }
             '!' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Bang, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Bang,
+                    line: tl,
+                    col: tc,
+                });
             }
             '#' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Hash, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Hash,
+                    line: tl,
+                    col: tc,
+                });
             }
             '=' => {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(Spanned { tok: Tok::EqEq, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::EqEq,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Assign, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::Assign,
+                        line: tl,
+                        col: tc,
+                    });
                 }
             }
             '~' => {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(Spanned { tok: Tok::GlobEq, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::GlobEq,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
                     return Err(ParseError {
                         line: tl,
@@ -222,18 +266,34 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(Spanned { tok: Tok::Ge, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::Ge,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Gt, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::Gt,
+                        line: tl,
+                        col: tc,
+                    });
                 }
             }
             '<' => {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(Spanned { tok: Tok::Le, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::Le,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Lt, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::Lt,
+                        line: tl,
+                        col: tc,
+                    });
                 }
             }
             '"' => {
@@ -265,7 +325,11 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             c if c.is_ascii_digit() || c == '-' => {
                 let mut s = String::new();
@@ -306,7 +370,11 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         message: format!("bad integer literal {s}"),
                     })?)
                 };
-                out.push(Spanned { tok, line: tl, col: tc });
+                out.push(Spanned {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -318,7 +386,11 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Ident(s), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             other => {
                 return Err(ParseError {
@@ -442,7 +514,9 @@ impl Parser {
                         return Err(ParseError {
                             line: inner.line,
                             col: inner.col,
-                            message: format!("expected non-negative integer in time(), found {other}"),
+                            message: format!(
+                                "expected non-negative integer in time(), found {other}"
+                            ),
                         })
                     }
                 };
@@ -695,10 +769,12 @@ impl Parser {
                     self.next();
                     let rid = self.string()?;
                     self.expect(Tok::Semi)?;
-                    set.elements.push(PolicyElement::PolicySetRef(PolicyId::new(rid)));
+                    set.elements
+                        .push(PolicyElement::PolicySetRef(PolicyId::new(rid)));
                 } else {
                     let nested = self.policy_set()?;
-                    set.elements.push(PolicyElement::PolicySet(Box::new(nested)));
+                    set.elements
+                        .push(PolicyElement::PolicySet(Box::new(nested)));
                 }
             } else if self.peek_ident("policy") {
                 if matches!(self.toks.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "ref")
@@ -707,16 +783,14 @@ impl Parser {
                     self.next();
                     let rid = self.string()?;
                     self.expect(Tok::Semi)?;
-                    set.elements.push(PolicyElement::PolicyRef(PolicyId::new(rid)));
+                    set.elements
+                        .push(PolicyElement::PolicyRef(PolicyId::new(rid)));
                 } else {
                     let p = self.policy()?;
                     set.elements.push(PolicyElement::Policy(p));
                 }
             } else {
-                return Err(self.err(format!(
-                    "unexpected {} in policyset body",
-                    self.peek().tok
-                )));
+                return Err(self.err(format!("unexpected {} in policyset body", self.peek().tok)));
             }
         }
         self.expect(Tok::RBrace)?;
@@ -834,7 +908,9 @@ fn print_match(m: &AttrMatch, out: &mut String) {
     let _ = write!(
         out,
         "{} {:?} {} ",
-        m.attr.category, m.attr.name, m.op.symbol()
+        m.attr.category,
+        m.attr.name,
+        m.op.symbol()
     );
     print_value(&m.value, out);
 }
@@ -1035,13 +1111,24 @@ policyset "vo-root" only-one-applicable {
 
     #[test]
     fn expression_forms() {
-        let e = parse_expr(r#"and(is-in("doctor", attr(subject, "role")), ge(attr(subject, "age"), 18))"#)
-            .expect("parses");
-        assert!(matches!(e, Expr::Apply { func: Func::And, .. }));
+        let e = parse_expr(
+            r#"and(is-in("doctor", attr(subject, "role")), ge(attr(subject, "age"), 18))"#,
+        )
+        .expect("parses");
+        assert!(matches!(
+            e,
+            Expr::Apply {
+                func: Func::And,
+                ..
+            }
+        ));
 
         let e = parse_expr(r#"any-of(#eq, "doctor", attr(subject, "role"))"#).expect("parses");
         match e {
-            Expr::Apply { func: Func::AnyOf, args } => {
+            Expr::Apply {
+                func: Func::AnyOf,
+                args,
+            } => {
                 assert_eq!(args[0], Expr::FuncRef(Func::Eq));
             }
             other => panic!("unexpected {other:?}"),
@@ -1090,8 +1177,8 @@ policy "p" deny-overrides {
         assert!(err.message.contains("unknown combining algorithm"));
         assert_eq!(err.line, 1);
 
-        let err = parse_policy("policy \"p\" deny-overrides {\n  rule 42 permit { }\n}")
-            .unwrap_err();
+        let err =
+            parse_policy("policy \"p\" deny-overrides {\n  rule 42 permit { }\n}").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("expected string"));
     }
@@ -1128,7 +1215,11 @@ policy "ops" deny-overrides {
         let ops: Vec<_> = p.rules[0].target.all_matches().map(|m| m.op).collect();
         assert_eq!(
             ops,
-            vec![MatchOp::GreaterOrEqual, MatchOp::LessThan, MatchOp::Contains]
+            vec![
+                MatchOp::GreaterOrEqual,
+                MatchOp::LessThan,
+                MatchOp::Contains
+            ]
         );
         let printed = print_policy(&p);
         assert_eq!(parse_policy(&printed).expect("roundtrip"), p);

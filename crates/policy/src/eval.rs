@@ -533,7 +533,9 @@ mod tests {
                 vec![
                     Expr::apply(
                         Func::HourOf,
-                        vec![Expr::attr_required(AttributeId::environment("current-time"))],
+                        vec![Expr::attr_required(AttributeId::environment(
+                            "current-time",
+                        ))],
                     ),
                     Expr::val(17i64),
                 ],
@@ -559,7 +561,9 @@ mod tests {
                 vec![
                     Expr::apply(
                         Func::HourOf,
-                        vec![Expr::attr_required(AttributeId::environment("current-time"))],
+                        vec![Expr::attr_required(AttributeId::environment(
+                            "current-time",
+                        ))],
                     ),
                     Expr::val(17i64),
                 ],
@@ -596,8 +600,8 @@ mod tests {
     fn policy_reference_resolution() {
         let mut store = InMemoryStore::new();
         store.add_policy(doctors_read_policy());
-        let ps = PolicySet::new("root", CombiningAlg::FirstApplicable)
-            .with_policy_ref("doctors-read");
+        let ps =
+            PolicySet::new("root", CombiningAlg::FirstApplicable).with_policy_ref("doctors-read");
         let req = doctor_request();
         let mut ev = Evaluator::new(&store, &req);
         assert_eq!(ev.evaluate_policy_set(&ps).decision, Decision::Permit);
@@ -606,8 +610,8 @@ mod tests {
     #[test]
     fn broken_reference_is_indeterminate() {
         let store = EmptyStore;
-        let ps = PolicySet::new("root", CombiningAlg::FirstApplicable)
-            .with_policy_ref("no-such-policy");
+        let ps =
+            PolicySet::new("root", CombiningAlg::FirstApplicable).with_policy_ref("no-such-policy");
         let req = doctor_request();
         let mut ev = Evaluator::new(&store, &req);
         let resp = ev.evaluate_policy_set(&ps);
@@ -664,10 +668,9 @@ mod tests {
 
     #[test]
     fn nested_policy_sets() {
-        let inner = PolicySet::new("inner", CombiningAlg::DenyOverrides)
-            .with_policy(doctors_read_policy());
-        let outer = PolicySet::new("outer", CombiningAlg::FirstApplicable)
-            .with_policy_set(inner);
+        let inner =
+            PolicySet::new("inner", CombiningAlg::DenyOverrides).with_policy(doctors_read_policy());
+        let outer = PolicySet::new("outer", CombiningAlg::FirstApplicable).with_policy_set(inner);
         let store = EmptyStore;
         let req = doctor_request();
         let mut ev = Evaluator::new(&store, &req);
@@ -697,12 +700,10 @@ mod tests {
     fn obligation_evaluation_error_is_indeterminate() {
         let policy = Policy::new("p", CombiningAlg::DenyUnlessPermit)
             .with_rule(Rule::new("ok", Effect::Permit))
-            .with_obligation(
-                ObligationExpr::new("log", Effect::Permit).with_param(
-                    "who",
-                    Expr::attr_required(AttributeId::subject("nonexistent")),
-                ),
-            );
+            .with_obligation(ObligationExpr::new("log", Effect::Permit).with_param(
+                "who",
+                Expr::attr_required(AttributeId::subject("nonexistent")),
+            ));
         let store = EmptyStore;
         let req = doctor_request();
         let mut ev = Evaluator::new(&store, &req);

@@ -543,13 +543,11 @@ fn apply_binary_scalar(func: Func, a: AttrValue, b: AttrValue) -> Result<AttrVal
         Eq => V::Boolean(a == b),
         Ne => V::Boolean(a != b),
         Lt | Le | Gt | Ge => {
-            let ord = a
-                .partial_cmp_same_type(&b)
-                .ok_or(EvalError::TypeMismatch {
-                    func,
-                    expected: "comparable values of the same type",
-                    found: b.type_name(),
-                })?;
+            let ord = a.partial_cmp_same_type(&b).ok_or(EvalError::TypeMismatch {
+                func,
+                expected: "comparable values of the same type",
+                found: b.type_name(),
+            })?;
             let r = match func {
                 Lt => ord == std::cmp::Ordering::Less,
                 Le => ord != std::cmp::Ordering::Greater,
@@ -731,7 +729,9 @@ fn apply(
         StringLength => {
             need_args(func, args, 1, "1")?;
             let s = as_string(func, scalar_arg(0, stats)?)?;
-            Ok(Evaluated::Scalar(AttrValue::Integer(s.chars().count() as i64)))
+            Ok(Evaluated::Scalar(AttrValue::Integer(
+                s.chars().count() as i64
+            )))
         }
         // Bags.
         OneAndOnly => {
@@ -908,7 +908,10 @@ mod tests {
         let roles = eval_ok(&Expr::attr(AttributeId::subject("role")));
         assert_eq!(
             roles,
-            Evaluated::Bag(vec![AttrValue::from("doctor"), AttrValue::from("researcher")])
+            Evaluated::Bag(vec![
+                AttrValue::from("doctor"),
+                AttrValue::from("researcher")
+            ])
         );
     }
 
@@ -920,7 +923,9 @@ mod tests {
         let mut stats = ExprStats::default();
         assert_eq!(
             eval(&required, &ctx(), &mut stats),
-            Err(EvalError::MissingAttribute(AttributeId::subject("clearance")))
+            Err(EvalError::MissingAttribute(AttributeId::subject(
+                "clearance"
+            )))
         );
     }
 
@@ -928,7 +933,10 @@ mod tests {
     fn comparison_functions() {
         assert_eq!(cond(&Expr::eq(Expr::val(1i64), Expr::val(1i64))), Ok(true));
         assert_eq!(
-            cond(&Expr::apply(Func::Lt, vec![Expr::val(1i64), Expr::val(2i64)])),
+            cond(&Expr::apply(
+                Func::Lt,
+                vec![Expr::val(1i64), Expr::val(2i64)]
+            )),
             Ok(true)
         );
         assert_eq!(
@@ -936,7 +944,11 @@ mod tests {
             Ok(true)
         );
         // Cross-type ordering is an error.
-        assert!(cond(&Expr::apply(Func::Lt, vec![Expr::val(1i64), Expr::val("a")])).is_err());
+        assert!(cond(&Expr::apply(
+            Func::Lt,
+            vec![Expr::val(1i64), Expr::val("a")]
+        ))
+        .is_err());
     }
 
     #[test]
@@ -948,7 +960,10 @@ mod tests {
         assert_eq!(eval_ok(&e), Evaluated::Scalar(AttrValue::Integer(6)));
         let div0 = Expr::apply(Func::Div, vec![Expr::val(1i64), Expr::val(0i64)]);
         let mut stats = ExprStats::default();
-        assert_eq!(eval(&div0, &ctx(), &mut stats), Err(EvalError::DivideByZero));
+        assert_eq!(
+            eval(&div0, &ctx(), &mut stats),
+            Err(EvalError::DivideByZero)
+        );
         let ovf = Expr::apply(Func::Add, vec![Expr::val(i64::MAX), Expr::val(1i64)]);
         assert_eq!(eval(&ovf, &ctx(), &mut stats), Err(EvalError::Overflow));
     }
@@ -1005,7 +1020,11 @@ mod tests {
         // one-and-only on a two-element bag errors.
         let mut stats = ExprStats::default();
         assert_eq!(
-            eval(&Expr::apply(Func::OneAndOnly, vec![roles]), &ctx(), &mut stats),
+            eval(
+                &Expr::apply(Func::OneAndOnly, vec![roles]),
+                &ctx(),
+                &mut stats
+            ),
             Err(EvalError::NotSingleton { size: 2 })
         );
     }

@@ -135,9 +135,7 @@ impl RequestContext {
     pub fn byte_len(&self) -> usize {
         self.attrs
             .iter()
-            .map(|(id, bag)| {
-                id.name.len() + 2 + bag.iter().map(AttrValue::byte_len).sum::<usize>()
-            })
+            .map(|(id, bag)| id.name.len() + 2 + bag.iter().map(AttrValue::byte_len).sum::<usize>())
             .sum()
     }
 

@@ -128,7 +128,9 @@ impl AttrMatch {
                 (AttrValue::String(needle), AttrValue::String(hay)) => Some(hay.contains(needle)),
                 _ => None,
             },
-            MatchOp::GreaterThan | MatchOp::GreaterOrEqual | MatchOp::LessThan
+            MatchOp::GreaterThan
+            | MatchOp::GreaterOrEqual
+            | MatchOp::LessThan
             | MatchOp::LessOrEqual => {
                 let ord = request_value.partial_cmp_same_type(&self.value)?;
                 Some(match self.op {
@@ -323,7 +325,10 @@ mod tests {
     fn disjunction_within_any_of() {
         let t = Target {
             any_ofs: vec![AnyOf::new(vec![
-                AllOf::new(vec![AttrMatch::equals(AttributeId::subject("role"), "admin")]),
+                AllOf::new(vec![AttrMatch::equals(
+                    AttributeId::subject("role"),
+                    "admin",
+                )]),
                 AllOf::new(vec![AttrMatch::equals(
                     AttributeId::subject("role"),
                     "doctor",

@@ -83,7 +83,11 @@ pub struct SodConstraint {
 
 impl SodConstraint {
     /// Creates a constraint.
-    pub fn new(name: impl Into<String>, roles: impl IntoIterator<Item = String>, limit: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        roles: impl IntoIterator<Item = String>,
+        limit: usize,
+    ) -> Self {
         SodConstraint {
             name: name.into(),
             roles: roles.into_iter().collect(),
@@ -138,7 +142,10 @@ impl std::fmt::Display for RbacError {
                 write!(f, "inheritance {senior} -> {junior} would create a cycle")
             }
             RbacError::SsdViolation { constraint, user } => {
-                write!(f, "static separation-of-duty {constraint} violated for {user}")
+                write!(
+                    f,
+                    "static separation-of-duty {constraint} violated for {user}"
+                )
             }
             RbacError::DsdViolation { constraint } => {
                 write!(f, "dynamic separation-of-duty {constraint} violated")
@@ -284,11 +291,8 @@ impl Rbac {
         if !self.roles.contains(role) {
             return Err(RbacError::UnknownRole(role.to_owned()));
         }
-        let mut would_have: BTreeSet<String> = self
-            .assignments
-            .get(user)
-            .cloned()
-            .unwrap_or_default();
+        let mut would_have: BTreeSet<String> =
+            self.assignments.get(user).cloned().unwrap_or_default();
         would_have.insert(role.to_owned());
         // Expand closure for SSD purposes.
         let mut expanded = BTreeSet::new();
@@ -450,11 +454,7 @@ impl Rbac {
     pub fn users_with_role(&self, role: &str) -> Vec<&str> {
         self.assignments
             .iter()
-            .filter(|(_, roles)| {
-                roles
-                    .iter()
-                    .any(|r| self.role_closure(r).contains(role))
-            })
+            .filter(|(_, roles)| roles.iter().any(|r| self.role_closure(r).contains(role)))
             .map(|(u, _)| u.as_str())
             .collect()
     }
@@ -489,11 +489,15 @@ mod tests {
         r.add_inheritance("doctor", "staff").unwrap();
         r.add_inheritance("chief", "doctor").unwrap();
         r.add_inheritance("nurse", "staff").unwrap();
-        r.grant("staff", Permission::new("read", "bulletin/*")).unwrap();
+        r.grant("staff", Permission::new("read", "bulletin/*"))
+            .unwrap();
         r.grant("doctor", Permission::new("read", "ehr/*")).unwrap();
-        r.grant("doctor", Permission::new("write", "ehr/*/notes")).unwrap();
-        r.grant("chief", Permission::new("approve", "ehr/*")).unwrap();
-        r.grant("auditor", Permission::new("read", "audit/*")).unwrap();
+        r.grant("doctor", Permission::new("write", "ehr/*/notes"))
+            .unwrap();
+        r.grant("chief", Permission::new("approve", "ehr/*"))
+            .unwrap();
+        r.grant("auditor", Permission::new("read", "audit/*"))
+            .unwrap();
         for u in ["alice", "bob", "carol"] {
             r.add_user(u);
         }
@@ -598,9 +602,7 @@ mod tests {
         ));
         r.assign("alice", "doctor").unwrap();
         r.assign("alice", "pharmacist").unwrap(); // SSD allows both
-        let mut s = r
-            .create_session("alice", ["doctor".to_string()])
-            .unwrap();
+        let mut s = r.create_session("alice", ["doctor".to_string()]).unwrap();
         // Activating pharmacist in the same session violates DSD.
         assert_eq!(
             r.activate_role(&mut s, "pharmacist"),
@@ -618,9 +620,7 @@ mod tests {
         let mut r = hospital();
         r.assign("alice", "doctor").unwrap();
         r.assign("alice", "auditor").unwrap();
-        let s = r
-            .create_session("alice", ["auditor".to_string()])
-            .unwrap();
+        let s = r.create_session("alice", ["auditor".to_string()]).unwrap();
         assert!(r.session_check(&s, "read", "audit/log-1"));
         // doctor not activated: least privilege.
         assert!(!r.session_check(&s, "read", "ehr/42"));

@@ -419,10 +419,7 @@ mod tests {
         assert!(out.success);
         let total = out.disclosed_by_client.len() + out.disclosed_by_server.len();
         assert_eq!(out.transcript.len(), total);
-        assert!(out
-            .transcript
-            .windows(2)
-            .all(|w| w[0].round <= w[1].round));
+        assert!(out.transcript.windows(2).all(|w| w[0].round <= w[1].round));
     }
 
     #[test]

@@ -104,7 +104,7 @@ impl CompactSerializer {
     }
 }
 
-impl<'a> ser::Serializer for &'a mut CompactSerializer {
+impl ser::Serializer for &mut CompactSerializer {
     type Ok = ();
     type Error = CodecError;
     type SerializeSeq = Self;
@@ -278,7 +278,7 @@ forward_compound!(SerializeTupleStruct, serialize_field);
 forward_compound!(SerializeTupleVariant, serialize_field);
 forward_compound!(SerializeMap, serialize_value, serialize_key);
 
-impl<'a> ser::SerializeStruct for &'a mut CompactSerializer {
+impl ser::SerializeStruct for &mut CompactSerializer {
     type Ok = ();
     type Error = CodecError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -293,7 +293,7 @@ impl<'a> ser::SerializeStruct for &'a mut CompactSerializer {
     }
 }
 
-impl<'a> ser::SerializeStructVariant for &'a mut CompactSerializer {
+impl ser::SerializeStructVariant for &mut CompactSerializer {
     type Ok = ();
     type Error = CodecError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -353,7 +353,7 @@ impl<'de> CompactDeserializer<'de> {
     }
 }
 
-impl<'de, 'a> de::Deserializer<'de> for &'a mut CompactDeserializer<'de> {
+impl<'de> de::Deserializer<'de> for &mut CompactDeserializer<'de> {
     type Error = CodecError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
@@ -399,8 +399,7 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut CompactDeserializer<'de> {
         visitor.visit_f64(f64::from_bits(self.read_u64()?))
     }
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let c = char::from_u32(self.read_u32()?)
-            .ok_or(CodecError::InvalidData("invalid char"))?;
+        let c = char::from_u32(self.read_u32()?).ok_or(CodecError::InvalidData("invalid char"))?;
         visitor.visit_char(c)
     }
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
@@ -530,7 +529,10 @@ impl<'de, 'a> de::MapAccess<'de> for Counted<'de, 'a> {
         self.remaining -= 1;
         seed.deserialize(&mut *self.de).map(Some)
     }
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
         seed.deserialize(&mut *self.de)
     }
     fn size_hint(&self) -> Option<usize> {
@@ -564,10 +566,17 @@ impl<'de, 'a> de::VariantAccess<'de> for VariantReader<'de, 'a> {
     fn unit_variant(self) -> Result<(), CodecError> {
         Ok(())
     }
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
         seed.deserialize(self.de)
     }
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
         de::Deserializer::deserialize_tuple(self.de, len, visitor)
     }
     fn struct_variant<V: Visitor<'de>>(

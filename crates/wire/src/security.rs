@@ -67,7 +67,11 @@ impl SecureMessage {
     /// Total bytes this message occupies on the wire (header + payload +
     /// signature), matching what experiments report.
     pub fn wire_len(&self) -> usize {
-        let sig = self.signature.as_ref().map(Signature::byte_len).unwrap_or(0);
+        let sig = self
+            .signature
+            .as_ref()
+            .map(Signature::byte_len)
+            .unwrap_or(0);
         let nonce = if self.nonce.is_some() { 12 } else { 0 };
         self.sender.len() + 8 + 1 + nonce + self.payload.len() + sig + 16
     }
@@ -118,7 +122,10 @@ impl std::fmt::Display for SecurityError {
             SecurityError::Replay {
                 got,
                 expected_at_least,
-            } => write!(f, "replayed sequence {got} (expected >= {expected_at_least})"),
+            } => write!(
+                f,
+                "replayed sequence {got} (expected >= {expected_at_least})"
+            ),
             SecurityError::UnknownSender(s) => write!(f, "unknown sender {s}"),
         }
     }
@@ -162,11 +169,7 @@ impl SecureChannel {
     }
 
     /// Creates a signing channel.
-    pub fn signed(
-        local_id: impl Into<String>,
-        ctx: CryptoCtx,
-        signer: Arc<SigningKey>,
-    ) -> Self {
+    pub fn signed(local_id: impl Into<String>, ctx: CryptoCtx, signer: Arc<SigningKey>) -> Self {
         let mut ch = Self::plain(local_id, ctx);
         ch.mode = SecurityMode::Signed;
         ch.signer = Some(signer);

@@ -22,32 +22,56 @@ fn main() {
     let (mut msgs, mut bytes, mut lat) = (0u64, 0u64, 0u64);
     for i in 0..k {
         let t = request_flow(
-            &mut fnet, &vo, FlowKind::Pull, subject, 0,
-            &format!("records/{i}"), "read", i, SizeModel::Compact,
+            &mut fnet,
+            &vo,
+            FlowKind::Pull,
+            subject,
+            0,
+            &format!("records/{i}"),
+            "read",
+            i,
+            SizeModel::Compact,
         );
         assert!(t.allowed);
         msgs += t.messages;
         bytes += t.bytes;
         lat += t.latency_us;
     }
-    println!("pull  (Fig. 3): {k} requests -> {msgs} msgs, {bytes} bytes, avg lat {:.2} ms",
-        lat as f64 / k as f64 / 1000.0);
+    println!(
+        "pull  (Fig. 3): {k} requests -> {msgs} msgs, {bytes} bytes, avg lat {:.2} ms",
+        lat as f64 / k as f64 / 1000.0
+    );
 
     // --- Push (Fig. 2): one capability, then lightweight requests. ---
     let (cap, issue) = issue_capability_flow(
-        &mut fnet, &vo, subject, "shared/*", &["read".to_string()],
-        "domain-0", 0, SizeModel::Compact,
+        &mut fnet,
+        &vo,
+        subject,
+        "shared/*",
+        &["read".to_string()],
+        "domain-0",
+        0,
+        SizeModel::Compact,
     );
     let cap = cap.expect("pre-screening permits shared reads");
     println!(
         "push  (Fig. 2): issuance -> {} msgs, {} bytes (capability: {} bytes on the wire)",
-        issue.messages, issue.bytes, cap.wire_len(),
+        issue.messages,
+        issue.bytes,
+        cap.wire_len(),
     );
     let (mut msgs, mut bytes, mut lat) = (issue.messages, issue.bytes, 0u64);
     for i in 0..k {
         let t = push_flow(
-            &mut fnet, &vo, subject, 0, &format!("shared/{i}"), "read",
-            &cap, 100 + i, SizeModel::Compact,
+            &mut fnet,
+            &vo,
+            subject,
+            0,
+            &format!("shared/{i}"),
+            "read",
+            &cap,
+            100 + i,
+            SizeModel::Compact,
         );
         assert!(t.allowed);
         msgs += t.messages;
@@ -59,10 +83,22 @@ fn main() {
 
     // --- Autonomy: a capability never overrides a local deny. ---
     let t = push_flow(
-        &mut fnet, &vo, subject, 0, "records/1", "write", &cap, 999, SizeModel::Compact,
+        &mut fnet,
+        &vo,
+        subject,
+        0,
+        "records/1",
+        "write",
+        &cap,
+        999,
+        SizeModel::Compact,
     );
     println!(
         "push on locally-governed resource records/1 (write): {}",
-        if t.allowed { "ALLOW (unexpected!)" } else { "DENY — resource autonomy wins" }
+        if t.allowed {
+            "ALLOW (unexpected!)"
+        } else {
+            "DENY — resource autonomy wins"
+        }
     );
 }

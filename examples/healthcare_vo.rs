@@ -26,20 +26,60 @@ fn main() {
 
     let runs = [
         // (subject, target domain idx, resource, action, label)
-        ("user-0@domain-0", 0usize, "records/7", "read", "intra-domain doctor read"),
-        ("user-0@domain-0", 1, "records/7", "read", "cross-domain doctor read"),
-        ("user-0@domain-0", 1, "records/7", "write", "cross-domain write (local-only right)"),
-        ("user-19@domain-0", 0, "records/7", "read", "auditor read (no doctor role)"),
-        ("user-0@domain-1", 2, "records/9", "read", "wall: 2nd competitor after domain-1"),
+        (
+            "user-0@domain-0",
+            0usize,
+            "records/7",
+            "read",
+            "intra-domain doctor read",
+        ),
+        (
+            "user-0@domain-0",
+            1,
+            "records/7",
+            "read",
+            "cross-domain doctor read",
+        ),
+        (
+            "user-0@domain-0",
+            1,
+            "records/7",
+            "write",
+            "cross-domain write (local-only right)",
+        ),
+        (
+            "user-19@domain-0",
+            0,
+            "records/7",
+            "read",
+            "auditor read (no doctor role)",
+        ),
+        (
+            "user-0@domain-1",
+            2,
+            "records/9",
+            "read",
+            "wall: 2nd competitor after domain-1",
+        ),
     ];
 
-    println!("{:<45} {:<6} {:>5} {:>7} {:>9}", "flow", "result", "msgs", "bytes", "lat(ms)");
+    println!(
+        "{:<45} {:<6} {:>5} {:>7} {:>9}",
+        "flow", "result", "msgs", "bytes", "lat(ms)"
+    );
     for (i, (subject, target, resource, action, label)) in runs.iter().enumerate() {
         // The last run first touches domain-1 to arm the wall.
         if *label == "wall: 2nd competitor after domain-1" {
             let warmup = request_flow(
-                &mut fnet, &vo, FlowKind::Pull, subject, 1, "records/1", "read",
-                1000 + i as u64, SizeModel::Compact,
+                &mut fnet,
+                &vo,
+                FlowKind::Pull,
+                subject,
+                1,
+                "records/1",
+                "read",
+                1000 + i as u64,
+                SizeModel::Compact,
             );
             assert!(warmup.allowed);
         }

@@ -36,31 +36,74 @@ policy "who-administers" deny-unless-permit {
             .with_rule(Rule::new("ok", Effect::Permit))
     };
 
-    println!("sec-alice installs radiology-read v1: {:?}",
-        pap.submit("sec-alice", sample("radiology-read"), 10).map(|v| format!("v{v}")));
-    println!("radiology-lead-bob updates it to v2:  {:?}",
-        pap.submit("radiology-lead-bob", sample("radiology-read"), 20).map(|v| format!("v{v}")));
-    println!("radiology-lead-bob touches cardiology: {:?}",
-        pap.submit("radiology-lead-bob", sample("cardiology-read"), 30).err().map(|e| e.to_string()));
-    pap.rollback("sec-alice", &PolicyId::new("radiology-read"), 1, 40).unwrap();
-    println!("rolled back to v{}", pap.active(&PolicyId::new("radiology-read")).unwrap().version);
+    println!(
+        "sec-alice installs radiology-read v1: {:?}",
+        pap.submit("sec-alice", sample("radiology-read"), 10)
+            .map(|v| format!("v{v}"))
+    );
+    println!(
+        "radiology-lead-bob updates it to v2:  {:?}",
+        pap.submit("radiology-lead-bob", sample("radiology-read"), 20)
+            .map(|v| format!("v{v}"))
+    );
+    println!(
+        "radiology-lead-bob touches cardiology: {:?}",
+        pap.submit("radiology-lead-bob", sample("cardiology-read"), 30)
+            .err()
+            .map(|e| e.to_string())
+    );
+    pap.rollback("sec-alice", &PolicyId::new("radiology-read"), 1, 40)
+        .unwrap();
+    println!(
+        "rolled back to v{}",
+        pap.active(&PolicyId::new("radiology-read"))
+            .unwrap()
+            .version
+    );
     println!("audit log:");
     for e in pap.audit_log() {
-        println!("  #{} t={} {} {} {} -> v{}", e.seq, e.at_ms, e.actor, e.action, e.policy, e.version);
+        println!(
+            "  #{} t={} {} {} {} -> v{}",
+            e.seq, e.at_ms, e.actor, e.action, e.policy, e.version
+        );
     }
 
     // --- Delegation with depth limits and cascading revocation --------
     let mut reg = DelegationRegistry::new();
     reg.add_root("vo-authority");
-    let g1 = reg.grant("vo-authority", "hospital-a", "ehr/*", 2, 1_000_000, 0).unwrap();
-    let _g2 = reg.grant("hospital-a", "radiology-dept", "ehr/radiology/*", 1, 900_000, 0).unwrap();
-    let _g3 = reg.grant("radiology-dept", "night-shift", "ehr/radiology/night/*", 0, 800_000, 0).unwrap();
-    println!("\nnight-shift may administer ehr/radiology/night/p1: chain length {:?}",
-        reg.validate("night-shift", "ehr/radiology/night/p1", 100));
+    let g1 = reg
+        .grant("vo-authority", "hospital-a", "ehr/*", 2, 1_000_000, 0)
+        .unwrap();
+    let _g2 = reg
+        .grant(
+            "hospital-a",
+            "radiology-dept",
+            "ehr/radiology/*",
+            1,
+            900_000,
+            0,
+        )
+        .unwrap();
+    let _g3 = reg
+        .grant(
+            "radiology-dept",
+            "night-shift",
+            "ehr/radiology/night/*",
+            0,
+            800_000,
+            0,
+        )
+        .unwrap();
+    println!(
+        "\nnight-shift may administer ehr/radiology/night/p1: chain length {:?}",
+        reg.validate("night-shift", "ehr/radiology/night/p1", 100)
+    );
     let revoked = reg.revoke(g1).unwrap();
     println!("revoking the top grant cascades over {revoked} grants");
-    println!("night-shift after revocation: {:?}",
-        reg.validate("night-shift", "ehr/radiology/night/p1", 100));
+    println!(
+        "night-shift after revocation: {:?}",
+        reg.validate("night-shift", "ehr/radiology/night/p1", 100)
+    );
 
     // --- Fig. 5: syndication hierarchy ---------------------------------
     let mut tree = SyndicationTree::new("pap.global");
@@ -71,7 +114,13 @@ policy "who-administers" deny-unless-permit {
     let report = tree.propagate(sample("ehr-baseline"), 100);
     println!(
         "\nsyndicating ehr-baseline: {} pushes, {} reports, applied at {} nodes, filtered at {}",
-        report.hops.len(), report.reports, report.applied, report.filtered,
+        report.hops.len(),
+        report.reports,
+        report.applied,
+        report.filtered,
     );
-    println!("tree converged: {}", tree.converged(&PolicyId::new("ehr-baseline")));
+    println!(
+        "tree converged: {}",
+        tree.converged(&PolicyId::new("ehr-baseline"))
+    );
 }

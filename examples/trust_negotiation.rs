@@ -43,12 +43,19 @@ fn main() {
     ] {
         let out = negotiate(&researcher, &provider, &resource_policy, strategy, 20);
         println!("--- {name} strategy ---");
-        println!("success: {} in {} rounds ({} messages)", out.success, out.rounds, out.messages);
+        println!(
+            "success: {} in {} rounds ({} messages)",
+            out.success, out.rounds, out.messages
+        );
         for d in &out.transcript {
             println!(
                 "  round {}: {} disclosed {}",
                 d.round,
-                if d.by_client { "researcher" } else { "provider" },
+                if d.by_client {
+                    "researcher"
+                } else {
+                    "provider"
+                },
                 d.credential
             );
         }

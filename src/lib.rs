@@ -20,6 +20,7 @@
 //! | [`pep`] | `dacs-pep` | agent/push/pull enforcement, obligations |
 //! | [`trust`] | `dacs-trust` | automated trust negotiation |
 //! | [`federation`] | `dacs-federation` | domains, VOs, capability services, measured flows |
+//! | [`cluster`] | `dacs-cluster` | sharded, replicated PDP cluster: consistent-hash routing, quorum decisions, failover, batching |
 //! | [`core`] | `dacs-core` | scenarios, workloads, the experiment suite |
 //!
 //! # Quickstart
@@ -47,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub use dacs_assert as assert;
+pub use dacs_cluster as cluster;
 pub use dacs_core as core;
 pub use dacs_crypto as crypto;
 pub use dacs_federation as federation;

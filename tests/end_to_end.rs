@@ -69,18 +69,38 @@ fn agent_pull_push_message_ordering() {
     let subject = "user-1@domain-1";
 
     let pull = request_flow(
-        &mut net, &vo, FlowKind::Pull, subject, 0, "records/1", "read", 0,
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        subject,
+        0,
+        "records/1",
+        "read",
+        0,
         SizeModel::Compact,
     );
     assert!(pull.allowed);
     let agent = request_flow(
-        &mut net, &vo, FlowKind::Agent, subject, 0, "records/2", "read", 1,
+        &mut net,
+        &vo,
+        FlowKind::Agent,
+        subject,
+        0,
+        "records/2",
+        "read",
+        1,
         SizeModel::Compact,
     );
     assert!(agent.allowed);
 
     let (cap, issue) = issue_capability_flow(
-        &mut net, &vo, subject, "shared/*", &["read".to_string()], "domain-0", 0,
+        &mut net,
+        &vo,
+        subject,
+        "shared/*",
+        &["read".to_string()],
+        "domain-0",
+        0,
         SizeModel::Compact,
     );
     let cap = cap.unwrap();
@@ -88,8 +108,15 @@ fn agent_pull_push_message_ordering() {
     let mut push_msgs = issue.messages;
     for i in 0..k {
         let t = push_flow(
-            &mut net, &vo, subject, 0, &format!("shared/{i}"), "read", &cap,
-            10 + i, SizeModel::Compact,
+            &mut net,
+            &vo,
+            subject,
+            0,
+            &format!("shared/{i}"),
+            "read",
+            &cap,
+            10 + i,
+            SizeModel::Compact,
         );
         assert!(t.allowed);
         push_msgs += t.messages;
@@ -105,17 +132,37 @@ fn capability_expiry_enforced_end_to_end() {
     let vo = with_shared_cas(healthcare_vo(2, 4, &ctx), 1_000); // 1 s TTL
     let mut net = fnet(&vo);
     let (cap, _) = issue_capability_flow(
-        &mut net, &vo, "user-0@domain-1", "shared/*", &["read".to_string()],
-        "domain-0", 0, SizeModel::Compact,
+        &mut net,
+        &vo,
+        "user-0@domain-1",
+        "shared/*",
+        &["read".to_string()],
+        "domain-0",
+        0,
+        SizeModel::Compact,
     );
     let cap = cap.unwrap();
     let fresh = push_flow(
-        &mut net, &vo, "user-0@domain-1", 0, "shared/x", "read", &cap, 500,
+        &mut net,
+        &vo,
+        "user-0@domain-1",
+        0,
+        "shared/x",
+        "read",
+        &cap,
+        500,
         SizeModel::Compact,
     );
     assert!(fresh.allowed);
     let stale = push_flow(
-        &mut net, &vo, "user-0@domain-1", 0, "shared/x", "read", &cap, 5_000,
+        &mut net,
+        &vo,
+        "user-0@domain-1",
+        0,
+        "shared/x",
+        "read",
+        &cap,
+        5_000,
         SizeModel::Compact,
     );
     assert!(!stale.allowed, "expired capability must be rejected");
@@ -134,20 +181,41 @@ fn chinese_wall_is_sticky_across_flows() {
     let mut net = fnet(&vo);
     let subject = "user-0@domain-2";
     let first = request_flow(
-        &mut net, &vo, FlowKind::Pull, subject, 0, "records/1", "read", 0,
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        subject,
+        0,
+        "records/1",
+        "read",
+        0,
         SizeModel::Compact,
     );
     assert!(first.allowed);
     // Unrelated domain is fine.
     let neutral = request_flow(
-        &mut net, &vo, FlowKind::Pull, subject, 2, "records/1", "read", 1,
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        subject,
+        2,
+        "records/1",
+        "read",
+        1,
         SizeModel::Compact,
     );
     assert!(neutral.allowed);
     // The rival is permanently off-limits for this subject.
     for t in 2..5 {
         let rival = request_flow(
-            &mut net, &vo, FlowKind::Pull, subject, 1, "records/1", "read", t,
+            &mut net,
+            &vo,
+            FlowKind::Pull,
+            subject,
+            1,
+            "records/1",
+            "read",
+            t,
             SizeModel::Compact,
         );
         assert!(!rival.allowed);
@@ -162,15 +230,29 @@ fn grid_scenario_cross_domain_submission() {
     // researcher@site-1 submits to site-0: role travels via federated
     // attribute fetch.
     let t = request_flow(
-        &mut net, &vo, FlowKind::Pull, "researcher@site-1", 0, "queue/batch",
-        "submit", 0, SizeModel::Compact,
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        "researcher@site-1",
+        0,
+        "queue/batch",
+        "submit",
+        0,
+        SizeModel::Compact,
     );
     assert!(t.allowed);
     assert_eq!(t.messages, 6);
     // A stranger cannot.
     let t = request_flow(
-        &mut net, &vo, FlowKind::Pull, "stranger@site-1", 0, "queue/batch",
-        "submit", 1, SizeModel::Compact,
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        "stranger@site-1",
+        0,
+        "queue/batch",
+        "submit",
+        1,
+        SizeModel::Compact,
     );
     assert!(!t.allowed);
 }
@@ -209,7 +291,10 @@ policy "domain-0-gate" first-applicable {
     )
     .unwrap();
     d.pap.submit("domain-bootstrap", lockdown, 100).unwrap();
-    assert!(!d.pep.enforce(&req, 101).allowed, "new policy version applies");
+    assert!(
+        !d.pep.enforce(&req, 101).allowed,
+        "new policy version applies"
+    );
     // Rollback restores access.
     d.pap
         .rollback(

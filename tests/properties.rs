@@ -5,9 +5,7 @@
 use dacs::policy::combining::Combiner;
 use dacs::policy::dsl::{parse_policy, print_policy};
 use dacs::policy::glob::{glob_match, globs_may_overlap};
-use dacs::policy::policy::{
-    CombiningAlg, Decision, Effect, Obligation, Policy, PolicyId, Rule,
-};
+use dacs::policy::policy::{CombiningAlg, Decision, Effect, Obligation, Policy, PolicyId, Rule};
 use dacs::policy::target::{AttrMatch, Target};
 use dacs::policy::AttributeId;
 use proptest::prelude::*;

@@ -1,0 +1,214 @@
+//! Offline shim of the `criterion` API subset this workspace uses.
+//!
+//! Implements real wall-clock measurement (warm-up, then timed
+//! iterations, reporting mean ns/iter) but none of criterion's
+//! statistics, plots, or baselines. Good enough for `cargo bench` to
+//! run and print comparable numbers in an offline environment.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup products.
+    SmallInput,
+    /// Large per-iteration setup products.
+    LargeInput,
+    /// One setup product per measured batch.
+    PerIteration,
+}
+
+/// Measurement configuration and reporting.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target sample count (used as a minimum iteration count).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            config: BenchConfig {
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+                min_iters: self.sample_size as u64,
+            },
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => println!(
+                "bench {id:<48} {:>12.1} ns/iter ({} iters)",
+                r.ns_per_iter, r.iters
+            ),
+            None => println!("bench {id:<48} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group {}", name.into());
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.criterion.bench_function(id, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    min_iters: u64,
+}
+
+#[derive(Clone, Copy)]
+struct BenchResult {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    config: BenchConfig,
+    result: Option<BenchResult>,
+}
+
+impl Bencher {
+    /// Measures a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        // Measurement.
+        let start = Instant::now();
+        let deadline = start + self.config.measurement_time;
+        let mut iters = 0u64;
+        while iters < self.config.min_iters || Instant::now() < deadline {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.result = Some(BenchResult {
+            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+
+    /// Measures a routine with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let overall = Instant::now();
+        while iters < self.config.min_iters || (overall.elapsed() < self.config.measurement_time) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some(BenchResult {
+            ns_per_iter: measured.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+}
+
+/// An identity function that resists trivial optimization.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! API-compatible subset of `serde` for an offline build environment.
+//!
+//! The workspace's wire codec (`dacs-wire`) is written *against* the
+//! serde data model: it implements `Serializer`/`Deserializer` and the
+//! domain crates derive `Serialize`/`Deserialize`. This shim provides
+//! the trait surface those implementations use, with the same method
+//! signatures and data-model semantics as upstream serde (structs as
+//! field sequences, enums as `(variant_index, payload)`, arrays as
+//! tuples, `Vec<u8>` as a `u8` sequence).
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,612 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Parses the deriving item directly from the token stream (no `syn` /
+//! `quote` available offline) and emits `Serialize` / `Deserialize`
+//! impls against the vendored `serde` shim. Supported shapes — the ones
+//! this workspace uses: unit/tuple/named structs, enums with
+//! unit/newtype/tuple/struct variants, and plain type parameters
+//! (e.g. `Envelope<B>`). `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Plain type-parameter names, in declaration order.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------- parsing --
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_arity(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("enum {name} without a body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items (only struct/enum)"),
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1; // [...]
+        }
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<A, B: Bound, ...>`, collecting type-parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let open = matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+    if !open {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => at_param_start = true,
+                    '\'' => at_param_start = false, // lifetime param: skip its name
+                    _ => {}
+                }
+                *i += 1;
+            }
+            Some(TokenTree::Ident(id)) => {
+                if at_param_start && depth == 1 {
+                    params.push(id.to_string());
+                    at_param_start = false;
+                }
+                *i += 1;
+            }
+            Some(_) => *i += 1,
+            None => panic!("unterminated generics"),
+        }
+    }
+    params
+}
+
+/// Field names of `{ a: T, pub b: U, ... }` contents.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        fields.push(expect_ident(&tokens, &mut i));
+        // ':' then the type, up to a ',' outside angle brackets.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of comma-separated entries in a parenthesized field list.
+fn count_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut segment_has_tokens = false;
+    let mut angle = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if segment_has_tokens {
+                        arity += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Consume the trailing ',' if present (discriminants unsupported).
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- codegen --
+
+impl Input {
+    /// `<B, C>` or empty.
+    fn ty_generics(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        }
+    }
+
+    /// Impl generics with a per-parameter trait bound.
+    fn impl_generics(&self, prefix: &str, bound: &str) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !prefix.is_empty() {
+            parts.push(prefix.to_string());
+        }
+        for p in &self.generics {
+            parts.push(format!("{p}: {bound}"));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let ig = input.impl_generics("", "::serde::ser::Serialize");
+    let tg = input.ty_generics();
+    let body = match &input.kind {
+        Kind::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Kind::TupleStruct(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for idx in 0..*n {
+                s += &format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{idx})?;\n"
+                );
+            }
+            s + "::serde::ser::SerializeTupleStruct::end(__state)"
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                s += &format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                );
+            }
+            s + "::serde::ser::SerializeStruct::end(__state)"
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms += &format!(
+                            "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __state = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm += &format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                            );
+                        }
+                        arm += "::serde::ser::SerializeTupleVariant::end(__state)\n}\n";
+                        arms += &arm;
+                    }
+                    Shape::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __state = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm += &format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                            );
+                        }
+                        arm += "::serde::ser::SerializeStructVariant::end(__state)\n}\n";
+                        arms += &arm;
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} ::serde::ser::Serialize for {name}{tg} {{\n\
+           fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+/// `let __f{k} = next_element()? else err;` lines for a seq visitor.
+fn seq_field_lines(n: usize, context: &str) -> String {
+    let mut s = String::new();
+    for k in 0..n {
+        s += &format!(
+            "let __f{k} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+               ::core::option::Option::Some(__v) => __v,\n\
+               ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                 ::serde::de::Error::invalid_length({k}usize, \"{context}\")),\n\
+             }};\n"
+        );
+    }
+    s
+}
+
+/// A visitor definition whose `visit_seq` builds `constructor` from
+/// `arity` sequential fields.
+fn seq_visitor(
+    input: &Input,
+    visitor_name: &str,
+    arity: usize,
+    constructor: &str,
+    context: &str,
+) -> String {
+    let name = &input.name;
+    let tg = input.ty_generics();
+    let ig = input.impl_generics("'de", "::serde::de::Deserialize<'de>");
+    let decl_generics = input.ty_generics();
+    let fields = seq_field_lines(arity, context);
+    format!(
+        "struct {visitor_name}{decl_generics}(::core::marker::PhantomData<fn() -> {name}{tg}>);\n\
+         impl{ig} ::serde::de::Visitor<'de> for {visitor_name}{tg} {{\n\
+           type Value = {name}{tg};\n\
+           fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+             __f.write_str(\"{context}\")\n\
+           }}\n\
+           fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             {fields}\n\
+             ::core::result::Result::Ok({constructor})\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let ig = input.impl_generics("'de", "::serde::de::Deserialize<'de>");
+    let tg = input.ty_generics();
+    let phantom = "::core::marker::PhantomData";
+
+    let body = match &input.kind {
+        Kind::UnitStruct => {
+            let visitor = format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                   type Value = {name};\n\
+                   fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                     __f.write_str(\"unit struct {name}\")\n\
+                   }}\n\
+                   fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                   }}\n\
+                 }}\n"
+            );
+            format!(
+                "{visitor}\n::serde::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            let decl_generics = input.ty_generics();
+            let visitor = format!(
+                "struct __Visitor{decl_generics}({phantom}<fn() -> {name}{tg}>);\n\
+                 impl{ig} ::serde::de::Visitor<'de> for __Visitor{tg} {{\n\
+                   type Value = {name}{tg};\n\
+                   fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                     __f.write_str(\"newtype struct {name}\")\n\
+                   }}\n\
+                   fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(self, __d: __D2)\n\
+                     -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\n\
+                   }}\n\
+                 }}\n"
+            );
+            format!(
+                "{visitor}\n::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor({phantom}))"
+            )
+        }
+        Kind::TupleStruct(n) => {
+            let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            let constructor = format!("{name}({})", binders.join(", "));
+            let visitor = seq_visitor(
+                input,
+                "__Visitor",
+                *n,
+                &constructor,
+                &format!("tuple struct {name}"),
+            );
+            format!(
+                "{visitor}\n::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}usize, __Visitor({phantom}))"
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let constructor = format!(
+                "{name} {{ {} }}",
+                fields
+                    .iter()
+                    .enumerate()
+                    .map(|(k, f)| format!("{f}: __f{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let visitor = seq_visitor(
+                input,
+                "__Visitor",
+                fields.len(),
+                &constructor,
+                &format!("struct {name}"),
+            );
+            let field_names = fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{visitor}\n::serde::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{field_names}], __Visitor({phantom}))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            let mut variant_visitors = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms += &format!(
+                            "{idx}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                             ::core::result::Result::Ok({name}::{vname}) }}\n"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        arms += &format!(
+                            "{idx}u32 => ::core::result::Result::Ok({name}::{vname}(\n\
+                               ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let visitor_name = format!("__Variant{idx}Visitor");
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let constructor = format!("{name}::{vname}({})", binders.join(", "));
+                        variant_visitors += &seq_visitor(
+                            input,
+                            &visitor_name,
+                            *n,
+                            &constructor,
+                            &format!("tuple variant {name}::{vname}"),
+                        );
+                        arms += &format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::tuple_variant(__variant, {n}usize, {visitor_name}({phantom})),\n"
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let visitor_name = format!("__Variant{idx}Visitor");
+                        let constructor = format!(
+                            "{name}::{vname} {{ {} }}",
+                            fields
+                                .iter()
+                                .enumerate()
+                                .map(|(k, f)| format!("{f}: __f{k}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        variant_visitors += &seq_visitor(
+                            input,
+                            &visitor_name,
+                            fields.len(),
+                            &constructor,
+                            &format!("struct variant {name}::{vname}"),
+                        );
+                        let field_names = fields
+                            .iter()
+                            .map(|f| format!("\"{f}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms += &format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::struct_variant(__variant, &[{field_names}], {visitor_name}({phantom})),\n"
+                        );
+                    }
+                }
+            }
+            let variant_names = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let decl_generics = input.ty_generics();
+            format!(
+                "{variant_visitors}\n\
+                 struct __Visitor{decl_generics}({phantom}<fn() -> {name}{tg}>);\n\
+                 impl{ig} ::serde::de::Visitor<'de> for __Visitor{tg} {{\n\
+                   type Value = {name}{tg};\n\
+                   fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                     __f.write_str(\"enum {name}\")\n\
+                   }}\n\
+                   fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     let (__idx, __variant): (u32, __A::Variant) =\n\
+                       ::serde::de::EnumAccess::variant(__data)?;\n\
+                     match __idx {{\n\
+                       {arms}\n\
+                       _ => ::core::result::Result::Err(::serde::de::Error::custom(\n\
+                         \"invalid variant index for {name}\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{variant_names}], __Visitor({phantom}))"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} ::serde::de::Deserialize<'de> for {name}{tg} {{\n\
+           fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+             -> ::core::result::Result<Self, __D::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
