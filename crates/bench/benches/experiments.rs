@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks: one group per experiment (E1–E13) over
+//! Criterion micro-benchmarks: one group per experiment (E1–E15) over
 //! the hot path each experiment exercises, plus substrate benches.
 //! `cargo bench` runs everything; the `harness` binary produces the
 //! full tables.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dacs_cluster::{BatchSubmitter, ClusterBuilder, DecisionBackend, QuorumMode, StaticBackend};
+use dacs_cluster::{
+    BatchSubmitter, ClusterBuilder, DecisionBackend, FanoutPool, HedgeConfig, QuorumMode,
+    StaticBackend,
+};
 use dacs_core::scenario::{healthcare_vo, with_shared_cas};
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
 use dacs_federation::{
@@ -366,6 +369,68 @@ fn bench_e14_cluster(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_e15_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_fanout");
+    let build = |parallel: bool, hedged: bool, quorum: QuorumMode| {
+        let mut builder = ClusterBuilder::new("bench-fanout").quorum(quorum).shard(
+            (0..3)
+                .map(|r| {
+                    std::sync::Arc::new(StaticBackend::new(
+                        format!("f-r{r}"),
+                        dacs_policy::policy::Decision::Permit,
+                    )) as std::sync::Arc<dyn DecisionBackend>
+                })
+                .collect(),
+        );
+        if parallel {
+            builder = builder.parallel(std::sync::Arc::new(FanoutPool::new(4)));
+        }
+        if hedged {
+            builder = builder.hedge(HedgeConfig::default());
+        }
+        builder.build()
+    };
+    // Fast replicas throughout: this measures the *overhead* each
+    // strategy adds on the happy path (dispatch, channel, quorum
+    // bookkeeping); the harness's e15 table shows the tail-latency win
+    // under a slow replica.
+    for (name, parallel, hedged, quorum) in [
+        (
+            "decide_sequential_majority",
+            false,
+            false,
+            QuorumMode::Majority,
+        ),
+        (
+            "decide_parallel_majority",
+            true,
+            false,
+            QuorumMode::Majority,
+        ),
+        (
+            "decide_hedged_first_healthy",
+            true,
+            true,
+            QuorumMode::FirstHealthy,
+        ),
+    ] {
+        let cluster = build(parallel, hedged, quorum);
+        let mut i = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                i += 1;
+                let req = RequestContext::basic(
+                    format!("user-{}", i % 64),
+                    format!("records/{}", i % 16),
+                    "read",
+                );
+                cluster.decide(&req, i)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_e13_discovery(c: &mut Criterion) {
     c.bench_function("e13_discovery_resolve", |b| {
         let dir = PdpDirectory::new();
@@ -396,6 +461,7 @@ criterion_group!(
     bench_e9_conflicts,
     bench_e10_e11_e12,
     bench_e13_discovery,
-    bench_e14_cluster
+    bench_e14_cluster,
+    bench_e15_fanout
 );
 criterion_main!(benches);

@@ -16,7 +16,7 @@ use dacs_bench::table_to_json_rows;
 use dacs_core::experiments as exp;
 use dacs_core::stats::Table;
 
-const EXPERIMENT_COUNT: usize = 14;
+const EXPERIMENT_COUNT: usize = 15;
 
 fn run(id: &str) -> Option<Table> {
     Some(match id {
@@ -34,6 +34,7 @@ fn run(id: &str) -> Option<Table> {
         "e12" => exp::e12_rbac_scale(),
         "e13" => exp::e13_pdp_discovery(2000),
         "e14" => exp::e14_cluster_dependability(4000),
+        "e15" => exp::e15_fanout_latency(400),
         _ => return None,
     })
 }

@@ -5,6 +5,12 @@
 //! identical outstanding queries (same canonical request bytes) are
 //! evaluated once and answered together, and each shard's replicas see
 //! their keyspace slice back-to-back, keeping decision caches hot.
+//!
+//! Batching composes with the fan-out strategy: each coalesced query is
+//! served through whatever path the cluster was built with, so on a
+//! cluster configured with [`crate::ClusterBuilder::parallel`] every
+//! flushed query fans out to its shard's replicas concurrently (and
+//! hedges, if configured) exactly like a direct `decide` call.
 
 use crate::cluster::{ClusterOutcome, PdpCluster};
 use dacs_policy::request::RequestContext;
@@ -168,6 +174,43 @@ mod tests {
         assert_eq!(m.coalesced, 9);
         assert_eq!(m.batched_queries, 11);
         assert_eq!(m.batches, 1);
+    }
+
+    #[test]
+    fn batches_flush_through_the_parallel_fanout() {
+        let pool = std::sync::Arc::new(crate::FanoutPool::new(4));
+        let mut builder = ClusterBuilder::new("batch-par")
+            .quorum(QuorumMode::Majority)
+            .parallel(pool);
+        for s in 0..2 {
+            builder = builder.shard(
+                (0..3)
+                    .map(|r| {
+                        Arc::new(StaticBackend::new(format!("s{s}-r{r}"), Decision::Permit))
+                            as Arc<dyn DecisionBackend>
+                    })
+                    .collect(),
+            );
+        }
+        let cluster = builder.build();
+        let mut batch = BatchSubmitter::new(&cluster);
+        for i in 0..12 {
+            batch.submit(RequestContext::basic(
+                format!("user-{}", i % 4),
+                format!("res/{}", i % 3),
+                "read",
+            ));
+        }
+        let outcomes = batch.flush(0);
+        assert_eq!(outcomes.len(), 12);
+        for o in &outcomes {
+            assert_eq!(o.response.as_ref().unwrap().decision, Decision::Permit);
+        }
+        let m = cluster.metrics();
+        // Distinct (subject, resource) pairs evaluate once each, and
+        // each evaluation fanned out to all three shard replicas.
+        assert_eq!(m.batched_queries, 12);
+        assert_eq!(m.replica_queries, m.queries * 3);
     }
 
     #[test]

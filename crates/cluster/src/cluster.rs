@@ -1,5 +1,6 @@
 //! The cluster facade: router + replica groups + directory + metrics.
 
+use crate::fanout::{FanoutPool, HedgeConfig};
 use crate::metrics::ClusterMetrics;
 use crate::quorum::QuorumMode;
 use crate::replica::{DecisionBackend, GroupOutcome, ReplicaGroup};
@@ -32,6 +33,8 @@ pub struct ClusterBuilder {
     vnodes: usize,
     shards: Vec<Vec<Arc<dyn DecisionBackend>>>,
     directory: Option<Arc<PdpDirectory>>,
+    pool: Option<Arc<FanoutPool>>,
+    hedge: Option<HedgeConfig>,
 }
 
 impl ClusterBuilder {
@@ -44,6 +47,8 @@ impl ClusterBuilder {
             vnodes: crate::shard::DEFAULT_VNODES,
             shards: Vec::new(),
             directory: None,
+            pool: None,
+            hedge: None,
         }
     }
 
@@ -69,6 +74,25 @@ impl ClusterBuilder {
     /// Appends one shard served by the given replicas.
     pub fn shard(mut self, replicas: Vec<Arc<dyn DecisionBackend>>) -> Self {
         self.shards.push(replicas);
+        self
+    }
+
+    /// Serves fan-out queries from `pool` instead of sequentially on
+    /// the caller's thread, so quorum latency tracks the slowest
+    /// replica the quorum still *needs* (with short-circuit
+    /// cancellation) rather than the sum of all replicas.
+    pub fn parallel(mut self, pool: Arc<FanoutPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Enables hedged requests for [`QuorumMode::FirstHealthy`]
+    /// decisions served through a parallel pool: when the primary
+    /// replica overruns its EWMA-derived latency budget, a hedge query
+    /// races it on the next-best replica. No effect without
+    /// [`ClusterBuilder::parallel`].
+    pub fn hedge(mut self, config: HedgeConfig) -> Self {
+        self.hedge = Some(config);
         self
     }
 
@@ -100,6 +124,8 @@ impl ClusterBuilder {
             groups,
             directory,
             quorum: self.quorum,
+            pool: self.pool,
+            hedge: self.hedge,
             metrics: Mutex::new(ClusterMetrics::default()),
         }
     }
@@ -112,6 +138,8 @@ pub struct PdpCluster {
     groups: Vec<ReplicaGroup>,
     directory: Arc<PdpDirectory>,
     quorum: QuorumMode,
+    pool: Option<Arc<FanoutPool>>,
+    hedge: Option<HedgeConfig>,
     metrics: Mutex<ClusterMetrics>,
 }
 
@@ -166,7 +194,17 @@ impl PdpCluster {
         now_ms: u64,
     ) -> ClusterOutcome {
         let group = &self.groups[shard];
-        let outcome = group.query(&self.directory, self.quorum, request, now_ms);
+        let outcome = match &self.pool {
+            Some(pool) => group.query_parallel(
+                &self.directory,
+                self.quorum,
+                request,
+                now_ms,
+                pool,
+                self.hedge.as_ref(),
+            ),
+            None => group.query(&self.directory, self.quorum, request, now_ms),
+        };
         self.account(group, &outcome);
         ClusterOutcome {
             degraded: outcome.response.is_some() && outcome.healthy < group.len(),
@@ -180,6 +218,8 @@ impl PdpCluster {
         let mut m = self.metrics.lock();
         m.queries += 1;
         m.replica_queries += outcome.replicas_queried as u64;
+        m.hedges += outcome.hedges as u64;
+        m.hedge_wins += outcome.hedge_won as u64;
         match &outcome.response {
             None => m.unavailable += 1,
             Some(_) => {
@@ -272,6 +312,87 @@ mod tests {
         let m = cluster.metrics();
         assert_eq!(m.unavailable, 1);
         assert!((m.availability() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_cluster_decides_and_counts_like_sequential() {
+        let pool = Arc::new(crate::FanoutPool::new(4));
+        let sequential = permit_cluster(2, 3, QuorumMode::Majority);
+        let parallel = {
+            let mut builder = ClusterBuilder::new("par").quorum(QuorumMode::Majority);
+            for s in 0..2 {
+                builder = builder.shard(
+                    (0..3)
+                        .map(|r| {
+                            Arc::new(StaticBackend::new(format!("s{s}-r{r}"), Decision::Permit))
+                                as Arc<dyn DecisionBackend>
+                        })
+                        .collect(),
+                );
+            }
+            builder.parallel(pool).build()
+        };
+        for i in 0..20 {
+            let req = RequestContext::basic(format!("u{i}"), format!("res/{}", i % 4), "read");
+            let s = sequential.decide(&req, i);
+            let p = parallel.decide(&req, i);
+            assert_eq!(
+                s.response.as_ref().unwrap().decision,
+                p.response.as_ref().unwrap().decision
+            );
+            assert_eq!(s.shard, p.shard, "routing is independent of fan-out");
+        }
+        let m = parallel.metrics();
+        assert_eq!(m.queries, 20);
+        assert_eq!(m.unavailable, 0);
+        assert_eq!(m.hedges, 0, "quorum fan-out never hedges");
+    }
+
+    /// Regression (ISSUE 2): with a primary replica sleeping past the
+    /// hedge budget, the hedged path must return the fast replica's
+    /// decision and record exactly one hedge in [`ClusterMetrics`].
+    #[test]
+    fn hedged_decision_returns_fast_replica_and_records_one_hedge() {
+        use crate::replica::SlowBackend;
+        let pool = Arc::new(crate::FanoutPool::new(4));
+        let cluster = ClusterBuilder::new("hedge-test")
+            .quorum(QuorumMode::FirstHealthy)
+            .parallel(pool)
+            .hedge(crate::HedgeConfig {
+                budget_multiplier: 3.0,
+                min_budget_us: 2_000,
+                max_hedges: 1,
+            })
+            .shard(vec![
+                // The sleepy primary is first in configured order…
+                Arc::new(SlowBackend::new(
+                    "s0-sleepy",
+                    Decision::Deny,
+                    std::time::Duration::from_millis(250),
+                )) as Arc<dyn DecisionBackend>,
+                // …the fast replica answers Permit immediately.
+                Arc::new(StaticBackend::new("s0-fast", Decision::Permit))
+                    as Arc<dyn DecisionBackend>,
+            ])
+            .build();
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        let started = std::time::Instant::now();
+        let outcome = cluster.decide(&req, 0);
+        assert_eq!(
+            outcome.response.unwrap().decision,
+            Decision::Permit,
+            "the fast replica's decision must win"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(150),
+            "hedged decide waited for the sleeper: {:?}",
+            started.elapsed()
+        );
+        let m = cluster.metrics();
+        assert_eq!(m.queries, 1);
+        assert_eq!(m.hedges, 1, "exactly one hedge dispatched");
+        assert_eq!(m.hedge_wins, 1, "the hedge supplied the answer");
+        assert!((m.hedge_rate() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Parallel fan-out: a worker-thread pool that dispatches decision
+//! queries to all healthy replicas of a shard concurrently, so quorum
+//! latency is bounded by the *slowest replica the quorum still needs*
+//! instead of the sum of every replica — plus tail-latency hedging.
+//!
+//! Three pieces cooperate:
+//!
+//! * [`FanoutPool`] — a fixed set of worker threads fed through a job
+//!   queue. One pool serves a whole cluster; per-query thread spawning
+//!   would dominate sub-millisecond decisions.
+//! * [`CancelFlag`] — a shared flag set the moment a quorum verdict is
+//!   reached. Queued jobs that have not started yet observe it and
+//!   return immediately, so losers stop work instead of burning a
+//!   worker on an answer nobody will read.
+//! * [`HedgeConfig`] — the tail-latency policy: when the primary
+//!   replica has not answered within its latency budget (derived from
+//!   the per-replica EWMA kept in [`dacs_pdp::PdpDirectory`]), a hedge
+//!   query is dispatched to the next-best replica and the first answer
+//!   wins.
+//!
+//! # Examples
+//!
+//! ```
+//! use dacs_cluster::FanoutPool;
+//! use std::sync::Arc;
+//!
+//! // One pool serves every shard of a cluster; workers are joined on
+//! // drop. Typically sized at replicas-per-shard + a little headroom
+//! // so one slow replica cannot starve the next query's fan-out.
+//! let pool = Arc::new(FanoutPool::new(4));
+//! assert_eq!(pool.workers(), 4);
+//! ```
+
+use dacs_pdp::PdpDirectory;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A job queued on the fan-out pool.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A cooperative cancellation flag shared by every job of one fan-out.
+///
+/// Set once the quorum verdict is known; jobs still waiting in the pool
+/// queue check it before starting and return without evaluating.
+/// Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// Creates a fresh, uncancelled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals every holder of the flag to stop before doing new work.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the fan-out this flag belongs to has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// When and how to hedge a slow replica query (tail-latency insurance).
+///
+/// The wait budget is anchored to the replica we would hedge *to*:
+/// `budget_multiplier ×` the backup's EWMA latency from the
+/// [`PdpDirectory`], floored at `min_budget_us` (which also applies
+/// while the backup has no recorded samples). The rationale is
+/// cost/benefit — once the primary has been silent for several times
+/// what a backup would need to answer, paying one duplicate evaluation
+/// beats waiting out the primary's tail. Anchoring to the *primary's*
+/// own EWMA would instead grant a consistently slow replica a
+/// consistently generous budget and never hedge it.
+///
+/// Once the budget elapses without an answer, one hedge query is
+/// dispatched to the lowest-EWMA healthy replica not yet queried, up to
+/// `max_hedges` times per decision; the first answer (primary or hedge)
+/// wins.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HedgeConfig {
+    /// Budget as a multiple of the backup replica's EWMA latency.
+    pub budget_multiplier: f64,
+    /// Lower bound on the budget in microseconds; also the budget used
+    /// before any latency sample exists.
+    pub min_budget_us: u64,
+    /// Maximum hedge dispatches per decision.
+    pub max_hedges: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            budget_multiplier: 3.0,
+            min_budget_us: 200,
+            max_hedges: 1,
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// The wait budget (µs) before hedging to `backup`, given the
+    /// directory's current EWMA estimate of the backup's latency.
+    pub fn budget_us(&self, directory: &PdpDirectory, backup: &str) -> u64 {
+        match directory.latency_ewma_us(backup) {
+            Some(ewma) => ((ewma * self.budget_multiplier) as u64).max(self.min_budget_us),
+            None => self.min_budget_us,
+        }
+    }
+}
+
+/// A small, fixed pool of worker threads that runs fan-out jobs.
+///
+/// Jobs are dequeued in submission order, so callers dispatch to their
+/// likely-fastest replicas first. Dropping the pool closes the queue
+/// and joins every worker.
+pub struct FanoutPool {
+    queue: Mutex<Option<Sender<Job>>>,
+    workers: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl FanoutPool {
+    /// Spawns a pool of `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "fan-out pool needs at least one worker");
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("dacs-fanout-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn fan-out worker")
+            })
+            .collect();
+        FanoutPool {
+            queue: Mutex::new(Some(tx)),
+            workers,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues one job; a no-op after shutdown.
+    pub(crate) fn submit(&self, job: Job) {
+        if let Some(tx) = self.queue.lock().as_ref() {
+            // Send only fails when every worker has exited (shutdown
+            // race); the fan-out collector then sees a disconnect.
+            let _ = tx.send(job);
+        }
+    }
+}
+
+impl Drop for FanoutPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.queue.lock().take();
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: serialize dequeueing behind the mutex, run jobs outside
+/// it, exit when the queue disconnects.
+///
+/// Jobs run under `catch_unwind` so a panicking backend costs one
+/// answer (the collector sees the job's channel sender drop), not a
+/// worker: without it, N panics would silently drain an N-worker pool
+/// and every later parallel decision would report unavailable.
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let queue = rx.lock();
+            queue.recv()
+        };
+        match job {
+            Ok(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One replica's answer flowing back to the fan-out collector:
+/// `(index into the dispatched set, response)`.
+pub(crate) type FanoutAnswer = (usize, dacs_policy::eval::Response);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn pool_runs_jobs_concurrently() {
+        let pool = FanoutPool::new(4);
+        let (tx, rx) = channel();
+        for i in 0..4u32 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                tx.send(i).unwrap();
+            }));
+        }
+        let start = std::time::Instant::now();
+        let mut got: Vec<u32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        // Four 20ms jobs on four workers finish well under 4 × 20ms.
+        assert!(
+            start.elapsed() < Duration::from_millis(70),
+            "jobs ran sequentially: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn drop_joins_workers_and_later_submits_are_noops() {
+        let pool = FanoutPool::new(2);
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        pool.submit(Box::new(move || {
+            tx2.send(1).unwrap();
+        }));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(1));
+        drop(pool);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = FanoutPool::new(2);
+        // More panics than workers: without catch_unwind this would
+        // drain the pool entirely.
+        for _ in 0..4 {
+            pool.submit(Box::new(|| panic!("backend bug")));
+        }
+        let (tx, rx) = channel();
+        for i in 0..2u32 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        let mut got: Vec<u32> = (0..2)
+            .map(|_| rx.recv_timeout(Duration::from_secs(2)).expect("pool alive"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn cancel_flag_is_shared() {
+        let flag = CancelFlag::new();
+        let clone = flag.clone();
+        assert!(!clone.is_cancelled());
+        flag.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn hedge_budget_follows_ewma_with_floor() {
+        let directory = PdpDirectory::new();
+        let cfg = HedgeConfig {
+            budget_multiplier: 3.0,
+            min_budget_us: 100,
+            max_hedges: 1,
+        };
+        // No sample yet: the floor applies.
+        assert_eq!(cfg.budget_us(&directory, "r0"), 100);
+        directory.record_latency_us("r0", 10);
+        assert_eq!(cfg.budget_us(&directory, "r0"), 100, "floored");
+        directory.record_latency_us("r1", 400);
+        assert_eq!(cfg.budget_us(&directory, "r1"), 1_200);
+    }
+}

@@ -14,10 +14,14 @@
 //! * [`quorum`] — the combination rules: `FirstHealthy` (fast, trusts
 //!   one replica), `Majority` (outvotes a minority of wrong replicas)
 //!   and `UnanimousFailClosed` (any disagreement denies).
+//! * [`fanout`] — a [`FanoutPool`] of worker threads that queries all
+//!   replicas of a shard concurrently (quorum latency ≈ max instead of
+//!   sum), with short-circuit cancellation and EWMA-budgeted hedged
+//!   requests ([`HedgeConfig`]) against tail latency.
 //! * [`batch`] — a [`BatchSubmitter`] that coalesces outstanding
 //!   queries per shard to amortize evaluation.
-//! * [`metrics`] — [`ClusterMetrics`]: availability, degraded-mode and
-//!   disagreement accounting.
+//! * [`metrics`] — [`ClusterMetrics`]: availability, degraded-mode,
+//!   disagreement and hedge accounting.
 //!
 //! Health tracking and failover integrate with the existing
 //! [`dacs_pdp::PdpDirectory`] (`mark_down` / `mark_up`): every replica
@@ -47,9 +51,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
+pub mod fanout;
 pub mod metrics;
 pub mod quorum;
 pub mod replica;
@@ -59,6 +64,7 @@ mod cluster;
 
 pub use batch::{BatchSubmitter, Ticket};
 pub use cluster::{ClusterBuilder, ClusterOutcome, PdpCluster};
+pub use fanout::{CancelFlag, FanoutPool, HedgeConfig};
 pub use metrics::ClusterMetrics;
 pub use quorum::QuorumMode;
 pub use replica::{DecisionBackend, GroupOutcome, ReplicaGroup, StaticBackend};

@@ -17,9 +17,32 @@ pub struct ClusterMetrics {
     /// Queries served by fewer healthy replicas than configured.
     pub degraded: u64,
     /// Queries whose healthy replicas disagreed on the decision.
+    ///
+    /// On the parallel fan-out path this is a *lower bound*: the quorum
+    /// short-circuits the moment the verdict is known and cancels the
+    /// stragglers, so a divergent answer that would only have arrived
+    /// after the short-circuit point is never observed. A cluster with
+    /// one slow, permanently wrong replica can therefore report zero
+    /// disagreements under `.parallel()` while the sequential path
+    /// would flag every query. When divergence monitoring matters, run
+    /// a periodic audit query on the sequential path
+    /// ([`crate::ReplicaGroup::query`]) — the companion counters below
+    /// are short-circuited the same way and cannot substitute.
     pub disagreements: u64,
     /// Queries forced to a fail-closed deny by the quorum rule.
+    ///
+    /// Like [`ClusterMetrics::disagreements`], a lower bound on the
+    /// parallel path: a deny that arrives first under
+    /// `UnanimousFailClosed` ends the query as a plain deny before any
+    /// conflicting permit can be observed.
     pub fail_closed_denies: u64,
+    /// Hedge queries dispatched after a primary replica overran its
+    /// latency budget (first-healthy mode under a
+    /// [`crate::HedgeConfig`]).
+    pub hedges: u64,
+    /// Decisions whose winning answer came from a hedge query rather
+    /// than the primary replica.
+    pub hedge_wins: u64,
     /// Batches flushed by a [`crate::BatchSubmitter`].
     pub batches: u64,
     /// Queries submitted through batches.
@@ -52,6 +75,15 @@ impl ClusterMetrics {
             return 0.0;
         }
         self.replica_queries as f64 / self.queries as f64
+    }
+
+    /// Fraction of queries that dispatched at least one hedge, in
+    /// `[0, 1]` (assuming one hedge per query, the default cap).
+    pub fn hedge_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.hedges as f64 / self.queries as f64
     }
 }
 

@@ -6,6 +6,37 @@
 //! update) or a Byzantine one must not be able to grant access
 //! single-handedly. The three modes trade latency/cost against that
 //! protection.
+//!
+//! # Semantics: mode × partition state
+//!
+//! For a group configured with `n` replicas of which `h` are currently
+//! healthy (reachable per the directory), the combined outcome is:
+//!
+//! | mode | `h = 0` | minority healthy (`2h ≤ n`) | majority healthy (`2h > n`) |
+//! |------|---------|------------------------------|------------------------------|
+//! | `FirstHealthy` | **unavailable** | first healthy replica's answer (a wrong survivor decides alone) | first healthy replica's answer |
+//! | `Majority` | **unavailable** | strict majority of the *h* answers; split vote → fail-closed **deny** | strict majority of the *h* answers; split vote → fail-closed **deny** |
+//! | `UnanimousFailClosed` | **unavailable** | fail-closed **deny** without evaluating (healthy-majority floor) | **permit** only if all *h* agree on permit; any deny or disagreement → **deny** |
+//!
+//! Three invariants fall out of the table:
+//!
+//! 1. **Unavailability is explicit** — `h = 0` yields no decision at
+//!    all (`response: None`), never a default permit or deny. The
+//!    caller (PEP) fails safe.
+//! 2. **The healthy-majority floor**: under `UnanimousFailClosed` a
+//!    minority partition may not decide, because its survivors could
+//!    all be stale or Byzantine. Unanimity over a minority would
+//!    rubber-stamp them; the group denies without spending any
+//!    evaluations instead. Consequently a minority partition can
+//!    *never* produce a false permit in this mode.
+//! 3. **`Majority` degrades gracefully but not absolutely**: while a
+//!    fresh majority of the *configured* group is healthy, one wrong
+//!    replica is outvoted; once churn leaves only a wrong minority
+//!    healthy, the vote is over the survivors and can go wrong (the
+//!    degraded-mode risk [`crate::ClusterMetrics`] tracks).
+//!
+//! The same table is mirrored, with the decision-path diagrams, in the
+//! repo-level `ARCHITECTURE.md`.
 
 use dacs_policy::eval::Response;
 use dacs_policy::policy::Decision;

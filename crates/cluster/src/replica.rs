@@ -1,18 +1,32 @@
 //! Replica groups: `k` decision backends serving one shard, with
 //! directory-driven health tracking and quorum combination.
+//!
+//! A group answers a query two ways: [`ReplicaGroup::query`] evaluates
+//! replicas sequentially on the caller's thread (simple, deterministic,
+//! latency = sum of replicas), while [`ReplicaGroup::query_parallel`]
+//! dispatches every healthy replica onto a [`FanoutPool`] and combines
+//! answers *incrementally* as they arrive — majority short-circuits as
+//! soon as a majority agrees, unanimity short-circuits on the first
+//! deny, and first-healthy optionally hedges the primary replica after
+//! its latency budget.
 
+use crate::fanout::{CancelFlag, FanoutAnswer, FanoutPool, HedgeConfig};
 use crate::quorum::{self, QuorumMode};
 use dacs_pdp::{Pdp, PdpDirectory};
 use dacs_policy::eval::Response;
 use dacs_policy::policy::Decision;
 use dacs_policy::request::RequestContext;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Anything that can answer an authorization decision query.
 ///
 /// [`Pdp`] is the production backend; experiments wrap it (or replace
-/// it) to model stale, Byzantine or crashed replicas.
-pub trait DecisionBackend {
+/// it) to model stale, Byzantine or crashed replicas. Backends must be
+/// thread-safe: the parallel fan-out evaluates them from pool workers.
+pub trait DecisionBackend: Send + Sync {
     /// The backend's endpoint name (registered in the [`PdpDirectory`]).
     fn name(&self) -> &str;
     /// Serves one decision query.
@@ -59,18 +73,67 @@ impl DecisionBackend for StaticBackend {
 pub struct GroupOutcome {
     /// The combined response; `None` when no replica was healthy.
     pub response: Option<Response>,
-    /// Replicas actually queried.
+    /// Replicas actually queried (dispatched, for the parallel path —
+    /// a cancelled straggler still counts as dispatched work).
     pub replicas_queried: usize,
-    /// Healthy replicas at query time (equals `replicas_queried` for
-    /// fan-out modes).
+    /// Healthy replicas at query time.
     pub healthy: usize,
-    /// Whether healthy replicas disagreed on the decision.
+    /// Whether healthy replicas disagreed on the decision. The
+    /// short-circuiting parallel path reports disagreement only among
+    /// the answers it actually waited for.
     pub disagreement: bool,
     /// Whether the quorum forced a fail-closed deny.
     pub fail_closed: bool,
+    /// Hedge queries dispatched for this decision (first-healthy under
+    /// a [`HedgeConfig`] only; fan-out modes never hedge).
+    pub hedges: usize,
+    /// Whether a hedge query supplied the winning answer.
+    pub hedge_won: bool,
+}
+
+impl GroupOutcome {
+    /// The "no healthy replica" outcome (an availability gap).
+    fn unavailable(healthy: usize) -> GroupOutcome {
+        GroupOutcome {
+            response: None,
+            replicas_queried: 0,
+            healthy,
+            disagreement: false,
+            fail_closed: false,
+            hedges: 0,
+            hedge_won: false,
+        }
+    }
 }
 
 /// `k` replicas serving one shard of the keyspace.
+///
+/// # Examples
+///
+/// ```
+/// use dacs_cluster::{DecisionBackend, QuorumMode, ReplicaGroup, StaticBackend};
+/// use dacs_pdp::PdpDirectory;
+/// use dacs_policy::policy::Decision;
+/// use dacs_policy::request::RequestContext;
+/// use std::sync::Arc;
+///
+/// let directory = PdpDirectory::new();
+/// let mut replicas: Vec<Arc<dyn DecisionBackend>> = Vec::new();
+/// for (name, decision) in [
+///     ("r0", Decision::Permit),
+///     ("r1", Decision::Permit),
+///     ("r2", Decision::Deny), // stale replica
+/// ] {
+///     directory.register(name, "demo");
+///     replicas.push(Arc::new(StaticBackend::new(name, decision)));
+/// }
+/// let group = ReplicaGroup::new(replicas);
+/// let request = RequestContext::basic("alice", "ehr/1", "read");
+/// let out = group.query(&directory, QuorumMode::Majority, &request, 0);
+/// // The fresh majority outvotes the stale replica.
+/// assert_eq!(out.response.unwrap().decision, Decision::Permit);
+/// assert!(out.disagreement);
+/// ```
 pub struct ReplicaGroup {
     replicas: Vec<Arc<dyn DecisionBackend>>,
 }
@@ -109,8 +172,35 @@ impl ReplicaGroup {
             .collect()
     }
 
-    /// Fans `request` out to the group's healthy replicas and combines
-    /// the answers under `mode`.
+    /// Whether a set of `healthy` survivors is a minority of the
+    /// configured group. Unanimity is only meaningful over a majority:
+    /// a minority partition might consist entirely of stale or
+    /// Byzantine replicas, so it may not decide — fail closed without
+    /// spending any evaluations.
+    fn minority_partition(&self, healthy: usize) -> bool {
+        healthy * 2 <= self.replicas.len()
+    }
+
+    /// The fail-closed outcome for a minority partition under
+    /// [`QuorumMode::UnanimousFailClosed`].
+    fn fail_closed_floor(healthy: usize) -> GroupOutcome {
+        GroupOutcome {
+            response: Some(Response::decision(Decision::Deny)),
+            replicas_queried: 0,
+            healthy,
+            disagreement: false,
+            fail_closed: true,
+            hedges: 0,
+            hedge_won: false,
+        }
+    }
+
+    /// Fans `request` out to the group's healthy replicas sequentially
+    /// (on the caller's thread) and combines the answers under `mode`.
+    ///
+    /// Latency is the *sum* of replica latencies for fan-out modes; use
+    /// [`ReplicaGroup::query_parallel`] to bound it by the slowest
+    /// replica the quorum still needs.
     pub fn query(
         &self,
         directory: &PdpDirectory,
@@ -120,27 +210,10 @@ impl ReplicaGroup {
     ) -> GroupOutcome {
         let healthy = self.healthy_replicas(directory);
         if healthy.is_empty() {
-            return GroupOutcome {
-                response: None,
-                replicas_queried: 0,
-                healthy: 0,
-                disagreement: false,
-                fail_closed: false,
-            };
+            return GroupOutcome::unavailable(0);
         }
-
-        // Unanimity is only meaningful over a majority of the configured
-        // group: a minority partition might consist entirely of stale or
-        // Byzantine replicas, so it may not decide — fail closed without
-        // spending any evaluations.
-        if mode == QuorumMode::UnanimousFailClosed && healthy.len() * 2 <= self.replicas.len() {
-            return GroupOutcome {
-                response: Some(Response::decision(Decision::Deny)),
-                replicas_queried: 0,
-                healthy: healthy.len(),
-                disagreement: false,
-                fail_closed: true,
-            };
+        if mode == QuorumMode::UnanimousFailClosed && self.minority_partition(healthy.len()) {
+            return Self::fail_closed_floor(healthy.len());
         }
 
         let queried: Vec<&Arc<dyn DecisionBackend>> = if mode.fans_out() {
@@ -148,7 +221,15 @@ impl ReplicaGroup {
         } else {
             vec![healthy[0]]
         };
-        let responses: Vec<Response> = queried.iter().map(|r| r.decide(request, now_ms)).collect();
+        let responses: Vec<Response> = queried
+            .iter()
+            .map(|r| {
+                let start = Instant::now();
+                let response = r.decide(request, now_ms);
+                directory.record_latency_us(r.name(), start.elapsed().as_micros() as u64);
+                response
+            })
+            .collect();
         let verdict = quorum::combine(mode, &responses);
         GroupOutcome {
             response: Some(verdict.response),
@@ -156,7 +237,350 @@ impl ReplicaGroup {
             healthy: healthy.len(),
             disagreement: verdict.disagreement,
             fail_closed: verdict.fail_closed,
+            hedges: 0,
+            hedge_won: false,
         }
+    }
+
+    /// Fans `request` out to the group's healthy replicas *concurrently*
+    /// on `pool` and combines the answers incrementally:
+    ///
+    /// * [`QuorumMode::Majority`] returns as soon as any decision holds
+    ///   a strict majority of the dispatched set;
+    /// * [`QuorumMode::UnanimousFailClosed`] returns on the first deny
+    ///   or disagreement (the combined decision can only be deny);
+    /// * [`QuorumMode::FirstHealthy`] queries the first healthy replica
+    ///   and, when `hedge` is set and the replica overruns its latency
+    ///   budget, races a hedge query against it.
+    ///
+    /// The moment a verdict is reached the fan-out's [`CancelFlag`] is
+    /// set, so jobs still queued on the pool are skipped. Every answer
+    /// that does arrive feeds the replica's EWMA latency estimate in
+    /// `directory`.
+    pub fn query_parallel(
+        &self,
+        directory: &Arc<PdpDirectory>,
+        mode: QuorumMode,
+        request: &RequestContext,
+        now_ms: u64,
+        pool: &FanoutPool,
+        hedge: Option<&HedgeConfig>,
+    ) -> GroupOutcome {
+        let healthy = self.healthy_replicas(directory);
+        if healthy.is_empty() {
+            return GroupOutcome::unavailable(0);
+        }
+        if mode == QuorumMode::UnanimousFailClosed && self.minority_partition(healthy.len()) {
+            return Self::fail_closed_floor(healthy.len());
+        }
+        match mode {
+            QuorumMode::FirstHealthy => {
+                self.race_first_healthy(directory, &healthy, request, now_ms, pool, hedge)
+            }
+            QuorumMode::Majority | QuorumMode::UnanimousFailClosed => {
+                self.fan_out_incremental(directory, mode, &healthy, request, now_ms, pool)
+            }
+        }
+    }
+
+    /// Dispatches one replica query onto the pool. The job re-checks
+    /// the cancel flag at start time, records the replica's latency in
+    /// the directory, and reports back on `tx` (ignored if the
+    /// collector already returned). `started`, when given, is raised
+    /// the moment the job begins evaluating — the hedging collector
+    /// uses it to distinguish a slow replica (worth hedging) from a job
+    /// still stuck in the pool queue (hedging would just queue behind
+    /// it).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        directory: &Arc<PdpDirectory>,
+        replica: &Arc<dyn DecisionBackend>,
+        request: &RequestContext,
+        now_ms: u64,
+        pool: &FanoutPool,
+        cancel: &CancelFlag,
+        tx: &Sender<FanoutAnswer>,
+        index: usize,
+        started: Option<Arc<AtomicBool>>,
+    ) {
+        let directory = Arc::clone(directory);
+        let replica = Arc::clone(replica);
+        let request = request.clone();
+        let cancel = cancel.clone();
+        let tx = tx.clone();
+        pool.submit(Box::new(move || {
+            if cancel.is_cancelled() {
+                return;
+            }
+            if let Some(flag) = &started {
+                flag.store(true, Ordering::Release);
+            }
+            let start = Instant::now();
+            let response = replica.decide(&request, now_ms);
+            directory.record_latency_us(replica.name(), start.elapsed().as_micros() as u64);
+            let _ = tx.send((index, response));
+        }));
+    }
+
+    /// Parallel fan-out for the quorum modes, with incremental
+    /// combination and short-circuit cancellation.
+    fn fan_out_incremental(
+        &self,
+        directory: &Arc<PdpDirectory>,
+        mode: QuorumMode,
+        healthy: &[&Arc<dyn DecisionBackend>],
+        request: &RequestContext,
+        now_ms: u64,
+        pool: &FanoutPool,
+    ) -> GroupOutcome {
+        // Dispatch in ascending-EWMA order: likely-fast replicas are
+        // dequeued first, so the short-circuit point arrives as early
+        // as possible and slow stragglers are the ones left queued for
+        // the cancel flag to skip. Unmeasured replicas sort first —
+        // probing them is how they earn an estimate.
+        let mut order: Vec<usize> = (0..healthy.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ewma = |i: usize| directory.latency_ewma_us(healthy[i].name()).unwrap_or(0.0);
+            ewma(a).total_cmp(&ewma(b))
+        });
+        let cancel = CancelFlag::new();
+        let (tx, rx) = channel::<FanoutAnswer>();
+        for &i in &order {
+            Self::dispatch(
+                directory, healthy[i], request, now_ms, pool, &cancel, &tx, i, None,
+            );
+        }
+        drop(tx);
+        let dispatched = order.len();
+
+        // Answers as (healthy-index, response): the index keeps winner
+        // selection deterministic in *configured* replica order even
+        // though arrival order is a thread-scheduling race.
+        let mut received: Vec<(usize, Response)> = Vec::with_capacity(dispatched);
+        let outcome =
+            |response: Response, disagreement: bool, fail_closed: bool, cancel: &CancelFlag| {
+                cancel.cancel();
+                GroupOutcome {
+                    response: Some(response),
+                    replicas_queried: dispatched,
+                    healthy: healthy.len(),
+                    disagreement,
+                    fail_closed,
+                    hedges: 0,
+                    hedge_won: false,
+                }
+            };
+        let needed = dispatched / 2 + 1;
+        while let Ok((index, response)) = rx.recv() {
+            let disagreement = received
+                .iter()
+                .any(|(_, r)| r.decision != response.decision);
+            received.push((index, response));
+            let response = &received.last().expect("just pushed").1;
+            match mode {
+                QuorumMode::Majority => {
+                    let votes = received
+                        .iter()
+                        .filter(|(_, r)| r.decision == response.decision)
+                        .count();
+                    if votes >= needed {
+                        // Deterministic tie-break, matching the
+                        // sequential combiner: the winning decision's
+                        // response (and obligations) come from the
+                        // lowest-index replica that voted for it, not
+                        // from whichever answer happened to arrive
+                        // first.
+                        let winner = received
+                            .iter()
+                            .filter(|(_, r)| r.decision == response.decision)
+                            .min_by_key(|(i, _)| *i)
+                            .expect("winning vote exists")
+                            .1
+                            .clone();
+                        return outcome(winner, disagreement, false, &cancel);
+                    }
+                }
+                QuorumMode::UnanimousFailClosed => {
+                    // Any deny or any disagreement makes the combined
+                    // decision deny regardless of the stragglers, so
+                    // stop waiting. `fail_closed` marks only forced
+                    // denies (disagreement), not genuine all-deny
+                    // verdicts — matching the sequential combiner.
+                    if disagreement {
+                        return outcome(Response::decision(Decision::Deny), true, true, &cancel);
+                    }
+                    if response.decision == Decision::Deny {
+                        let deny = response.clone();
+                        return outcome(deny, false, false, &cancel);
+                    }
+                }
+                QuorumMode::FirstHealthy => unreachable!("handled by race_first_healthy"),
+            }
+            if received.len() == dispatched {
+                break;
+            }
+        }
+        if received.is_empty() {
+            // Every job was lost (worker panic / pool shutdown): an
+            // availability gap, not a decision.
+            return GroupOutcome::unavailable(healthy.len());
+        }
+        // No short-circuit fired: combine whatever arrived (the full
+        // set, unless jobs were lost to a panicking backend) in
+        // configured replica order, so obligation selection matches the
+        // sequential path.
+        received.sort_by_key(|(i, _)| *i);
+        let responses: Vec<Response> = received.into_iter().map(|(_, r)| r).collect();
+        let verdict = quorum::combine(mode, &responses);
+        GroupOutcome {
+            response: Some(verdict.response),
+            replicas_queried: dispatched,
+            healthy: healthy.len(),
+            disagreement: verdict.disagreement,
+            fail_closed: verdict.fail_closed,
+            hedges: 0,
+            hedge_won: false,
+        }
+    }
+
+    /// First-healthy with optional hedging: query `healthy[0]`; if it
+    /// overruns its budget, race hedge queries against it (next-best
+    /// replicas by EWMA), first answer wins.
+    fn race_first_healthy(
+        &self,
+        directory: &Arc<PdpDirectory>,
+        healthy: &[&Arc<dyn DecisionBackend>],
+        request: &RequestContext,
+        now_ms: u64,
+        pool: &FanoutPool,
+        hedge: Option<&HedgeConfig>,
+    ) -> GroupOutcome {
+        let Some(cfg) = hedge else {
+            // Without hedging there is nothing to race: a pool
+            // round-trip (dispatch, channel, cross-thread handoff)
+            // would be pure overhead on a single-replica query, so
+            // evaluate inline exactly like the sequential path.
+            let start = Instant::now();
+            let response = healthy[0].decide(request, now_ms);
+            directory.record_latency_us(healthy[0].name(), start.elapsed().as_micros() as u64);
+            return GroupOutcome {
+                response: Some(response),
+                replicas_queried: 1,
+                healthy: healthy.len(),
+                disagreement: false,
+                fail_closed: false,
+                hedges: 0,
+                hedge_won: false,
+            };
+        };
+
+        let cancel = CancelFlag::new();
+        let (tx, rx) = channel::<FanoutAnswer>();
+        let primary_started = Arc::new(AtomicBool::new(false));
+        Self::dispatch(
+            directory,
+            healthy[0],
+            request,
+            now_ms,
+            pool,
+            &cancel,
+            &tx,
+            0,
+            Some(Arc::clone(&primary_started)),
+        );
+
+        let mut hedges = 0usize;
+        let finish = |answer: FanoutAnswer, hedges: usize| {
+            cancel.cancel();
+            let (winner, response) = answer;
+            GroupOutcome {
+                response: Some(response),
+                replicas_queried: 1 + hedges,
+                healthy: healthy.len(),
+                disagreement: false,
+                fail_closed: false,
+                hedges,
+                hedge_won: winner != 0,
+            }
+        };
+        // Hedge candidates: the other healthy replicas, fastest
+        // (lowest EWMA) first; unmeasured replicas sort first.
+        let mut candidates: Vec<usize> = (1..healthy.len()).collect();
+        candidates.sort_by(|&a, &b| {
+            let ewma = |i: usize| directory.latency_ewma_us(healthy[i].name()).unwrap_or(0.0);
+            ewma(a).total_cmp(&ewma(b))
+        });
+        for &candidate in candidates.iter().take(cfg.max_hedges) {
+            // Budget anchored to this backup's expected latency: once
+            // the primary has been silent that long, a duplicate
+            // evaluation is the cheaper bet.
+            let budget = Duration::from_micros(cfg.budget_us(directory, healthy[candidate].name()));
+            match rx.recv_timeout(budget) {
+                Ok(answer) => return finish(answer, hedges),
+                Err(RecvTimeoutError::Timeout) => {
+                    // Only hedge a replica that is actually evaluating.
+                    // If the primary job is still stuck in the pool
+                    // queue, the pool itself is the bottleneck — a
+                    // hedge would queue behind the very same backlog,
+                    // adding load at the worst moment for zero latency
+                    // benefit. Fall through and wait instead.
+                    if !primary_started.load(Ordering::Acquire) {
+                        break;
+                    }
+                    Self::dispatch(
+                        directory,
+                        healthy[candidate],
+                        request,
+                        now_ms,
+                        pool,
+                        &cancel,
+                        &tx,
+                        candidate,
+                        None,
+                    );
+                    hedges += 1;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return GroupOutcome::unavailable(healthy.len())
+                }
+            }
+        }
+        drop(tx);
+        match rx.recv().ok() {
+            Some(answer) => finish(answer, hedges),
+            None => GroupOutcome::unavailable(healthy.len()),
+        }
+    }
+}
+
+/// A backend that sleeps before answering — a slow replica for tests
+/// across this crate (hedging, short-circuit and starvation cases).
+#[cfg(test)]
+pub(crate) struct SlowBackend {
+    name: String,
+    decision: Decision,
+    delay: Duration,
+}
+
+#[cfg(test)]
+impl SlowBackend {
+    pub(crate) fn new(name: impl Into<String>, decision: Decision, delay: Duration) -> Self {
+        SlowBackend {
+            name: name.into(),
+            decision,
+            delay,
+        }
+    }
+}
+
+#[cfg(test)]
+impl DecisionBackend for SlowBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn decide(&self, _request: &RequestContext, _now_ms: u64) -> Response {
+        std::thread::sleep(self.delay);
+        Response::decision(self.decision)
     }
 }
 
@@ -241,6 +665,341 @@ mod tests {
             0,
         );
         assert_eq!(out.response.unwrap().decision, Decision::Permit);
+    }
+
+    fn pool() -> FanoutPool {
+        FanoutPool::new(4)
+    }
+
+    fn arc_group(decisions: &[Decision]) -> (ReplicaGroup, Arc<PdpDirectory>) {
+        let (g, dir) = group(decisions);
+        (g, Arc::new(dir))
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_every_mode() {
+        let pool = pool();
+        for mode in QuorumMode::ALL {
+            for decisions in [
+                &[Decision::Permit, Decision::Permit, Decision::Permit][..],
+                &[Decision::Permit, Decision::Deny, Decision::Permit][..],
+                &[Decision::Deny, Decision::Deny, Decision::Deny][..],
+            ] {
+                let (g, dir) = arc_group(decisions);
+                let req = RequestContext::new();
+                let seq = g.query(&dir, mode, &req, 0);
+                let par = g.query_parallel(&dir, mode, &req, 0, &pool, None);
+                assert_eq!(
+                    seq.response.as_ref().map(|r| r.decision),
+                    par.response.as_ref().map(|r| r.decision),
+                    "{mode} over {decisions:?}"
+                );
+                assert_eq!(seq.healthy, par.healthy);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_majority_latency_tracks_fast_majority_not_slowest() {
+        // Two instant Permits and one 200ms straggler: the majority
+        // verdict must not wait for the straggler.
+        let directory = Arc::new(PdpDirectory::new());
+        let mut replicas: Vec<Arc<dyn DecisionBackend>> = Vec::new();
+        for name in ["r0", "r1"] {
+            directory.register(name, "cluster");
+            replicas.push(Arc::new(StaticBackend::new(name, Decision::Permit)));
+        }
+        directory.register("r2", "cluster");
+        replicas.push(Arc::new(SlowBackend::new(
+            "r2",
+            Decision::Deny,
+            Duration::from_millis(200),
+        )));
+        let g = ReplicaGroup::new(replicas);
+        let pool = pool();
+        let start = Instant::now();
+        let out = g.query_parallel(
+            &directory,
+            QuorumMode::Majority,
+            &RequestContext::new(),
+            0,
+            &pool,
+            None,
+        );
+        let elapsed = start.elapsed();
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "majority waited for the straggler: {elapsed:?}"
+        );
+        assert_eq!(out.replicas_queried, 3, "all replicas were dispatched");
+    }
+
+    #[test]
+    fn parallel_unanimity_short_circuits_on_first_deny() {
+        // One instant Deny and two slow Permits: unanimity can only end
+        // in deny, so it must answer without waiting for the permits.
+        let directory = Arc::new(PdpDirectory::new());
+        let mut replicas: Vec<Arc<dyn DecisionBackend>> = Vec::new();
+        directory.register("r0", "cluster");
+        replicas.push(Arc::new(StaticBackend::new("r0", Decision::Deny)));
+        for name in ["r1", "r2"] {
+            directory.register(name, "cluster");
+            replicas.push(Arc::new(SlowBackend::new(
+                name,
+                Decision::Permit,
+                Duration::from_millis(200),
+            )));
+        }
+        let g = ReplicaGroup::new(replicas);
+        let pool = pool();
+        let start = Instant::now();
+        let out = g.query_parallel(
+            &directory,
+            QuorumMode::UnanimousFailClosed,
+            &RequestContext::new(),
+            0,
+            &pool,
+            None,
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "unanimity waited for slow permits"
+        );
+    }
+
+    #[test]
+    fn parallel_majority_winner_is_deterministic_in_configured_order() {
+        // r0 carries an obligation on its Permit, r1 permits bare. The
+        // sequential combiner always returns r0's obligations; the
+        // parallel path must too, whatever the arrival order.
+        use dacs_policy::policy::Obligation;
+        struct Obliged(String);
+        impl DecisionBackend for Obliged {
+            fn name(&self) -> &str {
+                &self.0
+            }
+            fn decide(&self, _request: &RequestContext, _now_ms: u64) -> Response {
+                let mut r = Response::decision(Decision::Permit);
+                r.obligations.push(Obligation {
+                    id: "log-access".into(),
+                    params: Vec::new(),
+                });
+                r
+            }
+        }
+        let directory = Arc::new(PdpDirectory::new());
+        directory.register("r0", "cluster");
+        directory.register("r1", "cluster");
+        let g = ReplicaGroup::new(vec![
+            Arc::new(Obliged("r0".into())) as Arc<dyn DecisionBackend>,
+            Arc::new(StaticBackend::new("r1", Decision::Permit)) as Arc<dyn DecisionBackend>,
+        ]);
+        let pool = pool();
+        for i in 0..25 {
+            let out = g.query_parallel(
+                &directory,
+                QuorumMode::Majority,
+                &RequestContext::new(),
+                i,
+                &pool,
+                None,
+            );
+            let response = out.response.unwrap();
+            assert_eq!(response.decision, Decision::Permit);
+            assert_eq!(
+                response.obligations.len(),
+                1,
+                "obligations must come from the lowest-index winning vote (iteration {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_unanimity_refuses_minority_partitions() {
+        // The healthy-majority floor holds on the parallel path too.
+        let (g, dir) = arc_group(&[Decision::Permit, Decision::Permit, Decision::Permit]);
+        dir.mark_down("r0");
+        dir.mark_down("r1");
+        let pool = pool();
+        let out = g.query_parallel(
+            &dir,
+            QuorumMode::UnanimousFailClosed,
+            &RequestContext::new(),
+            0,
+            &pool,
+            None,
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+        assert!(out.fail_closed);
+        assert_eq!(out.replicas_queried, 0, "no evaluations spent");
+    }
+
+    #[test]
+    fn parallel_majority_survives_a_panicking_replica() {
+        struct Panicky(String);
+        impl DecisionBackend for Panicky {
+            fn name(&self) -> &str {
+                &self.0
+            }
+            fn decide(&self, _request: &RequestContext, _now_ms: u64) -> Response {
+                panic!("replica bug");
+            }
+        }
+        let directory = Arc::new(PdpDirectory::new());
+        for name in ["r0", "r1", "r2"] {
+            directory.register(name, "cluster");
+        }
+        let g = ReplicaGroup::new(vec![
+            Arc::new(Panicky("r0".into())) as Arc<dyn DecisionBackend>,
+            Arc::new(StaticBackend::new("r1", Decision::Permit)) as Arc<dyn DecisionBackend>,
+            Arc::new(StaticBackend::new("r2", Decision::Permit)) as Arc<dyn DecisionBackend>,
+        ]);
+        let pool = pool();
+        // The panicking replica's answer is simply lost; the two
+        // healthy permits still form a majority — repeatedly, because
+        // the panic must not cost a pool worker.
+        for i in 0..8 {
+            let out = g.query_parallel(
+                &directory,
+                QuorumMode::Majority,
+                &RequestContext::new(),
+                i,
+                &pool,
+                None,
+            );
+            assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        }
+    }
+
+    #[test]
+    fn parallel_all_down_is_unavailable() {
+        let (g, dir) = arc_group(&[Decision::Permit, Decision::Permit]);
+        dir.mark_down("r0");
+        dir.mark_down("r1");
+        let pool = pool();
+        let out = g.query_parallel(
+            &dir,
+            QuorumMode::Majority,
+            &RequestContext::new(),
+            0,
+            &pool,
+            None,
+        );
+        assert_eq!(out.response, None);
+        assert_eq!(out.replicas_queried, 0);
+    }
+
+    #[test]
+    fn parallel_queries_feed_the_latency_ewma() {
+        let (g, dir) = arc_group(&[Decision::Permit, Decision::Permit, Decision::Permit]);
+        let pool = pool();
+        for names_missing in [true, false] {
+            if names_missing {
+                assert_eq!(dir.latency_ewma_us("r0"), None);
+            }
+            g.query_parallel(
+                &dir,
+                QuorumMode::UnanimousFailClosed,
+                &RequestContext::new(),
+                0,
+                &pool,
+                None,
+            );
+        }
+        // Unanimity waits for every replica, so all three got timed.
+        // (Majority may cancel a straggler before it runs.)
+        for name in ["r0", "r1", "r2"] {
+            assert!(
+                dir.latency_ewma_us(name).is_some(),
+                "{name} has no latency sample"
+            );
+        }
+    }
+
+    #[test]
+    fn hedge_fires_on_slow_primary_and_fast_replica_wins() {
+        // Primary sleeps far past the hedge budget; the hedge goes to
+        // the fast second replica, whose answer must win.
+        let directory = Arc::new(PdpDirectory::new());
+        let mut replicas: Vec<Arc<dyn DecisionBackend>> = Vec::new();
+        directory.register("slow", "cluster");
+        replicas.push(Arc::new(SlowBackend::new(
+            "slow",
+            Decision::Deny, // the slow replica would deny…
+            Duration::from_millis(300),
+        )));
+        directory.register("fast", "cluster");
+        replicas.push(Arc::new(StaticBackend::new("fast", Decision::Permit)));
+        let g = ReplicaGroup::new(replicas);
+        let pool = pool();
+        let cfg = HedgeConfig {
+            budget_multiplier: 3.0,
+            min_budget_us: 2_000,
+            max_hedges: 1,
+        };
+        let start = Instant::now();
+        let out = g.query_parallel(
+            &directory,
+            QuorumMode::FirstHealthy,
+            &RequestContext::new(),
+            0,
+            &pool,
+            Some(&cfg),
+        );
+        // …but the hedge's answer arrives first and wins.
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert_eq!(out.hedges, 1);
+        assert!(out.hedge_won);
+        assert_eq!(out.replicas_queried, 2);
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "hedged decision waited for the slow primary"
+        );
+    }
+
+    #[test]
+    fn fast_primary_never_hedges() {
+        let (g, dir) = arc_group(&[Decision::Permit, Decision::Deny]);
+        let pool = pool();
+        // Generous budget so a loaded test machine cannot trip it.
+        let cfg = HedgeConfig {
+            min_budget_us: 50_000,
+            ..HedgeConfig::default()
+        };
+        for _ in 0..5 {
+            let out = g.query_parallel(
+                &dir,
+                QuorumMode::FirstHealthy,
+                &RequestContext::new(),
+                0,
+                &pool,
+                Some(&cfg),
+            );
+            assert_eq!(out.response.unwrap().decision, Decision::Permit);
+            assert_eq!(out.hedges, 0);
+            assert!(!out.hedge_won);
+            assert_eq!(out.replicas_queried, 1);
+        }
+    }
+
+    #[test]
+    fn hedging_needs_a_second_replica() {
+        // A single-replica group under hedging just waits.
+        let (g, dir) = arc_group(&[Decision::Permit]);
+        let pool = pool();
+        let cfg = HedgeConfig::default();
+        let out = g.query_parallel(
+            &dir,
+            QuorumMode::FirstHealthy,
+            &RequestContext::new(),
+            0,
+            &pool,
+            Some(&cfg),
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert_eq!(out.hedges, 0);
     }
 
     #[test]

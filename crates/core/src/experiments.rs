@@ -5,7 +5,9 @@
 use crate::scenario::{healthcare_vo, with_shared_cas};
 use crate::stats::{f2, us_as_ms, Summary, Table};
 use crate::workload::{generate, WorkloadSpec};
-use dacs_cluster::{ClusterBuilder, DecisionBackend, PdpCluster, QuorumMode};
+use dacs_cluster::{
+    ClusterBuilder, DecisionBackend, FanoutPool, HedgeConfig, PdpCluster, QuorumMode,
+};
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
 use dacs_federation::{
     issue_capability_flow, push_flow, request_flow, FlowKind, FlowNet, SizeModel, Vo,
@@ -953,6 +955,180 @@ pub fn e14_cluster_dependability(requests: usize) -> Table {
     table
 }
 
+/// A decision backend that answers correctly but slowly — the E15
+/// stand-in for an overloaded or far-away replica whose tail latency
+/// the fan-out strategies must hide.
+struct SlowPermit {
+    name: String,
+    delay: std::time::Duration,
+}
+
+impl DecisionBackend for SlowPermit {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn decide(&self, _request: &RequestContext, _now_ms: u64) -> dacs_policy::eval::Response {
+        std::thread::sleep(self.delay);
+        dacs_policy::eval::Response::decision(Decision::Permit)
+    }
+}
+
+/// The fan-out strategies E15 compares.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum FanoutStrategy {
+    /// `ReplicaGroup::query`: replicas polled one after another on the
+    /// caller's thread (latency = sum of replicas).
+    Sequential,
+    /// `ReplicaGroup::query_parallel`: all replicas concurrently, with
+    /// incremental quorum short-circuiting (latency ≈ the slowest
+    /// replica the quorum still needs).
+    Parallel,
+    /// First-healthy with EWMA-budgeted hedged requests racing a slow
+    /// primary.
+    Hedged,
+}
+
+impl FanoutStrategy {
+    fn label(&self) -> &'static str {
+        match self {
+            FanoutStrategy::Sequential => "sequential",
+            FanoutStrategy::Parallel => "parallel",
+            FanoutStrategy::Hedged => "hedged",
+        }
+    }
+
+    fn quorum(&self) -> QuorumMode {
+        match self {
+            // Sequential vs parallel compare the same majority quorum;
+            // hedging is a first-healthy mechanism (quorum fan-outs
+            // already query every replica, leaving nothing to hedge to).
+            FanoutStrategy::Sequential | FanoutStrategy::Parallel => QuorumMode::Majority,
+            FanoutStrategy::Hedged => QuorumMode::FirstHealthy,
+        }
+    }
+}
+
+/// Builds the E15 testbed for one strategy: one shard of three
+/// replicas — one *slow* replica (listed first, so it is the
+/// first-healthy primary) ahead of two fast ones.
+fn e15_cluster(strategy: FanoutStrategy, slow: std::time::Duration) -> PdpCluster {
+    let replicas: Vec<Arc<dyn DecisionBackend>> = vec![
+        Arc::new(SlowPermit {
+            name: "r-slow".into(),
+            delay: slow,
+        }),
+        Arc::new(dacs_cluster::StaticBackend::new(
+            "r-fast-0",
+            Decision::Permit,
+        )),
+        Arc::new(dacs_cluster::StaticBackend::new(
+            "r-fast-1",
+            Decision::Permit,
+        )),
+    ];
+    let mut builder = ClusterBuilder::new("e15")
+        .quorum(strategy.quorum())
+        .shard(replicas);
+    if strategy != FanoutStrategy::Sequential {
+        // Headroom beyond the replica count: a 2 ms straggler parks a
+        // worker until it finishes, and cancellation only spares jobs
+        // that have not been dequeued yet.
+        builder = builder.parallel(Arc::new(FanoutPool::new(6)));
+    }
+    if strategy == FanoutStrategy::Hedged {
+        builder = builder.hedge(HedgeConfig {
+            budget_multiplier: 3.0,
+            min_budget_us: 200,
+            max_hedges: 1,
+        });
+    }
+    builder.build()
+}
+
+/// E15: fan-out latency — sequential vs parallel vs hedged quorum
+/// service under one slow replica plus simnet-injected crash churn.
+///
+/// One shard runs a 2 ms-slow replica (first in configured order, so it
+/// is also the first-healthy primary) next to two fast replicas; a
+/// simnet controller schedules crash/recover events that take the slow
+/// replica down for part of the run. Sequential majority pays
+/// sum-of-replicas on every request; parallel majority short-circuits
+/// on the two fast replicas' agreement; the hedged first-healthy path
+/// races a hedge against the slow primary after an EWMA-derived budget.
+/// Decision correctness is identical across strategies — the table
+/// isolates the latency distribution (p50/p99) and the hedge rate.
+pub fn e15_fanout_latency(requests: usize) -> Table {
+    let mut table = Table::new(
+        "E15 — fan-out latency: sequential vs parallel vs hedged (3 replicas, one 2 ms-slow, crash churn)",
+        &[
+            "strategy",
+            "quorum",
+            "lat p50 (µs)",
+            "lat p99 (µs)",
+            "hedge rate %",
+            "hedges won",
+            "availability %",
+        ],
+    );
+    let slow = std::time::Duration::from_millis(2);
+    #[derive(Clone, PartialEq, Debug)]
+    enum Churn {
+        Crash,
+        Recover,
+    }
+    for strategy in [
+        FanoutStrategy::Sequential,
+        FanoutStrategy::Parallel,
+        FanoutStrategy::Hedged,
+    ] {
+        let cluster = e15_cluster(strategy, slow);
+
+        // Identical, deterministic churn schedule for every strategy:
+        // the slow replica crashes and recovers on a simulated control
+        // plane (≈ one outage per third of the horizon).
+        let horizon_us = requests as u64 * 1_000;
+        let mut net: dacs_simnet::Network<Churn> = dacs_simnet::Network::new(15);
+        let controller = net.add_node("controller");
+        let control_plane = net.add_node("control-plane");
+        net.set_link(controller, control_plane, LinkSpec::lan());
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut t = rng.gen_range(0..horizon_us / 3);
+        while t < horizon_us {
+            let outage = rng.gen_range(horizon_us / 12..horizon_us / 6);
+            net.send_after(t, controller, control_plane, 64, Churn::Crash);
+            net.send_after(t + outage, controller, control_plane, 64, Churn::Recover);
+            t += outage + rng.gen_range(horizon_us / 6..horizon_us / 3);
+        }
+
+        let mut lats = Vec::with_capacity(requests);
+        for i in 0..requests as u64 {
+            net.run_until(i * 1_000, |_net, delivery| match delivery.payload {
+                Churn::Crash => cluster.mark_down("r-slow"),
+                Churn::Recover => cluster.mark_up("r-slow"),
+            });
+            let u = i % 16;
+            let request =
+                RequestContext::basic(format!("user-{u}"), format!("records/{}", u % 5), "read");
+            let started = Instant::now();
+            let outcome = cluster.decide(&request, i);
+            lats.push(started.elapsed().as_micros() as u64);
+            debug_assert!(outcome.response.is_some(), "replicas remain available");
+        }
+        let lat = Summary::of(&lats);
+        let m = cluster.metrics();
+        table.row(vec![
+            strategy.label().into(),
+            strategy.quorum().name().into(),
+            lat.p50.to_string(),
+            lat.p99.to_string(),
+            f2(100.0 * m.hedge_rate()),
+            m.hedge_wins.to_string(),
+            f2(100.0 * m.availability()),
+        ]);
+    }
+    table
+}
+
 /// Runs every experiment at default scale (used by the harness's `all`).
 pub fn run_all() -> Vec<Table> {
     vec![
@@ -970,6 +1146,7 @@ pub fn run_all() -> Vec<Table> {
         e12_rbac_scale(),
         e13_pdp_discovery(2000),
         e14_cluster_dependability(4000),
+        e15_fanout_latency(400),
     ]
 }
 
@@ -1080,6 +1257,61 @@ mod tests {
         let fan_majority: f64 = majority[5].parse().unwrap();
         assert!(fan_first <= 1.0 + 1e-9);
         assert!(fan_majority > fan_first);
+    }
+
+    #[test]
+    fn e15_parallel_and_hedged_beat_sequential_tail_latency() {
+        let t = e15_fanout_latency(250);
+        assert_eq!(t.rows.len(), 3);
+        let row = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .clone()
+        };
+        let sequential = row("sequential");
+        let parallel = row("parallel");
+        let hedged = row("hedged");
+        // The acceptance bar: with one injected slow replica, the
+        // parallel and hedged p99 sit strictly below the sequential
+        // p99 (which pays the 2 ms replica on every fan-out).
+        let p99 = |r: &Vec<String>| -> u64 { r[3].parse().unwrap() };
+        assert!(
+            p99(&sequential) >= 2_000,
+            "sequential p99 must include the slow replica: {}",
+            p99(&sequential)
+        );
+        assert!(
+            p99(&parallel) < p99(&sequential),
+            "parallel p99 {} !< sequential p99 {}",
+            p99(&parallel),
+            p99(&sequential)
+        );
+        assert!(
+            p99(&hedged) < p99(&sequential),
+            "hedged p99 {} !< sequential p99 {}",
+            p99(&hedged),
+            p99(&sequential)
+        );
+        // Hedges fire only on the hedged strategy, and only while the
+        // slow primary is up (availability stays 100% throughout).
+        let hedge_rate = |r: &Vec<String>| -> f64 { r[4].parse().unwrap() };
+        assert_eq!(hedge_rate(&sequential), 0.0);
+        assert_eq!(hedge_rate(&parallel), 0.0);
+        assert!(
+            hedge_rate(&hedged) > 10.0,
+            "slow primary must draw hedges: {}",
+            hedge_rate(&hedged)
+        );
+        for r in [&sequential, &parallel, &hedged] {
+            let avail: f64 = r[6].parse().unwrap();
+            assert!(
+                (avail - 100.0).abs() < 1e-9,
+                "{}: availability {avail}",
+                r[0]
+            );
+        }
     }
 
     #[test]

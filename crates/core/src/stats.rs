@@ -12,6 +12,8 @@ pub struct Summary {
     pub p50: u64,
     /// 95th percentile.
     pub p95: u64,
+    /// 99th percentile (tail latency).
+    pub p99: u64,
     /// Maximum.
     pub max: u64,
 }
@@ -35,6 +37,7 @@ impl Summary {
             mean,
             p50: idx(0.5),
             p95: idx(0.95),
+            p99: idx(0.99),
             max: sorted[count - 1],
         }
     }
@@ -129,9 +132,11 @@ mod tests {
     fn percentile_monotone() {
         let s = Summary::of(&(0..1000u64).collect::<Vec<_>>());
         assert!(s.p50 <= s.p95);
-        assert!(s.p95 <= s.max);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
         assert_eq!(s.p50, 500);
         assert_eq!(s.p95, 949);
+        assert_eq!(s.p99, 989);
     }
 
     #[test]

@@ -29,11 +29,21 @@ pub enum Binding {
     Discovery,
 }
 
+/// Smoothing factor for the per-endpoint latency EWMA: each new sample
+/// contributes 20%, so the estimate settles within a handful of
+/// observations yet rides out single outliers.
+const LATENCY_EWMA_ALPHA: f64 = 0.2;
+
 /// A per-environment registry of PDP endpoints.
 #[derive(Debug, Default)]
 pub struct PdpDirectory {
     endpoints: RwLock<Vec<PdpEndpoint>>,
     rr: RwLock<HashMap<String, usize>>,
+    /// Exponentially weighted moving average of observed decision
+    /// latency per endpoint, in microseconds. Fed by callers that time
+    /// their queries (e.g. the cluster fan-out); read back to derive
+    /// hedge budgets and to rank replicas by expected speed.
+    latency_us: RwLock<HashMap<String, f64>>,
 }
 
 impl PdpDirectory {
@@ -118,6 +128,29 @@ impl PdpDirectory {
                 Some(healthy[index].name.clone())
             }
         }
+    }
+
+    /// Feeds one observed decision latency (in microseconds) into the
+    /// endpoint's EWMA estimate.
+    ///
+    /// Unknown endpoint names are accepted (the sample simply seeds a
+    /// fresh estimate) so timing callers need not re-check registration.
+    pub fn record_latency_us(&self, name: &str, sample_us: u64) {
+        let mut map = self.latency_us.write();
+        match map.get_mut(name) {
+            Some(ewma) => {
+                *ewma = LATENCY_EWMA_ALPHA * sample_us as f64 + (1.0 - LATENCY_EWMA_ALPHA) * *ewma;
+            }
+            None => {
+                map.insert(name.to_owned(), sample_us as f64);
+            }
+        }
+    }
+
+    /// The endpoint's current EWMA decision latency in microseconds, or
+    /// `None` before the first recorded sample.
+    pub fn latency_ewma_us(&self, name: &str) -> Option<f64> {
+        self.latency_us.read().get(name).copied()
     }
 
     /// All endpoints of a domain (healthy or not).
@@ -240,6 +273,27 @@ mod tests {
         window.sort();
         window.dedup();
         assert_eq!(window.len(), 2, "both endpoints return to rotation");
+    }
+
+    #[test]
+    fn latency_ewma_tracks_and_smooths() {
+        let d = directory();
+        assert_eq!(d.latency_ewma_us("pdp-1"), None);
+        d.record_latency_us("pdp-1", 100);
+        assert_eq!(d.latency_ewma_us("pdp-1"), Some(100.0));
+        // A single outlier moves the estimate by only alpha = 0.2.
+        d.record_latency_us("pdp-1", 1_100);
+        let ewma = d.latency_ewma_us("pdp-1").unwrap();
+        assert!((ewma - 300.0).abs() < 1e-9, "ewma {ewma}");
+        // Repeated samples converge toward the new level.
+        for _ in 0..50 {
+            d.record_latency_us("pdp-1", 1_100);
+        }
+        assert!(d.latency_ewma_us("pdp-1").unwrap() > 1_000.0);
+        // Estimates are per endpoint; unknown names seed fresh ones.
+        assert_eq!(d.latency_ewma_us("pdp-2"), None);
+        d.record_latency_us("not-registered", 7);
+        assert_eq!(d.latency_ewma_us("not-registered"), Some(7.0));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   with health tracking (§3.2 "Location of Policy Decision Points").
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod discovery;

@@ -13,7 +13,7 @@
 //! | [`wire`] | `dacs-wire` | compact + XML-ish codecs, envelopes, message security |
 //! | [`simnet`] | `dacs-simnet` | deterministic event-driven network simulator |
 //! | [`rbac`] | `dacs-rbac` | RBAC96 with hierarchies, sessions, SSD/DSD |
-//! | [`assert`] | `dacs-assert` | SAML-like assertions, capabilities, attribute certificates |
+//! | [`mod@assert`] | `dacs-assert` | SAML-like assertions, capabilities, attribute certificates |
 //! | [`pip`] | `dacs-pip` | attribute providers and resolution |
 //! | [`pap`] | `dacs-pap` | versioned repository, admin policies, delegation, syndication |
 //! | [`pdp`] | `dacs-pdp` | decision engine, caching, discovery |

@@ -1,9 +1,15 @@
 //! Offline shim of the `criterion` API subset this workspace uses.
 //!
-//! Implements real wall-clock measurement (warm-up, then timed
-//! iterations, reporting mean ns/iter) but none of criterion's
-//! statistics, plots, or baselines. Good enough for `cargo bench` to
-//! run and print comparable numbers in an offline environment.
+//! Implements real wall-clock measurement (warm-up, then per-iteration
+//! timed samples, reporting mean plus p50/p95/p99 ns/iter) but none of
+//! criterion's plots or baselines. Good enough for `cargo bench` to run
+//! and print comparable numbers — including tail latency — in an
+//! offline environment.
+//!
+//! Per-iteration sampling costs two `Instant::now()` calls per
+//! iteration (tens of nanoseconds); treat sub-100 ns benchmarks'
+//! absolute numbers with suspicion, but percentile *shape* (does the
+//! tail blow up?) is exactly what the cluster fan-out benches need.
 
 #![forbid(unsafe_code)]
 
@@ -74,8 +80,8 @@ impl Criterion {
         f(&mut bencher);
         match bencher.result {
             Some(r) => println!(
-                "bench {id:<48} {:>12.1} ns/iter ({} iters)",
-                r.ns_per_iter, r.iters
+                "bench {id:<48} {:>12.1} ns/iter  p50 {:>10} p95 {:>10} p99 {:>10} ({} iters)",
+                r.mean_ns, r.p50_ns, r.p95_ns, r.p99_ns, r.iters
             ),
             None => println!("bench {id:<48} (no measurement)"),
         }
@@ -116,10 +122,41 @@ struct BenchConfig {
     min_iters: u64,
 }
 
+/// Upper bound on stored per-iteration samples. A nanosecond-scale
+/// routine can run tens of millions of iterations inside the
+/// measurement window; capping the sample vector (8 MB at this bound)
+/// keeps memory flat, and measurement simply ends early once the cap is
+/// reached — a million samples is plenty for p99.
+const MAX_SAMPLES: usize = 1_000_000;
+
 #[derive(Clone, Copy)]
 struct BenchResult {
-    ns_per_iter: f64,
+    mean_ns: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
     iters: u64,
+}
+
+impl BenchResult {
+    /// Summarizes per-iteration samples (nanoseconds) into mean and
+    /// percentiles. `samples` must be non-empty.
+    fn from_samples(samples: &mut [u64]) -> BenchResult {
+        samples.sort_unstable();
+        let iters = samples.len() as u64;
+        let mean_ns = samples.iter().sum::<u64>() as f64 / iters as f64;
+        let pct = |q: f64| -> u64 {
+            let i = ((samples.len() as f64 - 1.0) * q).round() as usize;
+            samples[i.min(samples.len() - 1)]
+        };
+        BenchResult {
+            mean_ns,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            iters,
+        }
+    }
 }
 
 /// Timing driver handed to each benchmark closure.
@@ -129,26 +166,26 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Measures a routine.
+    /// Measures a routine, timing every iteration individually so the
+    /// report carries tail percentiles alongside the mean.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up.
         let warm_deadline = Instant::now() + self.config.warm_up_time;
         while Instant::now() < warm_deadline {
             black_box(routine());
         }
-        // Measurement.
-        let start = Instant::now();
-        let deadline = start + self.config.measurement_time;
-        let mut iters = 0u64;
-        while iters < self.config.min_iters || Instant::now() < deadline {
+        // Measurement: one sample per iteration, bounded by MAX_SAMPLES.
+        let mut samples: Vec<u64> = Vec::with_capacity(self.config.min_iters as usize);
+        let overall = Instant::now();
+        let deadline = overall + self.config.measurement_time;
+        while samples.len() < MAX_SAMPLES
+            && ((samples.len() as u64) < self.config.min_iters || Instant::now() < deadline)
+        {
+            let start = Instant::now();
             black_box(routine());
-            iters += 1;
+            samples.push(start.elapsed().as_nanos() as u64);
         }
-        let elapsed = start.elapsed();
-        self.result = Some(BenchResult {
-            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
-            iters,
-        });
+        self.result = Some(BenchResult::from_samples(&mut samples));
     }
 
     /// Measures a routine with per-iteration setup excluded from timing.
@@ -163,20 +200,18 @@ impl Bencher {
             let input = setup();
             black_box(routine(input));
         }
-        let mut measured = Duration::ZERO;
-        let mut iters = 0u64;
+        let mut samples: Vec<u64> = Vec::with_capacity(self.config.min_iters as usize);
         let overall = Instant::now();
-        while iters < self.config.min_iters || (overall.elapsed() < self.config.measurement_time) {
+        while samples.len() < MAX_SAMPLES
+            && ((samples.len() as u64) < self.config.min_iters
+                || (overall.elapsed() < self.config.measurement_time))
+        {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            measured += start.elapsed();
-            iters += 1;
+            samples.push(start.elapsed().as_nanos() as u64);
         }
-        self.result = Some(BenchResult {
-            ns_per_iter: measured.as_nanos() as f64 / iters as f64,
-            iters,
-        });
+        self.result = Some(BenchResult::from_samples(&mut samples));
     }
 }
 
@@ -211,4 +246,44 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_summarizes_percentiles() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let r = BenchResult::from_samples(&mut samples);
+        assert_eq!(r.iters, 100);
+        assert!((r.mean_ns - 50.5).abs() < 1e-9);
+        assert_eq!(r.p50_ns, 51);
+        assert_eq!(r.p95_ns, 95);
+        assert_eq!(r.p99_ns, 99);
+        // A 2% tail of outliers moves p99 (and the mean) but not p50.
+        let mut skewed: Vec<u64> = vec![10; 98];
+        skewed.extend([100_000, 100_000]);
+        let s = BenchResult::from_samples(&mut skewed);
+        assert_eq!(s.p50_ns, 10);
+        assert_eq!(s.p95_ns, 10);
+        assert_eq!(s.p99_ns, 100_000);
+        assert!(s.mean_ns > 1_000.0);
+    }
+
+    #[test]
+    fn bencher_reports_all_percentile_fields() {
+        let mut b = Bencher {
+            config: BenchConfig {
+                warm_up_time: Duration::from_millis(1),
+                measurement_time: Duration::from_millis(5),
+                min_iters: 10,
+            },
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(7u64.wrapping_mul(13)));
+        let r = b.result.expect("measured");
+        assert!(r.iters >= 10);
+        assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns);
+    }
 }
