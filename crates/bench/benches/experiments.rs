@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks: one group per experiment (E1–E15) over
+//! Criterion micro-benchmarks: one group per experiment (E1–E16) over
 //! the hot path each experiment exercises, plus substrate benches.
 //! `cargo bench` runs everything; the `harness` binary produces the
 //! full tables.
@@ -431,6 +431,78 @@ fn bench_e15_fanout(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_e16_resync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_resync");
+    // Catch-up replay cost: a leaf that slept through 32 updates.
+    let policy = |k: u64| {
+        Policy::new(PolicyId::new("gate"), CombiningAlg::DenyUnlessPermit)
+            .with_rule(Rule::new(format!("v{k}"), Effect::Permit))
+    };
+    g.bench_function("catch_up_32_missed", |b| {
+        b.iter_batched(
+            || {
+                let mut tree = SyndicationTree::new("root");
+                let leaf = tree.add_child(0, "leaf", None);
+                tree.set_online(leaf, false);
+                for k in 0..32u64 {
+                    tree.propagate(policy(k), k);
+                }
+                tree.set_online(leaf, true);
+                (tree, leaf)
+            },
+            |(mut tree, leaf)| tree.catch_up(leaf, 1_000),
+            BatchSize::SmallInput,
+        )
+    });
+    // Quorum overhead of the epoch gate: one replica held in Syncing,
+    // so every decision filters it out and accounts the exclusion.
+    let gate =
+        parse_policy(r#"policy "gate" deny-unless-permit { rule "ok" permit { } }"#).unwrap();
+    let paps: Vec<std::sync::Arc<dacs_pap::Pap>> = (0..3)
+        .map(|i| std::sync::Arc::new(dacs_pap::Pap::new(format!("pap-{i}"))))
+        .collect();
+    for (i, pap) in paps.iter().enumerate() {
+        // Replica 2 misses the second update: its epoch lags.
+        pap.apply_syndicated_stamped("root", gate.clone(), dacs_pap::PolicyEpoch(1), 0);
+        if i != 2 {
+            pap.apply_syndicated_stamped("root", gate.clone(), dacs_pap::PolicyEpoch(2), 1);
+        }
+    }
+    let pips = std::sync::Arc::new(dacs_pip::PipRegistry::new());
+    let root_ref = dacs_policy::policy::PolicyElement::PolicyRef(PolicyId::new("gate"));
+    let cluster = ClusterBuilder::new("bench-resync")
+        .quorum(QuorumMode::Majority)
+        .resync(true)
+        .shard(
+            (0..3)
+                .map(|r| {
+                    std::sync::Arc::new(dacs_pdp::Pdp::new(
+                        format!("g-r{r}"),
+                        paps[r].clone(),
+                        root_ref.clone(),
+                        pips.clone(),
+                    )) as std::sync::Arc<dyn DecisionBackend>
+                })
+                .collect(),
+        )
+        .build();
+    cluster.mark_down("g-r2");
+    cluster.mark_up("g-r2"); // returns behind → Syncing
+    let mut i = 0u64;
+    g.bench_function("decide_with_syncing_replica", |b| {
+        b.iter(|| {
+            i += 1;
+            let req = RequestContext::basic(
+                format!("user-{}", i % 64),
+                format!("records/{}", i % 16),
+                "read",
+            );
+            cluster.decide(&req, i)
+        })
+    });
+    g.finish();
+}
+
 fn bench_e13_discovery(c: &mut Criterion) {
     c.bench_function("e13_discovery_resolve", |b| {
         let dir = PdpDirectory::new();
@@ -462,6 +534,7 @@ criterion_group!(
     bench_e10_e11_e12,
     bench_e13_discovery,
     bench_e14_cluster,
-    bench_e15_fanout
+    bench_e15_fanout,
+    bench_e16_resync
 );
 criterion_main!(benches);

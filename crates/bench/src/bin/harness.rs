@@ -10,31 +10,50 @@
 //!
 //! `--json PATH` additionally writes one JSON object per data cell
 //! (`experiment`, `key`, `metric`, `value`) so successive runs form a
-//! machine-readable trajectory.
+//! machine-readable trajectory (the CI `bench-smoke` job compares it
+//! against `BENCH_baseline.json` via `scripts/bench_gate.rs`).
+//!
+//! `DACS_BENCH_SCALE=N` divides every experiment's iteration count by
+//! `N` (with a floor that keeps the experiments meaningful) — the
+//! reduced-iteration knob CI smoke runs use.
 
 use dacs_bench::table_to_json_rows;
 use dacs_core::experiments as exp;
 use dacs_core::stats::Table;
 
-const EXPERIMENT_COUNT: usize = 15;
+const EXPERIMENT_COUNT: usize = 16;
+
+/// Applies the `DACS_BENCH_SCALE` divisor to a default iteration
+/// count. Counts that are already small (≤ 100) pass through; larger
+/// ones are divided but never drop below 100, so scaled runs still
+/// exercise several churn rounds per experiment.
+fn scaled(default: usize) -> usize {
+    let divisor = std::env::var("DACS_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|d| *d >= 1)
+        .unwrap_or(1);
+    (default / divisor).max(default.min(100))
+}
 
 fn run(id: &str) -> Option<Table> {
     Some(match id {
-        "e1" => exp::e1_vo_end_to_end(400),
+        "e1" => exp::e1_vo_end_to_end(scaled(400)),
         "e2" => exp::e2_capability_flow(),
         "e3" => exp::e3_policy_scaling(),
         "e4" => exp::e4_xacml_dataflow(),
         "e5" => exp::e5_syndication(),
-        "e6" => exp::e6_caching(4000),
-        "e7" => exp::e7_message_security(50),
+        "e6" => exp::e6_caching(scaled(4000)),
+        "e7" => exp::e7_message_security(scaled(50)),
         "e8" => exp::e8_push_vs_pull(),
         "e9" => exp::e9_conflict_analysis(),
         "e10" => exp::e10_trust_negotiation(),
         "e11" => exp::e11_delegation(),
         "e12" => exp::e12_rbac_scale(),
-        "e13" => exp::e13_pdp_discovery(2000),
-        "e14" => exp::e14_cluster_dependability(4000),
-        "e15" => exp::e15_fanout_latency(400),
+        "e13" => exp::e13_pdp_discovery(scaled(2000)),
+        "e14" => exp::e14_cluster_dependability(scaled(4000)),
+        "e15" => exp::e15_fanout_latency(scaled(400)),
+        "e16" => exp::e16_replica_resync(scaled(2000)),
         _ => return None,
     })
 }

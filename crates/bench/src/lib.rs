@@ -57,6 +57,124 @@ pub fn table_to_json_rows(experiment: &str, table: &Table) -> String {
     out
 }
 
+/// One parsed row of a bench JSON-lines file (the format
+/// [`table_to_json_rows`] writes).
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchRow {
+    /// Experiment id, e.g. `"e15"`.
+    pub experiment: String,
+    /// The row key (first table column), e.g. `"sequential"`.
+    pub key: String,
+    /// The metric name (column header), e.g. `"lat p99 (µs)"`.
+    pub metric: String,
+    /// The value, if numeric (string-valued cells parse to `None`).
+    pub value: Option<f64>,
+}
+
+/// Extracts the string field `name` from one JSON-lines row, undoing
+/// the escapes [`table_to_json_rows`] applies.
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let marker = format!("\"{name}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Parses the JSON-lines trajectory format written by the harness's
+/// `--json` flag back into rows. Lines that do not carry the expected
+/// fields are skipped (the gate must not panic on a truncated file).
+pub fn parse_json_rows(text: &str) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let (Some(experiment), Some(key), Some(metric)) = (
+            field_str(line, "experiment"),
+            field_str(line, "key"),
+            field_str(line, "metric"),
+        ) else {
+            continue;
+        };
+        let value = line
+            .rfind("\"value\":")
+            .map(|i| &line[i + "\"value\":".len()..])
+            .and_then(|rest| rest.trim_end().trim_end_matches('}').parse::<f64>().ok());
+        rows.push(BenchRow {
+            experiment,
+            key,
+            metric,
+            value,
+        });
+    }
+    rows
+}
+
+/// Compares a fresh bench trajectory against a committed baseline for
+/// one `(experiment, metric)` pair and returns one message per
+/// violation; an empty result means the gate passes.
+///
+/// A row regresses when
+/// `fresh > max(baseline, floor) * (1 + threshold)` — the `floor`
+/// keeps micro-latency rows (tens of µs, scheduler-noise territory)
+/// from tripping a percentage gate that is only meaningful at real
+/// magnitudes. A baseline row missing from the fresh run is also a
+/// violation: a silently dropped experiment must not read as "no
+/// regression".
+pub fn regressions(
+    baseline: &[BenchRow],
+    fresh: &[BenchRow],
+    experiment: &str,
+    metric: &str,
+    threshold: f64,
+    floor: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for base in baseline
+        .iter()
+        .filter(|r| r.experiment == experiment && r.metric == metric)
+    {
+        let Some(base_value) = base.value else {
+            continue;
+        };
+        let current = fresh
+            .iter()
+            .find(|r| r.experiment == experiment && r.metric == metric && r.key == base.key);
+        match current.and_then(|r| r.value) {
+            None => out.push(format!(
+                "{experiment}/{}: '{metric}' missing from fresh run (baseline {base_value:.1})",
+                base.key
+            )),
+            Some(value) => {
+                let limit = base_value.max(floor) * (1.0 + threshold);
+                if value > limit {
+                    out.push(format!(
+                        "{experiment}/{}: '{metric}' {value:.1} exceeds limit {limit:.1} \
+                         (baseline {base_value:.1}, +{:.0}% allowed)",
+                        base.key,
+                        threshold * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +210,73 @@ mod tests {
         let json = table_to_json_rows("e8", &t);
         assert!(json.contains("\"value\":42"));
         assert!(json.contains("\"value\":\"push\""));
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let mut t = Table::new("demo", &["strategy", "lat p99 (µs)", "note"]);
+        t.row(vec![
+            "sequential".into(),
+            "2100".into(),
+            "with \"churn\"".into(),
+        ]);
+        t.row(vec!["parallel".into(), "80.5".into(), "ok".into()]);
+        let rows = parse_json_rows(&table_to_json_rows("e15", &t));
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].experiment, "e15");
+        assert_eq!(rows[0].key, "sequential");
+        assert_eq!(rows[0].metric, "lat p99 (µs)");
+        assert_eq!(rows[0].value, Some(2100.0));
+        assert_eq!(rows[1].value, None, "text cells carry no number");
+        assert_eq!(rows[2].value, Some(80.5));
+        // Garbage lines are skipped, not fatal.
+        assert!(parse_json_rows("not json\n{\"half\":").is_empty());
+    }
+
+    fn p99(key: &str, value: f64) -> BenchRow {
+        BenchRow {
+            experiment: "e15".into(),
+            key: key.into(),
+            metric: "lat p99 (µs)".into(),
+            value: Some(value),
+        }
+    }
+
+    #[test]
+    fn gate_flags_regressions_over_threshold() {
+        let baseline = vec![p99("sequential", 2000.0), p99("parallel", 600.0)];
+        // Sequential regressed 50%; parallel improved.
+        let fresh = vec![p99("sequential", 3000.0), p99("parallel", 500.0)];
+        let bad = regressions(&baseline, &fresh, "e15", "lat p99 (µs)", 0.25, 300.0);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("sequential"));
+        // Within threshold: clean.
+        let fresh = vec![p99("sequential", 2400.0), p99("parallel", 700.0)];
+        assert!(regressions(&baseline, &fresh, "e15", "lat p99 (µs)", 0.25, 300.0).is_empty());
+    }
+
+    #[test]
+    fn gate_floor_absorbs_micro_latency_noise() {
+        // 40µs → 90µs is a 125% "regression" but pure scheduler noise;
+        // the floor keeps the percentage gate out of that regime.
+        let baseline = vec![p99("parallel", 40.0)];
+        let fresh = vec![p99("parallel", 90.0)];
+        assert!(regressions(&baseline, &fresh, "e15", "lat p99 (µs)", 0.25, 300.0).is_empty());
+        // …but a genuinely large value still trips it.
+        let fresh = vec![p99("parallel", 500.0)];
+        assert_eq!(
+            regressions(&baseline, &fresh, "e15", "lat p99 (µs)", 0.25, 300.0).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_rows_missing_from_the_fresh_run() {
+        let baseline = vec![p99("sequential", 2000.0), p99("hedged", 900.0)];
+        let fresh = vec![p99("sequential", 2000.0)];
+        let bad = regressions(&baseline, &fresh, "e15", "lat p99 (µs)", 0.25, 300.0);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("hedged"));
+        assert!(bad[0].contains("missing"));
     }
 }

@@ -3,9 +3,9 @@
 use crate::fanout::{FanoutPool, HedgeConfig};
 use crate::metrics::ClusterMetrics;
 use crate::quorum::QuorumMode;
-use crate::replica::{DecisionBackend, GroupOutcome, ReplicaGroup};
+use crate::replica::{DecisionBackend, GroupOutcome, ReplicaGroup, ReplicaPhase};
 use crate::shard::ShardRouter;
-use dacs_pdp::PdpDirectory;
+use dacs_pdp::{HealthState, PdpDirectory};
 use dacs_policy::eval::Response;
 use dacs_policy::request::RequestContext;
 use parking_lot::Mutex;
@@ -35,6 +35,7 @@ pub struct ClusterBuilder {
     directory: Option<Arc<PdpDirectory>>,
     pool: Option<Arc<FanoutPool>>,
     hedge: Option<HedgeConfig>,
+    resync: bool,
 }
 
 impl ClusterBuilder {
@@ -49,6 +50,7 @@ impl ClusterBuilder {
             directory: None,
             pool: None,
             hedge: None,
+            resync: false,
         }
     }
 
@@ -96,6 +98,19 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables epoch-gated replica re-sync (default off). With it on, a
+    /// replica returning from a crash ([`PdpCluster::mark_up`]) whose
+    /// policy epoch lags its group's maximum enters the `Syncing` phase
+    /// — alive, but excluded from dispatch and quorum counting — until
+    /// [`PdpCluster::complete_resync`] confirms it has replayed the
+    /// missed policy updates (the `SyndicationTree::catch_up` path).
+    /// With it off a recovering replica rejoins immediately, stale
+    /// policy and all — the failure mode experiment E16 measures.
+    pub fn resync(mut self, enabled: bool) -> Self {
+        self.resync = enabled;
+        self
+    }
+
     /// Finishes the cluster, registering every replica as healthy in
     /// the directory.
     ///
@@ -126,6 +141,7 @@ impl ClusterBuilder {
             quorum: self.quorum,
             pool: self.pool,
             hedge: self.hedge,
+            resync: self.resync,
             metrics: Mutex::new(ClusterMetrics::default()),
         }
     }
@@ -140,6 +156,7 @@ pub struct PdpCluster {
     quorum: QuorumMode,
     pool: Option<Arc<FanoutPool>>,
     hedge: Option<HedgeConfig>,
+    resync: bool,
     metrics: Mutex<ClusterMetrics>,
 }
 
@@ -175,8 +192,74 @@ impl PdpCluster {
     }
 
     /// Marks a replica healthy again.
+    ///
+    /// With [`ClusterBuilder::resync`] enabled, a returning replica
+    /// whose policy epoch lags its group's maximum enters the `Syncing`
+    /// phase instead of rejoining quorums directly: it is excluded from
+    /// dispatch and quorum counting until
+    /// [`PdpCluster::complete_resync`] confirms its catch-up replay
+    /// finished. A replica that is already current rejoins immediately.
     pub fn mark_up(&self, replica: &str) {
+        // Gate first, then re-admit to the directory: the instant the
+        // directory reports the replica healthy, concurrent deciders
+        // build their rosters from it — the sync flag must already be
+        // correct or a stale vote slips into that window.
+        if self.resync {
+            if let Some(group) = self.group_of(replica) {
+                let behind = group
+                    .replica_epoch(replica)
+                    .map(|e| e < group.max_policy_epoch())
+                    .unwrap_or(false);
+                if behind {
+                    group.mark_syncing(replica);
+                } else {
+                    group.mark_in_sync(replica);
+                }
+            }
+        }
         self.directory.mark_up(replica);
+    }
+
+    /// Attempts to readmit a `Syncing` replica: succeeds (and counts a
+    /// re-sync in [`ClusterMetrics`]) once the replica's policy epoch
+    /// has caught up to its group's maximum — i.e. after the
+    /// `SyndicationTree::catch_up` replay into the replica's PAP.
+    /// Returns `false` while the replica is still behind (or unknown);
+    /// a replica that was never syncing is a successful no-op.
+    pub fn complete_resync(&self, replica: &str) -> bool {
+        let Some(group) = self.group_of(replica) else {
+            return false;
+        };
+        if group.is_in_sync(replica) {
+            return true;
+        }
+        let caught_up = group
+            .replica_epoch(replica)
+            .map(|e| e >= group.max_policy_epoch())
+            .unwrap_or(false);
+        if caught_up {
+            group.mark_in_sync(replica);
+            self.metrics.lock().resyncs += 1;
+        }
+        caught_up
+    }
+
+    /// The replica's position in the recovery lifecycle
+    /// (`Healthy / Suspect / Crashed / Syncing`), or `None` if no group
+    /// contains it.
+    pub fn replica_phase(&self, replica: &str) -> Option<ReplicaPhase> {
+        let group = self.group_of(replica)?;
+        let health = self.directory.health(replica)?;
+        Some(match health {
+            HealthState::Crashed => ReplicaPhase::Crashed,
+            HealthState::Suspect => ReplicaPhase::Suspect,
+            HealthState::Healthy if !group.is_in_sync(replica) => ReplicaPhase::Syncing,
+            HealthState::Healthy => ReplicaPhase::Healthy,
+        })
+    }
+
+    fn group_of(&self, replica: &str) -> Option<&ReplicaGroup> {
+        self.groups.iter().find(|g| g.contains(replica))
     }
 
     /// Serves one decision: route to a shard, fan out, combine.
@@ -220,6 +303,9 @@ impl PdpCluster {
         m.replica_queries += outcome.replicas_queried as u64;
         m.hedges += outcome.hedges as u64;
         m.hedge_wins += outcome.hedge_won as u64;
+        m.stale_decisions_avoided += outcome.stale_excluded as u64;
+        m.epoch_lag_last = outcome.max_epoch_lag;
+        m.epoch_lag_max = m.epoch_lag_max.max(outcome.max_epoch_lag);
         match &outcome.response {
             None => m.unavailable += 1,
             Some(_) => {
@@ -393,6 +479,99 @@ mod tests {
         assert_eq!(m.hedges, 1, "exactly one hedge dispatched");
         assert_eq!(m.hedge_wins, 1, "the hedge supplied the answer");
         assert!((m.hedge_rate() - 1.0).abs() < 1e-9);
+    }
+
+    /// Regression (ISSUE 3): with `.resync(true)`, a replica returning
+    /// from a crash with a lagging policy epoch passes through
+    /// `Syncing` — excluded from quorums — until `complete_resync`
+    /// confirms it caught up.
+    #[test]
+    fn resync_lifecycle_gates_recovering_replicas() {
+        use crate::replica::EpochBackend;
+        let fresh = Arc::new(EpochBackend::new("s0-fresh", Decision::Deny, 2));
+        let stale = Arc::new(EpochBackend::new("s0-stale", Decision::Permit, 2));
+        let third = Arc::new(EpochBackend::new("s0-third", Decision::Deny, 2));
+        let cluster = ClusterBuilder::new("resync-test")
+            .quorum(QuorumMode::Majority)
+            .resync(true)
+            .shard(vec![
+                fresh.clone() as Arc<dyn DecisionBackend>,
+                stale.clone() as Arc<dyn DecisionBackend>,
+                third.clone() as Arc<dyn DecisionBackend>,
+            ])
+            .build();
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+
+        // The stale replica crashes; the survivors see a policy update.
+        cluster.mark_down("s0-stale");
+        assert_eq!(
+            cluster.replica_phase("s0-stale"),
+            Some(ReplicaPhase::Crashed)
+        );
+        fresh.set_epoch(3);
+        third.set_epoch(3);
+
+        // Recovery lands in Syncing, not Healthy: its epoch lags.
+        cluster.mark_up("s0-stale");
+        assert_eq!(
+            cluster.replica_phase("s0-stale"),
+            Some(ReplicaPhase::Syncing)
+        );
+        let out = cluster.decide(&req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+        assert!(out.degraded, "serving below configured replication");
+        let m = cluster.metrics();
+        assert_eq!(m.stale_decisions_avoided, 1);
+        assert_eq!(m.epoch_lag_last, 1);
+        assert_eq!(m.epoch_lag_max, 1);
+        assert_eq!(m.resyncs, 0);
+
+        // Readmission is refused until the catch-up replay lands.
+        assert!(!cluster.complete_resync("s0-stale"));
+        stale.set_epoch(3);
+        assert!(cluster.complete_resync("s0-stale"));
+        assert_eq!(
+            cluster.replica_phase("s0-stale"),
+            Some(ReplicaPhase::Healthy)
+        );
+        assert_eq!(cluster.metrics().resyncs, 1);
+        let out = cluster.decide(&req, 1);
+        assert!(!out.degraded);
+        assert_eq!(out.replicas_queried, 3);
+        // Re-completing for an in-sync replica is a counted-once no-op.
+        assert!(cluster.complete_resync("s0-stale"));
+        assert_eq!(cluster.metrics().resyncs, 1);
+
+        // A replica that crashed but missed nothing skips Syncing.
+        cluster.mark_down("s0-third");
+        cluster.mark_up("s0-third");
+        assert_eq!(
+            cluster.replica_phase("s0-third"),
+            Some(ReplicaPhase::Healthy)
+        );
+    }
+
+    #[test]
+    fn without_resync_recovery_rejoins_immediately() {
+        use crate::replica::EpochBackend;
+        let fresh = Arc::new(EpochBackend::new("r-fresh", Decision::Deny, 5));
+        let stale = Arc::new(EpochBackend::new("r-stale-0", Decision::Permit, 1));
+        let stale_2 = Arc::new(EpochBackend::new("r-stale-1", Decision::Permit, 1));
+        let cluster = ClusterBuilder::new("no-resync")
+            .quorum(QuorumMode::Majority)
+            .shard(vec![
+                fresh as Arc<dyn DecisionBackend>,
+                stale as Arc<dyn DecisionBackend>,
+                stale_2 as Arc<dyn DecisionBackend>,
+            ])
+            .build();
+        cluster.mark_down("r-stale-0");
+        cluster.mark_up("r-stale-0");
+        // No gate: the stale pair outvotes the fresh replica — the
+        // exposure resync exists to close.
+        let out = cluster.decide(&RequestContext::basic("bob", "x", "read"), 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert_eq!(cluster.metrics().stale_decisions_avoided, 0);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * [`replica`] — a [`ReplicaGroup`] that fans a query out to `k`
 //!   replicas and combines the answers under a pluggable
 //!   [`QuorumMode`], so a Byzantine or stale replica cannot silently
-//!   grant access.
+//!   grant access. Replicas carry a [`PolicyEpoch`] (their position in
+//!   the PAP syndication timeline); a replica recovering from a crash
+//!   with a lagging epoch passes through the `Syncing` phase
+//!   ([`ReplicaPhase`]) — excluded from quorum counting until its
+//!   catch-up replay completes.
 //! * [`quorum`] — the combination rules: `FirstHealthy` (fast, trusts
 //!   one replica), `Majority` (outvotes a minority of wrong replicas)
 //!   and `UnanimousFailClosed` (any disagreement denies).
@@ -67,5 +71,9 @@ pub use cluster::{ClusterBuilder, ClusterOutcome, PdpCluster};
 pub use fanout::{CancelFlag, FanoutPool, HedgeConfig};
 pub use metrics::ClusterMetrics;
 pub use quorum::QuorumMode;
-pub use replica::{DecisionBackend, GroupOutcome, ReplicaGroup, StaticBackend};
+pub use replica::{DecisionBackend, GroupOutcome, ReplicaGroup, ReplicaPhase, StaticBackend};
 pub use shard::ShardRouter;
+
+// Re-exported so cluster users can speak epochs without naming the PAP
+// layer directly.
+pub use dacs_pdp::PolicyEpoch;

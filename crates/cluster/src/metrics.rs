@@ -43,6 +43,20 @@ pub struct ClusterMetrics {
     /// Decisions whose winning answer came from a hedge query rather
     /// than the primary replica.
     pub hedge_wins: u64,
+    /// Completed replica re-syncs: a recovering replica finished its
+    /// catch-up replay and was readmitted to quorum counting
+    /// (`Syncing → Healthy`).
+    pub resyncs: u64,
+    /// Stale votes never counted: one per healthy-but-`Syncing` replica
+    /// excluded from a query's quorum. Each is a decision that, before
+    /// epoch gating, a stale replica could have influenced.
+    pub stale_decisions_avoided: u64,
+    /// Gauge: the policy-epoch lag of the worst syncing replica at the
+    /// most recent query (0 when everyone eligible is current).
+    pub epoch_lag_last: u64,
+    /// High-water mark of [`ClusterMetrics::epoch_lag_last`] across the
+    /// cluster's lifetime.
+    pub epoch_lag_max: u64,
     /// Batches flushed by a [`crate::BatchSubmitter`].
     pub batches: u64,
     /// Queries submitted through batches.

@@ -7,33 +7,72 @@
 //! single-handedly. The three modes trade latency/cost against that
 //! protection.
 //!
+//! # Replica lifecycle: who may vote at all
+//!
+//! Quorum counting is over *eligible* replicas: healthy per the
+//! directory **and** in sync with the group's policy epoch. The
+//! lifecycle (see [`crate::ReplicaPhase`]):
+//!
+//! ```text
+//! Healthy ──missed probe──▶ Suspect ──declared dead──▶ Crashed
+//!    ▲                         │                          │
+//!    │                     (recovers,                 (returns,
+//!    │                      epoch current)             epoch behind)
+//!    ├─────────────────────────┘                          ▼
+//!    └──catch-up complete (epoch == group max)──────── Syncing
+//! ```
+//!
+//! * `Healthy` — dispatched to and counted.
+//! * `Suspect` — missed a health probe; excluded from new dispatch but
+//!   not yet declared dead.
+//! * `Crashed` — down. While down it misses policy pushes and its
+//!   [`dacs_pdp::PolicyEpoch`] freezes.
+//! * `Syncing` — back up, but its epoch lags the group maximum: it is
+//!   excluded from dispatch and quorum counting (each exclusion counts
+//!   in `ClusterMetrics::stale_decisions_avoided`) until it has
+//!   replayed the missed updates from its syndication node
+//!   (`SyndicationTree::catch_up`) and `PdpCluster::complete_resync`
+//!   readmits it.
+//!
+//! Without the epoch gate (resync disabled) a recovering replica votes
+//! immediately with whatever policy it last saw — a stale *majority*
+//! can then outvote the fresh survivors and falsely permit, exactly the
+//! failure experiment E16 demonstrates.
+//!
 //! # Semantics: mode × partition state
 //!
-//! For a group configured with `n` replicas of which `h` are currently
-//! healthy (reachable per the directory), the combined outcome is:
+//! For a group configured with `n` replicas of which `e` are currently
+//! *eligible* (healthy per the directory ∧ in sync with the group's
+//! maximum policy epoch), the combined outcome is:
 //!
-//! | mode | `h = 0` | minority healthy (`2h ≤ n`) | majority healthy (`2h > n`) |
+//! | mode | `e = 0` | minority eligible (`2e ≤ n`) | majority eligible (`2e > n`) |
 //! |------|---------|------------------------------|------------------------------|
-//! | `FirstHealthy` | **unavailable** | first healthy replica's answer (a wrong survivor decides alone) | first healthy replica's answer |
-//! | `Majority` | **unavailable** | strict majority of the *h* answers; split vote → fail-closed **deny** | strict majority of the *h* answers; split vote → fail-closed **deny** |
-//! | `UnanimousFailClosed` | **unavailable** | fail-closed **deny** without evaluating (healthy-majority floor) | **permit** only if all *h* agree on permit; any deny or disagreement → **deny** |
+//! | `FirstHealthy` | **unavailable** | first eligible replica's answer (a wrong survivor decides alone) | first eligible replica's answer |
+//! | `Majority` | **unavailable** | strict majority of the *e* answers; split vote → fail-closed **deny** | strict majority of the *e* answers; split vote → fail-closed **deny** |
+//! | `UnanimousFailClosed` | **unavailable** | fail-closed **deny** without evaluating (eligible-majority floor) | **permit** only if all *e* agree on permit; any deny or disagreement → **deny** |
 //!
-//! Three invariants fall out of the table:
+//! Four invariants fall out of the table:
 //!
-//! 1. **Unavailability is explicit** — `h = 0` yields no decision at
+//! 1. **Unavailability is explicit** — `e = 0` yields no decision at
 //!    all (`response: None`), never a default permit or deny. The
-//!    caller (PEP) fails safe.
-//! 2. **The healthy-majority floor**: under `UnanimousFailClosed` a
+//!    caller (PEP) fails safe. In particular, a shard whose every
+//!    replica is `Syncing` is *unavailable*, not stale-served.
+//! 2. **The eligible-majority floor**: under `UnanimousFailClosed` a
 //!    minority partition may not decide, because its survivors could
 //!    all be stale or Byzantine. Unanimity over a minority would
 //!    rubber-stamp them; the group denies without spending any
-//!    evaluations instead. Consequently a minority partition can
-//!    *never* produce a false permit in this mode.
-//! 3. **`Majority` degrades gracefully but not absolutely**: while a
-//!    fresh majority of the *configured* group is healthy, one wrong
+//!    evaluations instead. The floor counts *eligible* replicas, so a
+//!    healthy-but-syncing (known-stale) replica cannot prop a
+//!    partition over it.
+//! 3. **The epoch-eligibility rule**: a known-stale replica never
+//!    votes, in any mode — staleness is removed *before* the quorum
+//!    arithmetic rather than hopefully outvoted by it.
+//! 4. **`Majority` degrades gracefully but not absolutely**: while a
+//!    fresh majority of the *configured* group is eligible, one wrong
 //!    replica is outvoted; once churn leaves only a wrong minority
-//!    healthy, the vote is over the survivors and can go wrong (the
-//!    degraded-mode risk [`crate::ClusterMetrics`] tracks).
+//!    eligible (e.g. undetected staleness with resync disabled), the
+//!    vote is over the survivors and can go wrong (the degraded-mode
+//!    risk [`crate::ClusterMetrics`] tracks).
 //!
 //! The same table is mirrored, with the decision-path diagrams, in the
 //! repo-level `ARCHITECTURE.md`.

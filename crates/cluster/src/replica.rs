@@ -12,10 +12,11 @@
 
 use crate::fanout::{CancelFlag, FanoutAnswer, FanoutPool, HedgeConfig};
 use crate::quorum::{self, QuorumMode};
-use dacs_pdp::{Pdp, PdpDirectory};
+use dacs_pdp::{Pdp, PdpDirectory, PolicyEpoch};
 use dacs_policy::eval::Response;
 use dacs_policy::policy::Decision;
 use dacs_policy::request::RequestContext;
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -31,6 +32,15 @@ pub trait DecisionBackend: Send + Sync {
     fn name(&self) -> &str;
     /// Serves one decision query.
     fn decide(&self, request: &RequestContext, now_ms: u64) -> Response;
+    /// The policy epoch the backend decides on — its position in the
+    /// PAP syndication timeline. A replica whose epoch lags its group's
+    /// maximum is deciding on stale policy. The default
+    /// ([`PolicyEpoch::ZERO`]) suits backends outside the syndication
+    /// timeline (static test replicas), which are mutually "in sync"
+    /// by construction.
+    fn policy_epoch(&self) -> PolicyEpoch {
+        PolicyEpoch::ZERO
+    }
 }
 
 impl DecisionBackend for Pdp {
@@ -39,6 +49,49 @@ impl DecisionBackend for Pdp {
     }
     fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
         Pdp::decide(self, request, now_ms)
+    }
+    fn policy_epoch(&self) -> PolicyEpoch {
+        Pdp::policy_epoch(self)
+    }
+}
+
+/// A replica's position in the recovery lifecycle, combining directory
+/// health with the group's epoch-sync gate:
+///
+/// ```text
+/// Healthy ──missed probe──▶ Suspect ──declared dead──▶ Crashed
+///    ▲                         │                          │
+///    │                     (recovers,                 (returns,
+///    │                      epoch current)             epoch behind)
+///    ├─────────────────────────┘                          ▼
+///    └───────catch-up complete (epoch == group max)─── Syncing
+/// ```
+///
+/// Only `Healthy` replicas are dispatched to and counted in quorums; a
+/// `Syncing` replica is alive but excluded until it has replayed the
+/// policy updates it missed (`SyndicationTree::catch_up`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplicaPhase {
+    /// Serving and quorum-eligible.
+    Healthy,
+    /// Missed a health probe; excluded from new dispatch.
+    Suspect,
+    /// Declared down.
+    Crashed,
+    /// Back up, but its policy epoch lags the group maximum: excluded
+    /// from quorum counting until catch-up completes.
+    Syncing,
+}
+
+impl ReplicaPhase {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicaPhase::Healthy => "healthy",
+            ReplicaPhase::Suspect => "suspect",
+            ReplicaPhase::Crashed => "crashed",
+            ReplicaPhase::Syncing => "syncing",
+        }
     }
 }
 
@@ -76,8 +129,16 @@ pub struct GroupOutcome {
     /// Replicas actually queried (dispatched, for the parallel path —
     /// a cancelled straggler still counts as dispatched work).
     pub replicas_queried: usize,
-    /// Healthy replicas at query time.
+    /// Quorum-eligible replicas at query time: healthy *and* in sync
+    /// with the group's policy epoch. (Without resync enabled this is
+    /// simply the healthy count.)
     pub healthy: usize,
+    /// Healthy-but-syncing replicas excluded from this query — each one
+    /// is a stale vote that was *not* counted.
+    pub stale_excluded: usize,
+    /// The largest policy-epoch lag among the excluded syncing replicas
+    /// (0 when none were excluded).
+    pub max_epoch_lag: u64,
     /// Whether healthy replicas disagreed on the decision. The
     /// short-circuiting parallel path reports disagreement only among
     /// the answers it actually waited for.
@@ -98,6 +159,8 @@ impl GroupOutcome {
             response: None,
             replicas_queried: 0,
             healthy,
+            stale_excluded: 0,
+            max_epoch_lag: 0,
             disagreement: false,
             fail_closed: false,
             hedges: 0,
@@ -136,6 +199,19 @@ impl GroupOutcome {
 /// ```
 pub struct ReplicaGroup {
     replicas: Vec<Arc<dyn DecisionBackend>>,
+    /// Per-replica sync gate, indexed like `replicas`. `false` marks a
+    /// replica in the `Syncing` phase: alive, but excluded from
+    /// dispatch and quorum counting until it catches up to the group's
+    /// maximum policy epoch.
+    in_sync: RwLock<Vec<bool>>,
+}
+
+/// The per-query eligibility snapshot: who may vote, who was excluded
+/// as stale, and how far behind the worst straggler is.
+struct Roster<'a> {
+    eligible: Vec<&'a Arc<dyn DecisionBackend>>,
+    stale_excluded: usize,
+    max_epoch_lag: u64,
 }
 
 impl ReplicaGroup {
@@ -146,7 +222,96 @@ impl ReplicaGroup {
     /// Panics if `replicas` is empty.
     pub fn new(replicas: Vec<Arc<dyn DecisionBackend>>) -> Self {
         assert!(!replicas.is_empty(), "a replica group needs replicas");
-        ReplicaGroup { replicas }
+        let in_sync = RwLock::new(vec![true; replicas.len()]);
+        ReplicaGroup { replicas, in_sync }
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.replicas.iter().position(|r| r.name() == name)
+    }
+
+    /// Whether the group contains a replica of this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// The highest policy epoch any replica of the group reports — the
+    /// catch-up target for recovering replicas.
+    pub fn max_policy_epoch(&self) -> PolicyEpoch {
+        self.replicas
+            .iter()
+            .map(|r| r.policy_epoch())
+            .max()
+            .unwrap_or(PolicyEpoch::ZERO)
+    }
+
+    /// The named replica's policy epoch, if it belongs to this group.
+    pub fn replica_epoch(&self, name: &str) -> Option<PolicyEpoch> {
+        self.index_of(name).map(|i| self.replicas[i].policy_epoch())
+    }
+
+    /// Puts a replica into the `Syncing` phase: excluded from dispatch
+    /// and quorum counting until [`ReplicaGroup::mark_in_sync`].
+    /// Returns whether the name matched a replica.
+    pub fn mark_syncing(&self, name: &str) -> bool {
+        match self.index_of(name) {
+            Some(i) => {
+                self.in_sync.write()[i] = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns a replica to quorum eligibility (its catch-up finished).
+    /// Returns whether the name matched a replica.
+    pub fn mark_in_sync(&self, name: &str) -> bool {
+        match self.index_of(name) {
+            Some(i) => {
+                self.in_sync.write()[i] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the named replica is currently in sync (unknown names
+    /// answer `false`).
+    pub fn is_in_sync(&self, name: &str) -> bool {
+        self.index_of(name)
+            .map(|i| self.in_sync.read()[i])
+            .unwrap_or(false)
+    }
+
+    /// Snapshot of who may vote right now. Epoch lag is only computed
+    /// when someone is actually excluded (the common all-in-sync case
+    /// costs no epoch reads).
+    fn roster<'a>(&'a self, directory: &PdpDirectory) -> Roster<'a> {
+        let in_sync = self.in_sync.read();
+        let mut eligible = Vec::with_capacity(self.replicas.len());
+        let mut syncing: Vec<&Arc<dyn DecisionBackend>> = Vec::new();
+        for (i, replica) in self.replicas.iter().enumerate() {
+            if !directory.is_healthy(replica.name()) {
+                continue;
+            }
+            if in_sync[i] {
+                eligible.push(replica);
+            } else {
+                syncing.push(replica);
+            }
+        }
+        let mut max_epoch_lag = 0u64;
+        if !syncing.is_empty() {
+            let target = self.max_policy_epoch();
+            for replica in &syncing {
+                max_epoch_lag = max_epoch_lag.max(target.lag_behind(replica.policy_epoch()));
+            }
+        }
+        Roster {
+            eligible,
+            stale_excluded: syncing.len(),
+            max_epoch_lag,
+        }
     }
 
     /// Replica count (healthy or not).
@@ -164,7 +329,11 @@ impl ReplicaGroup {
         self.replicas.iter().map(|r| r.name().to_string()).collect()
     }
 
-    /// Replicas the directory currently reports healthy.
+    /// Replicas the directory currently reports healthy — **including**
+    /// healthy-but-`Syncing` ones, which must not be dispatched to
+    /// (their policy is known stale). This is the monitoring view; use
+    /// [`ReplicaGroup::eligible_replicas`] when choosing who may serve
+    /// or vote.
     pub fn healthy_replicas(&self, directory: &PdpDirectory) -> Vec<&Arc<dyn DecisionBackend>> {
         self.replicas
             .iter()
@@ -172,22 +341,33 @@ impl ReplicaGroup {
             .collect()
     }
 
-    /// Whether a set of `healthy` survivors is a minority of the
+    /// Replicas that may serve and vote right now: healthy per the
+    /// directory *and* in sync with the group's policy epoch — the set
+    /// both query paths dispatch over.
+    pub fn eligible_replicas(&self, directory: &PdpDirectory) -> Vec<&Arc<dyn DecisionBackend>> {
+        self.roster(directory).eligible
+    }
+
+    /// Whether a set of `eligible` survivors is a minority of the
     /// configured group. Unanimity is only meaningful over a majority:
     /// a minority partition might consist entirely of stale or
     /// Byzantine replicas, so it may not decide — fail closed without
-    /// spending any evaluations.
-    fn minority_partition(&self, healthy: usize) -> bool {
-        healthy * 2 <= self.replicas.len()
+    /// spending any evaluations. The count is of *eligible* (healthy,
+    /// in-sync) replicas: a stale replica cannot prop a partition over
+    /// the floor.
+    fn minority_partition(&self, eligible: usize) -> bool {
+        eligible * 2 <= self.replicas.len()
     }
 
     /// The fail-closed outcome for a minority partition under
     /// [`QuorumMode::UnanimousFailClosed`].
-    fn fail_closed_floor(healthy: usize) -> GroupOutcome {
+    fn fail_closed_floor(eligible: usize) -> GroupOutcome {
         GroupOutcome {
             response: Some(Response::decision(Decision::Deny)),
             replicas_queried: 0,
-            healthy,
+            healthy: eligible,
+            stale_excluded: 0,
+            max_epoch_lag: 0,
             disagreement: false,
             fail_closed: true,
             hedges: 0,
@@ -195,8 +375,12 @@ impl ReplicaGroup {
         }
     }
 
-    /// Fans `request` out to the group's healthy replicas sequentially
-    /// (on the caller's thread) and combines the answers under `mode`.
+    /// Fans `request` out to the group's quorum-eligible replicas
+    /// (healthy *and* in sync with the group's policy epoch)
+    /// sequentially on the caller's thread and combines the answers
+    /// under `mode`. A healthy-but-`Syncing` replica is never queried
+    /// — its stale vote is excluded, counted in
+    /// [`GroupOutcome::stale_excluded`].
     ///
     /// Latency is the *sum* of replica latencies for fan-out modes; use
     /// [`ReplicaGroup::query_parallel`] to bound it by the slowest
@@ -208,38 +392,44 @@ impl ReplicaGroup {
         request: &RequestContext,
         now_ms: u64,
     ) -> GroupOutcome {
-        let healthy = self.healthy_replicas(directory);
-        if healthy.is_empty() {
-            return GroupOutcome::unavailable(0);
-        }
-        if mode == QuorumMode::UnanimousFailClosed && self.minority_partition(healthy.len()) {
-            return Self::fail_closed_floor(healthy.len());
-        }
-
-        let queried: Vec<&Arc<dyn DecisionBackend>> = if mode.fans_out() {
-            healthy.clone()
+        let roster = self.roster(directory);
+        let eligible = &roster.eligible;
+        let mut outcome = if eligible.is_empty() {
+            GroupOutcome::unavailable(0)
+        } else if mode == QuorumMode::UnanimousFailClosed && self.minority_partition(eligible.len())
+        {
+            Self::fail_closed_floor(eligible.len())
         } else {
-            vec![healthy[0]]
+            let queried: Vec<&Arc<dyn DecisionBackend>> = if mode.fans_out() {
+                eligible.clone()
+            } else {
+                vec![eligible[0]]
+            };
+            let responses: Vec<Response> = queried
+                .iter()
+                .map(|r| {
+                    let start = Instant::now();
+                    let response = r.decide(request, now_ms);
+                    directory.record_latency_us(r.name(), start.elapsed().as_micros() as u64);
+                    response
+                })
+                .collect();
+            let verdict = quorum::combine(mode, &responses);
+            GroupOutcome {
+                response: Some(verdict.response),
+                replicas_queried: queried.len(),
+                healthy: eligible.len(),
+                stale_excluded: 0,
+                max_epoch_lag: 0,
+                disagreement: verdict.disagreement,
+                fail_closed: verdict.fail_closed,
+                hedges: 0,
+                hedge_won: false,
+            }
         };
-        let responses: Vec<Response> = queried
-            .iter()
-            .map(|r| {
-                let start = Instant::now();
-                let response = r.decide(request, now_ms);
-                directory.record_latency_us(r.name(), start.elapsed().as_micros() as u64);
-                response
-            })
-            .collect();
-        let verdict = quorum::combine(mode, &responses);
-        GroupOutcome {
-            response: Some(verdict.response),
-            replicas_queried: queried.len(),
-            healthy: healthy.len(),
-            disagreement: verdict.disagreement,
-            fail_closed: verdict.fail_closed,
-            hedges: 0,
-            hedge_won: false,
-        }
+        outcome.stale_excluded = roster.stale_excluded;
+        outcome.max_epoch_lag = roster.max_epoch_lag;
+        outcome
     }
 
     /// Fans `request` out to the group's healthy replicas *concurrently*
@@ -266,21 +456,26 @@ impl ReplicaGroup {
         pool: &FanoutPool,
         hedge: Option<&HedgeConfig>,
     ) -> GroupOutcome {
-        let healthy = self.healthy_replicas(directory);
-        if healthy.is_empty() {
-            return GroupOutcome::unavailable(0);
-        }
-        if mode == QuorumMode::UnanimousFailClosed && self.minority_partition(healthy.len()) {
-            return Self::fail_closed_floor(healthy.len());
-        }
-        match mode {
-            QuorumMode::FirstHealthy => {
-                self.race_first_healthy(directory, &healthy, request, now_ms, pool, hedge)
+        let roster = self.roster(directory);
+        let eligible = &roster.eligible;
+        let mut outcome = if eligible.is_empty() {
+            GroupOutcome::unavailable(0)
+        } else if mode == QuorumMode::UnanimousFailClosed && self.minority_partition(eligible.len())
+        {
+            Self::fail_closed_floor(eligible.len())
+        } else {
+            match mode {
+                QuorumMode::FirstHealthy => {
+                    self.race_first_healthy(directory, eligible, request, now_ms, pool, hedge)
+                }
+                QuorumMode::Majority | QuorumMode::UnanimousFailClosed => {
+                    self.fan_out_incremental(directory, mode, eligible, request, now_ms, pool)
+                }
             }
-            QuorumMode::Majority | QuorumMode::UnanimousFailClosed => {
-                self.fan_out_incremental(directory, mode, &healthy, request, now_ms, pool)
-            }
-        }
+        };
+        outcome.stale_excluded = roster.stale_excluded;
+        outcome.max_epoch_lag = roster.max_epoch_lag;
+        outcome
     }
 
     /// Dispatches one replica query onto the pool. The job re-checks
@@ -364,6 +559,8 @@ impl ReplicaGroup {
                     response: Some(response),
                     replicas_queried: dispatched,
                     healthy: healthy.len(),
+                    stale_excluded: 0,
+                    max_epoch_lag: 0,
                     disagreement,
                     fail_closed,
                     hedges: 0,
@@ -436,6 +633,8 @@ impl ReplicaGroup {
             response: Some(verdict.response),
             replicas_queried: dispatched,
             healthy: healthy.len(),
+            stale_excluded: 0,
+            max_epoch_lag: 0,
             disagreement: verdict.disagreement,
             fail_closed: verdict.fail_closed,
             hedges: 0,
@@ -467,6 +666,8 @@ impl ReplicaGroup {
                 response: Some(response),
                 replicas_queried: 1,
                 healthy: healthy.len(),
+                stale_excluded: 0,
+                max_epoch_lag: 0,
                 disagreement: false,
                 fail_closed: false,
                 hedges: 0,
@@ -497,6 +698,8 @@ impl ReplicaGroup {
                 response: Some(response),
                 replicas_queried: 1 + hedges,
                 healthy: healthy.len(),
+                stale_excluded: 0,
+                max_epoch_lag: 0,
                 disagreement: false,
                 fail_closed: false,
                 hedges,
@@ -581,6 +784,43 @@ impl DecisionBackend for SlowBackend {
     fn decide(&self, _request: &RequestContext, _now_ms: u64) -> Response {
         std::thread::sleep(self.delay);
         Response::decision(self.decision)
+    }
+}
+
+/// A backend with an externally settable policy epoch — the test
+/// stand-in for a replica whose PAP lags the syndication timeline.
+#[cfg(test)]
+pub(crate) struct EpochBackend {
+    name: String,
+    decision: Decision,
+    epoch: std::sync::atomic::AtomicU64,
+}
+
+#[cfg(test)]
+impl EpochBackend {
+    pub(crate) fn new(name: impl Into<String>, decision: Decision, epoch: u64) -> Self {
+        EpochBackend {
+            name: name.into(),
+            decision,
+            epoch: std::sync::atomic::AtomicU64::new(epoch),
+        }
+    }
+
+    pub(crate) fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+impl DecisionBackend for EpochBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn decide(&self, _request: &RequestContext, _now_ms: u64) -> Response {
+        Response::decision(self.decision)
+    }
+    fn policy_epoch(&self) -> PolicyEpoch {
+        PolicyEpoch(self.epoch.load(Ordering::Acquire))
     }
 }
 
@@ -1000,6 +1240,116 @@ mod tests {
         );
         assert_eq!(out.response.unwrap().decision, Decision::Permit);
         assert_eq!(out.hedges, 0);
+    }
+
+    /// Regression (ISSUE 3): a stale replica in the `Syncing` phase is
+    /// excluded from majority counting until it catches up — even when
+    /// the stale replicas outnumber the fresh ones.
+    #[test]
+    fn stale_replicas_excluded_from_majority_until_synced() {
+        let directory = PdpDirectory::new();
+        // r0 saw the lockdown (epoch 5, denies); r1/r2 are stale at
+        // epoch 3 and would still permit. In-sync, they outvote r0.
+        let fresh = Arc::new(EpochBackend::new("r0", Decision::Deny, 5));
+        let stale_1 = Arc::new(EpochBackend::new("r1", Decision::Permit, 3));
+        let stale_2 = Arc::new(EpochBackend::new("r2", Decision::Permit, 3));
+        for name in ["r0", "r1", "r2"] {
+            directory.register(name, "cluster");
+        }
+        let g = ReplicaGroup::new(vec![
+            fresh as Arc<dyn DecisionBackend>,
+            stale_1.clone() as Arc<dyn DecisionBackend>,
+            stale_2 as Arc<dyn DecisionBackend>,
+        ]);
+        assert_eq!(g.max_policy_epoch(), PolicyEpoch(5));
+        let req = RequestContext::new();
+
+        // Without the sync gate the stale majority falsely permits.
+        let out = g.query(&directory, QuorumMode::Majority, &req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+
+        // Gate the stale pair: only the fresh replica votes.
+        assert!(g.mark_syncing("r1"));
+        assert!(g.mark_syncing("r2"));
+        assert!(!g.mark_syncing("no-such-replica"));
+        let out = g.query(&directory, QuorumMode::Majority, &req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+        assert_eq!(out.healthy, 1, "only the eligible replica counts");
+        assert_eq!(out.stale_excluded, 2);
+        assert_eq!(out.max_epoch_lag, 2, "r1/r2 trail epoch 5 by 2");
+
+        // r1 catches up and is readmitted: it votes again (its answer
+        // is its own; the gate controls eligibility, not content). The
+        // 1-1 split now fails closed rather than permitting.
+        stale_1.set_epoch(5);
+        assert!(g.mark_in_sync("r1"));
+        let out = g.query(&directory, QuorumMode::Majority, &req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+        assert!(out.fail_closed, "split vote after readmission");
+        assert_eq!(out.replicas_queried, 2);
+        assert_eq!(out.stale_excluded, 1, "r2 still gated");
+    }
+
+    #[test]
+    fn unanimity_floor_counts_eligible_not_healthy() {
+        // Three healthy replicas, two of them syncing: the eligible set
+        // is a minority of the configured group, so unanimity fails
+        // closed without spending evaluations — a stale pair cannot
+        // prop the partition over the floor.
+        let (g, dir) = group(&[Decision::Permit, Decision::Permit, Decision::Permit]);
+        g.mark_syncing("r1");
+        g.mark_syncing("r2");
+        let out = g.query(
+            &dir,
+            QuorumMode::UnanimousFailClosed,
+            &RequestContext::new(),
+            0,
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+        assert!(out.fail_closed);
+        assert_eq!(out.replicas_queried, 0);
+        assert_eq!(out.stale_excluded, 2);
+    }
+
+    #[test]
+    fn all_replicas_syncing_is_unavailable_not_stale_service() {
+        let (g, dir) = group(&[Decision::Permit, Decision::Permit]);
+        g.mark_syncing("r0");
+        g.mark_syncing("r1");
+        let out = g.query(&dir, QuorumMode::FirstHealthy, &RequestContext::new(), 0);
+        assert_eq!(out.response, None, "no fresh replica → no decision");
+        assert_eq!(out.stale_excluded, 2);
+        g.mark_in_sync("r0");
+        let out = g.query(&dir, QuorumMode::FirstHealthy, &RequestContext::new(), 0);
+        assert!(out.response.is_some());
+    }
+
+    #[test]
+    fn parallel_path_applies_the_same_sync_gate() {
+        let directory = Arc::new(PdpDirectory::new());
+        for name in ["r0", "r1", "r2"] {
+            directory.register(name, "cluster");
+        }
+        let g = ReplicaGroup::new(vec![
+            Arc::new(EpochBackend::new("r0", Decision::Deny, 4)) as Arc<dyn DecisionBackend>,
+            Arc::new(EpochBackend::new("r1", Decision::Permit, 1)) as Arc<dyn DecisionBackend>,
+            Arc::new(EpochBackend::new("r2", Decision::Permit, 1)) as Arc<dyn DecisionBackend>,
+        ]);
+        g.mark_syncing("r1");
+        g.mark_syncing("r2");
+        let pool = pool();
+        let out = g.query_parallel(
+            &directory,
+            QuorumMode::Majority,
+            &RequestContext::new(),
+            0,
+            &pool,
+            None,
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+        assert_eq!(out.stale_excluded, 2);
+        assert_eq!(out.max_epoch_lag, 3);
+        assert_eq!(out.replicas_queried, 1, "stale replicas not dispatched");
     }
 
     #[test]

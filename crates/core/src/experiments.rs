@@ -1129,6 +1129,195 @@ pub fn e15_fanout_latency(requests: usize) -> Table {
     table
 }
 
+/// The E16 control-plane events, scheduled on the simulated network.
+#[derive(Clone, PartialEq, Debug)]
+enum ResyncEvent {
+    /// Replica index crashes (directory down + syndication node offline).
+    Crash(usize),
+    /// Replica index returns (node online + directory up; with resync
+    /// enabled the cluster gates it as `Syncing` if its epoch lags).
+    Recover(usize),
+    /// The global PAP propagates policy version `k` down the tree.
+    Update(u64),
+    /// Replica index replays its missed updates and asks readmission.
+    CatchUp(usize),
+}
+
+/// The alternating E16 policy: even versions permit doctors, odd
+/// versions are a lockdown (admins only — nobody in the workload).
+/// Every update therefore flips the correct decision for doctors, so a
+/// replica deciding on any stale version errs observably.
+fn e16_gate(version: u64) -> Policy {
+    let role = if version.is_multiple_of(2) {
+        "doctor"
+    } else {
+        "admin"
+    };
+    dacs_policy::dsl::parse_policy(&format!(
+        r#"
+policy "gate" deny-unless-permit {{
+  rule "gate-v{version}" permit {{
+    condition is-in("{role}", attr(subject, "role"))
+  }}
+}}
+"#
+    ))
+    .expect("e16 gate parses")
+}
+
+/// Builds the E16 testbed: a syndication tree whose three leaves are
+/// the local PAPs of three PDP replicas forming one majority-quorum
+/// shard, plus a ground-truth PDP on the root PAP.
+fn e16_testbed(resync: bool) -> (PdpCluster, SyndicationTree, Pdp, Vec<usize>, Vec<String>) {
+    let mut tree = SyndicationTree::new("pap.e16");
+    let statics = Arc::new(StaticAttributes::new());
+    for u in 0..16 {
+        statics.add_subject_attr(&format!("user-{u}"), "role", "doctor");
+    }
+    let mut pips = PipRegistry::new();
+    pips.add(statics);
+    let pips = Arc::new(pips);
+    let root = PolicyElement::PolicyRef(PolicyId::new("gate"));
+
+    let mut leaves = Vec::new();
+    let mut names = Vec::new();
+    let mut replicas: Vec<Arc<dyn DecisionBackend>> = Vec::new();
+    for r in 0..3usize {
+        let name = format!("e16-r{r}");
+        let leaf = tree.add_child(0, name.clone(), None);
+        replicas.push(Arc::new(
+            Pdp::new(
+                name.clone(),
+                tree.node(leaf).pap.clone(),
+                root.clone(),
+                pips.clone(),
+            )
+            .with_cache(CacheConfig {
+                capacity: 512,
+                ttl_ms: 1_000,
+            }),
+        ));
+        leaves.push(leaf);
+        names.push(name);
+    }
+    // Version 0 reaches everyone before any churn.
+    tree.propagate(e16_gate(0), 0);
+
+    let cluster = ClusterBuilder::new("e16")
+        .quorum(QuorumMode::Majority)
+        .resync(resync)
+        .shard(replicas)
+        .build();
+    let truth = Pdp::new("truth", tree.node(0).pap.clone(), root, pips);
+    (cluster, tree, truth, leaves, names)
+}
+
+/// E16: replica re-sync — staleness errors under crash churn plus
+/// concurrent policy updates, with epoch-gated recovery off vs on.
+///
+/// Two replicas of a three-replica majority shard crash over every
+/// policy update (the root pushes an alternating permit/lockdown
+/// policy down the syndication tree; offline leaves miss it) and later
+/// recover stale. With re-sync **off** the recovered pair votes
+/// immediately and its stale majority outvotes the one fresh replica —
+/// false permits against the ground-truth PDP. With re-sync **on** the
+/// pair returns as `Syncing`, is excluded from quorum counting until
+/// its `SyndicationTree::catch_up` replay completes, and the shard
+/// keeps answering correctly from the fresh replica: zero staleness
+/// errors, at the cost of a degraded-service window that
+/// [`dacs_cluster::ClusterMetrics`] accounts (`resyncs`,
+/// `stale_decisions_avoided`, epoch-lag gauges).
+pub fn e16_replica_resync(requests: usize) -> Table {
+    let mut table = Table::new(
+        "E16 — replica re-sync: crash churn + policy updates, epoch-gated recovery off vs on (3 replicas, majority)",
+        &[
+            "resync",
+            "availability %",
+            "degraded %",
+            "false permits",
+            "false denies",
+            "resyncs",
+            "stale votes avoided",
+            "epoch lag max",
+        ],
+    );
+    assert!(requests >= 64, "e16 needs a few churn rounds");
+    for resync in [false, true] {
+        let (cluster, mut tree, truth, leaves, names) = e16_testbed(resync);
+
+        // Eight deterministic rounds. In each, replicas 1 and 2 crash
+        // shortly before a policy update and recover shortly after it:
+        // they are always stale on return. Replica 0 never crashes and
+        // anchors the fresh view.
+        let round_ms = (requests / 8) as u64;
+        let mut net: dacs_simnet::Network<ResyncEvent> = dacs_simnet::Network::new(16);
+        let controller = net.add_node("controller");
+        let control_plane = net.add_node("control-plane");
+        net.set_link(controller, control_plane, LinkSpec::lan());
+        let mut send = |at_ms: u64, event: ResyncEvent| {
+            net.send_after(at_ms * 1_000, controller, control_plane, 64, event);
+        };
+        for j in 0..8u64 {
+            let base = j * round_ms;
+            send(base + round_ms / 4, ResyncEvent::Crash(1));
+            send(base + round_ms / 4, ResyncEvent::Crash(2));
+            send(base + round_ms / 2, ResyncEvent::Update(j + 1));
+            send(base + round_ms * 5 / 8, ResyncEvent::Recover(1));
+            send(base + round_ms * 5 / 8, ResyncEvent::Recover(2));
+            if resync {
+                send(base + round_ms * 3 / 4, ResyncEvent::CatchUp(1));
+                send(base + round_ms * 3 / 4, ResyncEvent::CatchUp(2));
+            }
+        }
+
+        let mut false_permits = 0u64;
+        let mut false_denies = 0u64;
+        for t in 0..requests as u64 {
+            net.run_until(t * 1_000, |_net, delivery| match delivery.payload {
+                ResyncEvent::Crash(r) => {
+                    cluster.mark_down(&names[r]);
+                    tree.set_online(leaves[r], false);
+                }
+                ResyncEvent::Recover(r) => {
+                    tree.set_online(leaves[r], true);
+                    cluster.mark_up(&names[r]);
+                }
+                ResyncEvent::Update(k) => {
+                    tree.propagate(e16_gate(k), t);
+                }
+                ResyncEvent::CatchUp(r) => {
+                    tree.catch_up(leaves[r], t);
+                    cluster.complete_resync(&names[r]);
+                }
+            });
+            let u = t % 16;
+            let request =
+                RequestContext::basic(format!("user-{u}"), format!("records/{}", u % 5), "read");
+            let expected = truth.decide(&request, t).decision;
+            if let Some(response) = cluster.decide(&request, t).response {
+                if response.decision == Decision::Permit && expected != Decision::Permit {
+                    false_permits += 1;
+                }
+                if response.decision != Decision::Permit && expected == Decision::Permit {
+                    false_denies += 1;
+                }
+            }
+        }
+        let m = cluster.metrics();
+        table.row(vec![
+            if resync { "on" } else { "off" }.into(),
+            f2(100.0 * m.availability()),
+            f2(100.0 * m.degraded_rate()),
+            false_permits.to_string(),
+            false_denies.to_string(),
+            m.resyncs.to_string(),
+            m.stale_decisions_avoided.to_string(),
+            m.epoch_lag_max.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Runs every experiment at default scale (used by the harness's `all`).
 pub fn run_all() -> Vec<Table> {
     vec![
@@ -1147,6 +1336,7 @@ pub fn run_all() -> Vec<Table> {
         e13_pdp_discovery(2000),
         e14_cluster_dependability(4000),
         e15_fanout_latency(400),
+        e16_replica_resync(2000),
     ]
 }
 
@@ -1311,6 +1501,49 @@ mod tests {
                 "{}: availability {avail}",
                 r[0]
             );
+        }
+    }
+
+    /// The ISSUE 3 acceptance bar: with re-sync disabled, crash churn
+    /// plus concurrent policy updates produce stale (false) decisions;
+    /// with re-sync enabled, exactly zero.
+    #[test]
+    fn e16_resync_eliminates_staleness_errors() {
+        let t = e16_replica_resync(1600);
+        assert_eq!(t.rows.len(), 2);
+        let row = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .clone()
+        };
+        let off = row("off");
+        let on = row("on");
+        let fp = |r: &Vec<String>| -> u64 { r[3].parse().unwrap() };
+        let fd = |r: &Vec<String>| -> u64 { r[4].parse().unwrap() };
+        // Off: the stale pair outvotes the fresh replica after every
+        // lockdown update it slept through.
+        assert!(fp(&off) > 0, "re-sync off must leak stale permits");
+        assert_eq!(fd(&off), 0, "the stale pair is only ever more permissive");
+        // On: the epoch gate keeps stale votes out — zero wrong
+        // decisions of either kind.
+        assert_eq!(fp(&on), 0, "re-sync on must not leak stale permits");
+        assert_eq!(fd(&on), 0, "re-sync on must not fail-close on truth");
+        // The gate actually did work: re-syncs completed, stale votes
+        // were excluded, and lag was observed.
+        let resyncs: u64 = on[5].parse().unwrap();
+        let avoided: u64 = on[6].parse().unwrap();
+        let lag: u64 = on[7].parse().unwrap();
+        assert!(resyncs > 0, "no re-sync completed");
+        assert!(avoided > 0, "no stale vote was ever excluded");
+        assert!(lag >= 1, "epoch lag never observed");
+        assert_eq!(off[5], "0", "re-sync off never re-syncs");
+        // Availability holds throughout: the fresh replica never
+        // crashes, so exclusion costs protection headroom, not service.
+        for r in [&off, &on] {
+            let avail: f64 = r[1].parse().unwrap();
+            assert!(avail > 99.0, "{}: availability {avail}", r[0]);
         }
     }
 

@@ -11,15 +11,22 @@
 //!   namespace narrowing, depth limits, expiry and cascading revocation
 //!   (§3.2 "Access Control Delegation").
 //! * [`syndication`] — the PAP / policy-syndication-server hierarchy of
-//!   Fig. 5, with per-node accept filters and report accounting.
+//!   Fig. 5, with per-node accept filters, report accounting, epoch
+//!   stamping and offline-node catch-up (anti-entropy replay).
+//! * [`epoch`] — [`PolicyEpoch`], the monotonically increasing stamp
+//!   the syndication root assigns to every push; PDP replicas expose it
+//!   so a recovering replica can be excluded from quorum counting until
+//!   it has caught up.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod delegation;
+pub mod epoch;
 pub mod repository;
 pub mod syndication;
 
 pub use delegation::{Delegation, DelegationError, DelegationRegistry};
+pub use epoch::PolicyEpoch;
 pub use repository::{AdminAction, AuditEntry, Pap, PapError};
-pub use syndication::{PropagationReport, SyndicationTree};
+pub use syndication::{CatchUpReport, LoggedUpdate, PropagationReport, SyndicationTree};

@@ -4,6 +4,7 @@
 //! is protected "based on the same PEP/PDP mechanisms that protect
 //! ordinary resources", using one policy language for both.
 
+use crate::epoch::PolicyEpoch;
 use dacs_policy::eval::{EmptyStore, Evaluator, PolicyStore};
 use dacs_policy::policy::{Decision, Policy, PolicyId, PolicySet};
 use dacs_policy::request::RequestContext;
@@ -114,6 +115,10 @@ pub struct Pap {
     seq: RwLock<u64>,
     /// Bumped on every mutation; PDP/PEP caches key their validity on it.
     epoch: RwLock<u64>,
+    /// Highest syndication stamp processed with no gap before it — the
+    /// repository's position in the global policy timeline (distinct
+    /// from the local mutation counter above).
+    policy_epoch: RwLock<PolicyEpoch>,
 }
 
 impl Pap {
@@ -128,6 +133,7 @@ impl Pap {
             audit: RwLock::new(Vec::new()),
             seq: RwLock::new(0),
             epoch: RwLock::new(0),
+            policy_epoch: RwLock::new(PolicyEpoch::ZERO),
         }
     }
 
@@ -147,6 +153,32 @@ impl Pap {
     /// Current mutation epoch (cache validity token).
     pub fn epoch(&self) -> u64 {
         *self.epoch.read()
+    }
+
+    /// The repository's position in the global policy timeline: the
+    /// highest syndication stamp processed without a gap before it.
+    ///
+    /// A replica PDP bound to this PAP reports this value as its
+    /// quorum-eligibility epoch.
+    pub fn policy_epoch(&self) -> PolicyEpoch {
+        *self.policy_epoch.read()
+    }
+
+    /// Observes syndication stamp `stamp` (whether the update was
+    /// applied or filtered). The epoch advances only when the stamp is
+    /// *contiguous* with the current position — a skipped stamp means
+    /// updates were missed while offline, so the position holds until
+    /// [`Pap::apply_syndicated_stamped`] replays the gap in order (the
+    /// `SyndicationTree::catch_up` path). Returns whether the epoch
+    /// advanced.
+    pub fn observe_policy_epoch(&self, stamp: PolicyEpoch) -> bool {
+        let mut current = self.policy_epoch.write();
+        if current.next() == stamp {
+            *current = stamp;
+            true
+        } else {
+            false
+        }
     }
 
     fn authorize_admin(&self, actor: &str, policy: &PolicyId, op: &str) -> Result<(), PapError> {
@@ -222,17 +254,47 @@ impl Pap {
 
     /// Applies a syndicated policy (bypasses the admin policy check —
     /// trust in the syndication parent was established at tree setup —
-    /// but is still audited).
-    pub fn apply_syndicated(&self, from: &str, mut policy: Policy, at_ms: u64) -> u64 {
+    /// but is still audited). Carries no epoch stamp, so the
+    /// repository's [`Pap::policy_epoch`] position is untouched: an
+    /// unstamped side-channel apply must not fabricate a timeline
+    /// position for updates the node never saw — a crashed-and-
+    /// recovered replica would otherwise look current and skip its
+    /// re-sync. Tree pushes go through
+    /// [`Pap::apply_syndicated_stamped`].
+    pub fn apply_syndicated(&self, from: &str, policy: Policy, at_ms: u64) -> u64 {
         let id = policy.id.clone();
+        let version = self.install(&id, policy);
+        self.record(at_ms, from, AdminAction::SyndicationApply, &id, version);
+        version
+    }
+
+    /// Applies a syndicated policy carrying the tree-assigned epoch
+    /// `stamp`. The policy content is always installed (a newer version
+    /// supersedes whatever was active), but the repository's
+    /// [`Pap::policy_epoch`] advances only when the stamp is contiguous
+    /// — see [`Pap::observe_policy_epoch`] for the gap rule.
+    pub fn apply_syndicated_stamped(
+        &self,
+        from: &str,
+        policy: Policy,
+        stamp: PolicyEpoch,
+        at_ms: u64,
+    ) -> u64 {
+        let id = policy.id.clone();
+        let version = self.install(&id, policy);
+        self.record(at_ms, from, AdminAction::SyndicationApply, &id, version);
+        self.observe_policy_epoch(stamp);
+        version
+    }
+
+    /// Installs `policy` as the next active version of `id`.
+    fn install(&self, id: &PolicyId, mut policy: Policy) -> u64 {
         let mut guard = self.policies.write();
         let entry = guard.entry(id.clone()).or_default();
         let version = entry.versions.len() as u64 + 1;
         policy.version = version;
         entry.versions.push(Arc::new(policy));
         entry.active = entry.versions.len() - 1;
-        drop(guard);
-        self.record(at_ms, from, AdminAction::SyndicationApply, &id, version);
         version
     }
 
@@ -472,6 +534,41 @@ policy "admin" deny-unless-permit {
         let e0 = pap.epoch();
         pap.submit("admin", sample("p1"), 10).unwrap();
         assert!(pap.epoch() > e0);
+    }
+
+    #[test]
+    fn policy_epoch_advances_contiguously_and_holds_on_gaps() {
+        let pap = Pap::new("pap.a");
+        assert_eq!(pap.policy_epoch(), PolicyEpoch::ZERO);
+        // An unstamped apply installs content but must not fabricate a
+        // timeline position for updates the node never saw.
+        pap.apply_syndicated("parent", sample("p"), 1);
+        assert_eq!(pap.policy_epoch(), PolicyEpoch::ZERO);
+        // Contiguous stamps advance…
+        pap.apply_syndicated_stamped("parent", sample("p"), PolicyEpoch(1), 1);
+        pap.apply_syndicated_stamped("parent", sample("p"), PolicyEpoch(2), 2);
+        assert_eq!(pap.policy_epoch(), PolicyEpoch(2));
+        // …a gap (stamp 5 while at 2) installs the content but pins the
+        // epoch: stamps 3 and 4 were missed and must be replayed.
+        pap.apply_syndicated_stamped("parent", sample("p"), PolicyEpoch(5), 3);
+        assert_eq!(pap.policy_epoch(), PolicyEpoch(2));
+        assert_eq!(pap.active(&PolicyId::new("p")).unwrap().version, 4);
+        // Replaying the gap in order catches the epoch up.
+        for stamp in [3u64, 4, 5] {
+            pap.apply_syndicated_stamped("parent", sample("p"), PolicyEpoch(stamp), 4);
+        }
+        assert_eq!(pap.policy_epoch(), PolicyEpoch(5));
+        // Re-observing an old stamp never rewinds.
+        assert!(!pap.observe_policy_epoch(PolicyEpoch(2)));
+        assert_eq!(pap.policy_epoch(), PolicyEpoch(5));
+    }
+
+    #[test]
+    fn filtered_observation_advances_without_applying() {
+        let pap = Pap::new("pap.a");
+        assert!(pap.observe_policy_epoch(PolicyEpoch(1)));
+        assert_eq!(pap.policy_epoch(), PolicyEpoch(1));
+        assert!(pap.is_empty(), "observation alone installs nothing");
     }
 
     #[test]

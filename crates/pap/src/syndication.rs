@@ -4,7 +4,17 @@
 //! flow back up. Turns per-decision remote policy fetches into
 //! O(tree edges) pushes per update — the message-count trade-off
 //! experiment E5 measures.
+//!
+//! Every push is stamped with a monotonically increasing
+//! [`PolicyEpoch`] assigned by the root, and the root keeps an update
+//! log. A node that was offline (crashed) misses pushes and falls
+//! behind; on recovery it *catches up* by replaying the missed stamps
+//! from its nearest syndication node ([`SyndicationTree::catch_up`],
+//! built on [`SyndicationTree::updates_since`]) before it may be
+//! treated as current — the anti-entropy phase the cluster's replica
+//! re-sync lifecycle (experiment E16) depends on.
 
+use crate::epoch::PolicyEpoch;
 use crate::repository::Pap;
 use dacs_policy::glob::glob_match;
 use dacs_policy::policy::{Policy, PolicyId};
@@ -22,6 +32,9 @@ pub struct SyndicationNode {
     pub accept_filter: Option<String>,
     /// The node's local repository.
     pub pap: Arc<Pap>,
+    /// Whether the node is reachable for pushes. An offline node (and
+    /// everything below it) misses updates and must catch up on return.
+    pub online: bool,
 }
 
 /// One hop of a propagation (for message accounting).
@@ -38,12 +51,17 @@ pub struct Hop {
 /// Result of propagating one update through the tree.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct PropagationReport {
+    /// The epoch stamp the root assigned to this update.
+    pub epoch: PolicyEpoch,
     /// Every parent→child push performed.
     pub hops: Vec<Hop>,
     /// Nodes that applied the update.
     pub applied: usize,
     /// Nodes that filtered the update out.
     pub filtered: usize,
+    /// Offline nodes the push could not reach (their subtrees were not
+    /// contacted either; they accumulate epoch lag until catch-up).
+    pub offline_skipped: usize,
     /// Report messages sent back up (one per push, child→parent).
     pub reports: usize,
 }
@@ -55,9 +73,38 @@ impl PropagationReport {
     }
 }
 
+/// One entry of the root's update log: the replay source for catch-up.
+#[derive(Clone, Debug)]
+pub struct LoggedUpdate {
+    /// The stamp the root assigned.
+    pub epoch: PolicyEpoch,
+    /// The policy as pushed.
+    pub policy: Policy,
+    /// Simulation time of the push.
+    pub at_ms: u64,
+}
+
+/// Result of one node's catch-up replay.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CatchUpReport {
+    /// The node that caught up.
+    pub node: usize,
+    /// Its epoch before the replay.
+    pub from_epoch: PolicyEpoch,
+    /// Its epoch after the replay (the root's current epoch).
+    pub to_epoch: PolicyEpoch,
+    /// Missed updates re-applied.
+    pub replayed: usize,
+    /// Missed updates its accept filter declined (observed, not applied).
+    pub filtered: usize,
+}
+
 /// A tree of syndication nodes. Node 0 is the root (the global PAP).
 pub struct SyndicationTree {
     nodes: Vec<SyndicationNode>,
+    /// Append-only log of every propagated update, in epoch order:
+    /// `log[i].epoch == PolicyEpoch(i as u64 + 1)`.
+    log: Vec<LoggedUpdate>,
 }
 
 impl SyndicationTree {
@@ -70,7 +117,9 @@ impl SyndicationTree {
                 name,
                 children: Vec::new(),
                 accept_filter: None,
+                online: true,
             }],
+            log: Vec::new(),
         }
     }
 
@@ -93,6 +142,7 @@ impl SyndicationTree {
             name,
             children: Vec::new(),
             accept_filter,
+            online: true,
         });
         self.nodes[parent].children.push(idx);
         idx
@@ -131,18 +181,75 @@ impl SyndicationTree {
         self.nodes.is_empty()
     }
 
+    /// The root's current epoch: the stamp of the latest propagated
+    /// update (`PolicyEpoch::ZERO` before the first).
+    pub fn epoch(&self) -> PolicyEpoch {
+        PolicyEpoch(self.log.len() as u64)
+    }
+
+    /// The epoch a node has caught up to (gap-free position; see
+    /// [`Pap::observe_policy_epoch`]).
+    pub fn node_epoch(&self, idx: usize) -> PolicyEpoch {
+        self.nodes[idx].pap.policy_epoch()
+    }
+
+    /// Marks a node reachable/unreachable for pushes. The root cannot
+    /// be taken offline (it *assigns* the epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is the root or out of range.
+    pub fn set_online(&mut self, idx: usize, online: bool) {
+        assert!(idx != 0, "the root cannot go offline");
+        self.nodes[idx].online = online;
+    }
+
+    /// Whether a node is currently reachable for pushes.
+    pub fn is_online(&self, idx: usize) -> bool {
+        self.nodes[idx].online
+    }
+
+    /// The parent of `idx` (`None` for the root) — the "nearest
+    /// syndication node" a catch-up replays from.
+    pub fn parent_of(&self, idx: usize) -> Option<usize> {
+        self.nodes.iter().position(|n| n.children.contains(&idx))
+    }
+
+    /// Every logged update with a stamp strictly after `epoch`, in
+    /// epoch order — the replay stream for a node that reports `epoch`
+    /// as its position.
+    pub fn updates_since(&self, epoch: PolicyEpoch) -> &[LoggedUpdate] {
+        let start = (epoch.0 as usize).min(self.log.len());
+        &self.log[start..]
+    }
+
     /// Installs the update at the root and pushes it down the tree,
-    /// honouring per-node accept filters. `at_ms` stamps audit records.
+    /// honouring per-node accept filters and skipping offline nodes
+    /// (whose subtrees are unreachable and accumulate epoch lag).
+    /// `at_ms` stamps audit records.
     pub fn propagate(&mut self, policy: Policy, at_ms: u64) -> PropagationReport {
-        let mut report = PropagationReport::default();
+        let stamp = self.epoch().next();
+        self.log.push(LoggedUpdate {
+            epoch: stamp,
+            policy: policy.clone(),
+            at_ms,
+        });
+        let mut report = PropagationReport {
+            epoch: stamp,
+            ..PropagationReport::default()
+        };
         self.nodes[0]
             .pap
-            .apply_syndicated("origin", policy.clone(), at_ms);
+            .apply_syndicated_stamped("origin", policy.clone(), stamp, at_ms);
         report.applied += 1;
         let mut frontier = vec![0usize];
         while let Some(parent) = frontier.pop() {
             let children = self.nodes[parent].children.clone();
             for child in children {
+                if !self.nodes[child].online {
+                    report.offline_skipped += 1;
+                    continue;
+                }
                 let accept = match &self.nodes[child].accept_filter {
                     Some(filter) => glob_match(filter, policy.id.as_str()),
                     None => true,
@@ -156,17 +263,87 @@ impl SyndicationTree {
                 report.reports += 1;
                 if accept {
                     let from = self.nodes[parent].name.clone();
-                    self.nodes[child]
-                        .pap
-                        .apply_syndicated(&from, policy.clone(), at_ms);
+                    self.nodes[child].pap.apply_syndicated_stamped(
+                        &from,
+                        policy.clone(),
+                        stamp,
+                        at_ms,
+                    );
                     report.applied += 1;
                     frontier.push(child);
                 } else {
+                    // A filtered update still counts as *seen*: the
+                    // node's epoch position advances (if contiguous)
+                    // even though nothing was installed.
+                    self.nodes[child].pap.observe_policy_epoch(stamp);
                     report.filtered += 1;
                 }
             }
         }
         report
+    }
+
+    /// Replays every update a node missed, in epoch order, from its
+    /// parent ("nearest syndication node"), honouring the node's accept
+    /// filter. Afterwards the node's epoch equals the root's.
+    ///
+    /// An **offline** node cannot reach its syndication parent, so the
+    /// call is a no-op (`replayed == 0`, epoch unchanged): were it to
+    /// succeed, the node would claim the root epoch while still
+    /// unreachable for subsequent pushes, and a cluster would readmit
+    /// an epoch-plausible but staling replica. Bring the node online
+    /// first.
+    ///
+    /// Replay is idempotent on content: an update the node already
+    /// received out of order (a stamped push past a gap) is simply
+    /// re-applied as a newer version of the same policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn catch_up(&mut self, idx: usize, at_ms: u64) -> CatchUpReport {
+        let from_epoch = self.nodes[idx].pap.policy_epoch();
+        if !self.nodes[idx].online {
+            return CatchUpReport {
+                node: idx,
+                from_epoch,
+                to_epoch: from_epoch,
+                replayed: 0,
+                filtered: 0,
+            };
+        }
+        let from_name = match self.parent_of(idx) {
+            Some(p) => self.nodes[p].name.clone(),
+            None => "origin".to_string(),
+        };
+        let start = (from_epoch.0 as usize).min(self.log.len());
+        let mut replayed = 0usize;
+        let mut filtered = 0usize;
+        for update in &self.log[start..] {
+            let accept = match &self.nodes[idx].accept_filter {
+                Some(f) => glob_match(f, update.policy.id.as_str()),
+                None => true,
+            };
+            if accept {
+                self.nodes[idx].pap.apply_syndicated_stamped(
+                    &from_name,
+                    update.policy.clone(),
+                    update.epoch,
+                    at_ms,
+                );
+                replayed += 1;
+            } else {
+                self.nodes[idx].pap.observe_policy_epoch(update.epoch);
+                filtered += 1;
+            }
+        }
+        CatchUpReport {
+            node: idx,
+            from_epoch,
+            to_epoch: self.nodes[idx].pap.policy_epoch(),
+            replayed,
+            filtered,
+        }
     }
 
     /// Checks convergence: every node whose filters accept `id` holds
@@ -206,6 +383,8 @@ impl SyndicationTree {
 mod tests {
     use super::*;
     use dacs_policy::policy::{CombiningAlg, Effect, Rule};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn sample(id: &str) -> Policy {
         Policy::new(PolicyId::new(id), CombiningAlg::DenyUnlessPermit)
@@ -219,11 +398,17 @@ mod tests {
         let report = tree.propagate(sample("global"), 100);
         assert_eq!(report.applied, 13);
         assert_eq!(report.filtered, 0);
+        assert_eq!(report.offline_skipped, 0);
+        assert_eq!(report.epoch, PolicyEpoch(1));
         // One push per edge, one report per push.
         assert_eq!(report.hops.len(), 12);
         assert_eq!(report.reports, 12);
         assert_eq!(report.total_messages(), 24);
         assert!(tree.converged(&PolicyId::new("global")));
+        // Every node caught the stamp.
+        for n in 0..tree.len() {
+            assert_eq!(tree.node_epoch(n), PolicyEpoch(1));
+        }
     }
 
     #[test]
@@ -240,6 +425,8 @@ mod tests {
         assert_eq!(report.applied, 3); // root, b, below-b
         assert_eq!(report.hops.len(), 3); // root→a (filtered), root→b, b→b1
         assert!(tree.converged(&PolicyId::new("lab-policy")));
+        // The filtering node still observed the stamp and is current.
+        assert_eq!(tree.node_epoch(a), PolicyEpoch(1));
 
         let report = tree.propagate(sample("ehr-policy"), 20);
         assert_eq!(report.filtered, 0);
@@ -278,6 +465,153 @@ mod tests {
             let report = tree.propagate(sample("p"), 1);
             assert_eq!(report.hops.len(), edges);
             assert_eq!(report.total_messages(), 2 * edges);
+        }
+    }
+
+    #[test]
+    fn offline_node_misses_updates_and_catches_up() {
+        let mut tree = SyndicationTree::uniform("root", 1, 2);
+        tree.propagate(sample("a"), 1);
+        tree.set_online(1, false);
+        let report = tree.propagate(sample("b"), 2);
+        assert_eq!(report.offline_skipped, 1);
+        assert_eq!(report.applied, 2, "root + the online child");
+        // The offline node is stuck at epoch 1 while the tree moved on.
+        assert_eq!(tree.node_epoch(1), PolicyEpoch(1));
+        assert_eq!(tree.epoch(), PolicyEpoch(2));
+        assert!(!tree.converged(&PolicyId::new("b")));
+
+        tree.set_online(1, true);
+        let caught = tree.catch_up(1, 3);
+        assert_eq!(caught.from_epoch, PolicyEpoch(1));
+        assert_eq!(caught.to_epoch, PolicyEpoch(2));
+        assert_eq!(caught.replayed, 1);
+        assert_eq!(tree.node_epoch(1), tree.epoch());
+        assert!(tree.converged(&PolicyId::new("b")));
+    }
+
+    #[test]
+    fn offline_subtree_is_unreachable_until_each_node_catches_up() {
+        let mut tree = SyndicationTree::new("root");
+        let mid = tree.add_child(0, "mid", None);
+        let leaf = tree.add_child(mid, "leaf", None);
+        tree.set_online(mid, false);
+        tree.propagate(sample("p"), 1);
+        // Both mid and its (online) leaf missed the push.
+        assert_eq!(tree.node_epoch(mid), PolicyEpoch::ZERO);
+        assert_eq!(tree.node_epoch(leaf), PolicyEpoch::ZERO);
+        tree.set_online(mid, true);
+        tree.catch_up(mid, 2);
+        tree.catch_up(leaf, 2);
+        assert!(tree.converged(&PolicyId::new("p")));
+        // Catch-up replays from the nearest syndication node: the
+        // leaf's audit names its parent, not the root.
+        let audit = tree.node(leaf).pap.audit_log();
+        assert_eq!(audit.last().unwrap().actor, "mid");
+    }
+
+    #[test]
+    fn catch_up_refuses_offline_nodes() {
+        let mut tree = SyndicationTree::uniform("root", 1, 1);
+        tree.propagate(sample("p"), 1);
+        tree.set_online(1, false);
+        tree.propagate(sample("p"), 2);
+        // Unreachable: the replay cannot happen, the epoch must not move.
+        let report = tree.catch_up(1, 3);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.from_epoch, report.to_epoch);
+        assert_eq!(tree.node_epoch(1), PolicyEpoch(1));
+        tree.set_online(1, true);
+        assert_eq!(tree.catch_up(1, 4).replayed, 1);
+        assert_eq!(tree.node_epoch(1), PolicyEpoch(2));
+    }
+
+    #[test]
+    fn updates_since_returns_the_missing_suffix() {
+        let mut tree = SyndicationTree::new("root");
+        for (i, id) in ["a", "b", "c"].iter().enumerate() {
+            tree.propagate(sample(id), i as u64);
+        }
+        assert_eq!(tree.updates_since(PolicyEpoch(3)).len(), 0);
+        let tail = tree.updates_since(PolicyEpoch(1));
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].epoch, PolicyEpoch(2));
+        assert_eq!(tail[0].policy.id.as_str(), "b");
+        assert_eq!(tail[1].epoch, PolicyEpoch(3));
+        // An epoch beyond the log (a node from a different tree) yields
+        // nothing rather than panicking.
+        assert_eq!(tree.updates_since(PolicyEpoch(99)).len(), 0);
+    }
+
+    #[test]
+    fn catch_up_honours_accept_filters() {
+        let mut tree = SyndicationTree::new("root");
+        let a = tree.add_child(0, "ehr-only", Some("ehr-*".into()));
+        tree.set_online(a, false);
+        tree.propagate(sample("ehr-1"), 1);
+        tree.propagate(sample("lab-1"), 2);
+        tree.set_online(a, true);
+        let caught = tree.catch_up(a, 3);
+        assert_eq!(caught.replayed, 1, "only the ehr update applies");
+        assert_eq!(caught.filtered, 1);
+        assert_eq!(
+            caught.to_epoch,
+            PolicyEpoch(2),
+            "filtered stamps still count"
+        );
+        assert!(tree.node(a).pap.active(&PolicyId::new("lab-1")).is_none());
+    }
+
+    /// Property-style: under an arbitrary interleaving of pushes,
+    /// outages, recoveries and partial catch-ups, a final catch-up pass
+    /// converges every node to the root epoch and root content.
+    #[test]
+    fn random_interleavings_converge_after_catch_up() {
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let depth = rng.gen_range(1..=3);
+            let fanout = rng.gen_range(1..=3);
+            let mut tree = SyndicationTree::uniform("r", depth, fanout);
+            let n = tree.len();
+            let mut pushes = 0u64;
+            for step in 0..40u64 {
+                match rng.gen_range(0..4) {
+                    0 => {
+                        pushes += 1;
+                        tree.propagate(sample("p"), step);
+                    }
+                    1 if n > 1 => {
+                        let idx = rng.gen_range(1..n);
+                        let online = rng.gen_bool(0.5);
+                        tree.set_online(idx, online);
+                    }
+                    2 => {
+                        // A partial catch-up of a random node at a
+                        // random moment must never break convergence.
+                        let idx = rng.gen_range(0..n);
+                        tree.catch_up(idx, step);
+                    }
+                    _ => {}
+                }
+            }
+            // Bring everything back and run the anti-entropy pass.
+            for idx in 1..n {
+                tree.set_online(idx, true);
+            }
+            for idx in 0..n {
+                tree.catch_up(idx, 10_000);
+            }
+            assert_eq!(tree.epoch(), PolicyEpoch(pushes), "seed {seed}");
+            for idx in 0..n {
+                assert_eq!(
+                    tree.node_epoch(idx),
+                    tree.epoch(),
+                    "seed {seed}: node {idx} not at root epoch"
+                );
+            }
+            if pushes > 0 {
+                assert!(tree.converged(&PolicyId::new("p")), "seed {seed}");
+            }
         }
     }
 }

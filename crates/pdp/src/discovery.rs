@@ -5,6 +5,34 @@
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
+/// Endpoint health as tracked by the directory — the first half of the
+/// replica lifecycle (`Healthy → Suspect → Crashed → Syncing → Healthy`
+/// — the `Syncing` phase lives in `dacs-cluster`, which gates a
+/// recovered replica's quorum eligibility on its policy epoch).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HealthState {
+    /// Serving normally; eligible for routing and quorum counting.
+    #[default]
+    Healthy,
+    /// Missed a health probe: excluded from *new* dispatch (it may
+    /// recover on its own), but not yet declared dead.
+    Suspect,
+    /// Declared down (crash, partition). On return it must pass through
+    /// the cluster's `Syncing` phase before rejoining quorums.
+    Crashed,
+}
+
+impl HealthState {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Crashed => "crashed",
+        }
+    }
+}
+
 /// A PDP known to the directory.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PdpEndpoint {
@@ -13,7 +41,15 @@ pub struct PdpEndpoint {
     /// The administrative domain it serves.
     pub domain: String,
     /// Health as last observed.
-    pub healthy: bool,
+    pub health: HealthState,
+}
+
+impl PdpEndpoint {
+    /// Whether the endpoint is routable (only [`HealthState::Healthy`]
+    /// endpoints receive new work).
+    pub fn is_healthy(&self) -> bool {
+        self.health == HealthState::Healthy
+    }
 }
 
 /// How an enforcement point locates its decision point.
@@ -57,26 +93,49 @@ impl PdpDirectory {
         self.endpoints.write().push(PdpEndpoint {
             name: name.into(),
             domain: domain.into(),
-            healthy: true,
+            health: HealthState::Healthy,
         });
     }
 
-    /// Marks an endpoint unhealthy (crash, partition).
-    pub fn mark_down(&self, name: &str) {
+    /// Removes an endpoint entirely (decommissioned, not merely down),
+    /// clearing its latency EWMA so hedge budgets and fastest-first
+    /// ordering never quote a replica that no longer exists.
+    pub fn deregister(&self, name: &str) {
+        self.endpoints.write().retain(|e| e.name != name);
+        self.latency_us.write().remove(name);
+    }
+
+    fn set_health(&self, name: &str, health: HealthState) {
         for e in self.endpoints.write().iter_mut() {
             if e.name == name {
-                e.healthy = false;
+                e.health = health;
             }
         }
+    }
+
+    /// Marks an endpoint crashed (down, partitioned).
+    pub fn mark_down(&self, name: &str) {
+        self.set_health(name, HealthState::Crashed);
+    }
+
+    /// Marks an endpoint suspect: excluded from new dispatch, but not
+    /// yet declared crashed (a missed probe, a timeout).
+    pub fn mark_suspect(&self, name: &str) {
+        self.set_health(name, HealthState::Suspect);
     }
 
     /// Marks an endpoint healthy again.
     pub fn mark_up(&self, name: &str) {
-        for e in self.endpoints.write().iter_mut() {
-            if e.name == name {
-                e.healthy = true;
-            }
-        }
+        self.set_health(name, HealthState::Healthy);
+    }
+
+    /// The endpoint's current health, or `None` if it is not registered.
+    pub fn health(&self, name: &str) -> Option<HealthState> {
+        self.endpoints
+            .read()
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.health)
     }
 
     /// Whether an endpoint of this name is registered (in any domain,
@@ -85,12 +144,13 @@ impl PdpDirectory {
         self.endpoints.read().iter().any(|e| e.name == name)
     }
 
-    /// Whether a named endpoint is currently healthy.
+    /// Whether a named endpoint is currently healthy (suspect and
+    /// crashed endpoints both answer `false`).
     pub fn is_healthy(&self, name: &str) -> bool {
         self.endpoints
             .read()
             .iter()
-            .any(|e| e.name == name && e.healthy)
+            .any(|e| e.name == name && e.is_healthy())
     }
 
     /// Resolves a binding to a concrete healthy endpoint name.
@@ -111,7 +171,7 @@ impl PdpDirectory {
                 let endpoints = self.endpoints.read();
                 let healthy: Vec<&PdpEndpoint> = endpoints
                     .iter()
-                    .filter(|e| e.domain == domain && e.healthy)
+                    .filter(|e| e.domain == domain && e.is_healthy())
                     .collect();
                 if healthy.is_empty() {
                     return None;
@@ -294,6 +354,49 @@ mod tests {
         assert_eq!(d.latency_ewma_us("pdp-2"), None);
         d.record_latency_us("not-registered", 7);
         assert_eq!(d.latency_ewma_us("not-registered"), Some(7.0));
+    }
+
+    #[test]
+    fn suspect_is_excluded_but_distinct_from_crashed() {
+        let d = directory();
+        assert_eq!(d.health("pdp-1"), Some(HealthState::Healthy));
+        d.mark_suspect("pdp-1");
+        assert_eq!(d.health("pdp-1"), Some(HealthState::Suspect));
+        assert!(!d.is_healthy("pdp-1"), "suspect gets no new dispatch");
+        let b = Binding::Discovery;
+        for _ in 0..3 {
+            assert_eq!(d.resolve(&b, "hospital-a"), Some("pdp-2".into()));
+        }
+        d.mark_down("pdp-1");
+        assert_eq!(d.health("pdp-1"), Some(HealthState::Crashed));
+        d.mark_up("pdp-1");
+        assert_eq!(d.health("pdp-1"), Some(HealthState::Healthy));
+        assert_eq!(d.health("no-such"), None);
+    }
+
+    /// Regression (ISSUE 3): latency EWMA entries must not outlive the
+    /// endpoint — a removed replica's estimate would keep feeding hedge
+    /// budgets and fastest-first ordering forever.
+    #[test]
+    fn deregister_removes_endpoint_and_prunes_latency_ewma() {
+        let d = directory();
+        d.record_latency_us("pdp-1", 500);
+        d.record_latency_us("pdp-2", 900);
+        assert!(d.latency_ewma_us("pdp-1").is_some());
+        d.deregister("pdp-1");
+        assert!(!d.contains("pdp-1"));
+        assert_eq!(
+            d.latency_ewma_us("pdp-1"),
+            None,
+            "dead replica must not be quoted"
+        );
+        // The surviving endpoint keeps its estimate and the rotation.
+        assert_eq!(d.latency_ewma_us("pdp-2"), Some(900.0));
+        let b = Binding::Discovery;
+        for _ in 0..3 {
+            assert_eq!(d.resolve(&b, "hospital-a"), Some("pdp-2".into()));
+        }
+        assert_eq!(d.len(), 2);
     }
 
     #[test]

@@ -79,6 +79,14 @@ impl Pdp {
         &self.pap
     }
 
+    /// The policy epoch this PDP decides on: its PAP's position in the
+    /// global syndication timeline. A replica group compares this
+    /// against its maximum to decide quorum eligibility — a recovering
+    /// replica whose epoch lags is `Syncing`, not voting.
+    pub fn policy_epoch(&self) -> dacs_pap::PolicyEpoch {
+        self.pap.policy_epoch()
+    }
+
     /// Serves an authorization decision query.
     ///
     /// Policy changes at the PAP (tracked by its epoch) flush the
@@ -220,6 +228,44 @@ policy "gate" deny-unless-permit {
         assert_eq!(pdp.decide(&alice, 100).decision, Decision::Permit);
         pdp.invalidate_cache();
         assert_eq!(pdp.decide(&alice, 101).decision, Decision::Deny);
+    }
+
+    #[test]
+    fn policy_epoch_reflects_syndicated_position() {
+        let (pap, pdp, _s) = setup(None);
+        assert_eq!(pdp.policy_epoch(), dacs_pap::PolicyEpoch::ZERO);
+        let update =
+            parse_policy(r#"policy "gate" deny-unless-permit { rule "none" deny { } }"#).unwrap();
+        pap.apply_syndicated_stamped("parent", update.clone(), dacs_pap::PolicyEpoch(1), 10);
+        assert_eq!(pdp.policy_epoch(), dacs_pap::PolicyEpoch(1));
+        // An unstamped side-channel apply installs content but does not
+        // move the PDP's timeline position.
+        pap.apply_syndicated("parent", update, 20);
+        assert_eq!(pdp.policy_epoch(), dacs_pap::PolicyEpoch(1));
+    }
+
+    /// A syndicated catch-up replay bumps the PAP mutation epoch, so the
+    /// decision cache flushes and no stale decision survives a re-sync.
+    #[test]
+    fn resync_replay_flushes_decision_cache() {
+        let cfg = CacheConfig {
+            capacity: 128,
+            ttl_ms: 1_000_000,
+        };
+        let (pap, pdp, _s) = setup(Some(cfg));
+        let alice = RequestContext::basic("alice", "ehr/1", "read");
+        assert_eq!(pdp.decide(&alice, 0).decision, Decision::Permit);
+        let lockdown = parse_policy(
+            r#"policy "gate" deny-unless-permit { rule "nobody" permit {
+                 condition is-in("nobody", attr(subject, "role")) } }"#,
+        )
+        .unwrap();
+        pap.apply_syndicated_stamped("parent", lockdown, dacs_pap::PolicyEpoch(1), 50);
+        assert_eq!(
+            pdp.decide(&alice, 60).decision,
+            Decision::Deny,
+            "cached pre-resync permit must not be served"
+        );
     }
 
     #[test]

@@ -19,5 +19,9 @@ pub mod discovery;
 pub mod engine;
 
 pub use cache::{CacheStats, TtlLruCache};
-pub use discovery::{Binding, PdpDirectory, PdpEndpoint};
+pub use discovery::{Binding, HealthState, PdpDirectory, PdpEndpoint};
 pub use engine::{CacheConfig, Pdp, PdpMetrics};
+
+// Re-exported so the cluster layer can speak epochs without a direct
+// `dacs-pap` dependency.
+pub use dacs_pap::PolicyEpoch;

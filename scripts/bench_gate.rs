@@ -1,0 +1,81 @@
+//! CI bench-trajectory gate: compares a fresh `bench.json` (written by
+//! `harness -- all --json bench.json`) against the committed
+//! `BENCH_baseline.json` and fails on a >25% p99 regression in the E15
+//! fan-out latency rows.
+//!
+//! ```text
+//! cargo run --release -p dacs-bench --bin bench_gate -- BENCH_baseline.json bench.json
+//! ```
+//!
+//! The percentage gate only applies above a 300 µs noise floor:
+//! the E15 parallel/hedged rows sit in the tens-of-µs range where
+//! scheduler jitter on shared CI runners dwarfs any real change, while
+//! the sequential row (which pays the injected 2 ms-slow replica and is
+//! the one a fan-out regression would move) sits far above it.
+
+use dacs_bench::{parse_json_rows, regressions, BenchRow};
+
+/// The experiment/metric the gate watches.
+const EXPERIMENT: &str = "e15";
+const METRIC: &str = "lat p99 (µs)";
+/// Fail beyond baseline + 25%.
+const THRESHOLD: f64 = 0.25;
+/// Ignore percentage movement below this magnitude (µs).
+const FLOOR_US: f64 = 300.0;
+
+fn load(path: &str) -> Vec<BenchRow> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_json_rows(&text),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <BENCH_baseline.json> <fresh bench.json>");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    if !baseline
+        .iter()
+        .any(|r| r.experiment == EXPERIMENT && r.metric == METRIC)
+    {
+        eprintln!("bench_gate: {baseline_path} has no '{EXPERIMENT}' '{METRIC}' rows");
+        std::process::exit(2);
+    }
+
+    println!("bench_gate: {EXPERIMENT} '{METRIC}' vs {baseline_path} (+{:.0}% over max(baseline, {FLOOR_US} µs) allowed)",
+        THRESHOLD * 100.0);
+    for base in baseline
+        .iter()
+        .filter(|r| r.experiment == EXPERIMENT && r.metric == METRIC)
+    {
+        let current = fresh
+            .iter()
+            .find(|r| r.experiment == EXPERIMENT && r.metric == METRIC && r.key == base.key)
+            .and_then(|r| r.value);
+        println!(
+            "  {:<12} baseline {:>10} µs   fresh {:>10}",
+            base.key,
+            base.value.map(|v| format!("{v:.1}")).unwrap_or("—".into()),
+            current
+                .map(|v| format!("{v:.1} µs"))
+                .unwrap_or("MISSING".into()),
+        );
+    }
+
+    let bad = regressions(&baseline, &fresh, EXPERIMENT, METRIC, THRESHOLD, FLOOR_US);
+    if bad.is_empty() {
+        println!("bench_gate: PASS");
+    } else {
+        for line in &bad {
+            eprintln!("bench_gate: REGRESSION {line}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -15,12 +15,12 @@
 //! | [`rbac`] | `dacs-rbac` | RBAC96 with hierarchies, sessions, SSD/DSD |
 //! | [`mod@assert`] | `dacs-assert` | SAML-like assertions, capabilities, attribute certificates |
 //! | [`pip`] | `dacs-pip` | attribute providers and resolution |
-//! | [`pap`] | `dacs-pap` | versioned repository, admin policies, delegation, syndication |
-//! | [`pdp`] | `dacs-pdp` | decision engine, caching, discovery |
+//! | [`pap`] | `dacs-pap` | versioned repository, admin policies, delegation, epoch-stamped syndication with catch-up |
+//! | [`pdp`] | `dacs-pdp` | decision engine, caching, discovery, policy-epoch exposure |
 //! | [`pep`] | `dacs-pep` | agent/push/pull enforcement, obligations |
 //! | [`trust`] | `dacs-trust` | automated trust negotiation |
 //! | [`federation`] | `dacs-federation` | domains, VOs, capability services, measured flows |
-//! | [`cluster`] | `dacs-cluster` | sharded, replicated PDP cluster: consistent-hash routing, quorum decisions, failover, batching |
+//! | [`cluster`] | `dacs-cluster` | sharded, replicated PDP cluster: consistent-hash routing, quorum decisions, epoch-gated replica re-sync, failover, batching |
 //! | [`core`] | `dacs-core` | scenarios, workloads, the experiment suite |
 //!
 //! # Quickstart
