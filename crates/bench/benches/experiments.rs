@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks: one group per experiment (E1–E16) over
+//! Criterion micro-benchmarks: one group per experiment (E1–E17) over
 //! the hot path each experiment exercises, plus substrate benches.
 //! `cargo bench` runs everything; the `harness` binary produces the
 //! full tables.
@@ -8,7 +8,7 @@ use dacs_cluster::{
     BatchSubmitter, ClusterBuilder, DecisionBackend, FanoutPool, HedgeConfig, QuorumMode,
     StaticBackend,
 };
-use dacs_core::scenario::{healthcare_vo, with_shared_cas};
+use dacs_core::scenario::{clustered_healthcare_vo, healthcare_vo, with_shared_cas};
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
 use dacs_federation::{
     issue_capability_flow, push_flow, request_flow, FlowKind, FlowNet, SizeModel,
@@ -503,6 +503,46 @@ fn bench_e16_resync(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_e17_federated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e17_federated");
+    let ctx = CryptoCtx::new();
+    let directory = Arc::new(PdpDirectory::new());
+    // 2 clustered domains, 3-replica majority shards, batched PEPs.
+    let vo = clustered_healthcare_vo(2, 8, &ctx, directory, true, true);
+    let d0 = &vo.domains[0];
+    // One enforcement through the clustered, batched decision path.
+    let mut i = 0u64;
+    g.bench_function("clustered_pep_enforce", |b| {
+        b.iter(|| {
+            i += 1;
+            let req = RequestContext::basic(
+                format!("user-{}@domain-0", i % 8),
+                format!("records/{}", i % 16),
+                "read",
+            );
+            d0.pep.enforce(&req, i)
+        })
+    });
+    // A 16-request PEP batch: one coalesced flush across the shard.
+    let requests: Vec<RequestContext> = (0..16)
+        .map(|k| {
+            RequestContext::basic(
+                format!("user-{}@domain-0", k % 8),
+                format!("records/{}", k % 4),
+                "read",
+            )
+        })
+        .collect();
+    let mut t = 0u64;
+    g.bench_function("batched_enforce_16", |b| {
+        b.iter(|| {
+            t += 1;
+            d0.pep.enforce_batch(&requests, t)
+        })
+    });
+    g.finish();
+}
+
 fn bench_e13_discovery(c: &mut Criterion) {
     c.bench_function("e13_discovery_resolve", |b| {
         let dir = PdpDirectory::new();
@@ -535,6 +575,7 @@ criterion_group!(
     bench_e13_discovery,
     bench_e14_cluster,
     bench_e15_fanout,
-    bench_e16_resync
+    bench_e16_resync,
+    bench_e17_federated
 );
 criterion_main!(benches);

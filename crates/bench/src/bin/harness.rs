@@ -21,7 +21,7 @@ use dacs_bench::table_to_json_rows;
 use dacs_core::experiments as exp;
 use dacs_core::stats::Table;
 
-const EXPERIMENT_COUNT: usize = 16;
+const EXPERIMENT_COUNT: usize = 17;
 
 /// Applies the `DACS_BENCH_SCALE` divisor to a default iteration
 /// count. Counts that are already small (≤ 100) pass through; larger
@@ -54,6 +54,7 @@ fn run(id: &str) -> Option<Table> {
         "e14" => exp::e14_cluster_dependability(scaled(4000)),
         "e15" => exp::e15_fanout_latency(scaled(400)),
         "e16" => exp::e16_replica_resync(scaled(2000)),
+        "e17" => exp::e17_federated_cluster(scaled(2400)),
         _ => return None,
     })
 }

@@ -175,6 +175,54 @@ pub fn regressions(
     out
 }
 
+/// Compares a fresh bench trajectory against a committed baseline for
+/// one `(experiment, metric)` pair where *lower is worse* — an
+/// availability-style percentage — and returns one message per
+/// violation; an empty result means the gate passes.
+///
+/// A row violates when `fresh < baseline - max_drop_points`; dips
+/// within `max_drop_points` are treated as scheduler/sampling noise
+/// (the availability analogue of the latency gate's noise floor). A
+/// baseline row missing from the fresh run is also a violation: a
+/// silently dropped experiment must not read as "no regression".
+pub fn availability_drops(
+    baseline: &[BenchRow],
+    fresh: &[BenchRow],
+    experiment: &str,
+    metric: &str,
+    max_drop_points: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for base in baseline
+        .iter()
+        .filter(|r| r.experiment == experiment && r.metric == metric)
+    {
+        let Some(base_value) = base.value else {
+            continue;
+        };
+        let current = fresh
+            .iter()
+            .find(|r| r.experiment == experiment && r.metric == metric && r.key == base.key);
+        match current.and_then(|r| r.value) {
+            None => out.push(format!(
+                "{experiment}/{}: '{metric}' missing from fresh run (baseline {base_value:.2})",
+                base.key
+            )),
+            Some(value) => {
+                let limit = base_value - max_drop_points;
+                if value < limit {
+                    out.push(format!(
+                        "{experiment}/{}: '{metric}' {value:.2} fell below limit {limit:.2} \
+                         (baseline {base_value:.2}, -{max_drop_points:.1} points allowed)",
+                        base.key
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +325,38 @@ mod tests {
         let bad = regressions(&baseline, &fresh, "e15", "lat p99 (µs)", 0.25, 300.0);
         assert_eq!(bad.len(), 1);
         assert!(bad[0].contains("hedged"));
+        assert!(bad[0].contains("missing"));
+    }
+
+    fn avail(key: &str, value: f64) -> BenchRow {
+        BenchRow {
+            experiment: "e17".into(),
+            key: key.into(),
+            metric: "availability %".into(),
+            value: Some(value),
+        }
+    }
+
+    #[test]
+    fn availability_gate_flags_drops_beyond_the_noise_floor() {
+        let baseline = vec![avail("domain-0/on", 99.5), avail("domain-1/on", 98.9)];
+        // domain-0 dipped within the 2-point floor; domain-1 collapsed.
+        let fresh = vec![avail("domain-0/on", 98.1), avail("domain-1/on", 91.0)];
+        let bad = availability_drops(&baseline, &fresh, "e17", "availability %", 2.0);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("domain-1/on"));
+        // Improvements and exact matches are clean.
+        let fresh = vec![avail("domain-0/on", 100.0), avail("domain-1/on", 98.9)];
+        assert!(availability_drops(&baseline, &fresh, "e17", "availability %", 2.0).is_empty());
+    }
+
+    #[test]
+    fn availability_gate_fails_on_missing_rows() {
+        let baseline = vec![avail("domain-0/on", 99.5), avail("domain-2/on", 99.0)];
+        let fresh = vec![avail("domain-0/on", 99.5)];
+        let bad = availability_drops(&baseline, &fresh, "e17", "availability %", 2.0);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("domain-2/on"));
         assert!(bad[0].contains("missing"));
     }
 }

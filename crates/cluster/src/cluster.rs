@@ -54,6 +54,17 @@ impl ClusterBuilder {
         }
     }
 
+    /// Renames the cluster. The name is the directory domain every
+    /// replica registers under, so builders that accept a preconfigured
+    /// `ClusterBuilder` as a template (e.g. `DomainBuilder::clustered`
+    /// in `dacs-federation`) pin it to the owning domain's name — then
+    /// ordinary discovery (`PdpDirectory::endpoints_in`) finds a
+    /// domain's replicas by the domain name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
     /// Sets the quorum mode (default [`QuorumMode::Majority`]).
     pub fn quorum(mut self, mode: QuorumMode) -> Self {
         self.quorum = mode;

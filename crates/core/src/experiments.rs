@@ -10,7 +10,8 @@ use dacs_cluster::{
 };
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
 use dacs_federation::{
-    issue_capability_flow, push_flow, request_flow, FlowKind, FlowNet, SizeModel, Vo,
+    federated_enrich, issue_capability_flow, push_flow, request_flow, Domain, FlowKind, FlowNet,
+    SizeModel, Vo,
 };
 use dacs_pap::{DelegationRegistry, SyndicationTree};
 use dacs_pdp::{Binding, CacheConfig, Pdp, PdpDirectory};
@@ -1318,6 +1319,228 @@ pub fn e16_replica_resync(requests: usize) -> Table {
     table
 }
 
+// The alternating E17 per-domain gate (shared with the
+// federation-cluster integration tests): even versions permit doctors
+// on `records/*`, odd versions are a lockdown (admins only — nobody in
+// the workload), so every update flips the correct decision and a
+// replica deciding on any stale version errs observably.
+use crate::scenario::alternating_lockdown_gate as e17_gate;
+
+/// Builds the E17 testbed: a 3-domain VO where every domain backs its
+/// PEP with a 3-replica majority shard (replica PAPs = leaves of the
+/// domain's syndication tree), all replicas sharing one VO-wide
+/// [`PdpDirectory`], with PEP enforcement routed through the per-shard
+/// batcher.
+fn e17_vo(resync: bool, ctx: &CryptoCtx) -> (Vo, Arc<PdpDirectory>) {
+    let directory = Arc::new(PdpDirectory::new());
+    let mut domains = Vec::with_capacity(3);
+    for d in 0..3usize {
+        let name = format!("domain-{d}");
+        let mut builder = Domain::builder(&name)
+            .policy(e17_gate(&name, 0))
+            .clustered(
+                ClusterBuilder::new(&name)
+                    .quorum(QuorumMode::Majority)
+                    .directory(directory.clone())
+                    .resync(resync),
+            )
+            .cluster_topology(1, 3)
+            .batched(true)
+            .pdp_cache(CacheConfig {
+                capacity: 512,
+                ttl_ms: 1_000,
+            })
+            .seed(170 + d as u64);
+        for u in 0..16 {
+            builder = builder.subject_attr(&format!("user-{u}@{name}"), "role", "doctor");
+        }
+        domains.push(builder.build(ctx));
+    }
+    (Vo::new("vo-fed", ctx.clone(), domains), directory)
+}
+
+/// The E17 control-plane events, scheduled on the simulated network:
+/// `(domain index, replica index)` churn plus per-domain policy
+/// updates and catch-up replays.
+#[derive(Clone, PartialEq, Debug)]
+enum FedEvent {
+    /// Replica crashes: directory down + syndication leaf offline.
+    Crash(usize, usize),
+    /// Replica returns (with re-sync on, a lagging epoch → `Syncing`).
+    Recover(usize, usize),
+    /// The domain authority propagates policy version `k` down its
+    /// syndication tree.
+    Update(usize, u64),
+    /// The replica replays its missed updates and asks readmission.
+    CatchUp(usize, usize),
+}
+
+/// E17: federated clusters — the VO flows riding per-domain PDP
+/// clusters under replica crash churn plus concurrent per-domain
+/// policy updates, with epoch-gated recovery off vs on.
+///
+/// Each of the 3 domains runs a 3-replica majority shard whose replica
+/// PAPs are syndication leaves of that domain's authority; all nine
+/// replicas share one VO-wide directory, and every enforcement rides
+/// the per-shard batcher. Per round, each domain's replicas 1 and 2
+/// crash over a policy update (staggered across domains, so updates
+/// are concurrent VO-wide) and recover stale; replica 0 anchors the
+/// fresh view. One round also injects a full-shard blackout per domain
+/// — a window of honest unavailability, answered fail-safe. Every pull
+/// flow (≈40% cross-domain, riding the federated attribute fetch) is
+/// compared against the domain's root-PAP reference PDP: with re-sync
+/// **off** the recovered stale pair outvotes the anchor and leaks
+/// false permits — including cross-domain ones; with re-sync **on**
+/// the `Syncing` gate holds them out and both false-permit columns are
+/// exactly zero, while per-domain availability stays high (the
+/// blackout window is the only gap) and the epoch-lag column shows how
+/// far stragglers ran behind.
+pub fn e17_federated_cluster(requests: usize) -> Table {
+    let mut table = Table::new(
+        "E17 — federated clusters: 3-domain VO, per-domain 3-replica majority shards, crash churn + concurrent policy updates (batched PEPs, shared directory)",
+        &[
+            "domain/resync",
+            "availability %",
+            "degraded %",
+            "false permits",
+            "xdom false permits",
+            "false denies",
+            "resyncs",
+            "epoch lag max",
+            "batches",
+        ],
+    );
+    assert!(requests >= 64, "e17 needs a few churn rounds");
+    for resync in [false, true] {
+        let ctx = CryptoCtx::new();
+        let (vo, _directory) = e17_vo(resync, &ctx);
+        let mut fnet = flownet(&vo, 171);
+        let replica_names: Vec<Vec<String>> =
+            vo.domains.iter().map(|d| d.replica_names()).collect();
+
+        // Eight rounds of churn per run, staggered across domains so
+        // the three authorities update concurrently but not in
+        // lockstep. Replicas 1 and 2 of every domain sleep through
+        // each update; round 3 adds a brief full-shard blackout.
+        let round_ms = (requests / 8) as u64;
+        let mut net: dacs_simnet::Network<FedEvent> = dacs_simnet::Network::new(17);
+        let controller = net.add_node("controller");
+        let control_plane = net.add_node("control-plane");
+        net.set_link(controller, control_plane, LinkSpec::lan());
+        {
+            let mut send = |at_ms: u64, event: FedEvent| {
+                net.send_after(at_ms * 1_000, controller, control_plane, 64, event);
+            };
+            for j in 0..8u64 {
+                let base = j * round_ms;
+                for d in 0..3usize {
+                    let off = d as u64 * round_ms / 32;
+                    send(base + round_ms / 4 + off, FedEvent::Crash(d, 1));
+                    send(base + round_ms / 4 + off, FedEvent::Crash(d, 2));
+                    send(base + round_ms / 2 + off, FedEvent::Update(d, j + 1));
+                    send(base + round_ms * 5 / 8 + off, FedEvent::Recover(d, 1));
+                    send(base + round_ms * 5 / 8 + off, FedEvent::Recover(d, 2));
+                    if resync {
+                        send(base + round_ms * 3 / 4 + off, FedEvent::CatchUp(d, 1));
+                        send(base + round_ms * 3 / 4 + off, FedEvent::CatchUp(d, 2));
+                    }
+                    if j == 3 {
+                        // Full-shard blackout, clear of any update: the
+                        // replicas return current, so this costs
+                        // availability, never correctness.
+                        for r in 0..3usize {
+                            send(base + round_ms * 13 / 16 + off, FedEvent::Crash(d, r));
+                            send(base + round_ms * 7 / 8 + off, FedEvent::Recover(d, r));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(173);
+        let mut false_permits = [0u64; 3];
+        let mut xdom_false_permits = [0u64; 3];
+        let mut false_denies = [0u64; 3];
+        for t in 0..requests as u64 {
+            net.run_until(t * 1_000, |_net, delivery| match delivery.payload {
+                FedEvent::Crash(d, r) => {
+                    vo.domains[d].crash_replica(&replica_names[d][r]);
+                }
+                FedEvent::Recover(d, r) => {
+                    vo.domains[d].recover_replica(&replica_names[d][r]);
+                }
+                FedEvent::Update(d, k) => {
+                    vo.domains[d].propagate_policy(e17_gate(&vo.domains[d].name, k), t);
+                }
+                FedEvent::CatchUp(d, r) => {
+                    vo.domains[d].catch_up_replica(&replica_names[d][r], t);
+                }
+            });
+            let home = rng.gen_range(0..3usize);
+            let target = if rng.gen::<f64>() < 0.4 {
+                (home + 1 + rng.gen_range(0..2usize)) % 3
+            } else {
+                home
+            };
+            let u = rng.gen_range(0..16);
+            let subject = format!("user-{u}@domain-{home}");
+            let resource = format!("records/{}", u % 5);
+            let request = RequestContext::basic(subject.as_str(), resource.as_str(), "read");
+            let domain = &vo.domains[target];
+            // Ground truth: the domain's root-PAP reference engine on
+            // the same (enriched) request the flow will enforce.
+            let enriched = if domain.is_home_of(&subject) {
+                request.clone()
+            } else {
+                federated_enrich(&vo, &request, &subject)
+            };
+            let expected = domain.pdp.decide(&enriched, t).decision;
+            let trace = request_flow(
+                &mut fnet,
+                &vo,
+                FlowKind::Pull,
+                &subject,
+                target,
+                &resource,
+                "read",
+                t,
+                SizeModel::Compact,
+            );
+            if trace.allowed && expected != Decision::Permit {
+                false_permits[target] += 1;
+                if target != home {
+                    xdom_false_permits[target] += 1;
+                }
+            }
+            if !trace.allowed && expected == Decision::Permit {
+                // Includes the blackout windows, where the shard is
+                // unavailable and the PEP denies fail-safe.
+                false_denies[target] += 1;
+            }
+        }
+
+        for (d, domain) in vo.domains.iter().enumerate() {
+            let m = domain
+                .cluster
+                .as_ref()
+                .expect("e17 domains are clustered")
+                .metrics();
+            table.row(vec![
+                format!("{}/{}", domain.name, if resync { "on" } else { "off" }),
+                f2(100.0 * m.availability()),
+                f2(100.0 * m.degraded_rate()),
+                false_permits[d].to_string(),
+                xdom_false_permits[d].to_string(),
+                false_denies[d].to_string(),
+                m.resyncs.to_string(),
+                m.epoch_lag_max.to_string(),
+                m.batches.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
 /// Runs every experiment at default scale (used by the harness's `all`).
 pub fn run_all() -> Vec<Table> {
     vec![
@@ -1337,6 +1560,7 @@ pub fn run_all() -> Vec<Table> {
         e14_cluster_dependability(4000),
         e15_fanout_latency(400),
         e16_replica_resync(2000),
+        e17_federated_cluster(2400),
     ]
 }
 
@@ -1545,6 +1769,51 @@ mod tests {
             let avail: f64 = r[1].parse().unwrap();
             assert!(avail > 99.0, "{}: availability {avail}", r[0]);
         }
+    }
+
+    /// The ISSUE 5 acceptance bar: under crash churn plus concurrent
+    /// per-domain policy updates across a clustered 3-domain VO,
+    /// cross-domain (and total) false permits are exactly zero with
+    /// re-sync on — and the gap is visible with it off.
+    #[test]
+    fn e17_federated_clusters_zero_cross_domain_false_permits() {
+        let t = e17_federated_cluster(1600);
+        assert_eq!(t.rows.len(), 6, "3 domains × re-sync off/on");
+        let avail = |r: &Vec<String>| -> f64 { r[1].parse().unwrap() };
+        let fp = |r: &Vec<String>| -> u64 { r[3].parse().unwrap() };
+        let xfp = |r: &Vec<String>| -> u64 { r[4].parse().unwrap() };
+        let off: Vec<_> = t.rows.iter().filter(|r| r[0].ends_with("/off")).collect();
+        let on: Vec<_> = t.rows.iter().filter(|r| r[0].ends_with("/on")).collect();
+        assert_eq!(off.len(), 3);
+        assert_eq!(on.len(), 3);
+        // Off: the recovered stale pair outvotes the fresh anchor.
+        let off_fp: u64 = off.iter().map(|r| fp(r)).sum();
+        let off_xfp: u64 = off.iter().map(|r| xfp(r)).sum();
+        assert!(off_fp > 0, "re-sync off must leak stale permits");
+        assert!(off_xfp > 0, "the leak must reach cross-domain flows");
+        // On: the Syncing gate holds stale votes out — zero false
+        // permits of either kind, in every domain.
+        for row in &on {
+            assert_eq!(fp(row), 0, "{}: false permits", row[0]);
+            assert_eq!(xfp(row), 0, "{}: cross-domain false permits", row[0]);
+            let resyncs: u64 = row[6].parse().unwrap();
+            assert!(resyncs > 0, "{}: no re-sync completed", row[0]);
+            let lag: u64 = row[7].parse().unwrap();
+            assert!(lag >= 1, "{}: epoch lag never observed", row[0]);
+        }
+        // Availability stays high for every domain in both modes (the
+        // round-3 blackout is the only gap), and enforcement rode the
+        // per-shard batcher throughout.
+        for row in off.iter().chain(on.iter()) {
+            let a = avail(row);
+            assert!(a > 95.0, "{}: availability {a}", row[0]);
+            let batches: u64 = row[8].parse().unwrap();
+            assert!(batches > 0, "{}: never rode the batcher", row[0]);
+        }
+        assert!(
+            off.iter().chain(on.iter()).any(|r| avail(r) < 100.0),
+            "the blackout window must cost some availability"
+        );
     }
 
     #[test]

@@ -1,31 +1,17 @@
 //! Canned multi-domain scenarios used by examples, integration tests
 //! and the experiment harness.
 
+use dacs_cluster::{ClusterBuilder, QuorumMode};
 use dacs_crypto::sign::CryptoCtx;
-use dacs_federation::{CapabilityService, Domain, Vo};
+use dacs_federation::{CapabilityService, Domain, DomainBuilder, Vo};
+use dacs_pdp::PdpDirectory;
 use dacs_pep::Pep;
 use std::sync::Arc;
 
-/// Builds a healthcare-style VO of `n` domains named `domain-0..n-1`.
-///
-/// Each domain:
-/// * permits `read` on `records/*` for subjects holding the `doctor`
-///   role (wherever asserted — locally or by a federated IdP);
-/// * permits `write` only for the domain's own subjects with the
-///   `doctor` role;
-/// * explicitly denies everything else on `records/*` (first-applicable
-///   with a targeted final deny) while staying silent on other resource
-///   trees such as `shared/*`, so that VO capabilities can carry there
-///   (push-model semantics); every permit carries a `log` obligation.
-///
-/// Users `user-0..users_per_domain-1` are provisioned at their home IdP;
-/// 70% hold `doctor`, the rest `auditor`.
-pub fn healthcare_vo(n: usize, users_per_domain: usize, ctx: &CryptoCtx) -> Vo {
-    let mut domains = Vec::with_capacity(n);
-    for d in 0..n {
-        let name = format!("domain-{d}");
-        let src = format!(
-            r#"
+/// The per-domain healthcare gate policy (see [`healthcare_vo`]).
+fn healthcare_gate_src(name: &str) -> String {
+    format!(
+        r#"
 policy "{name}-gate" first-applicable {{
   rule "doctors-read" permit {{
     target {{
@@ -53,21 +39,116 @@ policy "{name}-gate" first-applicable {{
   }}
 }}
 "#
-        );
-        let mut builder = Domain::builder(&name).policy_dsl(&src).seed(d as u64 + 1);
-        for u in 0..users_per_domain {
-            let subject = format!("user-{u}@{name}");
-            let role = if u * 10 < users_per_domain * 7 {
-                "doctor"
-            } else {
-                "auditor"
-            };
-            builder = builder.subject_attr(&subject, "role", role);
-            builder = builder.subject_attr(&subject, "dept", "general");
-        }
+    )
+}
+
+/// Provisions the healthcare user base at a domain builder's IdP:
+/// `user-0..users_per_domain-1`, 70% `doctor`, the rest `auditor`.
+fn healthcare_users(
+    mut builder: DomainBuilder,
+    name: &str,
+    users_per_domain: usize,
+) -> DomainBuilder {
+    for u in 0..users_per_domain {
+        let subject = format!("user-{u}@{name}");
+        let role = if u * 10 < users_per_domain * 7 {
+            "doctor"
+        } else {
+            "auditor"
+        };
+        builder = builder.subject_attr(&subject, "role", role);
+        builder = builder.subject_attr(&subject, "dept", "general");
+    }
+    builder
+}
+
+/// Builds a healthcare-style VO of `n` domains named `domain-0..n-1`.
+///
+/// Each domain:
+/// * permits `read` on `records/*` for subjects holding the `doctor`
+///   role (wherever asserted — locally or by a federated IdP);
+/// * permits `write` only for the domain's own subjects with the
+///   `doctor` role;
+/// * explicitly denies everything else on `records/*` (first-applicable
+///   with a targeted final deny) while staying silent on other resource
+///   trees such as `shared/*`, so that VO capabilities can carry there
+///   (push-model semantics); every permit carries a `log` obligation.
+///
+/// Users `user-0..users_per_domain-1` are provisioned at their home IdP;
+/// 70% hold `doctor`, the rest `auditor`.
+pub fn healthcare_vo(n: usize, users_per_domain: usize, ctx: &CryptoCtx) -> Vo {
+    let mut domains = Vec::with_capacity(n);
+    for d in 0..n {
+        let name = format!("domain-{d}");
+        let builder = Domain::builder(&name)
+            .policy_dsl(&healthcare_gate_src(&name))
+            .seed(d as u64 + 1);
+        let builder = healthcare_users(builder, &name, users_per_domain);
         domains.push(builder.build(ctx));
     }
     Vo::new("vo-health", ctx.clone(), domains)
+}
+
+/// The [`healthcare_vo`] scenario with every domain's PDP backed by a
+/// full cluster: one majority-quorum shard of three replicas per
+/// domain, all replicas registered in the shared `directory` (so
+/// VO-wide discovery and failover see every domain's replicas), replica
+/// PAPs hanging as leaves off each domain's syndication tree.
+///
+/// `resync` enables epoch-gated recovery (`ClusterBuilder::resync`);
+/// `batched` routes PEP enforcement through the per-shard
+/// `BatchSubmitter` so the measured flows exercise batching end to end.
+pub fn clustered_healthcare_vo(
+    n: usize,
+    users_per_domain: usize,
+    ctx: &CryptoCtx,
+    directory: Arc<PdpDirectory>,
+    resync: bool,
+    batched: bool,
+) -> Vo {
+    let mut domains = Vec::with_capacity(n);
+    for d in 0..n {
+        let name = format!("domain-{d}");
+        let builder = Domain::builder(&name)
+            .policy_dsl(&healthcare_gate_src(&name))
+            .clustered(
+                ClusterBuilder::new(&name)
+                    .quorum(QuorumMode::Majority)
+                    .directory(directory.clone())
+                    .resync(resync),
+            )
+            .cluster_topology(1, 3)
+            .batched(batched)
+            .seed(d as u64 + 1);
+        let builder = healthcare_users(builder, &name, users_per_domain);
+        domains.push(builder.build(ctx));
+    }
+    Vo::new("vo-health", ctx.clone(), domains)
+}
+
+/// The alternating per-domain lockdown gate used by the staleness
+/// experiments (E17) and the federation-cluster integration tests:
+/// even versions permit the `doctor` role on `records/*`, odd versions
+/// are an admin-only lockdown, so every update flips the correct
+/// decision for a doctor workload and a replica deciding on any stale
+/// version errs observably.
+pub fn alternating_lockdown_gate(domain: &str, version: u64) -> dacs_policy::policy::Policy {
+    let role = if version.is_multiple_of(2) {
+        "doctor"
+    } else {
+        "admin"
+    };
+    dacs_policy::dsl::parse_policy(&format!(
+        r#"
+policy "{domain}-gate" deny-unless-permit {{
+  rule "v{version}" permit {{
+    target {{ resource "id" ~= "records/*"; }}
+    condition is-in("{role}", attr(subject, "role"))
+  }}
+}}
+"#
+    ))
+    .expect("alternating lockdown gate parses")
 }
 
 /// Adds a CAS to a VO whose member domains run permissive overlay
@@ -91,10 +172,12 @@ policy "vo-prescreen" deny-unless-permit {
     let key = cas.public_key();
     let ctx = vo.ctx.clone();
     for d in &mut vo.domains {
+        // Bind to the domain's decision *source*, not `d.pdp`: a
+        // clustered domain keeps routing through its quorum service.
         let pep = Pep::new(
             format!("pep.{}", d.name),
             d.name.clone(),
-            d.pdp.clone(),
+            d.decision_source(),
             ctx.clone(),
         )
         .with_handler(d.log_handler.clone())

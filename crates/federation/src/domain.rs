@@ -1,29 +1,124 @@
 //! An administrative domain: the unit of autonomy in the multi-domain
 //! environment (Fig. 1). Each domain wires together its own PAP, PDP,
 //! PEP, PIP chain, identity provider (attribute authority) and keys.
+//!
+//! A domain's decision point comes in two shapes. The classic wiring
+//! binds the PEP to a single [`Pdp`] engine. A *clustered* domain
+//! ([`DomainBuilder::clustered`]) instead backs its PEP with a full
+//! [`PdpCluster`] — sharded, replicated, epoch-gated — whose replica
+//! PAPs are leaves of the domain's own syndication tree, so policy
+//! updates ([`Domain::propagate_policy`]) and their epochs flow from
+//! the domain authority down to every replica, and a replica
+//! recovering from a crash is excluded from quorums until its
+//! catch-up replay ([`Domain::catch_up_replica`]) completes.
 
+use dacs_cluster::{
+    BatchSubmitter, ClusterBuilder, ClusterOutcome, DecisionBackend, PdpCluster, ReplicaPhase,
+};
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
-use dacs_pap::Pap;
+use dacs_pap::{Pap, PolicyEpoch, SyndicationTree};
 use dacs_pdp::{CacheConfig, Pdp};
-use dacs_pep::{LogObligationHandler, NotifyObligationHandler, Pep};
+use dacs_pep::{DecisionSource, LogObligationHandler, NotifyObligationHandler, Pep};
 use dacs_pip::{EnvironmentProvider, PipRegistry, RbacProvider, StaticAttributes};
+use dacs_policy::eval::Response;
 use dacs_policy::policy::{CombiningAlg, Policy, PolicyElement, PolicyId, PolicySet};
+use dacs_policy::request::RequestContext;
 use dacs_rbac::Rbac;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Routes a PEP's decision queries through a domain's [`PdpCluster`] —
+/// quorum fan-out, directory-driven failover and (optionally)
+/// per-shard batching — instead of a single engine.
+///
+/// An unavailable shard (no eligible replica) maps to an
+/// `Indeterminate` response, which the PEP denies fail-safe: a domain
+/// whose cluster cannot answer never silently grants.
+pub struct ClusteredDecisionSource {
+    cluster: Arc<PdpCluster>,
+    batched: bool,
+}
+
+impl ClusteredDecisionSource {
+    /// Wraps a cluster as a PEP decision source (unbatched).
+    pub fn new(cluster: Arc<PdpCluster>) -> Self {
+        ClusteredDecisionSource {
+            cluster,
+            batched: false,
+        }
+    }
+
+    /// Routes even single-decision queries through a
+    /// [`BatchSubmitter`] flush (builder style), so ordinary
+    /// [`Pep::enforce`] calls exercise the batching path end to end.
+    /// Multi-query [`DecisionSource::decide_batch`] rounds always
+    /// batch, whatever this flag says.
+    pub fn with_batching(mut self, enabled: bool) -> Self {
+        self.batched = enabled;
+        self
+    }
+
+    /// The cluster behind this source.
+    pub fn cluster(&self) -> &Arc<PdpCluster> {
+        &self.cluster
+    }
+
+    fn to_response(outcome: ClusterOutcome) -> Response {
+        match outcome.response {
+            Some(response) => response,
+            None => {
+                Response::indeterminate(format!("shard {} has no eligible replica", outcome.shard))
+            }
+        }
+    }
+}
+
+impl DecisionSource for ClusteredDecisionSource {
+    fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
+        let outcome = if self.batched {
+            let mut batch = BatchSubmitter::new(&self.cluster);
+            batch.submit(request.clone());
+            batch.flush(now_ms).pop().expect("one ticket, one outcome")
+        } else {
+            self.cluster.decide(request, now_ms)
+        };
+        Self::to_response(outcome)
+    }
+
+    fn decide_batch(&self, requests: &[RequestContext], now_ms: u64) -> Vec<Response> {
+        let mut batch = BatchSubmitter::new(&self.cluster);
+        for request in requests {
+            batch.submit(request.clone());
+        }
+        batch
+            .flush(now_ms)
+            .into_iter()
+            .map(Self::to_response)
+            .collect()
+    }
+}
 
 /// A fully wired administrative domain.
 pub struct Domain {
     /// Domain name, e.g. `"hospital-a"`.
     pub name: String,
-    /// The domain's policy administration point.
+    /// The domain's policy administration point. For a clustered
+    /// domain this is the *root* of the domain's syndication tree (the
+    /// domain authority); replica PAPs hang below it and receive
+    /// updates via [`Domain::propagate_policy`].
     pub pap: Arc<Pap>,
-    /// The domain's decision point.
+    /// The domain's decision point. For a clustered domain this is the
+    /// *reference* engine bound to the root PAP — it sees every
+    /// propagated update immediately (ground truth for experiments);
+    /// enforcement itself rides [`Domain::decision_source`].
     pub pdp: Arc<Pdp>,
     /// The enforcement point guarding the domain's services.
     pub pep: Arc<Pep>,
+    /// The clustered decision service, when built with
+    /// [`DomainBuilder::clustered`].
+    pub cluster: Option<Arc<PdpCluster>>,
     /// Identity-provider attribute store (serves federated attribute
     /// queries about this domain's subjects).
     pub idp_attributes: Arc<StaticAttributes>,
@@ -34,6 +129,13 @@ pub struct Domain {
     /// The `log` obligation sink, for audit inspection in tests and
     /// experiments.
     pub log_handler: Arc<LogObligationHandler>,
+    /// The decision service the PEP is bound to.
+    source: Arc<dyn DecisionSource>,
+    /// The domain's PAP syndication tree (clustered domains only):
+    /// root = the domain PAP, leaves = the per-replica PAPs.
+    syndication: Option<Mutex<SyndicationTree>>,
+    /// Replica name → leaf index in the syndication tree.
+    replica_leaves: Vec<(String, usize)>,
 }
 
 impl Domain {
@@ -56,7 +158,141 @@ impl Domain {
             pep_cache: None,
             rbac: None,
             seed: 0x5eed,
+            cluster: None,
+            shards: 1,
+            replicas_per_shard: 3,
+            batched: false,
         }
+    }
+
+    /// The decision service the domain's PEP enforces through: the
+    /// single [`Pdp`] engine, or the [`ClusteredDecisionSource`] when
+    /// the domain was built with [`DomainBuilder::clustered`]. Rebuilt
+    /// PEPs (e.g. ones that must trust a VO capability service) should
+    /// bind to this, never to [`Domain::pdp`] directly, or they would
+    /// silently bypass the cluster.
+    pub fn decision_source(&self) -> Arc<dyn DecisionSource> {
+        self.source.clone()
+    }
+
+    /// Whether the domain backs its PEP with a [`PdpCluster`].
+    pub fn is_clustered(&self) -> bool {
+        self.cluster.is_some()
+    }
+
+    /// Names of the domain's cluster replicas, in shard-major order
+    /// (empty for a single-engine domain).
+    pub fn replica_names(&self) -> Vec<String> {
+        self.replica_leaves
+            .iter()
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// The domain's policy epoch: the syndication root's stamp for a
+    /// clustered domain (every [`Domain::propagate_policy`] advances
+    /// it), the root PAP's observed position otherwise.
+    pub fn policy_epoch(&self) -> PolicyEpoch {
+        match &self.syndication {
+            Some(tree) => tree.lock().epoch(),
+            None => self.pap.policy_epoch(),
+        }
+    }
+
+    /// Installs a policy update at the domain authority. For a
+    /// clustered domain the update propagates down the syndication
+    /// tree — every *online* replica PAP applies it and its epoch
+    /// stamp; offline replicas miss it and must
+    /// [`Domain::catch_up_replica`] on return. For a single-engine
+    /// domain it submits to the PAP and stamps the update itself (the
+    /// domain is its own syndication authority). Either way the PEP's
+    /// decision cache is flushed — cached grants must not outlive the
+    /// policy they were decided under — and the returned epoch is the
+    /// domain's policy epoch after the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single-engine domain's admin policy refuses the
+    /// submission (builder-owned domains bootstrap with an open admin
+    /// policy).
+    pub fn propagate_policy(&self, policy: Policy, at_ms: u64) -> PolicyEpoch {
+        let epoch = match &self.syndication {
+            Some(tree) => tree.lock().propagate(policy, at_ms).epoch,
+            None => {
+                self.pap
+                    .submit("domain-bootstrap", policy, at_ms)
+                    .expect("domain authority submissions cannot be denied");
+                let stamped = self.pap.policy_epoch().next();
+                self.pap.observe_policy_epoch(stamped);
+                stamped
+            }
+        };
+        // Replica PDP caches flush themselves on their PAP epoch bump;
+        // the PEP cache sits in front of the decision source and must
+        // be told explicitly.
+        self.pep.invalidate_cache();
+        epoch
+    }
+
+    /// The cluster and syndication-leaf index behind a replica name.
+    fn replica_leaf(&self, name: &str) -> Option<(&Arc<PdpCluster>, usize)> {
+        let cluster = self.cluster.as_ref()?;
+        self.replica_leaves
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, leaf)| (cluster, leaf))
+    }
+
+    /// Crashes a cluster replica: marked down in the directory *and*
+    /// offline in the syndication tree, so it misses policy pushes
+    /// until it recovers. Returns whether the name matched a replica.
+    pub fn crash_replica(&self, name: &str) -> bool {
+        let Some((cluster, leaf)) = self.replica_leaf(name) else {
+            return false;
+        };
+        if let Some(tree) = &self.syndication {
+            tree.lock().set_online(leaf, false);
+        }
+        cluster.mark_down(name);
+        true
+    }
+
+    /// Recovers a crashed replica: back online in the syndication tree
+    /// and readmitted to the directory. With the cluster built
+    /// `.resync(true)`, a replica whose epoch lags the group maximum
+    /// lands in the `Syncing` phase — alive but excluded from quorums
+    /// — until [`Domain::catch_up_replica`] completes. Returns whether
+    /// the name matched a replica.
+    pub fn recover_replica(&self, name: &str) -> bool {
+        let Some((cluster, leaf)) = self.replica_leaf(name) else {
+            return false;
+        };
+        if let Some(tree) = &self.syndication {
+            tree.lock().set_online(leaf, true);
+        }
+        cluster.mark_up(name);
+        true
+    }
+
+    /// Replays the policy updates a recovered replica missed (the
+    /// syndication tree's anti-entropy catch-up) and asks the cluster
+    /// to readmit it to quorum counting. Returns whether the replica
+    /// is in sync afterwards.
+    pub fn catch_up_replica(&self, name: &str, at_ms: u64) -> bool {
+        let Some((cluster, leaf)) = self.replica_leaf(name) else {
+            return false;
+        };
+        if let Some(tree) = &self.syndication {
+            tree.lock().catch_up(leaf, at_ms);
+        }
+        cluster.complete_resync(name)
+    }
+
+    /// A cluster replica's position in the recovery lifecycle
+    /// (`Healthy / Suspect / Crashed / Syncing`), or `None` for
+    /// unknown names and single-engine domains.
+    pub fn replica_phase(&self, name: &str) -> Option<ReplicaPhase> {
+        self.cluster.as_ref()?.replica_phase(name)
     }
 }
 
@@ -64,6 +300,19 @@ impl Domain {
 pub fn home_domain(subject: &str) -> Option<&str> {
     subject.rsplit_once('@').map(|(_, d)| d)
 }
+
+/// The decision-plane parts [`DomainBuilder::build`] assembles: the
+/// root PAP, the reference PDP, the optional cluster with its
+/// syndication tree and replica-leaf map, and the decision source the
+/// PEP binds to.
+type DecisionPlane = (
+    Arc<Pap>,
+    Arc<Pdp>,
+    Option<Arc<PdpCluster>>,
+    Option<Mutex<SyndicationTree>>,
+    Vec<(String, usize)>,
+    Arc<dyn DecisionSource>,
+);
 
 /// Builder for [`Domain`].
 pub struct DomainBuilder {
@@ -75,6 +324,10 @@ pub struct DomainBuilder {
     pep_cache: Option<CacheConfig>,
     rbac: Option<Rbac>,
     seed: u64,
+    cluster: Option<ClusterBuilder>,
+    shards: usize,
+    replicas_per_shard: usize,
+    batched: bool,
 }
 
 impl DomainBuilder {
@@ -137,18 +390,49 @@ impl DomainBuilder {
         self
     }
 
+    /// Backs the domain's decision point with a full [`PdpCluster`]
+    /// built from `template` instead of a single engine. The template
+    /// carries quorum mode, fan-out pool, hedging, re-sync gating and
+    /// (crucially, for VO-wide discovery and failover) a shared
+    /// [`dacs_pdp::PdpDirectory`]; the builder renames it to the
+    /// domain name, creates the replica PDPs itself — each bound to a
+    /// leaf PAP of the domain's syndication tree, so policy updates
+    /// and epochs flow end to end — and adds the shards per
+    /// [`DomainBuilder::cluster_topology`].
+    pub fn clustered(mut self, template: ClusterBuilder) -> Self {
+        self.cluster = Some(template);
+        self
+    }
+
+    /// Shard layout for a clustered domain (default: 1 shard × 3
+    /// replicas). Ignored without [`DomainBuilder::clustered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`DomainBuilder::build`]) if either count is zero.
+    pub fn cluster_topology(mut self, shards: usize, replicas_per_shard: usize) -> Self {
+        self.shards = shards;
+        self.replicas_per_shard = replicas_per_shard;
+        self
+    }
+
+    /// Routes the PEP's per-request decisions through the cluster's
+    /// [`BatchSubmitter`] (default off), so the measured VO flows
+    /// exercise the batching path end to end. Ignored without
+    /// [`DomainBuilder::clustered`].
+    pub fn batched(mut self, enabled: bool) -> Self {
+        self.batched = enabled;
+        self
+    }
+
     /// Wires everything together.
     pub fn build(self, ctx: &CryptoCtx) -> Domain {
         let name = self.name;
-        let pap = Arc::new(Pap::new(format!("pap.{name}")));
         let root_id = PolicyId::new(format!("{name}-root"));
         let mut root = PolicySet::new(root_id.clone(), self.root_combining);
-        for policy in self.policies {
+        for policy in &self.policies {
             root = root.with_policy_ref(PolicyId::new(policy.id.as_str()));
-            pap.submit("domain-bootstrap", policy, 0)
-                .expect("bootstrap submission cannot be denied");
         }
-        pap.install_set(root);
 
         let idp_attributes = Arc::new(StaticAttributes::new());
         for (subject, attr, value) in self.subject_attrs {
@@ -163,17 +447,84 @@ impl DomainBuilder {
         if let Some(r) = &rbac {
             pips.add(Arc::new(RbacProvider::new(r.clone())));
         }
+        let pips = Arc::new(pips);
+        let root_elem = PolicyElement::PolicySetRef(root_id);
 
-        let mut pdp = Pdp::new(
-            format!("pdp.{name}"),
-            pap.clone(),
-            PolicyElement::PolicySetRef(root_id),
-            Arc::new(pips),
-        );
-        if let Some(cfg) = self.pdp_cache {
-            pdp = pdp.with_cache(cfg);
-        }
-        let pdp = Arc::new(pdp);
+        let (pap, pdp, cluster, syndication, replica_leaves, source): DecisionPlane =
+            match self.cluster {
+                None => {
+                    let pap = Arc::new(Pap::new(format!("pap.{name}")));
+                    for policy in self.policies {
+                        pap.submit("domain-bootstrap", policy, 0)
+                            .expect("bootstrap submission cannot be denied");
+                    }
+                    pap.install_set(root);
+                    let mut pdp = Pdp::new(format!("pdp.{name}"), pap.clone(), root_elem, pips);
+                    if let Some(cfg) = self.pdp_cache {
+                        pdp = pdp.with_cache(cfg);
+                    }
+                    let pdp = Arc::new(pdp);
+                    (pap, pdp.clone(), None, None, Vec::new(), pdp)
+                }
+                Some(template) => {
+                    assert!(self.shards >= 1, "a clustered domain needs shards");
+                    assert!(self.replicas_per_shard >= 1, "shards need replicas");
+                    // The domain authority is the syndication root; every
+                    // replica PDP reads a leaf PAP below it.
+                    let mut tree = SyndicationTree::new(format!("pap.{name}"));
+                    let pap = tree.node(0).pap.clone();
+                    pap.install_set(root.clone());
+                    let mut builder = template.named(name.clone());
+                    let mut replica_leaves = Vec::new();
+                    for s in 0..self.shards {
+                        let mut replicas: Vec<Arc<dyn DecisionBackend>> =
+                            Vec::with_capacity(self.replicas_per_shard);
+                        for r in 0..self.replicas_per_shard {
+                            let replica_name = format!("pdp.{name}.s{s}r{r}");
+                            let leaf = tree.add_child(0, replica_name.clone(), None);
+                            tree.node(leaf).pap.install_set(root.clone());
+                            let mut pdp = Pdp::new(
+                                replica_name.clone(),
+                                tree.node(leaf).pap.clone(),
+                                root_elem.clone(),
+                                pips.clone(),
+                            );
+                            if let Some(cfg) = self.pdp_cache {
+                                pdp = pdp.with_cache(cfg);
+                            }
+                            replicas.push(Arc::new(pdp));
+                            replica_leaves.push((replica_name, leaf));
+                        }
+                        builder = builder.shard(replicas);
+                    }
+                    // Bootstrap policies flow through the tree so the root
+                    // and every replica share content *and* epoch stamps.
+                    for policy in self.policies {
+                        tree.propagate(policy, 0);
+                    }
+                    let cluster = Arc::new(builder.build());
+                    // The reference engine on the root PAP: uncached, so
+                    // it always reflects the authority's latest policies
+                    // (ground truth for experiments and tests).
+                    let pdp = Arc::new(Pdp::new(
+                        format!("pdp.{name}"),
+                        pap.clone(),
+                        root_elem,
+                        pips,
+                    ));
+                    let source = Arc::new(
+                        ClusteredDecisionSource::new(cluster.clone()).with_batching(self.batched),
+                    );
+                    (
+                        pap,
+                        pdp,
+                        Some(cluster),
+                        Some(Mutex::new(tree)),
+                        replica_leaves,
+                        source,
+                    )
+                }
+            };
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let key = Arc::new(SigningKey::generate_sim(ctx.registry(), &mut rng));
@@ -182,7 +533,7 @@ impl DomainBuilder {
         let mut pep = Pep::new(
             format!("pep.{name}"),
             name.clone(),
-            pdp.clone(),
+            source.clone(),
             ctx.clone(),
         )
         .with_handler(log_handler.clone())
@@ -196,10 +547,14 @@ impl DomainBuilder {
             pap,
             pdp,
             pep: Arc::new(pep),
+            cluster,
             idp_attributes,
             rbac,
             key,
             log_handler,
+            source,
+            syndication,
+            replica_leaves,
         }
     }
 }
@@ -257,6 +612,172 @@ policy "gate" deny-unless-permit {
             .build(&ctx);
         let req = RequestContext::basic("carol@clinic", "ehr/1", "read");
         assert!(domain.pep.enforce(&req, 0).allowed);
+    }
+
+    const DOCTOR_GATE: &str = r#"
+policy "gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#;
+
+    fn clustered_domain(ctx: &CryptoCtx, resync: bool, batched: bool) -> Domain {
+        Domain::builder("ward")
+            .policy_dsl(DOCTOR_GATE)
+            .subject_attr("dr-grey@ward", "role", "doctor")
+            .clustered(
+                ClusterBuilder::new("ward")
+                    .quorum(dacs_cluster::QuorumMode::Majority)
+                    .resync(resync),
+            )
+            .batched(batched)
+            .build(ctx)
+    }
+
+    #[test]
+    fn clustered_builder_backs_the_pep_with_a_quorum() {
+        let ctx = CryptoCtx::new();
+        let domain = clustered_domain(&ctx, false, false);
+        assert!(domain.is_clustered());
+        let names = domain.replica_names();
+        assert_eq!(
+            names,
+            vec!["pdp.ward.s0r0", "pdp.ward.s0r1", "pdp.ward.s0r2"]
+        );
+        // Bootstrap policies flowed through the syndication tree: one
+        // epoch stamp per policy, shared by root and replicas.
+        assert_eq!(domain.policy_epoch(), PolicyEpoch(1));
+        assert_eq!(domain.pdp.policy_epoch(), PolicyEpoch(1));
+
+        let cluster = domain.cluster.as_ref().expect("clustered");
+        // Replicas register under the *domain* name, so ordinary
+        // discovery finds them.
+        assert_eq!(cluster.directory().endpoints_in("ward").len(), 3);
+
+        let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
+        assert!(domain.pep.enforce(&req, 0).allowed);
+        let m = cluster.metrics();
+        assert_eq!(m.queries, 1, "enforcement rode the cluster");
+        assert_eq!(m.replica_queries, 3, "majority fans out to every replica");
+        assert_eq!(m.batches, 0, "unbatched source skips the batcher");
+
+        // One replica down: the quorum degrades but still answers; all
+        // down: fail-safe deny, never a silent grant.
+        domain.cluster.as_ref().unwrap().mark_down(&names[0]);
+        assert!(domain.pep.enforce(&req, 1).allowed);
+        assert_eq!(cluster.metrics().degraded, 1);
+        for name in &names {
+            cluster.mark_down(name);
+        }
+        let denied = domain.pep.enforce(&req, 2);
+        assert!(!denied.allowed);
+        assert!(denied.reason.unwrap().contains("no eligible replica"));
+        assert_eq!(cluster.metrics().unavailable, 1);
+    }
+
+    #[test]
+    fn batched_flag_routes_enforcement_through_the_batcher() {
+        let ctx = CryptoCtx::new();
+        let domain = clustered_domain(&ctx, false, true);
+        let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
+        assert!(domain.pep.enforce(&req, 0).allowed);
+        let m = domain.cluster.as_ref().unwrap().metrics();
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.batched_queries, 1);
+        // A real multi-request batch coalesces duplicates.
+        let reqs = vec![req.clone(), req.clone(), req];
+        let results = domain.pep.enforce_batch(&reqs, 1);
+        assert!(results.iter().all(|r| r.allowed));
+        let m = domain.cluster.as_ref().unwrap().metrics();
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.coalesced, 2, "two duplicates rode one evaluation");
+    }
+
+    /// Review regression: a policy update must flush the PEP-side
+    /// decision cache too — a cached grant must never outlive the
+    /// policy it was decided under, clustered or not.
+    #[test]
+    fn propagate_policy_flushes_the_pep_cache() {
+        let ctx = CryptoCtx::new();
+        let lockdown = || {
+            dacs_policy::dsl::parse_policy(
+                r#"policy "gate" first-applicable { rule "lockdown" deny { } }"#,
+            )
+            .unwrap()
+        };
+        let cache = CacheConfig {
+            capacity: 64,
+            ttl_ms: 1_000_000,
+        };
+        // Clustered domain with a PEP cache in front of the quorum.
+        let clustered = Domain::builder("ward")
+            .policy_dsl(DOCTOR_GATE)
+            .subject_attr("dr-grey@ward", "role", "doctor")
+            .clustered(ClusterBuilder::new("ward"))
+            .pep_cache(cache)
+            .build(&ctx);
+        let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
+        assert!(clustered.pep.enforce(&req, 0).allowed);
+        assert!(clustered.pep.enforce(&req, 1).allowed, "cached grant");
+        clustered.propagate_policy(lockdown(), 10);
+        assert!(
+            !clustered.pep.enforce(&req, 11).allowed,
+            "the cached permit must not survive the lockdown"
+        );
+        // Same guarantee for a single-engine domain, whose epoch also
+        // advances per update (it is its own syndication authority).
+        let single = Domain::builder("ward")
+            .policy_dsl(DOCTOR_GATE)
+            .subject_attr("dr-grey@ward", "role", "doctor")
+            .pep_cache(cache)
+            .build(&ctx);
+        assert_eq!(single.policy_epoch(), PolicyEpoch::ZERO);
+        assert!(single.pep.enforce(&req, 0).allowed);
+        assert_eq!(single.propagate_policy(lockdown(), 10), PolicyEpoch(1));
+        assert_eq!(single.policy_epoch(), PolicyEpoch(1));
+        assert!(!single.pep.enforce(&req, 11).allowed);
+    }
+
+    #[test]
+    fn replica_lifecycle_flows_through_the_domain_syndication_tree() {
+        let ctx = CryptoCtx::new();
+        let domain = clustered_domain(&ctx, true, false);
+        let names = domain.replica_names();
+        let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
+        assert!(domain.pep.enforce(&req, 0).allowed);
+
+        // r1 crashes; the lockdown lands while it sleeps.
+        assert!(domain.crash_replica(&names[1]));
+        assert_eq!(domain.replica_phase(&names[1]), Some(ReplicaPhase::Crashed));
+        let lockdown = dacs_policy::dsl::parse_policy(
+            r#"policy "gate" first-applicable { rule "lockdown" deny { } }"#,
+        )
+        .unwrap();
+        assert_eq!(domain.propagate_policy(lockdown, 10), PolicyEpoch(2));
+        // The reference engine on the root PAP flips immediately.
+        assert_eq!(
+            domain.pdp.decide(&req, 11).decision,
+            dacs_policy::policy::Decision::Deny
+        );
+
+        // Recovery lands in Syncing: stale, excluded from the quorum.
+        assert!(domain.recover_replica(&names[1]));
+        assert_eq!(domain.replica_phase(&names[1]), Some(ReplicaPhase::Syncing));
+        let denied = domain.pep.enforce(&req, 12);
+        assert!(!denied.allowed, "the fresh pair enforces the lockdown");
+        let m = domain.cluster.as_ref().unwrap().metrics();
+        assert_eq!(m.stale_decisions_avoided, 1);
+
+        // Anti-entropy replay readmits it.
+        assert!(domain.catch_up_replica(&names[1], 20));
+        assert_eq!(domain.replica_phase(&names[1]), Some(ReplicaPhase::Healthy));
+        assert_eq!(domain.cluster.as_ref().unwrap().metrics().resyncs, 1);
+        assert!(!domain.pep.enforce(&req, 21).allowed);
+
+        // Unknown names are a polite no-op.
+        assert!(!domain.crash_replica("pdp.ward.s9r9"));
+        assert!(!domain.catch_up_replica("pdp.ward.s9r9", 22));
     }
 
     #[test]

@@ -178,8 +178,9 @@ impl FlowNet {
 
 /// Enriches a cross-domain request with the subject's home-IdP
 /// attributes (the federated attribute fetch of Fig. 4), returning the
-/// enriched request.
-fn federated_enrich(vo: &Vo, request: &RequestContext, subject: &str) -> RequestContext {
+/// enriched request. Public so experiments can compute the ground-truth
+/// decision a flow's enforcement will see.
+pub fn federated_enrich(vo: &Vo, request: &RequestContext, subject: &str) -> RequestContext {
     let mut enriched = request.clone();
     if let Some(home) = home_domain(subject).and_then(|h| vo.domain(h)) {
         for (name, value) in home.idp_attributes.attributes_of(subject) {

@@ -27,11 +27,39 @@
 use dacs_assert::{AssertError, SignedAssertion};
 use dacs_crypto::sign::{CryptoCtx, PublicKey};
 use dacs_pdp::{CacheConfig, Pdp, TtlLruCache};
+use dacs_policy::eval::Response;
 use dacs_policy::policy::{Decision, Obligation};
 use dacs_policy::request::RequestContext;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Anything a PEP can query for authorization decisions.
+///
+/// The classic deployment binds the PEP to a single local [`Pdp`]
+/// engine; a dependable deployment binds it to a clustered decision
+/// service that routes each query through sharded quorum fan-out (see
+/// `ClusteredDecisionSource` in `dacs-federation`). The PEP's
+/// enforcement semantics — obligations, fail-safe defaults, audit —
+/// are identical either way.
+pub trait DecisionSource: Send + Sync {
+    /// Serves one authorization decision query.
+    fn decide(&self, request: &RequestContext, now_ms: u64) -> Response;
+
+    /// Serves a batch of decision queries; results align with
+    /// `requests`. The default evaluates them one by one; batching
+    /// sources override it to coalesce identical outstanding queries
+    /// and keep per-shard decision caches hot.
+    fn decide_batch(&self, requests: &[RequestContext], now_ms: u64) -> Vec<Response> {
+        requests.iter().map(|r| self.decide(r, now_ms)).collect()
+    }
+}
+
+impl DecisionSource for Pdp {
+    fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
+        Pdp::decide(self, request, now_ms)
+    }
+}
 
 /// Something that can discharge one kind of obligation.
 pub trait ObligationHandler: Send + Sync {
@@ -164,7 +192,7 @@ pub struct Pep {
     /// The audience string capabilities must be issued for (usually the
     /// domain name).
     audience: String,
-    pdp: Arc<Pdp>,
+    source: Arc<dyn DecisionSource>,
     handlers: HashMap<String, Arc<dyn ObligationHandler>>,
     cache: Option<Mutex<TtlLruCache<Vec<u8>, dacs_policy::eval::Response>>>,
     crypto: CryptoCtx,
@@ -179,17 +207,19 @@ pub struct Pep {
 }
 
 impl Pep {
-    /// Creates an enforcement point bound to a PDP (pull model).
+    /// Creates an enforcement point bound to a decision source (pull
+    /// model): a single [`Pdp`] engine (an `Arc<Pdp>` coerces), or a
+    /// clustered decision service.
     pub fn new(
         name: impl Into<String>,
         audience: impl Into<String>,
-        pdp: Arc<Pdp>,
+        source: Arc<dyn DecisionSource>,
         crypto: CryptoCtx,
     ) -> Self {
         Pep {
             name: name.into(),
             audience: audience.into(),
-            pdp,
+            source,
             handlers: HashMap::new(),
             cache: None,
             crypto,
@@ -231,11 +261,79 @@ impl Pep {
         &self.name
     }
 
-    /// Pull-model enforcement (Fig. 3): query the PDP, fulfil
-    /// obligations, grant or deny.
+    /// Pull-model enforcement (Fig. 3): query the decision source,
+    /// fulfil obligations, grant or deny.
     pub fn enforce(&self, request: &RequestContext, now_ms: u64) -> EnforcementResult {
         let response = self.decide_cached(request, now_ms);
         self.conclude(request, response, now_ms)
+    }
+
+    /// Pull-model enforcement of a whole batch: decisions for every
+    /// request are fetched in one [`DecisionSource::decide_batch`]
+    /// round (a single coalesced flush on a clustered source), then
+    /// each request is concluded exactly as [`Pep::enforce`] would —
+    /// obligations, fail-safe defaults, audit and stats per request.
+    /// Results align with `requests`.
+    pub fn enforce_batch(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+    ) -> Vec<EnforcementResult> {
+        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        match &self.cache {
+            Some(cache) => {
+                let keys: Vec<Vec<u8>> = requests.iter().map(|r| r.to_canonical_bytes()).collect();
+                let mut miss_idx: Vec<usize> = Vec::new();
+                {
+                    let mut cache = cache.lock();
+                    for (i, key) in keys.iter().enumerate() {
+                        match cache.get(key, now_ms) {
+                            Some(resp) => {
+                                self.stats.lock().cache_hits += 1;
+                                responses[i] = Some(resp);
+                            }
+                            None => miss_idx.push(i),
+                        }
+                    }
+                }
+                if !miss_idx.is_empty() {
+                    let misses: Vec<RequestContext> =
+                        miss_idx.iter().map(|&i| requests[i].clone()).collect();
+                    let answers = self.source.decide_batch(&misses, now_ms);
+                    debug_assert_eq!(answers.len(), misses.len(), "one answer per query");
+                    let mut cache = cache.lock();
+                    for (&i, resp) in miss_idx.iter().zip(answers) {
+                        cache.insert(keys[i].clone(), resp.clone(), now_ms);
+                        responses[i] = Some(resp);
+                    }
+                }
+            }
+            None => {
+                let answers = self.source.decide_batch(requests, now_ms);
+                debug_assert_eq!(answers.len(), requests.len(), "one answer per query");
+                for (slot, resp) in responses.iter_mut().zip(answers) {
+                    *slot = Some(resp);
+                }
+            }
+        }
+        requests
+            .iter()
+            .zip(responses)
+            .map(|(request, response)| {
+                self.conclude(request, response.expect("every request answered"), now_ms)
+            })
+            .collect()
+    }
+
+    /// Explicitly flushes the PEP-side decision cache. The policy
+    /// authority calls this when cached decisions are known stale —
+    /// e.g. a domain that just propagated a policy update (PDP caches
+    /// flush themselves on the PAP epoch bump, but the PEP cache sits
+    /// in front of the decision source and must be told).
+    pub fn invalidate_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.lock().invalidate_all();
+        }
     }
 
     /// Push-model enforcement (Fig. 2): validate the presented
@@ -301,7 +399,7 @@ impl Pep {
         }
     }
 
-    fn decide_cached(&self, request: &RequestContext, now_ms: u64) -> dacs_policy::eval::Response {
+    fn decide_cached(&self, request: &RequestContext, now_ms: u64) -> Response {
         if let Some(cache) = &self.cache {
             let key = request.to_canonical_bytes();
             {
@@ -311,11 +409,11 @@ impl Pep {
                     return resp;
                 }
             }
-            let resp = self.pdp.decide(request, now_ms);
+            let resp = self.source.decide(request, now_ms);
             cache.lock().insert(key, resp.clone(), now_ms);
             resp
         } else {
-            self.pdp.decide(request, now_ms)
+            self.source.decide(request, now_ms)
         }
     }
 

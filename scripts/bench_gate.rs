@@ -1,27 +1,40 @@
 //! CI bench-trajectory gate: compares a fresh `bench.json` (written by
 //! `harness -- all --json bench.json`) against the committed
-//! `BENCH_baseline.json` and fails on a >25% p99 regression in the E15
-//! fan-out latency rows.
+//! `BENCH_baseline.json` and fails on either of:
+//!
+//! * a >25% p99 regression in the E15 fan-out latency rows, or
+//! * a >2-point availability drop in the E17 federated-cluster rows
+//!   (the clustered VO must keep answering through churn).
 //!
 //! ```text
 //! cargo run --release -p dacs-bench --bin bench_gate -- BENCH_baseline.json bench.json
 //! ```
 //!
-//! The percentage gate only applies above a 300 µs noise floor:
-//! the E15 parallel/hedged rows sit in the tens-of-µs range where
-//! scheduler jitter on shared CI runners dwarfs any real change, while
-//! the sequential row (which pays the injected 2 ms-slow replica and is
-//! the one a fan-out regression would move) sits far above it.
+//! Both gates are noise-floored. The E15 percentage gate only applies
+//! above 300 µs: the parallel/hedged rows sit in the tens-of-µs range
+//! where scheduler jitter on shared CI runners dwarfs any real change,
+//! while the sequential row (which pays the injected 2 ms-slow replica
+//! and is the one a fan-out regression would move) sits far above it.
+//! The E17 availability gate ignores dips within 2 points — workload
+//! rounding at reduced `DACS_BENCH_SCALE` moves a blackout window by a
+//! request or two — while a real availability regression (a shard that
+//! stops answering) drops tens of points.
 
-use dacs_bench::{parse_json_rows, regressions, BenchRow};
+use dacs_bench::{availability_drops, parse_json_rows, regressions, BenchRow};
 
-/// The experiment/metric the gate watches.
-const EXPERIMENT: &str = "e15";
-const METRIC: &str = "lat p99 (µs)";
+/// The latency gate: experiment, metric, threshold and noise floor.
+const LAT_EXPERIMENT: &str = "e15";
+const LAT_METRIC: &str = "lat p99 (µs)";
 /// Fail beyond baseline + 25%.
-const THRESHOLD: f64 = 0.25;
+const LAT_THRESHOLD: f64 = 0.25;
 /// Ignore percentage movement below this magnitude (µs).
-const FLOOR_US: f64 = 300.0;
+const LAT_FLOOR_US: f64 = 300.0;
+
+/// The availability gate: experiment, metric and allowed drop.
+const AVAIL_EXPERIMENT: &str = "e17";
+const AVAIL_METRIC: &str = "availability %";
+/// Fail when a row falls more than this many points below baseline.
+const AVAIL_MAX_DROP: f64 = 2.0;
 
 fn load(path: &str) -> Vec<BenchRow> {
     match std::fs::read_to_string(path) {
@@ -33,6 +46,44 @@ fn load(path: &str) -> Vec<BenchRow> {
     }
 }
 
+fn require_rows(rows: &[BenchRow], path: &str, experiment: &str, metric: &str) {
+    if !rows
+        .iter()
+        .any(|r| r.experiment == experiment && r.metric == metric)
+    {
+        eprintln!("bench_gate: {path} has no '{experiment}' '{metric}' rows");
+        std::process::exit(2);
+    }
+}
+
+fn print_rows(
+    baseline: &[BenchRow],
+    fresh: &[BenchRow],
+    experiment: &str,
+    metric: &str,
+    unit: &str,
+) {
+    for base in baseline
+        .iter()
+        .filter(|r| r.experiment == experiment && r.metric == metric)
+    {
+        let current = fresh
+            .iter()
+            .find(|r| r.experiment == experiment && r.metric == metric && r.key == base.key)
+            .and_then(|r| r.value);
+        println!(
+            "  {:<16} baseline {:>10}   fresh {:>10}",
+            base.key,
+            base.value
+                .map(|v| format!("{v:.1} {unit}"))
+                .unwrap_or("—".into()),
+            current
+                .map(|v| format!("{v:.1} {unit}"))
+                .unwrap_or("MISSING".into()),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [baseline_path, fresh_path] = args.as_slice() else {
@@ -41,35 +92,36 @@ fn main() {
     };
     let baseline = load(baseline_path);
     let fresh = load(fresh_path);
-    if !baseline
-        .iter()
-        .any(|r| r.experiment == EXPERIMENT && r.metric == METRIC)
-    {
-        eprintln!("bench_gate: {baseline_path} has no '{EXPERIMENT}' '{METRIC}' rows");
-        std::process::exit(2);
-    }
+    require_rows(&baseline, baseline_path, LAT_EXPERIMENT, LAT_METRIC);
+    require_rows(&baseline, baseline_path, AVAIL_EXPERIMENT, AVAIL_METRIC);
 
-    println!("bench_gate: {EXPERIMENT} '{METRIC}' vs {baseline_path} (+{:.0}% over max(baseline, {FLOOR_US} µs) allowed)",
-        THRESHOLD * 100.0);
-    for base in baseline
-        .iter()
-        .filter(|r| r.experiment == EXPERIMENT && r.metric == METRIC)
-    {
-        let current = fresh
-            .iter()
-            .find(|r| r.experiment == EXPERIMENT && r.metric == METRIC && r.key == base.key)
-            .and_then(|r| r.value);
-        println!(
-            "  {:<12} baseline {:>10} µs   fresh {:>10}",
-            base.key,
-            base.value.map(|v| format!("{v:.1}")).unwrap_or("—".into()),
-            current
-                .map(|v| format!("{v:.1} µs"))
-                .unwrap_or("MISSING".into()),
-        );
-    }
+    println!(
+        "bench_gate: {LAT_EXPERIMENT} '{LAT_METRIC}' vs {baseline_path} \
+         (+{:.0}% over max(baseline, {LAT_FLOOR_US} µs) allowed)",
+        LAT_THRESHOLD * 100.0
+    );
+    print_rows(&baseline, &fresh, LAT_EXPERIMENT, LAT_METRIC, "µs");
+    println!(
+        "bench_gate: {AVAIL_EXPERIMENT} '{AVAIL_METRIC}' vs {baseline_path} \
+         (-{AVAIL_MAX_DROP:.1} points allowed)"
+    );
+    print_rows(&baseline, &fresh, AVAIL_EXPERIMENT, AVAIL_METRIC, "%");
 
-    let bad = regressions(&baseline, &fresh, EXPERIMENT, METRIC, THRESHOLD, FLOOR_US);
+    let mut bad = regressions(
+        &baseline,
+        &fresh,
+        LAT_EXPERIMENT,
+        LAT_METRIC,
+        LAT_THRESHOLD,
+        LAT_FLOOR_US,
+    );
+    bad.extend(availability_drops(
+        &baseline,
+        &fresh,
+        AVAIL_EXPERIMENT,
+        AVAIL_METRIC,
+        AVAIL_MAX_DROP,
+    ));
     if bad.is_empty() {
         println!("bench_gate: PASS");
     } else {

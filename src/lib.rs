@@ -19,7 +19,7 @@
 //! | [`pdp`] | `dacs-pdp` | decision engine, caching, discovery, policy-epoch exposure |
 //! | [`pep`] | `dacs-pep` | agent/push/pull enforcement, obligations |
 //! | [`trust`] | `dacs-trust` | automated trust negotiation |
-//! | [`federation`] | `dacs-federation` | domains, VOs, capability services, measured flows |
+//! | [`federation`] | `dacs-federation` | domains (single-engine or cluster-backed), VOs, capability services, measured flows |
 //! | [`cluster`] | `dacs-cluster` | sharded, replicated PDP cluster: consistent-hash routing, quorum decisions, epoch-gated replica re-sync, failover, batching |
 //! | [`core`] | `dacs-core` | scenarios, workloads, the experiment suite |
 //!

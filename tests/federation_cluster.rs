@@ -1,0 +1,449 @@
+//! Cross-crate integration tests: the VO flows riding per-domain PDP
+//! clusters — all three query sequences (pull, push, agent) under
+//! injected replica crashes, Chinese-Wall meta-policy across domains,
+//! batch-aware PEP semantics, and the `Syncing` recovery lifecycle on
+//! the multi-domain topology.
+
+use dacs::cluster::{ClusterBuilder, QuorumMode, ReplicaPhase};
+use dacs::core::scenario::{clustered_healthcare_vo, with_shared_cas};
+use dacs::crypto::sign::CryptoCtx;
+use dacs::federation::{
+    issue_capability_flow, push_flow, request_flow, ConflictClass, Domain, FlowKind, FlowNet,
+    SizeModel, Vo,
+};
+use dacs::pdp::{Binding, PdpDirectory};
+use dacs::policy::policy::Decision;
+use dacs::policy::request::RequestContext;
+use dacs::simnet::LinkSpec;
+use std::sync::Arc;
+
+fn fnet(vo: &Vo) -> FlowNet {
+    FlowNet::build(vo, 9, LinkSpec::lan(), LinkSpec::wan())
+}
+
+/// Pull, agent and push flows against clustered domains: every
+/// enforcement routes through the quorum (and the batcher), audit
+/// records cover every enforcement, and the shared directory exposes
+/// every domain's replicas to ordinary discovery.
+#[test]
+fn pull_agent_and_push_flows_ride_clustered_domains() {
+    let ctx = CryptoCtx::new();
+    let directory = Arc::new(PdpDirectory::new());
+    let vo = with_shared_cas(
+        clustered_healthcare_vo(2, 8, &ctx, directory.clone(), true, true),
+        3_600_000,
+    );
+    let mut net = fnet(&vo);
+
+    // Cross-domain discovery: one shared directory sees every domain's
+    // replicas, resolvable per domain through the ordinary binding API.
+    for d in &vo.domains {
+        assert_eq!(directory.endpoints_in(&d.name).len(), 3, "{}", d.name);
+        assert!(directory.resolve(&Binding::Discovery, &d.name).is_some());
+    }
+
+    // Pull (cross-domain: the doctor role travels via the home IdP).
+    let pull = request_flow(
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        "user-1@domain-1",
+        0,
+        "records/1",
+        "read",
+        0,
+        SizeModel::Compact,
+    );
+    assert!(pull.allowed);
+    assert!(pull.kinds.contains(&"attribute-query"));
+
+    // Agent (PDP embedded in the PEP — same clustered decision path).
+    let agent = request_flow(
+        &mut net,
+        &vo,
+        FlowKind::Agent,
+        "user-1@domain-1",
+        0,
+        "records/2",
+        "read",
+        1,
+        SizeModel::Compact,
+    );
+    assert!(agent.allowed);
+
+    // Push: capability issuance, then a capability-bearing request —
+    // the local autonomy overlay still consults the cluster.
+    let (cap, issue) = issue_capability_flow(
+        &mut net,
+        &vo,
+        "user-1@domain-1",
+        "shared/*",
+        &["read".to_string()],
+        "domain-0",
+        2,
+        SizeModel::Compact,
+    );
+    assert!(issue.allowed);
+    let cap = cap.expect("prescreen permits shared reads");
+    let push = push_flow(
+        &mut net,
+        &vo,
+        "user-1@domain-1",
+        0,
+        "shared/data",
+        "read",
+        &cap,
+        3,
+        SizeModel::Compact,
+    );
+    assert!(push.allowed);
+
+    // All three enforcements rode domain-0's cluster, through the
+    // batcher, and each produced exactly one audit record.
+    let cluster = vo.domains[0].cluster.as_ref().expect("clustered");
+    let m = cluster.metrics();
+    assert_eq!(m.queries, 3, "pull + agent + push overlay");
+    assert_eq!(m.batches, 3, "batched PEP routes singles through flushes");
+    assert_eq!(m.unavailable, 0);
+    assert_eq!(vo.domains[0].pep.audit_log().len(), 3);
+
+    // A replica crash degrades the quorum but never the answer.
+    let names = vo.domains[0].replica_names();
+    assert!(vo.domains[0].crash_replica(&names[0]));
+    assert!(!directory.is_healthy(&names[0]));
+    let trace = request_flow(
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        "user-1@domain-1",
+        0,
+        "records/3",
+        "read",
+        4,
+        SizeModel::Compact,
+    );
+    assert!(trace.allowed, "two healthy replicas still form a majority");
+    let m = cluster.metrics();
+    assert!(m.degraded >= 1);
+    assert_eq!(m.unavailable, 0);
+    assert_eq!(vo.domains[0].pep.audit_log().len(), 4);
+}
+
+/// The VO-level Chinese Wall still binds across clustered domains, and
+/// a wall-blocked request never reaches the target domain's cluster.
+#[test]
+fn chinese_wall_enforced_across_clustered_domains() {
+    let ctx = CryptoCtx::new();
+    let directory = Arc::new(PdpDirectory::new());
+    let mut vo = clustered_healthcare_vo(3, 6, &ctx, directory, true, false);
+    vo.add_conflict_class(ConflictClass {
+        name: "rivals".into(),
+        domains: ["domain-0".to_string(), "domain-1".to_string()]
+            .into_iter()
+            .collect(),
+    });
+    let mut net = fnet(&vo);
+    let subject = "user-0@domain-2";
+
+    let first = request_flow(
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        subject,
+        0,
+        "records/1",
+        "read",
+        0,
+        SizeModel::Compact,
+    );
+    assert!(first.allowed);
+    let before = vo.domains[1].cluster.as_ref().unwrap().metrics().queries;
+    for t in 1..4 {
+        let rival = request_flow(
+            &mut net,
+            &vo,
+            FlowKind::Pull,
+            subject,
+            1,
+            "records/1",
+            "read",
+            t,
+            SizeModel::Compact,
+        );
+        assert!(!rival.allowed, "wall must block the rival domain");
+        assert_eq!(rival.messages, 2, "blocked at the PEP boundary");
+    }
+    // The wall fired before enforcement: the rival's cluster was never
+    // consulted, and no audit record was produced for blocked flows.
+    let after = vo.domains[1].cluster.as_ref().unwrap().metrics().queries;
+    assert_eq!(before, after);
+    assert_eq!(vo.domains[1].pep.audit_log().len(), 0);
+    // The neutral domain stays reachable.
+    let neutral = request_flow(
+        &mut net,
+        &vo,
+        FlowKind::Pull,
+        subject,
+        2,
+        "records/1",
+        "read",
+        5,
+        SizeModel::Compact,
+    );
+    assert!(neutral.allowed);
+}
+
+// The alternating per-domain gate shared with experiment E17: even
+// versions permit doctors on `records/*`, odd versions are an
+// admin-only lockdown — the integration suite pins exactly the
+// behavior the experiment measures.
+use dacs::core::scenario::alternating_lockdown_gate as churn_gate;
+
+fn churn_domain(ctx: &CryptoCtx, name: &str, directory: Arc<PdpDirectory>, seed: u64) -> Domain {
+    let mut builder = Domain::builder(name)
+        .policy(churn_gate(name, 0))
+        .clustered(
+            ClusterBuilder::new(name)
+                .quorum(QuorumMode::Majority)
+                .directory(directory)
+                .resync(true),
+        )
+        .batched(true)
+        .seed(seed);
+    for u in 0..4 {
+        builder = builder.subject_attr(&format!("user-{u}@{name}"), "role", "doctor");
+    }
+    builder.build(ctx)
+}
+
+/// Pull flows under replica crashes plus concurrent per-domain policy
+/// updates: every flow's outcome matches the domain's root-PAP ground
+/// truth (zero false permits, zero false denies while a quorum holds),
+/// and every enforcement left an audit record.
+#[test]
+fn crash_churn_with_updates_leaks_zero_false_permits() {
+    let ctx = CryptoCtx::new();
+    let directory = Arc::new(PdpDirectory::new());
+    let vo = Vo::new(
+        "vo-churn",
+        ctx.clone(),
+        vec![
+            churn_domain(&ctx, "domain-0", directory.clone(), 31),
+            churn_domain(&ctx, "domain-1", directory.clone(), 32),
+        ],
+    );
+    let mut net = fnet(&vo);
+    let replica_names: Vec<Vec<String>> = vo.domains.iter().map(|d| d.replica_names()).collect();
+
+    let mut false_permits = 0u64;
+    let mut false_denies = 0u64;
+    let mut enforcements = 0usize;
+    for t in 0..240u64 {
+        // Deterministic churn: every 60 ticks, each domain's replicas
+        // 1 and 2 sleep through a policy update and later catch up.
+        let (round, step) = (t / 60, t % 60);
+        for (d, domain) in vo.domains.iter().enumerate() {
+            match step {
+                10 => {
+                    domain.crash_replica(&replica_names[d][1]);
+                    domain.crash_replica(&replica_names[d][2]);
+                }
+                20 => {
+                    domain.propagate_policy(churn_gate(&domain.name, round + 1), t);
+                }
+                30 => {
+                    domain.recover_replica(&replica_names[d][1]);
+                    domain.recover_replica(&replica_names[d][2]);
+                }
+                45 => {
+                    domain.catch_up_replica(&replica_names[d][1], t);
+                    domain.catch_up_replica(&replica_names[d][2], t);
+                }
+                _ => {}
+            }
+        }
+        // Alternate home/cross-domain pulls over both domains.
+        let home = (t % 2) as usize;
+        let target = if t % 5 == 0 { 1 - home } else { home };
+        let subject = format!("user-{}@domain-{home}", t % 4);
+        let request = RequestContext::basic(subject.as_str(), "records/1", "read");
+        let domain = &vo.domains[target];
+        let enriched = if domain.is_home_of(&subject) {
+            request.clone()
+        } else {
+            dacs::federation::federated_enrich(&vo, &request, &subject)
+        };
+        let expected = domain.pdp.decide(&enriched, t).decision;
+        let trace = request_flow(
+            &mut net,
+            &vo,
+            FlowKind::Pull,
+            &subject,
+            target,
+            "records/1",
+            "read",
+            t,
+            SizeModel::Compact,
+        );
+        enforcements += 1;
+        if trace.allowed && expected != Decision::Permit {
+            false_permits += 1;
+        }
+        if !trace.allowed && expected == Decision::Permit {
+            false_denies += 1;
+        }
+    }
+    assert_eq!(false_permits, 0, "epoch gating must hold under churn");
+    assert_eq!(
+        false_denies, 0,
+        "the fresh anchor keeps the quorum truthful"
+    );
+    // Audit completeness: one record per enforcement, VO-wide.
+    let audit_total: usize = vo.domains.iter().map(|d| d.pep.audit_log().len()).sum();
+    assert_eq!(audit_total, enforcements);
+    // The churn actually exercised the lifecycle.
+    for d in &vo.domains {
+        let m = d.cluster.as_ref().unwrap().metrics();
+        assert!(m.resyncs >= 4, "{}: resyncs {}", d.name, m.resyncs);
+        assert!(m.stale_decisions_avoided > 0, "{}", d.name);
+        assert_eq!(m.unavailable, 0, "{}", d.name);
+    }
+}
+
+/// The `Syncing` lifecycle over the multi-domain topology (extends
+/// E16's guarantee): a replica recovering mid-flow is excluded from
+/// its domain's quorum until `catch_up` replays it to the domain's
+/// max epoch — in every domain independently.
+#[test]
+fn recovering_replica_syncs_before_rejoining_each_domains_quorum() {
+    let ctx = CryptoCtx::new();
+    let directory = Arc::new(PdpDirectory::new());
+    let vo = Vo::new(
+        "vo-sync",
+        ctx.clone(),
+        vec![
+            churn_domain(&ctx, "domain-0", directory.clone(), 41),
+            churn_domain(&ctx, "domain-1", directory.clone(), 42),
+        ],
+    );
+    let mut net = fnet(&vo);
+
+    for (d, domain) in vo.domains.iter().enumerate() {
+        let names = domain.replica_names();
+        let subject = format!("user-0@{}", domain.name);
+        let pull = |net: &mut FlowNet, now: u64| {
+            request_flow(
+                net,
+                &vo,
+                FlowKind::Pull,
+                &subject,
+                d,
+                "records/1",
+                "read",
+                now,
+                SizeModel::Compact,
+            )
+        };
+        assert!(
+            pull(&mut net, 0).allowed,
+            "{}: doctors read v0",
+            domain.name
+        );
+
+        // r1 crashes; the lockdown lands while it sleeps.
+        domain.crash_replica(&names[1]);
+        let epoch = domain.propagate_policy(churn_gate(&domain.name, 1), 10);
+        assert_eq!(epoch.0, 2, "{}: bootstrap + lockdown", domain.name);
+
+        // Mid-flow recovery: stale → Syncing, excluded from the quorum.
+        domain.recover_replica(&names[1]);
+        assert_eq!(
+            domain.replica_phase(&names[1]),
+            Some(ReplicaPhase::Syncing),
+            "{}",
+            domain.name
+        );
+        let denied = pull(&mut net, 11);
+        assert!(!denied.allowed, "{}: lockdown enforced", domain.name);
+        let m = domain.cluster.as_ref().unwrap().metrics();
+        assert!(m.stale_decisions_avoided >= 1, "{}", domain.name);
+        // Readmission is refused until the replay lands.
+        assert!(!domain.cluster.as_ref().unwrap().complete_resync(&names[1]));
+
+        // Catch-up replays to the domain's max epoch and readmits.
+        assert!(domain.catch_up_replica(&names[1], 20));
+        assert_eq!(
+            domain.replica_phase(&names[1]),
+            Some(ReplicaPhase::Healthy),
+            "{}",
+            domain.name
+        );
+        // Back to a full, truthful quorum: the next update flips the
+        // decision again with all three replicas voting.
+        domain.propagate_policy(churn_gate(&domain.name, 2), 30);
+        assert!(pull(&mut net, 31).allowed, "{}", domain.name);
+        let m = domain.cluster.as_ref().unwrap().metrics();
+        assert_eq!(m.resyncs, 1, "{}", domain.name);
+    }
+}
+
+/// Regression pinning batch-aware PEP semantics: decisions and
+/// obligations via the batched path are identical to unbatched
+/// enforcement, and a deny inside a coalesced batch never leaks as a
+/// permit to a neighboring query.
+#[test]
+fn batched_enforcement_matches_unbatched_and_denies_never_leak() {
+    let ctx = CryptoCtx::new();
+    let unbatched_vo =
+        clustered_healthcare_vo(1, 8, &ctx, Arc::new(PdpDirectory::new()), true, false);
+    let batched_vo = clustered_healthcare_vo(1, 8, &ctx, Arc::new(PdpDirectory::new()), true, true);
+    let unbatched = &unbatched_vo.domains[0];
+    let batched = &batched_vo.domains[0];
+
+    // Doctor read (permit + log obligation), auditor read (explicit
+    // deny), stranger write (deny), shared/* (NotApplicable → fail-safe
+    // deny): the full decision surface.
+    let requests = [
+        RequestContext::basic("user-0@domain-0", "records/1", "read"),
+        RequestContext::basic("user-7@domain-0", "records/1", "read"),
+        RequestContext::basic("mallory@domain-0", "records/2", "write"),
+        RequestContext::basic("user-0@domain-0", "shared/1", "read"),
+    ];
+    for (t, request) in requests.iter().enumerate() {
+        let a = unbatched.pep.enforce(request, t as u64);
+        let b = batched.pep.enforce(request, t as u64);
+        assert_eq!(a.allowed, b.allowed, "{request:?}");
+        assert_eq!(a.decision, b.decision, "{request:?}");
+        assert_eq!(a.fulfilled, b.fulfilled, "obligations must match");
+    }
+
+    // One coalesced batch mixing permits and denies, with duplicates:
+    // each ticket gets its own verdict — the duplicate deny coalesces
+    // onto one evaluation yet never surfaces as its neighbor's permit.
+    let batch = vec![
+        requests[0].clone(), // permit
+        requests[1].clone(), // deny
+        requests[0].clone(), // duplicate permit (coalesces)
+        requests[1].clone(), // duplicate deny (coalesces)
+        requests[3].clone(), // fail-safe deny
+    ];
+    let coalesced_before = batched.cluster.as_ref().unwrap().metrics().coalesced;
+    let results = batched.pep.enforce_batch(&batch, 100);
+    assert_eq!(results.len(), 5);
+    assert!(results[0].allowed);
+    assert!(!results[1].allowed);
+    assert_eq!(results[1].decision, Decision::Deny);
+    assert!(results[2].allowed, "duplicate permit follows its twin");
+    assert!(!results[3].allowed, "coalesced deny stays a deny");
+    assert_eq!(results[3].decision, Decision::Deny);
+    assert!(!results[4].allowed, "NotApplicable stays fail-safe denied");
+    assert_eq!(results[0].fulfilled, vec!["log".to_string()]);
+    let m = batched.cluster.as_ref().unwrap().metrics();
+    assert_eq!(
+        m.coalesced - coalesced_before,
+        2,
+        "both duplicates coalesced onto outstanding evaluations"
+    );
+    // Batched enforcement audits every ticket.
+    assert_eq!(batched.pep.audit_log().len(), requests.len() + batch.len());
+}

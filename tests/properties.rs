@@ -160,6 +160,56 @@ proptest! {
         }
     }
 
+    /// Consistent-hash stability (ISSUE 5): growing a `ShardRouter` by
+    /// one shard moves only the keys the new shard's ring points
+    /// capture — every moved key lands on the new shard and the
+    /// moved fraction stays well under half — and shrinking by one
+    /// shard never remaps a key that was not on the removed shard.
+    #[test]
+    fn shard_router_scaling_remaps_a_bounded_fraction(
+        n in 2usize..9,
+        salt in any::<u64>(),
+    ) {
+        use dacs::cluster::ShardRouter;
+        let before = ShardRouter::new(n);
+        let grown = ShardRouter::new(n + 1);
+        let shrunk = ShardRouter::new(n - 1);
+        let keys: Vec<String> = (0..512)
+            .map(|i| format!("user-{salt}-{i}\u{1f}records/{}", i % 97))
+            .collect();
+        let mut moved_on_growth = 0usize;
+        for key in &keys {
+            let b = before.shard_for_key(key);
+            prop_assert!(b < n);
+            // Stable within a router and across rebuilds.
+            prop_assert_eq!(b, before.shard_for_key(key));
+            prop_assert_eq!(b, ShardRouter::new(n).shard_for_key(key));
+            let g = grown.shard_for_key(key);
+            if g != b {
+                moved_on_growth += 1;
+                // A key may only ever move *to* the added shard: the
+                // surviving shards' ring points are identical in both
+                // rings, so unaffected keys cannot be re-routed.
+                prop_assert_eq!(g, n, "key moved between surviving shards");
+            }
+            let s = shrunk.shard_for_key(key);
+            if b != n - 1 {
+                // Keys off the removed (last) shard must not move.
+                prop_assert_eq!(s, b, "unaffected key remapped on shrink");
+            } else {
+                prop_assert!(s < n - 1, "orphaned key must land on a survivor");
+            }
+        }
+        // Bounded movement: the expected share is 1/(n+1) of the keys;
+        // half is a generous, non-flaky ceiling (hash % n would move
+        // (n-1)/n of them).
+        prop_assert!(
+            moved_on_growth < keys.len() / 2,
+            "{} of {} keys moved on scale-out", moved_on_growth, keys.len()
+        );
+        prop_assert!(moved_on_growth > 0, "a new shard must capture some keys");
+    }
+
     #[test]
     fn zipf_sampler_in_range(n in 1usize..200, s in 0.0f64..2.5, seed in any::<u64>()) {
         use rand::SeedableRng;
