@@ -13,6 +13,12 @@
 //! machine-readable trajectory (the CI `bench-smoke` job compares it
 //! against `BENCH_baseline.json` via `scripts/bench_gate.rs`).
 //!
+//! `--telemetry PATH` and `--trace PATH` run the fully instrumented
+//! clustered scenario (`traced_cluster_run`) once and write,
+//! respectively, the Prometheus-style text exposition of its metric
+//! registry and the JSON dump of its span trace — the per-stage
+//! latency artifacts CI uploads next to the trajectory.
+//!
 //! `DACS_BENCH_SCALE=N` divides every experiment's iteration count by
 //! `N` (with a floor that keeps the experiments meaningful) — the
 //! reduced-iteration knob CI smoke runs use.
@@ -60,14 +66,27 @@ fn run(id: &str) -> Option<Table> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: harness <all | e1 .. e{EXPERIMENT_COUNT}>... [--json PATH]");
+    eprintln!(
+        "usage: harness <all | e1 .. e{EXPERIMENT_COUNT}>... \
+         [--json PATH] [--telemetry PATH] [--trace PATH]"
+    );
     std::process::exit(2);
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {what} to {path}");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -75,10 +94,18 @@ fn main() {
                 Some(path) => json_path = Some(path),
                 None => usage(),
             },
+            "--telemetry" => match iter.next() {
+                Some(path) => telemetry_path = Some(path),
+                None => usage(),
+            },
+            "--trace" => match iter.next() {
+                Some(path) => trace_path = Some(path),
+                None => usage(),
+            },
             _ => ids.push(arg),
         }
     }
-    if ids.is_empty() {
+    if ids.is_empty() && telemetry_path.is_none() && trace_path.is_none() {
         usage();
     }
     if ids.iter().any(|a| a == "all") {
@@ -101,10 +128,22 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
+        write_or_die(&path, &json, "JSON rows");
+    }
+    if telemetry_path.is_some() || trace_path.is_some() {
+        // One shared instrumented run feeds both artifacts, so the
+        // trace's spans are the ones the registry's histograms saw.
+        let (telemetry, lats) = exp::traced_cluster_run(scaled(2400));
+        let summary = dacs_core::stats::Summary::of(&lats);
+        eprintln!(
+            "traced run: {} enforcements, p50 {} µs, p99 {} µs",
+            summary.count, summary.p50, summary.p99
+        );
+        if let Some(path) = telemetry_path {
+            write_or_die(&path, &telemetry.registry().render_text(), "telemetry text");
         }
-        eprintln!("wrote JSON rows to {path}");
+        if let Some(path) = trace_path {
+            write_or_die(&path, &telemetry.tracer().dump_json(), "JSON trace");
+        }
     }
 }

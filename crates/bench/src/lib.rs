@@ -359,4 +359,54 @@ mod tests {
         assert!(bad[0].contains("domain-2/on"));
         assert!(bad[0].contains("missing"));
     }
+
+    use proptest::prelude::*;
+
+    /// A table cell: numeric-looking values (which the writer emits as
+    /// JSON numbers) and text laced with the characters the escaper
+    /// must handle — quotes, backslashes, newlines, tabs, the unit
+    /// glyphs the real headers use — plus letter soup that can spell
+    /// non-finite floats like `nan`/`inf` (which must stay strings).
+    fn arb_cell() -> impl Strategy<Value = String> {
+        prop_oneof![
+            "[0-9]{1,4}",
+            "-[0-9]{1,3}.[0-9]{1,2}",
+            "[a-z µ%()\"\\\n\t/]{0,10}",
+        ]
+    }
+
+    proptest! {
+        /// Round-trip property for the trajectory format: whatever
+        /// table the experiments produce, [`parse_json_rows`] must
+        /// recover exactly the `(experiment, key, metric, value)`
+        /// quadruples [`table_to_json_rows`] flattened — numeric cells
+        /// as numbers, everything else (including `nan`-shaped text)
+        /// as value-less rows.
+        #[test]
+        fn json_rows_round_trip_any_table(
+            experiment in "[a-z0-9_]{0,8}",
+            headers in prop::collection::vec(arb_cell(), 2..5),
+            raw_rows in prop::collection::vec(prop::collection::vec(arb_cell(), 1..6), 0..6),
+        ) {
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut table = Table::new("prop", &header_refs);
+            for mut row in raw_rows {
+                row.resize(headers.len(), "0".into());
+                table.row(row);
+            }
+            let parsed = parse_json_rows(&table_to_json_rows(&experiment, &table));
+            let mut expected = Vec::new();
+            for row in &table.rows {
+                for (metric, value) in table.headers.iter().zip(row.iter()).skip(1) {
+                    expected.push(BenchRow {
+                        experiment: experiment.clone(),
+                        key: row[0].clone(),
+                        metric: metric.clone(),
+                        value: value.parse::<f64>().ok().filter(|v| v.is_finite()),
+                    });
+                }
+            }
+            prop_assert_eq!(parsed, expected);
+        }
+    }
 }

@@ -50,6 +50,9 @@ impl<'a> BatchSubmitter<'a> {
 
     /// Queues one query; the returned ticket indexes the flush result.
     pub fn submit(&mut self, request: RequestContext) -> Ticket {
+        // Routing happens here, not at flush; the span sits with it so
+        // batched traces still decompose into route + fanout stages.
+        let _route = self.cluster.telemetry().map(|t| t.tracer().span("route"));
         let shard = self.cluster.router().shard_for(&request);
         let ticket = Ticket(self.pending.len());
         self.pending.push(Pending {

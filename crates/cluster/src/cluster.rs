@@ -8,8 +8,10 @@ use crate::shard::ShardRouter;
 use dacs_pdp::{HealthState, PdpDirectory};
 use dacs_policy::eval::Response;
 use dacs_policy::request::RequestContext;
+use dacs_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The outcome of one cluster decision.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -36,6 +38,8 @@ pub struct ClusterBuilder {
     pool: Option<Arc<FanoutPool>>,
     hedge: Option<HedgeConfig>,
     resync: bool,
+    telemetry: Option<Arc<Telemetry>>,
+    audit_every: usize,
 }
 
 impl ClusterBuilder {
@@ -51,6 +55,8 @@ impl ClusterBuilder {
             pool: None,
             hedge: None,
             resync: false,
+            telemetry: None,
+            audit_every: 0,
         }
     }
 
@@ -122,6 +128,36 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a telemetry registry + tracer: the cluster records
+    /// decision latency, query/unavailability/hedge counters, per-stage
+    /// spans (`cluster_decide` / `route` / `fanout` / `quorum_wait` /
+    /// `replica_decide`) and per-replica compute histograms into it.
+    /// The fan-out pool is shared and constructed by the caller, so its
+    /// queue-wait instrumentation is attached separately
+    /// ([`FanoutPool::with_telemetry`]), normally with the same
+    /// registry.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Replays every `n`th served query on the sequential,
+    /// non-short-circuiting path (all in-sync healthy replicas
+    /// consulted, majority combine) purely to *observe* divergence,
+    /// recording [`ClusterMetrics::audit_queries`] and
+    /// [`ClusterMetrics::audit_disagreements`]. This closes the blind
+    /// spot documented on [`ClusterMetrics::disagreements`]: under
+    /// `.parallel()` the quorum short-circuit can hide a divergent
+    /// replica forever. The audit verdict never replaces the served
+    /// response and its sub-queries are not counted in
+    /// [`ClusterMetrics::replica_queries`]. `0` (the default) disables
+    /// sampling; the sampler only runs when a parallel pool is
+    /// configured — the sequential path already observes every vote.
+    pub fn audit_every(mut self, n: usize) -> Self {
+        self.audit_every = n;
+        self
+    }
+
     /// Finishes the cluster, registering every replica as healthy in
     /// the directory.
     ///
@@ -133,7 +169,18 @@ impl ClusterBuilder {
         let directory = self
             .directory
             .unwrap_or_else(|| Arc::new(PdpDirectory::new()));
-        let groups: Vec<ReplicaGroup> = self.shards.into_iter().map(ReplicaGroup::new).collect();
+        let telemetry = self.telemetry;
+        let groups: Vec<ReplicaGroup> = self
+            .shards
+            .into_iter()
+            .map(|replicas| {
+                let group = ReplicaGroup::new(replicas);
+                match &telemetry {
+                    Some(t) => group.with_telemetry(t),
+                    None => group,
+                }
+            })
+            .collect();
         for group in &groups {
             for replica in group.replica_names() {
                 // A shared directory may already know this endpoint from
@@ -153,7 +200,34 @@ impl ClusterBuilder {
             pool: self.pool,
             hedge: self.hedge,
             resync: self.resync,
+            audit_every: self.audit_every,
+            telemetry: telemetry.map(ClusterTelemetry::new),
             metrics: Mutex::new(ClusterMetrics::default()),
+        }
+    }
+}
+
+/// The cluster's pre-resolved telemetry handles, so the hot decide
+/// path never takes the registry's name-lookup locks.
+struct ClusterTelemetry {
+    telemetry: Arc<Telemetry>,
+    queries: Arc<Counter>,
+    unavailable: Arc<Counter>,
+    hedges: Arc<Counter>,
+    hedge_wins: Arc<Counter>,
+    decide_us: Arc<Histogram>,
+}
+
+impl ClusterTelemetry {
+    fn new(telemetry: Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        ClusterTelemetry {
+            queries: r.counter("dacs_cluster_queries_total"),
+            unavailable: r.counter("dacs_cluster_unavailable_total"),
+            hedges: r.counter("dacs_cluster_hedges_total"),
+            hedge_wins: r.counter("dacs_cluster_hedge_wins_total"),
+            decide_us: r.histogram("dacs_cluster_decide_us"),
+            telemetry,
         }
     }
 }
@@ -168,6 +242,8 @@ pub struct PdpCluster {
     pool: Option<Arc<FanoutPool>>,
     hedge: Option<HedgeConfig>,
     resync: bool,
+    audit_every: usize,
+    telemetry: Option<ClusterTelemetry>,
     metrics: Mutex<ClusterMetrics>,
 }
 
@@ -273,9 +349,30 @@ impl PdpCluster {
         self.groups.iter().find(|g| g.contains(replica))
     }
 
+    /// The telemetry registry + tracer attached at build time
+    /// ([`ClusterBuilder::telemetry`]), if any — shared with callers
+    /// (decision sources, batchers) that want their own spans in the
+    /// same trace.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref().map(|t| &t.telemetry)
+    }
+
     /// Serves one decision: route to a shard, fan out, combine.
     pub fn decide(&self, request: &RequestContext, now_ms: u64) -> ClusterOutcome {
-        let shard = self.router.shard_for(request);
+        // Umbrella span: child of the caller's current span (the PEP's
+        // `decide`, normally) or a fresh root for bare cluster use.
+        let umbrella = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.telemetry.tracer().span("cluster_decide"));
+        let _in_umbrella = umbrella.as_ref().map(|s| s.enter());
+        let shard = {
+            let _route = self
+                .telemetry
+                .as_ref()
+                .map(|t| t.telemetry.tracer().span("route"));
+            self.router.shard_for(request)
+        };
         self.decide_on_shard(shard, request, now_ms)
     }
 
@@ -287,19 +384,40 @@ impl PdpCluster {
         request: &RequestContext,
         now_ms: u64,
     ) -> ClusterOutcome {
+        let start = Instant::now();
         let group = &self.groups[shard];
-        let outcome = match &self.pool {
-            Some(pool) => group.query_parallel(
-                &self.directory,
-                self.quorum,
-                request,
-                now_ms,
-                pool,
-                self.hedge.as_ref(),
-            ),
-            None => group.query(&self.directory, self.quorum, request, now_ms),
+        let outcome = {
+            // Entered, so worker-thread `replica_decide` spans (which
+            // capture the dispatching thread's context) and the
+            // `quorum_wait` span nest under the fan-out.
+            let fanout = self
+                .telemetry
+                .as_ref()
+                .map(|t| t.telemetry.tracer().span("fanout"));
+            let _in_fanout = fanout.as_ref().map(|s| s.enter());
+            match &self.pool {
+                Some(pool) => group.query_parallel(
+                    &self.directory,
+                    self.quorum,
+                    request,
+                    now_ms,
+                    pool,
+                    self.hedge.as_ref(),
+                ),
+                None => group.query(&self.directory, self.quorum, request, now_ms),
+            }
         };
         self.account(group, &outcome);
+        self.maybe_audit(group, request, now_ms, outcome.response.is_some());
+        if let Some(t) = &self.telemetry {
+            t.queries.inc();
+            if outcome.response.is_none() {
+                t.unavailable.inc();
+            }
+            t.hedges.add(outcome.hedges as u64);
+            t.hedge_wins.add(outcome.hedge_won as u64);
+            t.decide_us.record(start.elapsed().as_micros() as u64);
+        }
         ClusterOutcome {
             degraded: outcome.response.is_some() && outcome.healthy < group.len(),
             response: outcome.response,
@@ -330,6 +448,40 @@ impl PdpCluster {
                     m.fail_closed_denies += 1;
                 }
             }
+        }
+    }
+
+    /// The periodic divergence sampler ([`ClusterBuilder::audit_every`]):
+    /// replays every `n`th served query on the sequential path, whose
+    /// combiner sees every in-sync replica's vote, and records what the
+    /// parallel short-circuit may have hidden. Observational only — the
+    /// served response is never revised, and the replay's sub-queries
+    /// stay out of the fan-out cost counters.
+    fn maybe_audit(
+        &self,
+        group: &ReplicaGroup,
+        request: &RequestContext,
+        now_ms: u64,
+        served: bool,
+    ) {
+        if self.audit_every == 0 || self.pool.is_none() || !served {
+            return;
+        }
+        let due = self
+            .metrics
+            .lock()
+            .queries
+            .is_multiple_of(self.audit_every as u64);
+        if !due {
+            return;
+        }
+        // Majority, not the configured mode: FirstHealthy would consult
+        // a single replica and could never observe a disagreement.
+        let audit = group.query(&self.directory, QuorumMode::Majority, request, now_ms);
+        let mut m = self.metrics.lock();
+        m.audit_queries += 1;
+        if audit.disagreement {
+            m.audit_disagreements += 1;
         }
     }
 
@@ -492,6 +644,46 @@ mod tests {
         assert!((m.hedge_rate() - 1.0).abs() < 1e-9);
     }
 
+    /// Satellite (ISSUE 6): under `.parallel()` a majority quorum
+    /// short-circuits on the two fast Permits and cancels the slow
+    /// divergent replica, so `disagreements` stays a silent zero. The
+    /// periodic audit sampler replays on the sequential path — which
+    /// waits for every vote — and flags the divergence exactly.
+    #[test]
+    fn audit_sampler_observes_divergence_hidden_by_short_circuit() {
+        use crate::replica::SlowBackend;
+        let pool = Arc::new(crate::FanoutPool::new(4));
+        let cluster = ClusterBuilder::new("audit-test")
+            .quorum(QuorumMode::Majority)
+            .parallel(pool)
+            .audit_every(2)
+            .shard(vec![
+                Arc::new(StaticBackend::new("a-fast-0", Decision::Permit))
+                    as Arc<dyn DecisionBackend>,
+                Arc::new(StaticBackend::new("a-fast-1", Decision::Permit))
+                    as Arc<dyn DecisionBackend>,
+                Arc::new(SlowBackend::new(
+                    "a-slow-wrong",
+                    Decision::Deny,
+                    std::time::Duration::from_millis(40),
+                )) as Arc<dyn DecisionBackend>,
+            ])
+            .build();
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        for i in 0..4 {
+            let out = cluster.decide(&req, i);
+            assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        }
+        let m = cluster.metrics();
+        assert_eq!(m.queries, 4);
+        assert_eq!(m.disagreements, 0, "short-circuit never sees the deny");
+        assert_eq!(m.audit_queries, 2, "every 2nd served query replayed");
+        assert_eq!(
+            m.audit_disagreements, 2,
+            "the audit path observes the divergent replica every time"
+        );
+    }
+
     /// Regression (ISSUE 3): with `.resync(true)`, a replica returning
     /// from a crash with a lagging policy epoch passes through
     /// `Syncing` — excluded from quorums — until `complete_resync`
@@ -583,6 +775,153 @@ mod tests {
         let out = cluster.decide(&RequestContext::basic("bob", "x", "read"), 0);
         assert_eq!(out.response.unwrap().decision, Decision::Permit);
         assert_eq!(cluster.metrics().stale_decisions_avoided, 0);
+    }
+
+    /// Polls the tracer until `pred` holds over the closed-span
+    /// snapshot (stragglers close on worker threads after `decide`
+    /// returns), panicking with the final snapshot after ~2s.
+    fn wait_for_spans(
+        telemetry: &dacs_telemetry::Telemetry,
+        what: &str,
+        pred: impl Fn(&[dacs_telemetry::SpanRecord]) -> bool,
+    ) -> Vec<dacs_telemetry::SpanRecord> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let spans = telemetry.tracer().snapshot();
+            if pred(&spans) {
+                return spans;
+            }
+            if std::time::Instant::now() > deadline {
+                panic!("timed out waiting for {what}; spans: {spans:?}");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    /// Satellite (ISSUE 6): the hedge accounting in [`ClusterMetrics`],
+    /// the telemetry counters, and the per-dispatch `replica_decide`
+    /// spans must all tell the same story on a scripted slow-primary
+    /// scenario — one hedge dispatched, the hedge's answer served, and
+    /// the straggling primary's span closed (on its worker thread)
+    /// rather than leaked.
+    #[test]
+    fn telemetry_hedge_accounting_matches_spans() {
+        use crate::replica::SlowBackend;
+        use dacs_telemetry::Telemetry;
+        let telemetry = Arc::new(Telemetry::new());
+        let pool = Arc::new(crate::FanoutPool::new(2).with_telemetry(&telemetry));
+        let cluster = ClusterBuilder::new("hedge-spans")
+            .quorum(QuorumMode::FirstHealthy)
+            .parallel(pool)
+            .hedge(crate::HedgeConfig {
+                budget_multiplier: 3.0,
+                min_budget_us: 2_000,
+                max_hedges: 1,
+            })
+            .telemetry(Arc::clone(&telemetry))
+            .shard(vec![
+                Arc::new(SlowBackend::new(
+                    "h-sleepy",
+                    Decision::Deny,
+                    std::time::Duration::from_millis(120),
+                )) as Arc<dyn DecisionBackend>,
+                Arc::new(StaticBackend::new("h-fast", Decision::Permit))
+                    as Arc<dyn DecisionBackend>,
+            ])
+            .build();
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        let out = cluster.decide(&req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+
+        let m = cluster.metrics();
+        assert_eq!(m.hedges, 1);
+        assert_eq!(m.hedge_wins, 1);
+        assert!((m.hedge_rate() - 1.0).abs() < 1e-9);
+        let registry = telemetry.registry();
+        assert_eq!(
+            registry.counter_value("dacs_cluster_hedges_total"),
+            Some(m.hedges)
+        );
+        assert_eq!(
+            registry.counter_value("dacs_cluster_hedge_wins_total"),
+            Some(m.hedge_wins)
+        );
+
+        // Both dispatches must eventually close a span: the hedge right
+        // away, the sleeping primary ~120ms after decide returned.
+        let spans = wait_for_spans(&telemetry, "primary + hedge replica spans", |spans| {
+            spans.iter().filter(|s| s.stage == "replica_decide").count() == 2
+        });
+        let note = |role: &str| {
+            spans
+                .iter()
+                .find(|s| s.stage == "replica_decide" && s.note.as_deref() == Some(role))
+        };
+        assert!(note("primary:h-sleepy").is_some(), "spans: {spans:?}");
+        assert!(note("hedge:h-fast").is_some(), "spans: {spans:?}");
+        assert_eq!(telemetry.tracer().dropped(), 0);
+        assert!(
+            spans.iter().any(|s| s.stage == "quorum_wait"),
+            "hedged race records its quorum wait"
+        );
+        // Span accounting agrees with the metrics: dispatches = primary
+        // + hedges, hedge spans = hedges.
+        let hedge_spans = spans
+            .iter()
+            .filter(|s| {
+                s.stage == "replica_decide"
+                    && s.note.as_deref().is_some_and(|n| n.starts_with("hedge:"))
+            })
+            .count() as u64;
+        assert_eq!(hedge_spans, m.hedges);
+    }
+
+    /// Satellite (ISSUE 6): stragglers cancelled by the quorum
+    /// short-circuit must still close a `cancelled:` span — dispatched
+    /// work is never silently unaccounted in a trace. The deny arrives
+    /// first under `UnanimousFailClosed`, the single worker then drains
+    /// the queued victims; each 2ms sleeper gives the cancel flag time
+    /// to land, so at least the later victims observe it at dequeue.
+    #[test]
+    fn cancelled_stragglers_close_spans_instead_of_leaking() {
+        use crate::replica::SlowBackend;
+        use dacs_telemetry::Telemetry;
+        let telemetry = Arc::new(Telemetry::new());
+        let pool = Arc::new(crate::FanoutPool::new(1));
+        let mut shard: Vec<Arc<dyn DecisionBackend>> =
+            vec![Arc::new(StaticBackend::new("c-deny", Decision::Deny))];
+        for i in 0..4 {
+            shard.push(Arc::new(SlowBackend::new(
+                format!("c-victim-{i}"),
+                Decision::Permit,
+                std::time::Duration::from_millis(2),
+            )));
+        }
+        let cluster = ClusterBuilder::new("cancel-spans")
+            .quorum(QuorumMode::UnanimousFailClosed)
+            .parallel(pool)
+            .telemetry(Arc::clone(&telemetry))
+            .shard(shard)
+            .build();
+        let req = RequestContext::basic("bob", "lab/7", "read");
+        let out = cluster.decide(&req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Deny);
+
+        // Every dispatched job closes exactly one replica span, whether
+        // it evaluated or was skipped at dequeue.
+        let spans = wait_for_spans(&telemetry, "all five dispatches to close spans", |spans| {
+            spans.iter().filter(|s| s.stage == "replica_decide").count() == 5
+        });
+        assert!(
+            spans.iter().any(|s| {
+                s.stage == "replica_decide"
+                    && s.note
+                        .as_deref()
+                        .is_some_and(|n| n.starts_with("cancelled:c-victim-"))
+            }),
+            "no straggler saw the cancel flag; spans: {spans:?}"
+        );
+        assert_eq!(telemetry.tracer().dropped(), 0);
     }
 
     #[test]

@@ -32,11 +32,13 @@
 //! ```
 
 use dacs_pdp::PdpDirectory;
+use dacs_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A job queued on the fan-out pool.
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -123,6 +125,14 @@ pub struct FanoutPool {
     queue: Mutex<Option<Sender<Job>>>,
     workers: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    telemetry: Option<PoolTelemetry>,
+}
+
+/// Pre-resolved pool metrics: queue-wait is the submit→start gap, the
+/// piece of decision latency the scheduler PR will target.
+struct PoolTelemetry {
+    jobs: Arc<Counter>,
+    queue_wait_us: Arc<Histogram>,
 }
 
 impl FanoutPool {
@@ -148,7 +158,21 @@ impl FanoutPool {
             queue: Mutex::new(Some(tx)),
             workers,
             handles: Mutex::new(handles),
+            telemetry: None,
         }
+    }
+
+    /// Attaches observability (builder style): every job increments
+    /// `dacs_fanout_jobs_total` and records its queue wait — the gap
+    /// between submission and a worker picking it up — into the
+    /// `dacs_fanout_queue_wait_us` histogram.
+    pub fn with_telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        self.telemetry = Some(PoolTelemetry {
+            jobs: r.counter("dacs_fanout_jobs_total"),
+            queue_wait_us: r.histogram("dacs_fanout_queue_wait_us"),
+        });
+        self
     }
 
     /// Number of worker threads.
@@ -158,6 +182,19 @@ impl FanoutPool {
 
     /// Enqueues one job; a no-op after shutdown.
     pub(crate) fn submit(&self, job: Job) {
+        let job: Job = match &self.telemetry {
+            Some(t) => {
+                let jobs = Arc::clone(&t.jobs);
+                let queue_wait = Arc::clone(&t.queue_wait_us);
+                let enqueued = Instant::now();
+                Box::new(move || {
+                    jobs.inc();
+                    queue_wait.record(enqueued.elapsed().as_micros() as u64);
+                    job();
+                })
+            }
+            None => job,
+        };
         if let Some(tx) = self.queue.lock().as_ref() {
             // Send only fails when every worker has exited (shutdown
             // race); the fan-out collector then sees a disconnect.
@@ -263,6 +300,25 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn telemetry_records_queue_wait_per_job() {
+        let telemetry = Arc::new(Telemetry::new());
+        let pool = FanoutPool::new(1).with_telemetry(&telemetry);
+        let (tx, rx) = channel();
+        // A sleeping head-of-line job forces the second job to wait in
+        // the queue for a measurable interval.
+        pool.submit(Box::new(|| std::thread::sleep(Duration::from_millis(10))));
+        pool.submit(Box::new(move || {
+            tx.send(()).unwrap();
+        }));
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let r = telemetry.registry();
+        assert_eq!(r.counter_value("dacs_fanout_jobs_total"), Some(2));
+        let h = r.histogram("dacs_fanout_queue_wait_us");
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(0.99) >= 9_000, "second job waited ~10ms");
     }
 
     #[test]

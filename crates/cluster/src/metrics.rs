@@ -24,10 +24,13 @@ pub struct ClusterMetrics {
     /// after the short-circuit point is never observed. A cluster with
     /// one slow, permanently wrong replica can therefore report zero
     /// disagreements under `.parallel()` while the sequential path
-    /// would flag every query. When divergence monitoring matters, run
-    /// a periodic audit query on the sequential path
-    /// ([`crate::ReplicaGroup::query`]) — the companion counters below
-    /// are short-circuited the same way and cannot substitute.
+    /// would flag every query. When divergence monitoring matters,
+    /// enable the built-in sampler
+    /// ([`crate::ClusterBuilder::audit_every`]): every Nth query is
+    /// replayed on the non-short-circuiting sequential path and its
+    /// verdict recorded in [`ClusterMetrics::audit_queries`] /
+    /// [`ClusterMetrics::audit_disagreements`], which have no such
+    /// blind spot.
     pub disagreements: u64,
     /// Queries forced to a fail-closed deny by the quorum rule.
     ///
@@ -57,6 +60,17 @@ pub struct ClusterMetrics {
     /// High-water mark of [`ClusterMetrics::epoch_lag_last`] across the
     /// cluster's lifetime.
     pub epoch_lag_max: u64,
+    /// Audit replays run by the periodic sampler
+    /// ([`crate::ClusterBuilder::audit_every`]): every Nth query is
+    /// re-evaluated on the sequential path, which consults every
+    /// in-sync replica and never short-circuits.
+    pub audit_queries: u64,
+    /// Audit replays whose replicas disagreed on the decision. Unlike
+    /// [`ClusterMetrics::disagreements`], this is exact over the
+    /// sampled queries — the audit path observes every vote — so a
+    /// nonzero value here with zero `disagreements` is the signature of
+    /// a divergent replica hiding behind the parallel short-circuit.
+    pub audit_disagreements: u64,
     /// Batches flushed by a [`crate::BatchSubmitter`].
     pub batches: u64,
     /// Queries submitted through batches.

@@ -16,6 +16,7 @@ use dacs_pdp::{Pdp, PdpDirectory, PolicyEpoch};
 use dacs_policy::eval::Response;
 use dacs_policy::policy::Decision;
 use dacs_policy::request::RequestContext;
+use dacs_telemetry::{Histogram, SpanCtx, Telemetry, Tracer};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
@@ -204,6 +205,49 @@ pub struct ReplicaGroup {
     /// dispatch and quorum counting until it catches up to the group's
     /// maximum policy epoch.
     in_sync: RwLock<Vec<bool>>,
+    telemetry: Option<GroupTelemetry>,
+}
+
+/// Pre-resolved telemetry handles for the group's query paths.
+struct GroupTelemetry {
+    telemetry: Arc<Telemetry>,
+    /// Per-replica evaluation time (the "replica compute" stage).
+    replica_us: Arc<Histogram>,
+    /// Collector wait from dispatch completion to verdict (the "quorum
+    /// wait" stage; parallel paths only).
+    quorum_wait_us: Arc<Histogram>,
+}
+
+impl GroupTelemetry {
+    fn tracer(&self) -> &Tracer {
+        self.telemetry.tracer()
+    }
+}
+
+/// Everything a dispatched fan-out job needs to record its replica
+/// span from the pool worker: the tracer, the compute histogram, the
+/// parent span captured on the *dispatching* thread (worker threads
+/// have no entered context), and the job's role for the span note.
+#[derive(Clone)]
+struct DispatchTelemetry {
+    tracer: Tracer,
+    replica_us: Arc<Histogram>,
+    parent: Option<SpanCtx>,
+    role: &'static str,
+}
+
+/// Records the collector's wait time on drop, so every return path of
+/// an incremental fan-out feeds the quorum-wait histogram.
+struct WaitTimer {
+    start: Instant,
+    histogram: Arc<Histogram>,
+}
+
+impl Drop for WaitTimer {
+    fn drop(&mut self) {
+        self.histogram
+            .record(self.start.elapsed().as_micros() as u64);
+    }
 }
 
 /// The per-query eligibility snapshot: who may vote, who was excluded
@@ -223,7 +267,29 @@ impl ReplicaGroup {
     pub fn new(replicas: Vec<Arc<dyn DecisionBackend>>) -> Self {
         assert!(!replicas.is_empty(), "a replica group needs replicas");
         let in_sync = RwLock::new(vec![true; replicas.len()]);
-        ReplicaGroup { replicas, in_sync }
+        ReplicaGroup {
+            replicas,
+            in_sync,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches observability (builder style; `ClusterBuilder` does
+    /// this for every group when the cluster has telemetry): each
+    /// replica evaluation gets a `replica_decide` span — noted with
+    /// the replica name and, on the parallel path, its role
+    /// (`primary:`/`hedge:`) or cancellation — plus the
+    /// `dacs_replica_decide_us` compute histogram, and parallel
+    /// collectors record `quorum_wait` spans and the
+    /// `dacs_quorum_wait_us` histogram.
+    pub fn with_telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        self.telemetry = Some(GroupTelemetry {
+            replica_us: r.histogram("dacs_replica_decide_us"),
+            quorum_wait_us: r.histogram("dacs_quorum_wait_us"),
+            telemetry: Arc::clone(telemetry),
+        });
+        self
     }
 
     fn index_of(&self, name: &str) -> Option<usize> {
@@ -407,12 +473,7 @@ impl ReplicaGroup {
             };
             let responses: Vec<Response> = queried
                 .iter()
-                .map(|r| {
-                    let start = Instant::now();
-                    let response = r.decide(request, now_ms);
-                    directory.record_latency_us(r.name(), start.elapsed().as_micros() as u64);
-                    response
-                })
+                .map(|r| self.timed_decide(directory, r, request, now_ms))
                 .collect();
             let verdict = quorum::combine(mode, &responses);
             GroupOutcome {
@@ -478,6 +539,45 @@ impl ReplicaGroup {
         outcome
     }
 
+    /// Evaluates one replica inline on the caller's thread: times it,
+    /// feeds the directory's EWMA, and — with telemetry attached —
+    /// records a named `replica_decide` span plus the compute
+    /// histogram.
+    fn timed_decide(
+        &self,
+        directory: &PdpDirectory,
+        replica: &Arc<dyn DecisionBackend>,
+        request: &RequestContext,
+        now_ms: u64,
+    ) -> Response {
+        let span = self.telemetry.as_ref().map(|t| {
+            let mut s = t.tracer().span("replica_decide");
+            s.set_note(replica.name());
+            s
+        });
+        let start = Instant::now();
+        let response = replica.decide(request, now_ms);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        directory.record_latency_us(replica.name(), elapsed_us);
+        if let Some(t) = &self.telemetry {
+            t.replica_us.record(elapsed_us);
+        }
+        drop(span);
+        response
+    }
+
+    /// The dispatch-side telemetry capture for one fan-out job: the
+    /// parent span is read from the *caller's* thread-local context so
+    /// worker-thread replica spans nest under the right enforcement.
+    fn dispatch_telemetry(&self, role: &'static str) -> Option<DispatchTelemetry> {
+        self.telemetry.as_ref().map(|t| DispatchTelemetry {
+            tracer: t.tracer().clone(),
+            replica_us: Arc::clone(&t.replica_us),
+            parent: dacs_telemetry::current(),
+            role,
+        })
+    }
+
     /// Dispatches one replica query onto the pool. The job re-checks
     /// the cancel flag at start time, records the replica's latency in
     /// the directory, and reports back on `tx` (ignored if the
@@ -497,6 +597,7 @@ impl ReplicaGroup {
         tx: &Sender<FanoutAnswer>,
         index: usize,
         started: Option<Arc<AtomicBool>>,
+        telemetry: Option<DispatchTelemetry>,
     ) {
         let directory = Arc::clone(directory);
         let replica = Arc::clone(replica);
@@ -505,14 +606,32 @@ impl ReplicaGroup {
         let tx = tx.clone();
         pool.submit(Box::new(move || {
             if cancel.is_cancelled() {
+                // Record the skip as a zero-duration span so traces
+                // account for every dispatched job — a cancelled
+                // straggler shows up closed, not leaked.
+                if let Some(t) = &telemetry {
+                    let mut span = t.tracer.span_under(t.parent, "replica_decide");
+                    span.set_note(format!("cancelled:{}", replica.name()));
+                    span.finish();
+                }
                 return;
             }
             if let Some(flag) = &started {
                 flag.store(true, Ordering::Release);
             }
+            let span = telemetry.as_ref().map(|t| {
+                let mut s = t.tracer.span_under(t.parent, "replica_decide");
+                s.set_note(format!("{}:{}", t.role, replica.name()));
+                s
+            });
             let start = Instant::now();
             let response = replica.decide(&request, now_ms);
-            directory.record_latency_us(replica.name(), start.elapsed().as_micros() as u64);
+            let elapsed_us = start.elapsed().as_micros() as u64;
+            directory.record_latency_us(replica.name(), elapsed_us);
+            if let Some(t) = &telemetry {
+                t.replica_us.record(elapsed_us);
+            }
+            drop(span);
             let _ = tx.send((index, response));
         }));
     }
@@ -540,13 +659,34 @@ impl ReplicaGroup {
         });
         let cancel = CancelFlag::new();
         let (tx, rx) = channel::<FanoutAnswer>();
+        let dispatch_telemetry = self.dispatch_telemetry("replica");
         for &i in &order {
             Self::dispatch(
-                directory, healthy[i], request, now_ms, pool, &cancel, &tx, i, None,
+                directory,
+                healthy[i],
+                request,
+                now_ms,
+                pool,
+                &cancel,
+                &tx,
+                i,
+                None,
+                dispatch_telemetry.clone(),
             );
         }
         drop(tx);
         let dispatched = order.len();
+        // Everything below is quorum assembly: span + histogram cover
+        // the wait from last dispatch to whichever return path fires.
+        let _quorum_wait = self.telemetry.as_ref().map(|t| {
+            (
+                t.tracer().span("quorum_wait"),
+                WaitTimer {
+                    start: Instant::now(),
+                    histogram: Arc::clone(&t.quorum_wait_us),
+                },
+            )
+        });
 
         // Answers as (healthy-index, response): the index keeps winner
         // selection deterministic in *configured* replica order even
@@ -659,9 +799,7 @@ impl ReplicaGroup {
             // round-trip (dispatch, channel, cross-thread handoff)
             // would be pure overhead on a single-replica query, so
             // evaluate inline exactly like the sequential path.
-            let start = Instant::now();
-            let response = healthy[0].decide(request, now_ms);
-            directory.record_latency_us(healthy[0].name(), start.elapsed().as_micros() as u64);
+            let response = self.timed_decide(directory, healthy[0], request, now_ms);
             return GroupOutcome {
                 response: Some(response),
                 replicas_queried: 1,
@@ -688,7 +826,17 @@ impl ReplicaGroup {
             &tx,
             0,
             Some(Arc::clone(&primary_started)),
+            self.dispatch_telemetry("primary"),
         );
+        let _quorum_wait = self.telemetry.as_ref().map(|t| {
+            (
+                t.tracer().span("quorum_wait"),
+                WaitTimer {
+                    start: Instant::now(),
+                    histogram: Arc::clone(&t.quorum_wait_us),
+                },
+            )
+        });
 
         let mut hedges = 0usize;
         let finish = |answer: FanoutAnswer, hedges: usize| {
@@ -740,6 +888,7 @@ impl ReplicaGroup {
                         &tx,
                         candidate,
                         None,
+                        self.dispatch_telemetry("hedge"),
                     );
                     hedges += 1;
                 }

@@ -1011,8 +1011,15 @@ impl FanoutStrategy {
 
 /// Builds the E15 testbed for one strategy: one shard of three
 /// replicas — one *slow* replica (listed first, so it is the
-/// first-healthy primary) ahead of two fast ones.
-fn e15_cluster(strategy: FanoutStrategy, slow: std::time::Duration) -> PdpCluster {
+/// first-healthy primary) ahead of two fast ones. The strategy's pool
+/// and cluster share `telemetry`, so per-stage histograms (queue wait,
+/// replica compute, quorum wait) decompose the same run the latency
+/// table summarizes.
+fn e15_cluster(
+    strategy: FanoutStrategy,
+    slow: std::time::Duration,
+    telemetry: &Arc<dacs_telemetry::Telemetry>,
+) -> PdpCluster {
     let replicas: Vec<Arc<dyn DecisionBackend>> = vec![
         Arc::new(SlowPermit {
             name: "r-slow".into(),
@@ -1029,12 +1036,13 @@ fn e15_cluster(strategy: FanoutStrategy, slow: std::time::Duration) -> PdpCluste
     ];
     let mut builder = ClusterBuilder::new("e15")
         .quorum(strategy.quorum())
+        .telemetry(Arc::clone(telemetry))
         .shard(replicas);
     if strategy != FanoutStrategy::Sequential {
         // Headroom beyond the replica count: a 2 ms straggler parks a
         // worker until it finishes, and cancellation only spares jobs
         // that have not been dequeued yet.
-        builder = builder.parallel(Arc::new(FanoutPool::new(6)));
+        builder = builder.parallel(Arc::new(FanoutPool::new(6).with_telemetry(telemetry)));
     }
     if strategy == FanoutStrategy::Hedged {
         builder = builder.hedge(HedgeConfig {
@@ -1057,7 +1065,10 @@ fn e15_cluster(strategy: FanoutStrategy, slow: std::time::Duration) -> PdpCluste
 /// on the two fast replicas' agreement; the hedged first-healthy path
 /// races a hedge against the slow primary after an EWMA-derived budget.
 /// Decision correctness is identical across strategies — the table
-/// isolates the latency distribution (p50/p99) and the hedge rate.
+/// isolates the latency distribution (p50/p99/p999, spread) and, via
+/// each strategy's telemetry registry, the per-stage breakdown of
+/// where a decision's time goes: pool queue wait vs replica compute
+/// vs quorum assembly wait.
 pub fn e15_fanout_latency(requests: usize) -> Table {
     let mut table = Table::new(
         "E15 — fan-out latency: sequential vs parallel vs hedged (3 replicas, one 2 ms-slow, crash churn)",
@@ -1066,6 +1077,11 @@ pub fn e15_fanout_latency(requests: usize) -> Table {
             "quorum",
             "lat p50 (µs)",
             "lat p99 (µs)",
+            "lat p999 (µs)",
+            "lat stddev (µs)",
+            "queue p99 (µs)",
+            "replica p99 (µs)",
+            "quorum p99 (µs)",
             "hedge rate %",
             "hedges won",
             "availability %",
@@ -1082,7 +1098,8 @@ pub fn e15_fanout_latency(requests: usize) -> Table {
         FanoutStrategy::Parallel,
         FanoutStrategy::Hedged,
     ] {
-        let cluster = e15_cluster(strategy, slow);
+        let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
+        let cluster = e15_cluster(strategy, slow, &telemetry);
 
         // Identical, deterministic churn schedule for every strategy:
         // the slow replica crashes and recovers on a simulated control
@@ -1117,11 +1134,20 @@ pub fn e15_fanout_latency(requests: usize) -> Table {
         }
         let lat = Summary::of(&lats);
         let m = cluster.metrics();
+        // Per-stage breakdown from the shared registry: the sequential
+        // strategy never queues or waits on a quorum channel, so those
+        // histograms stay empty (p99 = 0) — the comparison itself.
+        let stage_p99 = |name: &str| telemetry.registry().histogram(name).percentile(0.99);
         table.row(vec![
             strategy.label().into(),
             strategy.quorum().name().into(),
             lat.p50.to_string(),
             lat.p99.to_string(),
+            lat.p999.to_string(),
+            f2(lat.stddev),
+            stage_p99("dacs_fanout_queue_wait_us").to_string(),
+            stage_p99("dacs_replica_decide_us").to_string(),
+            stage_p99("dacs_quorum_wait_us").to_string(),
             f2(100.0 * m.hedge_rate()),
             m.hedge_wins.to_string(),
             f2(100.0 * m.availability()),
@@ -1331,11 +1357,18 @@ use crate::scenario::alternating_lockdown_gate as e17_gate;
 /// domain's syndication tree), all replicas sharing one VO-wide
 /// [`PdpDirectory`], with PEP enforcement routed through the per-shard
 /// batcher.
-fn e17_vo(resync: bool, ctx: &CryptoCtx) -> (Vo, Arc<PdpDirectory>) {
+fn e17_vo(
+    resync: bool,
+    ctx: &CryptoCtx,
+) -> (Vo, Arc<PdpDirectory>, Vec<Arc<dacs_telemetry::Telemetry>>) {
     let directory = Arc::new(PdpDirectory::new());
     let mut domains = Vec::with_capacity(3);
+    // One registry per domain: the per-stage latency columns stay
+    // separable per cluster instead of blending all nine replicas.
+    let mut telemetries = Vec::with_capacity(3);
     for d in 0..3usize {
         let name = format!("domain-{d}");
+        let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
         let mut builder = Domain::builder(&name)
             .policy(e17_gate(&name, 0))
             .clustered(
@@ -1350,13 +1383,19 @@ fn e17_vo(resync: bool, ctx: &CryptoCtx) -> (Vo, Arc<PdpDirectory>) {
                 capacity: 512,
                 ttl_ms: 1_000,
             })
+            .telemetry(Arc::clone(&telemetry))
             .seed(170 + d as u64);
         for u in 0..16 {
             builder = builder.subject_attr(&format!("user-{u}@{name}"), "role", "doctor");
         }
         domains.push(builder.build(ctx));
+        telemetries.push(telemetry);
     }
-    (Vo::new("vo-fed", ctx.clone(), domains), directory)
+    (
+        Vo::new("vo-fed", ctx.clone(), domains),
+        directory,
+        telemetries,
+    )
 }
 
 /// The E17 control-plane events, scheduled on the simulated network:
@@ -1408,12 +1447,14 @@ pub fn e17_federated_cluster(requests: usize) -> Table {
             "resyncs",
             "epoch lag max",
             "batches",
+            "enforce p99 (µs)",
+            "replica p99 (µs)",
         ],
     );
     assert!(requests >= 64, "e17 needs a few churn rounds");
     for resync in [false, true] {
         let ctx = CryptoCtx::new();
-        let (vo, _directory) = e17_vo(resync, &ctx);
+        let (vo, _directory, telemetries) = e17_vo(resync, &ctx);
         let mut fnet = flownet(&vo, 171);
         let replica_names: Vec<Vec<String>> =
             vo.domains.iter().map(|d| d.replica_names()).collect();
@@ -1535,10 +1576,87 @@ pub fn e17_federated_cluster(requests: usize) -> Table {
                 m.resyncs.to_string(),
                 m.epoch_lag_max.to_string(),
                 m.batches.to_string(),
+                telemetries[d]
+                    .registry()
+                    .histogram("dacs_pep_enforce_us")
+                    .percentile(0.99)
+                    .to_string(),
+                telemetries[d]
+                    .registry()
+                    .histogram("dacs_replica_decide_us")
+                    .percentile(0.99)
+                    .to_string(),
             ]);
         }
     }
     table
+}
+
+/// A compact clustered run with full decision tracing, for telemetry
+/// artifacts and the observability acceptance tests: one E17-style
+/// domain (majority 1×3 shard, parallel fan-out, batched PEP with a
+/// decision cache, re-sync gating) serves `requests` enforcements
+/// under mid-run replica churn and a policy update, so the trace
+/// carries cache hits *and* misses, fan-outs, cancellations and a
+/// syndication catch-up.
+///
+/// Returns the run's telemetry — render the registry with
+/// `Registry::render_text`, dump the trace with `Tracer::dump_json` —
+/// and the caller-side wall-clock latency of every enforcement in
+/// microseconds, so the registry's `dacs_pep_enforce_us` percentiles
+/// can be cross-checked against a [`Summary`] of the same run.
+pub fn traced_cluster_run(requests: usize) -> (Arc<dacs_telemetry::Telemetry>, Vec<u64>) {
+    let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
+    let ctx = CryptoCtx::new();
+    let name = "traced";
+    let pool = Arc::new(FanoutPool::new(4).with_telemetry(&telemetry));
+    let mut builder = Domain::builder(name)
+        .policy(e17_gate(name, 0))
+        .clustered(
+            ClusterBuilder::new(name)
+                .quorum(QuorumMode::Majority)
+                .parallel(pool)
+                .resync(true),
+        )
+        .cluster_topology(1, 3)
+        .batched(true)
+        .pep_cache(CacheConfig {
+            capacity: 256,
+            ttl_ms: 1_000_000,
+        })
+        .telemetry(Arc::clone(&telemetry))
+        .seed(0x7ace);
+    for u in 0..8 {
+        builder = builder.subject_attr(&format!("user-{u}@{name}"), "role", "doctor");
+    }
+    let domain = builder.build(&ctx);
+    let replicas = domain.replica_names();
+
+    let mut lats = Vec::with_capacity(requests);
+    for i in 0..requests as u64 {
+        if i == (requests / 3) as u64 {
+            domain.crash_replica(&replicas[2]);
+        }
+        if i == (requests / 2) as u64 {
+            // The update lands while the replica sleeps (it recovers
+            // stale, catches up, and is readmitted), and flushes the
+            // PEP cache — the second half re-misses before re-caching.
+            domain.propagate_policy(e17_gate(name, 2), i);
+            domain.recover_replica(&replicas[2]);
+            domain.catch_up_replica(&replicas[2], i);
+        }
+        let u = i % 8;
+        let request = RequestContext::basic(
+            format!("user-{u}@{name}"),
+            format!("records/{}", u % 5),
+            "read",
+        );
+        let started = Instant::now();
+        let result = domain.pep.enforce(&request, i);
+        lats.push(started.elapsed().as_micros() as u64);
+        debug_assert!(result.allowed, "even gate versions permit doctors");
+    }
+    (telemetry, lats)
 }
 
 /// Runs every experiment at default scale (used by the harness's `all`).
@@ -1567,6 +1685,7 @@ pub fn run_all() -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dacs_policy::eval::Response;
 
     #[test]
     fn e1_shapes() {
@@ -1710,7 +1829,7 @@ mod tests {
         );
         // Hedges fire only on the hedged strategy, and only while the
         // slow primary is up (availability stays 100% throughout).
-        let hedge_rate = |r: &Vec<String>| -> f64 { r[4].parse().unwrap() };
+        let hedge_rate = |r: &Vec<String>| -> f64 { r[9].parse().unwrap() };
         assert_eq!(hedge_rate(&sequential), 0.0);
         assert_eq!(hedge_rate(&parallel), 0.0);
         assert!(
@@ -1719,11 +1838,33 @@ mod tests {
             hedge_rate(&hedged)
         );
         for r in [&sequential, &parallel, &hedged] {
-            let avail: f64 = r[6].parse().unwrap();
+            let avail: f64 = r[11].parse().unwrap();
             assert!(
                 (avail - 100.0).abs() < 1e-9,
                 "{}: availability {avail}",
                 r[0]
+            );
+        }
+        // The telemetry stage breakdown separates the strategies: only
+        // pooled strategies queue jobs or wait on a quorum channel, and
+        // every strategy's replica-compute p99 reflects the 2 ms
+        // sleeper it had to touch at least once.
+        let stage = |r: &Vec<String>, i: usize| -> u64 { r[i].parse().unwrap() };
+        assert_eq!(stage(&sequential, 6), 0, "sequential never queues");
+        assert_eq!(
+            stage(&sequential, 8),
+            0,
+            "sequential never waits on a quorum channel"
+        );
+        for r in [&parallel, &hedged] {
+            assert!(stage(r, 8) > 0, "{}: no quorum wait recorded", r[0]);
+        }
+        for r in [&sequential, &parallel, &hedged] {
+            assert!(
+                stage(r, 7) >= 1_900,
+                "{}: replica p99 {} misses the slow replica",
+                r[0],
+                stage(r, 7)
             );
         }
     }
@@ -1825,5 +1966,262 @@ mod tests {
             let disc: f64 = pair[1][3].parse().unwrap();
             assert!(disc >= stat, "discovery {disc} < static {stat}");
         }
+    }
+
+    /// Waits until the tracer's span count is stable (pool workers
+    /// close straggler spans shortly after the quorum returns).
+    fn settled_spans(telemetry: &dacs_telemetry::Telemetry) -> Vec<dacs_telemetry::SpanRecord> {
+        let deadline = Instant::now() + std::time::Duration::from_secs(2);
+        let mut spans = telemetry.tracer().snapshot();
+        while Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let again = telemetry.tracer().snapshot();
+            if again.len() == spans.len() {
+                return again;
+            }
+            spans = again;
+        }
+        spans
+    }
+
+    /// The ISSUE 6 tentpole acceptance bar, part 1: a clustered
+    /// E17-style run's trace decomposes — every enforcement stamps one
+    /// root span, sequential child stages sum back to their parent
+    /// (within 5% plus a small per-span bookkeeping allowance), the
+    /// quorum wait nests inside the fan-out, and every fan-out carries
+    /// per-replica compute spans.
+    #[test]
+    fn traced_run_decomposes_with_children_summing_to_parents() {
+        const REQUESTS: usize = 300;
+        let (telemetry, lats) = traced_cluster_run(REQUESTS);
+        assert_eq!(lats.len(), REQUESTS);
+        let spans = settled_spans(&telemetry);
+        assert_eq!(telemetry.tracer().dropped(), 0, "span sink overflowed");
+
+        let mut kids: std::collections::HashMap<u64, Vec<&dacs_telemetry::SpanRecord>> =
+            std::collections::HashMap::new();
+        for s in &spans {
+            kids.entry(s.parent).or_default().push(s);
+        }
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent == 0).collect();
+        assert_eq!(roots.len(), REQUESTS, "one root span per enforcement");
+        let traces: std::collections::HashSet<u64> = roots.iter().map(|r| r.trace).collect();
+        assert_eq!(
+            traces.len(),
+            REQUESTS,
+            "every enforcement gets its own trace id"
+        );
+        for r in &roots {
+            assert_eq!(r.stage, "pep_enforce");
+        }
+
+        // Sequential levels: the children of each parent stage run one
+        // after another inline, so summed child time must stay within
+        // 5% of summed parent time (plus ~2µs of span bookkeeping per
+        // parent — cache-hit roots last single-digit microseconds, so
+        // a purely relative bound would measure the clock, not us).
+        let sequential_level = |parent_stage: &str, allowed: &[&str], per_span_slack_ns: u64| {
+            let mut parents = 0u64;
+            let mut parent_total = 0u64;
+            let mut child_total = 0u64;
+            for s in spans.iter().filter(|s| s.stage == parent_stage) {
+                parents += 1;
+                parent_total += s.dur_ns;
+                for c in kids.get(&s.id).map(Vec::as_slice).unwrap_or(&[]) {
+                    assert!(
+                        allowed.contains(&c.stage),
+                        "unexpected child {} under {parent_stage}",
+                        c.stage
+                    );
+                    child_total += c.dur_ns;
+                }
+            }
+            assert!(parents > 0, "no {parent_stage} spans recorded");
+            assert!(
+                child_total <= parent_total,
+                "{parent_stage}: children ({child_total}ns) outlast parents ({parent_total}ns)"
+            );
+            let gap = parent_total - child_total;
+            let slack = parent_total / 20 + parents * per_span_slack_ns;
+            assert!(
+                gap <= slack,
+                "{parent_stage}: unaccounted {gap}ns exceeds {slack}ns over {parents} spans"
+            );
+        };
+        sequential_level("pep_enforce", &["cache", "decide", "obligations"], 2_000);
+        sequential_level("decide", &["source_decide"], 2_000);
+        // The batched path routes at submit time, so the source hop
+        // still decomposes into routing + fan-out. Its bookkeeping
+        // allowance is wider: the batcher flush sorts, canonicalizes
+        // and coalesces between those two hops (heavy in debug builds).
+        sequential_level("source_decide", &["route", "fanout"], 15_000);
+
+        // Concurrency level: replica spans overlap, so they don't sum
+        // — instead the quorum wait must nest inside its fan-out and
+        // every fan-out must carry at least one per-replica span.
+        for f in spans.iter().filter(|s| s.stage == "fanout") {
+            let children = kids.get(&f.id).map(Vec::as_slice).unwrap_or(&[]);
+            let replicas = children
+                .iter()
+                .filter(|c| c.stage == "replica_decide")
+                .count();
+            assert!(replicas >= 1, "fan-out without per-replica spans");
+            for c in children.iter().filter(|c| c.stage == "quorum_wait") {
+                assert!(
+                    c.dur_ns <= f.dur_ns + 5_000,
+                    "quorum wait {}ns escapes its fan-out {}ns",
+                    c.dur_ns,
+                    f.dur_ns
+                );
+            }
+        }
+
+        // The run exercises both cache outcomes: roots with a decide
+        // hop (misses) and roots without one (hits).
+        let misses = roots
+            .iter()
+            .filter(|r| {
+                kids.get(&r.id)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                    .iter()
+                    .any(|c| c.stage == "decide")
+            })
+            .count();
+        assert!(misses > 0, "no cache misses traced");
+        assert!(misses < REQUESTS, "no cache hits traced");
+    }
+
+    /// The ISSUE 6 tentpole acceptance bar, part 2: the registry's
+    /// log-bucketed `dacs_pep_enforce_us` percentiles agree with a
+    /// harness [`Summary`] over the same run, and the text exposition
+    /// carries the matching quantile samples.
+    #[test]
+    fn registry_percentiles_match_harness_summary() {
+        const REQUESTS: usize = 400;
+        let (telemetry, lats) = traced_cluster_run(REQUESTS);
+        let summary = Summary::of(&lats);
+        let h = telemetry.registry().histogram("dacs_pep_enforce_us");
+        assert_eq!(h.count(), REQUESTS as u64, "one sample per enforcement");
+        // The histogram sees the PEP-internal duration, the Summary
+        // the caller-side wall clock; bucket midpoints add ≤±1.6%.
+        // Both percentile definitions use the same nearest-rank rule,
+        // so they must agree within 5% (or 25µs on tiny samples).
+        for (what, q, expected) in [
+            ("p50", 0.5, summary.p50),
+            ("p95", 0.95, summary.p95),
+            ("p99", 0.99, summary.p99),
+        ] {
+            let got = h.percentile(q);
+            let tolerance = (expected / 20).max(25);
+            assert!(
+                got.abs_diff(expected) <= tolerance,
+                "{what}: registry {got}µs vs summary {expected}µs (±{tolerance})"
+            );
+        }
+        let text = telemetry.registry().render_text();
+        assert!(text.contains("# TYPE dacs_pep_enforce_us summary"));
+        for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            let line = format!(
+                "dacs_pep_enforce_us{{quantile=\"{label}\"}} {}",
+                h.percentile(q)
+            );
+            assert!(text.contains(&line), "exposition missing `{line}`");
+        }
+        assert!(text.contains(&format!("dacs_pep_enforce_us_count {REQUESTS}")));
+    }
+
+    /// A backend that burns a fixed amount of CPU per decision, so the
+    /// overhead comparison measures telemetry cost against genuine
+    /// compute rather than against a sleep (which would hide it).
+    struct SpinPermit {
+        name: String,
+        spin_us: u64,
+    }
+
+    impl DecisionBackend for SpinPermit {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn decide(&self, _request: &RequestContext, _now_ms: u64) -> Response {
+            let start = Instant::now();
+            while (start.elapsed().as_micros() as u64) < self.spin_us {
+                std::hint::spin_loop();
+            }
+            Response::decision(Decision::Permit)
+        }
+    }
+
+    fn spin_run(telemetry: Option<&Arc<dacs_telemetry::Telemetry>>, requests: usize) -> Vec<u64> {
+        let mut pool = FanoutPool::new(4);
+        if let Some(t) = telemetry {
+            pool = pool.with_telemetry(t);
+        }
+        let mut builder = ClusterBuilder::new("spin")
+            .quorum(QuorumMode::Majority)
+            .parallel(Arc::new(pool))
+            .shard(
+                (0..3)
+                    .map(|r| {
+                        Arc::new(SpinPermit {
+                            name: format!("spin-{r}"),
+                            spin_us: 300,
+                        }) as Arc<dyn DecisionBackend>
+                    })
+                    .collect(),
+            );
+        if let Some(t) = telemetry {
+            builder = builder.telemetry(Arc::clone(t));
+        }
+        let cluster = builder.build();
+        let mut lats = Vec::with_capacity(requests);
+        for i in 0..requests as u64 {
+            let request =
+                RequestContext::basic(format!("user-{}", i % 8), format!("res/{}", i % 5), "read");
+            let started = Instant::now();
+            let outcome = cluster.decide(&request, i);
+            lats.push(started.elapsed().as_micros() as u64);
+            assert!(outcome.response.is_some());
+        }
+        lats
+    }
+
+    /// The ISSUE 6 tentpole acceptance bar, part 3: full tracing plus
+    /// metrics on the E15-style parallel fan-out path costs under 10%
+    /// p99 versus the same cluster with telemetry off (a ~120µs
+    /// absolute guard absorbs scheduler noise at this reduced scale).
+    #[test]
+    fn telemetry_overhead_stays_under_ten_percent_p99() {
+        const REQUESTS: usize = 150;
+        // Warm both configurations (pool threads, allocator) first.
+        spin_run(None, 20);
+        spin_run(Some(&Arc::new(dacs_telemetry::Telemetry::new())), 20);
+        // Best-of-3 per configuration: sibling tests in this suite run
+        // concurrently and steal CPU, so a single p99 sample measures
+        // the scheduler; the minimum measures the intrinsic cost.
+        let off = (0..3)
+            .map(|_| Summary::of(&spin_run(None, REQUESTS)).p99)
+            .min()
+            .unwrap();
+        let on = (0..3)
+            .map(|_| {
+                let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
+                let p99 = Summary::of(&spin_run(Some(&telemetry), REQUESTS)).p99;
+                assert_eq!(
+                    telemetry
+                        .registry()
+                        .counter_value("dacs_cluster_queries_total"),
+                    Some(REQUESTS as u64),
+                    "the instrumented run must actually have recorded telemetry"
+                );
+                p99
+            })
+            .min()
+            .unwrap();
+        let budget = off + off / 10 + 120;
+        assert!(
+            on <= budget,
+            "telemetry-on p99 {on}µs exceeds {budget}µs (off p99 {off}µs + 10% + guard)"
+        );
     }
 }

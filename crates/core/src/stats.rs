@@ -14,8 +14,13 @@ pub struct Summary {
     pub p95: u64,
     /// 99th percentile (tail latency).
     pub p99: u64,
+    /// 99.9th percentile (extreme tail; needs ~1000 samples to
+    /// separate from [`Summary::max`]).
+    pub p999: u64,
     /// Maximum.
     pub max: u64,
+    /// Population standard deviation (spread around the mean).
+    pub stddev: f64,
 }
 
 impl Summary {
@@ -32,13 +37,23 @@ impl Summary {
             let i = ((count as f64 - 1.0) * q).round() as usize;
             sorted[i.min(count - 1)]
         };
+        let variance = sorted
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / count as f64;
         Summary {
             count,
             mean,
             p50: idx(0.5),
             p95: idx(0.95),
             p99: idx(0.99),
+            p999: idx(0.999),
             max: sorted[count - 1],
+            stddev: variance.sqrt(),
         }
     }
 }
@@ -133,10 +148,25 @@ mod tests {
         let s = Summary::of(&(0..1000u64).collect::<Vec<_>>());
         assert!(s.p50 <= s.p95);
         assert!(s.p95 <= s.p99);
-        assert!(s.p99 <= s.max);
+        assert!(s.p99 <= s.p999);
+        assert!(s.p999 <= s.max);
         assert_eq!(s.p50, 500);
         assert_eq!(s.p95, 949);
         assert_eq!(s.p99, 989);
+        assert_eq!(s.p999, 998);
+        assert_eq!(s.max, 999);
+    }
+
+    #[test]
+    fn stddev_of_uniform_pair_and_constant() {
+        // Two-point sample {0, 10}: mean 5, population stddev 5.
+        let s = Summary::of(&[0, 10]);
+        assert!((s.stddev - 5.0).abs() < 1e-9);
+        // A constant sample has zero spread.
+        let c = Summary::of(&[7, 7, 7, 7]);
+        assert_eq!(c.stddev, 0.0);
+        assert_eq!(c.p999, 7);
+        assert_eq!(Summary::of(&[]).stddev, 0.0);
     }
 
     #[test]

@@ -77,6 +77,13 @@ impl ClusteredDecisionSource {
 
 impl DecisionSource for ClusteredDecisionSource {
     fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
+        // Entered, so the cluster's route/fan-out spans (and the
+        // batcher's, on the batched path) nest under the source hop.
+        let span = self
+            .cluster
+            .telemetry()
+            .map(|t| t.tracer().span("source_decide"));
+        let _entered = span.as_ref().map(|s| s.enter());
         let outcome = if self.batched {
             let mut batch = BatchSubmitter::new(&self.cluster);
             batch.submit(request.clone());
@@ -88,6 +95,11 @@ impl DecisionSource for ClusteredDecisionSource {
     }
 
     fn decide_batch(&self, requests: &[RequestContext], now_ms: u64) -> Vec<Response> {
+        let span = self
+            .cluster
+            .telemetry()
+            .map(|t| t.tracer().span("source_decide"));
+        let _entered = span.as_ref().map(|s| s.enter());
         let mut batch = BatchSubmitter::new(&self.cluster);
         for request in requests {
             batch.submit(request.clone());
@@ -162,6 +174,7 @@ impl Domain {
             shards: 1,
             replicas_per_shard: 3,
             batched: false,
+            telemetry: None,
         }
     }
 
@@ -328,6 +341,7 @@ pub struct DomainBuilder {
     shards: usize,
     replicas_per_shard: usize,
     batched: bool,
+    telemetry: Option<Arc<dacs_telemetry::Telemetry>>,
 }
 
 impl DomainBuilder {
@@ -425,6 +439,18 @@ impl DomainBuilder {
         self
     }
 
+    /// Threads a telemetry registry + tracer through the whole decision
+    /// path: the PEP (enforcement counters, latency histograms, root
+    /// spans), the cluster (route/fan-out/quorum spans, per-replica
+    /// compute) and — for a clustered domain — the syndication tree
+    /// (push/catch-up counters, epoch and offline-lag gauges). One
+    /// registry per domain keeps per-domain breakdowns separable; share
+    /// one `Arc` across domains to aggregate instead.
+    pub fn telemetry(mut self, telemetry: Arc<dacs_telemetry::Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Wires everything together.
     pub fn build(self, ctx: &CryptoCtx) -> Domain {
         let name = self.name;
@@ -472,9 +498,15 @@ impl DomainBuilder {
                     // The domain authority is the syndication root; every
                     // replica PDP reads a leaf PAP below it.
                     let mut tree = SyndicationTree::new(format!("pap.{name}"));
+                    if let Some(t) = &self.telemetry {
+                        tree = tree.with_telemetry(t);
+                    }
                     let pap = tree.node(0).pap.clone();
                     pap.install_set(root.clone());
                     let mut builder = template.named(name.clone());
+                    if let Some(t) = &self.telemetry {
+                        builder = builder.telemetry(Arc::clone(t));
+                    }
                     let mut replica_leaves = Vec::new();
                     for s in 0..self.shards {
                         let mut replicas: Vec<Arc<dyn DecisionBackend>> =
@@ -540,6 +572,9 @@ impl DomainBuilder {
         .with_handler(Arc::new(NotifyObligationHandler::new()));
         if let Some(cfg) = self.pep_cache {
             pep = pep.with_cache(cfg);
+        }
+        if let Some(t) = self.telemetry {
+            pep = pep.with_telemetry(t);
         }
 
         Domain {

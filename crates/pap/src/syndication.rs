@@ -18,6 +18,7 @@ use crate::epoch::PolicyEpoch;
 use crate::repository::Pap;
 use dacs_policy::glob::glob_match;
 use dacs_policy::policy::{Policy, PolicyId};
+use dacs_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::sync::Arc;
 
 /// A node in the syndication tree.
@@ -105,6 +106,33 @@ pub struct SyndicationTree {
     /// Append-only log of every propagated update, in epoch order:
     /// `log[i].epoch == PolicyEpoch(i as u64 + 1)`.
     log: Vec<LoggedUpdate>,
+    telemetry: Option<TreeTelemetry>,
+}
+
+/// Pre-resolved telemetry handles for the syndication plane: push and
+/// catch-up counters, plus the two gauges the dependability story
+/// watches — the root epoch and the worst offline node's lag behind it.
+struct TreeTelemetry {
+    pushes: Arc<Counter>,
+    offline_skips: Arc<Counter>,
+    catch_ups: Arc<Counter>,
+    epoch: Arc<Gauge>,
+    offline_lag: Arc<Gauge>,
+    replayed: Arc<Histogram>,
+}
+
+impl TreeTelemetry {
+    fn new(telemetry: &Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        TreeTelemetry {
+            pushes: r.counter("dacs_syndication_pushes_total"),
+            offline_skips: r.counter("dacs_syndication_offline_skips_total"),
+            catch_ups: r.counter("dacs_syndication_catch_ups_total"),
+            epoch: r.gauge("dacs_syndication_epoch"),
+            offline_lag: r.gauge("dacs_syndication_offline_lag"),
+            replayed: r.histogram("dacs_syndication_replayed_updates"),
+        }
+    }
 }
 
 impl SyndicationTree {
@@ -120,7 +148,18 @@ impl SyndicationTree {
                 online: true,
             }],
             log: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry registry: propagations count their pushes,
+    /// offline skips and the root epoch; catch-ups count replays and
+    /// record how many updates each replay carried; the
+    /// `dacs_syndication_offline_lag` gauge tracks the worst offline
+    /// node's epoch lag after every push and catch-up.
+    pub fn with_telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
+        self.telemetry = Some(TreeTelemetry::new(telemetry));
+        self
     }
 
     /// Adds a child under `parent`, returning the new node's index.
@@ -280,7 +319,29 @@ impl SyndicationTree {
                 }
             }
         }
+        if let Some(t) = &self.telemetry {
+            t.pushes.add(report.hops.len() as u64);
+            t.offline_skips.add(report.offline_skipped as u64);
+            t.epoch.set(stamp.0);
+        }
+        self.record_offline_lag();
         report
+    }
+
+    /// Refreshes the `dacs_syndication_offline_lag` gauge: the worst
+    /// epoch lag among currently offline nodes (0 with everyone online).
+    fn record_offline_lag(&self) {
+        if let Some(t) = &self.telemetry {
+            let root = self.epoch().0;
+            let lag = self
+                .nodes
+                .iter()
+                .filter(|n| !n.online)
+                .map(|n| root.saturating_sub(n.pap.policy_epoch().0))
+                .max()
+                .unwrap_or(0);
+            t.offline_lag.set(lag);
+        }
     }
 
     /// Replays every update a node missed, in epoch order, from its
@@ -337,6 +398,11 @@ impl SyndicationTree {
                 filtered += 1;
             }
         }
+        if let Some(t) = &self.telemetry {
+            t.catch_ups.inc();
+            t.replayed.record(replayed as u64);
+        }
+        self.record_offline_lag();
         CatchUpReport {
             node: idx,
             from_epoch,
@@ -560,6 +626,43 @@ mod tests {
             "filtered stamps still count"
         );
         assert!(tree.node(a).pap.active(&PolicyId::new("lab-1")).is_none());
+    }
+
+    /// ISSUE 6: the syndication plane feeds the telemetry registry —
+    /// push/skip/catch-up counters, the root-epoch gauge, and the
+    /// offline-lag gauge that rises while a node is unreachable and
+    /// falls back to zero once its anti-entropy replay lands.
+    #[test]
+    fn telemetry_tracks_pushes_lag_and_catch_up() {
+        let telemetry = Arc::new(Telemetry::new());
+        let mut tree = SyndicationTree::uniform("root", 1, 2).with_telemetry(&telemetry);
+        let r = telemetry.registry();
+        tree.propagate(sample("a"), 1);
+        assert_eq!(r.counter_value("dacs_syndication_pushes_total"), Some(2));
+        assert_eq!(r.gauge_value("dacs_syndication_epoch"), Some(1));
+        assert_eq!(r.gauge_value("dacs_syndication_offline_lag"), Some(0));
+
+        tree.set_online(1, false);
+        tree.propagate(sample("b"), 2);
+        tree.propagate(sample("c"), 3);
+        assert_eq!(
+            r.counter_value("dacs_syndication_offline_skips_total"),
+            Some(2)
+        );
+        assert_eq!(r.gauge_value("dacs_syndication_epoch"), Some(3));
+        assert_eq!(
+            r.gauge_value("dacs_syndication_offline_lag"),
+            Some(2),
+            "the offline node fell two epochs behind"
+        );
+
+        tree.set_online(1, true);
+        tree.catch_up(1, 4);
+        assert_eq!(r.counter_value("dacs_syndication_catch_ups_total"), Some(1));
+        assert_eq!(r.gauge_value("dacs_syndication_offline_lag"), Some(0));
+        let replayed = r.histogram("dacs_syndication_replayed_updates");
+        assert_eq!(replayed.count(), 1);
+        assert_eq!(replayed.sum(), 2, "one replay carried both missed updates");
     }
 
     /// Property-style: under an arbitrary interleaving of pushes,

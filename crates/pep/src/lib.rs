@@ -30,6 +30,7 @@ use dacs_pdp::{CacheConfig, Pdp, TtlLruCache};
 use dacs_policy::eval::Response;
 use dacs_policy::policy::{Decision, Obligation};
 use dacs_policy::request::RequestContext;
+use dacs_telemetry::{Counter, Histogram, Span, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -186,6 +187,16 @@ pub struct EnforcementStats {
     pub cache_hits: u64,
 }
 
+/// Telemetry handles pre-resolved at construction so the enforcement
+/// hot path never takes the registry's name lock.
+struct PepTelemetry {
+    telemetry: Arc<Telemetry>,
+    enforcements: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    failsafe_denials: Arc<Counter>,
+    enforce_us: Arc<Histogram>,
+}
+
 /// A Policy Enforcement Point guarding one service.
 pub struct Pep {
     name: String,
@@ -204,6 +215,7 @@ pub struct Pep {
     deny_not_applicable: bool,
     audit: Mutex<Vec<EnforcementRecord>>,
     stats: Mutex<EnforcementStats>,
+    telemetry: Option<PepTelemetry>,
 }
 
 impl Pep {
@@ -227,6 +239,7 @@ impl Pep {
             deny_not_applicable: true,
             audit: Mutex::new(Vec::new()),
             stats: Mutex::new(EnforcementStats::default()),
+            telemetry: None,
         }
     }
 
@@ -249,6 +262,25 @@ impl Pep {
         self
     }
 
+    /// Attaches observability (builder style): every
+    /// [`Pep::enforce`]/[`Pep::enforce_batch`] call opens a root trace
+    /// span decomposed into `cache`/`decide`/`obligations` children
+    /// (deeper layers — cluster routing, quorum fan-out, per-replica
+    /// evaluation — attach their own spans underneath `decide` through
+    /// the shared handle), and the registry gains `dacs_pep_*`
+    /// counters plus the enforcement latency histogram.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        let r = telemetry.registry();
+        self.telemetry = Some(PepTelemetry {
+            enforcements: r.counter("dacs_pep_enforcements_total"),
+            cache_hits: r.counter("dacs_pep_cache_hits_total"),
+            failsafe_denials: r.counter("dacs_pep_failsafe_denials_total"),
+            enforce_us: r.histogram("dacs_pep_enforce_us"),
+            telemetry,
+        });
+        self
+    }
+
     /// Treats NotApplicable as permit (open enforcement, for ablation
     /// only; default is fail-safe deny).
     pub fn with_open_not_applicable(mut self) -> Self {
@@ -264,8 +296,20 @@ impl Pep {
     /// Pull-model enforcement (Fig. 3): query the decision source,
     /// fulfil obligations, grant or deny.
     pub fn enforce(&self, request: &RequestContext, now_ms: u64) -> EnforcementResult {
-        let response = self.decide_cached(request, now_ms);
-        self.conclude(request, response, now_ms)
+        let root = self.telemetry.as_ref().map(|t| {
+            t.enforcements.inc();
+            t.telemetry.tracer().root("pep_enforce")
+        });
+        let response = self.decide_traced(request, now_ms, root.as_ref());
+        let result = {
+            let _span = root.as_ref().map(|p| p.child("obligations"));
+            self.conclude(request, response, now_ms)
+        };
+        if let (Some(t), Some(root)) = (self.telemetry.as_ref(), root) {
+            t.enforce_us.record(root.elapsed_us());
+            root.finish();
+        }
+        result
     }
 
     /// Pull-model enforcement of a whole batch: decisions for every
@@ -279,24 +323,43 @@ impl Pep {
         requests: &[RequestContext],
         now_ms: u64,
     ) -> Vec<EnforcementResult> {
+        let root = self.telemetry.as_ref().map(|t| {
+            t.enforcements.add(requests.len() as u64);
+            t.telemetry.tracer().root("pep_enforce_batch")
+        });
         let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
         match &self.cache {
             Some(cache) => {
                 let keys: Vec<Vec<u8>> = requests.iter().map(|r| r.to_canonical_bytes()).collect();
                 let mut miss_idx: Vec<usize> = Vec::new();
                 {
-                    let mut cache = cache.lock();
-                    for (i, key) in keys.iter().enumerate() {
-                        match cache.get(key, now_ms) {
-                            Some(resp) => {
-                                self.stats.lock().cache_hits += 1;
-                                responses[i] = Some(resp);
+                    let mut cache_span = root.as_ref().map(|p| p.child("cache"));
+                    let mut hits = 0u64;
+                    {
+                        let mut cache = cache.lock();
+                        for (i, key) in keys.iter().enumerate() {
+                            match cache.get(key, now_ms) {
+                                Some(resp) => {
+                                    hits += 1;
+                                    responses[i] = Some(resp);
+                                }
+                                None => miss_idx.push(i),
                             }
-                            None => miss_idx.push(i),
                         }
+                    }
+                    if hits > 0 {
+                        self.stats.lock().cache_hits += hits;
+                        if let Some(t) = &self.telemetry {
+                            t.cache_hits.add(hits);
+                        }
+                    }
+                    if let Some(s) = cache_span.as_mut() {
+                        s.set_note(format!("hits:{hits}"));
                     }
                 }
                 if !miss_idx.is_empty() {
+                    let span = root.as_ref().map(|p| p.child("decide"));
+                    let _guard = span.as_ref().map(|s| s.enter());
                     let misses: Vec<RequestContext> =
                         miss_idx.iter().map(|&i| requests[i].clone()).collect();
                     let answers = self.source.decide_batch(&misses, now_ms);
@@ -309,6 +372,8 @@ impl Pep {
                 }
             }
             None => {
+                let span = root.as_ref().map(|p| p.child("decide"));
+                let _guard = span.as_ref().map(|s| s.enter());
                 let answers = self.source.decide_batch(requests, now_ms);
                 debug_assert_eq!(answers.len(), requests.len(), "one answer per query");
                 for (slot, resp) in responses.iter_mut().zip(answers) {
@@ -316,13 +381,24 @@ impl Pep {
                 }
             }
         }
-        requests
-            .iter()
-            .zip(responses)
-            .map(|(request, response)| {
-                self.conclude(request, response.expect("every request answered"), now_ms)
-            })
-            .collect()
+        let results = {
+            let _span = root.as_ref().map(|p| p.child("obligations"));
+            requests
+                .iter()
+                .zip(responses)
+                .map(|(request, response)| {
+                    self.conclude(request, response.expect("every request answered"), now_ms)
+                })
+                .collect()
+        };
+        if let (Some(t), Some(root)) = (self.telemetry.as_ref(), root) {
+            t.telemetry
+                .registry()
+                .histogram("dacs_pep_enforce_batch_us")
+                .record(root.elapsed_us());
+            root.finish();
+        }
+        results
     }
 
     /// Explicitly flushes the PEP-side decision cache. The policy
@@ -400,19 +476,49 @@ impl Pep {
     }
 
     fn decide_cached(&self, request: &RequestContext, now_ms: u64) -> Response {
+        self.decide_traced(request, now_ms, None)
+    }
+
+    /// [`Pep::decide_cached`] with optional child spans under `parent`:
+    /// a `cache` span around the lookup (noted `hit`/`miss`) and a
+    /// `decide` span around the source query. The `decide` span is
+    /// *entered*, so a clustered source's routing/fan-out/replica
+    /// spans nest beneath it; spans are closed back-to-back so a
+    /// trace's children account for (nearly) the whole root.
+    fn decide_traced(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        parent: Option<&Span>,
+    ) -> Response {
         if let Some(cache) = &self.cache {
+            let mut cache_span = parent.map(|p| p.child("cache"));
             let key = request.to_canonical_bytes();
             {
                 let mut cache = cache.lock();
                 if let Some(resp) = cache.get(&key, now_ms) {
                     self.stats.lock().cache_hits += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.cache_hits.inc();
+                    }
+                    if let Some(s) = cache_span.as_mut() {
+                        s.set_note("hit");
+                    }
                     return resp;
                 }
             }
+            if let Some(s) = cache_span.as_mut() {
+                s.set_note("miss");
+            }
+            drop(cache_span);
+            let span = parent.map(|p| p.child("decide"));
+            let _guard = span.as_ref().map(|s| s.enter());
             let resp = self.source.decide(request, now_ms);
             cache.lock().insert(key, resp.clone(), now_ms);
             resp
         } else {
+            let span = parent.map(|p| p.child("decide"));
+            let _guard = span.as_ref().map(|s| s.enter());
             self.source.decide(request, now_ms)
         }
     }
@@ -491,6 +597,9 @@ impl Pep {
         reason: String,
     ) -> EnforcementResult {
         self.stats.lock().failsafe_denials += 1;
+        if let Some(t) = &self.telemetry {
+            t.failsafe_denials.inc();
+        }
         self.record(request, false, now_ms);
         EnforcementResult {
             allowed: false,
@@ -804,5 +913,105 @@ policy "gate" first-applicable {
         ));
         let open_pep = Pep::new("pep.d", "d", pdp, ctx).with_open_not_applicable();
         assert!(open_pep.enforce(&req, 1).allowed);
+    }
+
+    #[test]
+    fn telemetry_traces_decompose_enforcements() {
+        let ctx = CryptoCtx::new();
+        let pap = Arc::new(Pap::new("pap.t"));
+        pap.submit("admin", parse_policy(GATE).unwrap(), 0).unwrap();
+        let statics = Arc::new(StaticAttributes::new());
+        statics.add_subject_attr("alice", "role", "doctor");
+        let mut pips = PipRegistry::new();
+        pips.add(statics);
+        let pdp = Arc::new(Pdp::new(
+            "pdp.t",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("gate")),
+            Arc::new(pips),
+        ));
+        let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
+        let pep = Pep::new("pep.t", "hospital-t", pdp, ctx)
+            .with_handler(Arc::new(LogObligationHandler::new()))
+            .with_cache(CacheConfig {
+                capacity: 8,
+                ttl_ms: 1000,
+            })
+            .with_telemetry(telemetry.clone());
+
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        assert!(pep.enforce(&req, 1).allowed); // miss
+        assert!(pep.enforce(&req, 2).allowed); // hit
+
+        let r = telemetry.registry();
+        assert_eq!(r.counter_value("dacs_pep_enforcements_total"), Some(2));
+        assert_eq!(r.counter_value("dacs_pep_cache_hits_total"), Some(1));
+        assert_eq!(r.histogram("dacs_pep_enforce_us").count(), 2);
+
+        let spans = telemetry.tracer().snapshot();
+        let roots: Vec<_> = spans.iter().filter(|s| s.stage == "pep_enforce").collect();
+        assert_eq!(roots.len(), 2);
+        // First trace (cache miss): cache + decide + obligations children.
+        let miss_root = roots.iter().min_by_key(|s| s.trace).unwrap();
+        let children: Vec<_> = spans.iter().filter(|s| s.parent == miss_root.id).collect();
+        let stages: Vec<&str> = children.iter().map(|s| s.stage).collect();
+        assert!(stages.contains(&"cache"), "{stages:?}");
+        assert!(stages.contains(&"decide"), "{stages:?}");
+        assert!(stages.contains(&"obligations"), "{stages:?}");
+        // Second trace (cache hit): no decide span, and the hit is noted.
+        let hit_root = roots.iter().max_by_key(|s| s.trace).unwrap();
+        let children: Vec<_> = spans.iter().filter(|s| s.parent == hit_root.id).collect();
+        assert!(children.iter().all(|s| s.stage != "decide"));
+        assert!(children
+            .iter()
+            .any(|s| s.stage == "cache" && s.note.as_deref() == Some("hit")));
+    }
+
+    #[test]
+    fn telemetry_batch_trace_counts_hits() {
+        let ctx = CryptoCtx::new();
+        let pap = Arc::new(Pap::new("pap.u"));
+        pap.submit("admin", parse_policy(GATE).unwrap(), 0).unwrap();
+        let statics = Arc::new(StaticAttributes::new());
+        statics.add_subject_attr("alice", "role", "doctor");
+        let mut pips = PipRegistry::new();
+        pips.add(statics);
+        let pdp = Arc::new(Pdp::new(
+            "pdp.u",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("gate")),
+            Arc::new(pips),
+        ));
+        let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
+        let pep = Pep::new("pep.u", "hospital-u", pdp, ctx)
+            .with_handler(Arc::new(LogObligationHandler::new()))
+            .with_cache(CacheConfig {
+                capacity: 8,
+                ttl_ms: 1000,
+            })
+            .with_telemetry(telemetry.clone());
+
+        let reqs = vec![
+            RequestContext::basic("alice", "ehr/1", "read"),
+            RequestContext::basic("alice", "ehr/1", "read"),
+            RequestContext::basic("alice", "ehr/2", "read"),
+        ];
+        let results = pep.enforce_batch(&reqs, 1);
+        assert!(results.iter().all(|r| r.allowed));
+        let r = telemetry.registry();
+        assert_eq!(r.counter_value("dacs_pep_enforcements_total"), Some(3));
+        // Identical requests in one batch are both misses (the batch is
+        // looked up before any decide round); a second batch hits.
+        pep.enforce_batch(&reqs, 2);
+        assert_eq!(r.counter_value("dacs_pep_cache_hits_total"), Some(3));
+        let spans = telemetry.tracer().snapshot();
+        let batch_roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.stage == "pep_enforce_batch")
+            .collect();
+        assert_eq!(batch_roots.len(), 2);
+        assert!(spans
+            .iter()
+            .any(|s| s.stage == "cache" && s.note.as_deref() == Some("hits:3")));
     }
 }

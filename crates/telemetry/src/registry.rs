@@ -1,0 +1,318 @@
+//! Named counters, gauges, and log-bucketed histograms.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two octave: 2^5.
+const SUB_BITS: u32 = 5;
+/// Sub-bucket count (32).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// A log-bucketed histogram: percentile estimates without stored
+/// samples.
+///
+/// Values below 32 land in exact unit buckets; above that, each
+/// power-of-two octave is split into 32 linear sub-buckets, so a
+/// bucket's width is at most 1/32 of its lower bound and the reported
+/// percentile (the bucket midpoint) is within ~1.6% of the true
+/// sample. Recording is two relaxed atomic adds; reading walks ~2k
+/// counters.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // 2^exp <= v
+    let group = exp - SUB_BITS; // octaves past the exact range
+    let sub = (v >> group) - SUB; // top SUB_BITS+1 bits minus the leading one
+    (group as u64 * SUB + SUB + sub) as usize
+}
+
+/// Lower bound and width of one bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < SUB {
+        return (index, 1);
+    }
+    let group = (index - SUB) / SUB;
+    let sub = (index - SUB) % SUB;
+    ((SUB + sub) << group, 1u64 << group)
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`, using the same nearest-rank
+    /// convention as the experiment suite's `Summary` (`q = 0.99` of
+    /// 100 samples is the 99th smallest) so the two agree to within a
+    /// bucket width. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64 + 1;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let (lo, width) = bucket_bounds(i);
+                return lo + width / 2;
+            }
+        }
+        bucket_bounds(BUCKETS - 1).0
+    }
+}
+
+/// A lock-cheap registry of named metrics.
+///
+/// Lookup takes a read lock on a name→`Arc` map; hot paths should
+/// resolve their handles once and keep the `Arc`s. Names follow the
+/// Prometheus convention (`dacs_cluster_decide_us`); registration is
+/// implicit on first use and a name permanently denotes one metric
+/// kind.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().get(name) {
+        return v.clone();
+    }
+    map.write()
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(T::default()))
+        .clone()
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// The value of a counter if it has been touched.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.read().get(name).map(|c| c.get())
+    }
+
+    /// The value of a gauge if it has been touched.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.gauges.read().get(name).map(|g| g.get())
+    }
+
+    /// Prometheus-style text exposition of every registered metric.
+    ///
+    /// Counters and gauges render as single samples; histograms render
+    /// as summaries with `quantile` labels for p50/p95/p99/p999 plus
+    /// `_sum` and `_count`, in deterministic (sorted-name) order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.read().iter() {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        for (name, g) in self.gauges.read().iter() {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        for (name, h) in self.histograms.read().iter() {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (label, q) in [
+                ("0.5", 0.50),
+                ("0.95", 0.95),
+                ("0.99", 0.99),
+                ("0.999", 0.999),
+            ] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    h.percentile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        r.counter("dacs_x_total").inc();
+        r.counter("dacs_x_total").add(4);
+        r.gauge("dacs_lag").set(7);
+        r.gauge("dacs_lag").set_max(3); // lower: no-op
+        r.gauge("dacs_lag").set_max(9);
+        assert_eq!(r.counter_value("dacs_x_total"), Some(5));
+        assert_eq!(r.gauge_value("dacs_lag"), Some(9));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_inverse() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 65_535, 1 << 40] {
+            let i = bucket_index(v);
+            let (lo, width) = bucket_bounds(i);
+            assert!(lo <= v && v < lo + width, "v={v} i={i} lo={lo} w={width}");
+        }
+        // Small values are exact.
+        for v in 0..32u64 {
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, 1));
+        }
+    }
+
+    #[test]
+    fn percentiles_track_exact_ranks_within_bucket_error() {
+        let h = Histogram::default();
+        let mut samples: Vec<u64> = (0..5000u64).map(|i| (i * i) % 90_000 + 10).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            let exact = samples[((samples.len() - 1) as f64 * q).round() as usize];
+            let est = h.percentile(q);
+            let err = (est as f64 - exact as f64).abs();
+            assert!(
+                err <= (exact as f64) * 0.02 + 1.0,
+                "q={q} exact={exact} est={est}"
+            );
+        }
+        assert_eq!(h.count(), 5000);
+        assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped_and_sorted() {
+        let r = Registry::new();
+        r.counter("dacs_b_total").add(2);
+        r.counter("dacs_a_total").inc();
+        r.gauge("dacs_epoch").set(3);
+        let h = r.histogram("dacs_lat_us");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let text = r.render_text();
+        let a = text.find("dacs_a_total 1").expect("counter a");
+        let b = text.find("dacs_b_total 2").expect("counter b");
+        assert!(a < b, "sorted order");
+        assert!(text.contains("# TYPE dacs_lat_us summary"));
+        // Nearest-rank p99 of 1..=100 is the 99th smallest sample; it
+        // lands in a width-2 bucket whose midpoint is exactly 99.
+        assert!(text.contains("dacs_lat_us{quantile=\"0.99\"} 99"));
+        assert!(text.contains("dacs_lat_us_count 100"));
+        assert!(text.contains("dacs_lat_us_sum 5050"));
+        assert!(text.contains("# TYPE dacs_epoch gauge\ndacs_epoch 3"));
+    }
+}

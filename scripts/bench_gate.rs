@@ -71,8 +71,22 @@ fn print_rows(
             .iter()
             .find(|r| r.experiment == experiment && r.metric == metric && r.key == base.key)
             .and_then(|r| r.value);
+        // Per-metric delta (absolute and percent vs baseline), so a
+        // run's drift is readable straight from the CI log without
+        // diffing the two JSON files by hand.
+        let delta = match (base.value, current) {
+            (Some(b), Some(f)) => {
+                let d = f - b;
+                if b.abs() > f64::EPSILON {
+                    format!("   Δ {d:+.1} {unit} ({:+.1}%)", d / b * 100.0)
+                } else {
+                    format!("   Δ {d:+.1} {unit}")
+                }
+            }
+            _ => String::new(),
+        };
         println!(
-            "  {:<16} baseline {:>10}   fresh {:>10}",
+            "  {:<16} baseline {:>10}   fresh {:>10}{delta}",
             base.key,
             base.value
                 .map(|v| format!("{v:.1} {unit}"))

@@ -21,6 +21,7 @@
 //! | [`trust`] | `dacs-trust` | automated trust negotiation |
 //! | [`federation`] | `dacs-federation` | domains (single-engine or cluster-backed), VOs, capability services, measured flows |
 //! | [`cluster`] | `dacs-cluster` | sharded, replicated PDP cluster: consistent-hash routing, quorum decisions, epoch-gated replica re-sync, failover, batching |
+//! | [`telemetry`] | `dacs-telemetry` | metric registry (counters/gauges/histograms), decision-path tracing, Prometheus-style exposition |
 //! | [`core`] | `dacs-core` | scenarios, workloads, the experiment suite |
 //!
 //! # Quickstart
@@ -59,5 +60,6 @@ pub use dacs_pip as pip;
 pub use dacs_policy as policy;
 pub use dacs_rbac as rbac;
 pub use dacs_simnet as simnet;
+pub use dacs_telemetry as telemetry;
 pub use dacs_trust as trust;
 pub use dacs_wire as wire;
