@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks: one group per experiment (E1–E17) over
+//! Criterion micro-benchmarks: one group per experiment (E1–E18) over
 //! the hot path each experiment exercises, plus substrate benches.
 //! `cargo bench` runs everything; the `harness` binary produces the
 //! full tables.
@@ -543,6 +543,53 @@ fn bench_e17_federated(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_e18_capability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e18_capability");
+    let ctx = CryptoCtx::new();
+    // One clustered token domain (1×3 majority, capability fast path)
+    // behind the alternating gate at a permitting version.
+    let mut builder = dacs_federation::Domain::builder("cap")
+        .policy(dacs_core::scenario::alternating_lockdown_gate("cap", 0))
+        .clustered(
+            ClusterBuilder::new("cap")
+                .quorum(QuorumMode::Majority)
+                .resync(true),
+        )
+        .cluster_topology(1, 3)
+        .capability(u64::MAX / 2)
+        .seed(0x18);
+    for u in 0..8 {
+        builder = builder.subject_attr(&format!("user-{u}@cap"), "role", "doctor");
+    }
+    let domain = builder.build(&ctx);
+    let authority = domain.capability.clone().unwrap();
+
+    // Raw mint + local verify, no enforcement machinery around them.
+    g.bench_function("mint", |b| {
+        b.iter(|| authority.mint("user-0@cap", "records/0", "read", 0))
+    });
+    let token = authority.mint("user-0@cap", "records/0", "read", 0);
+    g.bench_function("verify", |b| {
+        b.iter(|| authority.verify(&token, "user-0@cap", "records/0", "read", 1))
+    });
+
+    // Steady-state token-path enforcement: everything after the first
+    // lap of the 40-request working set rides the PEP token cache.
+    let mut i = 0u64;
+    g.bench_function("pep_enforce_token_hit", |b| {
+        b.iter(|| {
+            i += 1;
+            let req = RequestContext::basic(
+                format!("user-{}@cap", i % 8),
+                format!("records/{}", i % 5),
+                "read",
+            );
+            domain.pep.enforce(&req, i)
+        })
+    });
+    g.finish();
+}
+
 fn bench_e13_discovery(c: &mut Criterion) {
     c.bench_function("e13_discovery_resolve", |b| {
         let dir = PdpDirectory::new();
@@ -576,6 +623,7 @@ criterion_group!(
     bench_e14_cluster,
     bench_e15_fanout,
     bench_e16_resync,
-    bench_e17_federated
+    bench_e17_federated,
+    bench_e18_capability
 );
 criterion_main!(benches);

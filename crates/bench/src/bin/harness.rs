@@ -19,6 +19,11 @@
 //! registry and the JSON dump of its span trace — the per-stage
 //! latency artifacts CI uploads next to the trajectory.
 //!
+//! `--capability-telemetry PATH` runs the capability-enabled clustered
+//! scenario (`capability_telemetry_run`) and writes its registry text:
+//! the `dacs_capability_*` mint/verify/reject counters and the
+//! verify-latency histogram the e18 artifact tracks.
+//!
 //! `DACS_BENCH_SCALE=N` divides every experiment's iteration count by
 //! `N` (with a floor that keeps the experiments meaningful) — the
 //! reduced-iteration knob CI smoke runs use.
@@ -27,7 +32,7 @@ use dacs_bench::table_to_json_rows;
 use dacs_core::experiments as exp;
 use dacs_core::stats::Table;
 
-const EXPERIMENT_COUNT: usize = 17;
+const EXPERIMENT_COUNT: usize = 18;
 
 /// Applies the `DACS_BENCH_SCALE` divisor to a default iteration
 /// count. Counts that are already small (≤ 100) pass through; larger
@@ -61,6 +66,7 @@ fn run(id: &str) -> Option<Table> {
         "e15" => exp::e15_fanout_latency(scaled(400)),
         "e16" => exp::e16_replica_resync(scaled(2000)),
         "e17" => exp::e17_federated_cluster(scaled(2400)),
+        "e18" => exp::e18_capability_ceiling(scaled(2400)),
         _ => return None,
     })
 }
@@ -87,6 +93,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut capability_telemetry_path: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -102,10 +109,18 @@ fn main() {
                 Some(path) => trace_path = Some(path),
                 None => usage(),
             },
+            "--capability-telemetry" => match iter.next() {
+                Some(path) => capability_telemetry_path = Some(path),
+                None => usage(),
+            },
             _ => ids.push(arg),
         }
     }
-    if ids.is_empty() && telemetry_path.is_none() && trace_path.is_none() {
+    if ids.is_empty()
+        && telemetry_path.is_none()
+        && trace_path.is_none()
+        && capability_telemetry_path.is_none()
+    {
         usage();
     }
     if ids.iter().any(|a| a == "all") {
@@ -145,5 +160,13 @@ fn main() {
         if let Some(path) = trace_path {
             write_or_die(&path, &telemetry.tracer().dump_json(), "JSON trace");
         }
+    }
+    if let Some(path) = capability_telemetry_path {
+        let telemetry = exp::capability_telemetry_run(scaled(2400));
+        write_or_die(
+            &path,
+            &telemetry.registry().render_text(),
+            "capability telemetry text",
+        );
     }
 }

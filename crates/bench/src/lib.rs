@@ -223,6 +223,61 @@ pub fn availability_drops(
     out
 }
 
+/// Compares a fresh bench trajectory against a committed baseline for
+/// one `(experiment, metric)` pair where *lower is worse* and the
+/// magnitude is a rate — a decisions/sec-style throughput — and
+/// returns one message per violation; an empty result means the gate
+/// passes.
+///
+/// A row violates when `fresh < baseline * (1 - threshold)`. Baseline
+/// rows at or below `floor` are skipped entirely: a rate too small to
+/// be meaningful (a scaled-down smoke run, a churn row dominated by
+/// fixed costs) would turn the percentage gate into a noise detector.
+/// A baseline row missing from the fresh run is also a violation: a
+/// silently dropped experiment must not read as "no regression".
+pub fn throughput_drops(
+    baseline: &[BenchRow],
+    fresh: &[BenchRow],
+    experiment: &str,
+    metric: &str,
+    threshold: f64,
+    floor: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for base in baseline
+        .iter()
+        .filter(|r| r.experiment == experiment && r.metric == metric)
+    {
+        let Some(base_value) = base.value else {
+            continue;
+        };
+        if base_value <= floor {
+            continue;
+        }
+        let current = fresh
+            .iter()
+            .find(|r| r.experiment == experiment && r.metric == metric && r.key == base.key);
+        match current.and_then(|r| r.value) {
+            None => out.push(format!(
+                "{experiment}/{}: '{metric}' missing from fresh run (baseline {base_value:.0})",
+                base.key
+            )),
+            Some(value) => {
+                let limit = base_value * (1.0 - threshold);
+                if value < limit {
+                    out.push(format!(
+                        "{experiment}/{}: '{metric}' {value:.0} fell below limit {limit:.0} \
+                         (baseline {base_value:.0}, -{:.0}% allowed)",
+                        base.key,
+                        threshold * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +412,51 @@ mod tests {
         let bad = availability_drops(&baseline, &fresh, "e17", "availability %", 2.0);
         assert_eq!(bad.len(), 1);
         assert!(bad[0].contains("domain-2/on"));
+        assert!(bad[0].contains("missing"));
+    }
+
+    fn dps(key: &str, value: f64) -> BenchRow {
+        BenchRow {
+            experiment: "e18".into(),
+            key: key.into(),
+            metric: "decisions/sec".into(),
+            value: Some(value),
+        }
+    }
+
+    #[test]
+    fn throughput_gate_flags_drops_beyond_the_threshold() {
+        let baseline = vec![dps("quorum", 40_000.0), dps("token", 240_000.0)];
+        // quorum dipped 10% (inside the 25% allowance); token halved.
+        let fresh = vec![dps("quorum", 36_000.0), dps("token", 120_000.0)];
+        let bad = throughput_drops(&baseline, &fresh, "e18", "decisions/sec", 0.25, 1000.0);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("token"));
+        // Improvements and exact matches are clean.
+        let fresh = vec![dps("quorum", 41_000.0), dps("token", 240_000.0)];
+        assert!(
+            throughput_drops(&baseline, &fresh, "e18", "decisions/sec", 0.25, 1000.0).is_empty()
+        );
+    }
+
+    #[test]
+    fn throughput_gate_floor_skips_meaningless_rates() {
+        // An 800-dps baseline is fixed-cost territory at smoke scale;
+        // even a collapse to 10 must not trip the gate.
+        let baseline = vec![dps("token+churn", 800.0)];
+        let fresh = vec![dps("token+churn", 10.0)];
+        assert!(
+            throughput_drops(&baseline, &fresh, "e18", "decisions/sec", 0.25, 1000.0).is_empty()
+        );
+    }
+
+    #[test]
+    fn throughput_gate_fails_on_missing_rows() {
+        let baseline = vec![dps("quorum", 40_000.0), dps("token", 240_000.0)];
+        let fresh = vec![dps("quorum", 40_000.0)];
+        let bad = throughput_drops(&baseline, &fresh, "e18", "decisions/sec", 0.25, 1000.0);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("token"));
         assert!(bad[0].contains("missing"));
     }
 

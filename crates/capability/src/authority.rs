@@ -1,0 +1,328 @@
+//! The minting/verifying authority: one per domain, sharing its key
+//! with the domain's enforcement points and tracking the domain's
+//! policy epoch so revocation needs no channel of its own.
+
+use crate::token::{CapabilityKey, CapabilityToken, TokenError};
+use dacs_pap::PolicyEpoch;
+use dacs_policy::eval::Response;
+use dacs_policy::policy::Decision;
+use dacs_policy::request::RequestContext;
+use dacs_telemetry::{Counter, Histogram, Telemetry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate mint/verify counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AuthorityStats {
+    /// Tokens minted.
+    pub minted: u64,
+    /// Verifications that succeeded.
+    pub verified: u64,
+    /// Verifications that rejected, any reason.
+    pub rejected: u64,
+    /// Rejections specifically for an epoch mismatch (revocations).
+    pub rejected_stale_epoch: u64,
+}
+
+/// Telemetry handles pre-resolved at construction so the verify hot
+/// path never takes the registry's name lock.
+struct AuthorityTelemetry {
+    minted: Arc<Counter>,
+    verified: Arc<Counter>,
+    rejected: Arc<Counter>,
+    verify_us: Arc<Histogram>,
+}
+
+/// Mints and verifies capability tokens under the domain's current
+/// policy epoch.
+///
+/// The authority's epoch is advanced by the domain on every policy
+/// push ([`CapabilityAuthority::advance_epoch`]); because
+/// [`CapabilityToken::verify`] demands epoch equality, every
+/// outstanding token dies the instant the push lands — exactly when a
+/// cached grant would have been flushed.
+pub struct CapabilityAuthority {
+    key: CapabilityKey,
+    ttl_ms: u64,
+    epoch: AtomicU64,
+    minted: AtomicU64,
+    verified: AtomicU64,
+    rejected: AtomicU64,
+    rejected_stale_epoch: AtomicU64,
+    telemetry: Option<AuthorityTelemetry>,
+}
+
+impl CapabilityAuthority {
+    /// Creates an authority minting `ttl_ms`-lived tokens with `key`,
+    /// starting at [`PolicyEpoch::ZERO`].
+    pub fn new(key: CapabilityKey, ttl_ms: u64) -> Self {
+        CapabilityAuthority {
+            key,
+            ttl_ms,
+            epoch: AtomicU64::new(0),
+            minted: AtomicU64::new(0),
+            verified: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            rejected_stale_epoch: AtomicU64::new(0),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches mint/verify/reject counters and the verify-latency
+    /// histogram to `telemetry` (builder style): `dacs_capability_*`.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        self.telemetry = Some(AuthorityTelemetry {
+            minted: r.counter("dacs_capability_minted_total"),
+            verified: r.counter("dacs_capability_verified_total"),
+            rejected: r.counter("dacs_capability_rejected_total"),
+            verify_us: r.histogram("dacs_capability_verify_us"),
+        });
+        self
+    }
+
+    /// Token lifetime.
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+
+    /// The epoch new tokens are stamped with and presented tokens are
+    /// checked against.
+    pub fn current_epoch(&self) -> PolicyEpoch {
+        PolicyEpoch(self.epoch.load(Ordering::Acquire))
+    }
+
+    /// Observes a policy push: moves the authority's epoch forward
+    /// (never backward), revoking every token stamped earlier.
+    pub fn advance_epoch(&self, epoch: PolicyEpoch) {
+        self.epoch.fetch_max(epoch.0, Ordering::AcqRel);
+    }
+
+    /// Mints a token for a grant decided under `epoch`.
+    ///
+    /// Callers must pass the epoch they captured *before* consulting
+    /// the decision source: if a policy push interleaves with the
+    /// decision, the token is born stale and rejects — deny-biased by
+    /// construction, never permit-biased.
+    pub fn mint_at_epoch(
+        &self,
+        subject: &str,
+        resource: &str,
+        action: &str,
+        now_ms: u64,
+        epoch: PolicyEpoch,
+    ) -> CapabilityToken {
+        self.minted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.minted.inc();
+        }
+        CapabilityToken::mint(
+            &self.key,
+            subject,
+            resource,
+            action,
+            now_ms,
+            self.ttl_ms,
+            epoch,
+        )
+    }
+
+    /// Mints at the authority's current epoch (tests, canaries).
+    pub fn mint(
+        &self,
+        subject: &str,
+        resource: &str,
+        action: &str,
+        now_ms: u64,
+    ) -> CapabilityToken {
+        self.mint_at_epoch(subject, resource, action, now_ms, self.current_epoch())
+    }
+
+    /// Mints a token iff `response` is an unconditional permit for a
+    /// fully identified request, stamped with the pre-decision `epoch`.
+    ///
+    /// Obligated permits never mint: obligations must be discharged on
+    /// *every* enforcement, so those requests keep consulting the
+    /// source and concluding the full obligation pipeline.
+    pub fn grant_for(
+        &self,
+        request: &RequestContext,
+        response: &Response,
+        now_ms: u64,
+        epoch: PolicyEpoch,
+    ) -> Option<CapabilityToken> {
+        if response.decision != Decision::Permit || !response.obligations.is_empty() {
+            return None;
+        }
+        let (subject, resource, action) = match (
+            request.subject_id(),
+            request.resource_id(),
+            request.action_id(),
+        ) {
+            (Some(s), Some(r), Some(a)) => (s, r, a),
+            _ => return None,
+        };
+        Some(self.mint_at_epoch(subject, resource, action, now_ms, epoch))
+    }
+
+    /// Verifies a presented token against a request at the authority's
+    /// current epoch, recording stats and telemetry.
+    ///
+    /// # Errors
+    ///
+    /// The first failing check — see [`CapabilityToken::verify`].
+    pub fn verify(
+        &self,
+        token: &CapabilityToken,
+        subject: &str,
+        resource: &str,
+        action: &str,
+        now_ms: u64,
+    ) -> Result<(), TokenError> {
+        let started = std::time::Instant::now();
+        let result = token.verify(
+            &self.key,
+            subject,
+            resource,
+            action,
+            now_ms,
+            self.current_epoch(),
+        );
+        match &result {
+            Ok(()) => {
+                self.verified.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telemetry {
+                    t.verified.inc();
+                }
+            }
+            Err(e) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, TokenError::StaleEpoch { .. }) {
+                    self.rejected_stale_epoch.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(t) = &self.telemetry {
+                    t.rejected.inc();
+                }
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.verify_us.record(started.elapsed().as_micros() as u64);
+        }
+        result
+    }
+
+    /// Snapshot of the mint/verify counters.
+    pub fn stats(&self) -> AuthorityStats {
+        AuthorityStats {
+            minted: self.minted.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_stale_epoch: self.rejected_stale_epoch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacs_policy::eval::Status;
+    use dacs_policy::policy::Obligation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn authority() -> CapabilityAuthority {
+        let key = CapabilityKey::generate(&mut StdRng::seed_from_u64(9));
+        CapabilityAuthority::new(key, 500)
+    }
+
+    fn permit() -> Response {
+        Response {
+            decision: Decision::Permit,
+            obligations: Vec::new(),
+            status: Status::Ok,
+        }
+    }
+
+    #[test]
+    fn epoch_bump_revokes_outstanding_tokens() {
+        let a = authority();
+        a.advance_epoch(PolicyEpoch(4));
+        let t = a.mint("u@d", "r/1", "read", 100);
+        assert_eq!(a.verify(&t, "u@d", "r/1", "read", 101), Ok(()));
+        a.advance_epoch(PolicyEpoch(5));
+        assert_eq!(
+            a.verify(&t, "u@d", "r/1", "read", 102),
+            Err(TokenError::StaleEpoch {
+                token: PolicyEpoch(4),
+                current: PolicyEpoch(5)
+            })
+        );
+        let s = a.stats();
+        assert_eq!(
+            (s.minted, s.verified, s.rejected, s.rejected_stale_epoch),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn epoch_never_moves_backward() {
+        let a = authority();
+        a.advance_epoch(PolicyEpoch(7));
+        a.advance_epoch(PolicyEpoch(3));
+        assert_eq!(a.current_epoch(), PolicyEpoch(7));
+    }
+
+    #[test]
+    fn grant_for_mints_only_unconditional_permits() {
+        let a = authority();
+        let req = RequestContext::basic("u@d", "r/1", "read");
+        let token = a.grant_for(&req, &permit(), 10, PolicyEpoch(0)).unwrap();
+        assert_eq!(token.subject, "u@d");
+        assert_eq!(token.expires_at_ms, 510);
+
+        let mut obligated = permit();
+        obligated.obligations.push(Obligation {
+            id: "log".into(),
+            params: Vec::new(),
+        });
+        assert!(a.grant_for(&req, &obligated, 10, PolicyEpoch(0)).is_none());
+
+        let mut deny = permit();
+        deny.decision = Decision::Deny;
+        assert!(a.grant_for(&req, &deny, 10, PolicyEpoch(0)).is_none());
+
+        let anonymous = RequestContext::new();
+        assert!(a
+            .grant_for(&anonymous, &permit(), 10, PolicyEpoch(0))
+            .is_none());
+    }
+
+    #[test]
+    fn pre_decision_epoch_makes_interleaved_pushes_deny_biased() {
+        let a = authority();
+        let epoch_before = a.current_epoch();
+        // A policy push lands between the epoch capture and the mint.
+        a.advance_epoch(PolicyEpoch(1));
+        let t = a.mint_at_epoch("u@d", "r/1", "read", 10, epoch_before);
+        // Born stale: never accepted, so never a false permit.
+        assert!(matches!(
+            a.verify(&t, "u@d", "r/1", "read", 11),
+            Err(TokenError::StaleEpoch { .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_counters_track_mint_and_verify() {
+        let telemetry = Telemetry::new();
+        let key = CapabilityKey::generate(&mut StdRng::seed_from_u64(9));
+        let a = CapabilityAuthority::new(key, 500).with_telemetry(&telemetry);
+        let t = a.mint("u@d", "r/1", "read", 0);
+        a.verify(&t, "u@d", "r/1", "read", 1).unwrap();
+        a.verify(&t, "eve@d", "r/1", "read", 1).unwrap_err();
+        let r = telemetry.registry();
+        assert_eq!(r.counter_value("dacs_capability_minted_total"), Some(1));
+        assert_eq!(r.counter_value("dacs_capability_verified_total"), Some(1));
+        assert_eq!(r.counter_value("dacs_capability_rejected_total"), Some(1));
+        assert_eq!(r.histogram("dacs_capability_verify_us").count(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared token-tampering helpers for the adversarial test suites.
+//!
+//! Unit tests, the integration suite and the experiments all mutate
+//! tokens the same way through these helpers instead of hand-rolling
+//! byte fiddling: wire-level bit flips and truncation, and field
+//! substitutions that deliberately *keep* the original MAC (the
+//! forgery attempt a verifier must catch).
+
+use crate::token::{CapabilityToken, MAC_LEN};
+use dacs_pap::PolicyEpoch;
+
+/// Flips one bit of a wire-encoded token (or any byte string).
+/// `bit` indexes bits across the whole buffer, MSB-first per byte.
+///
+/// # Panics
+///
+/// Panics if `bit` is out of range — adversarial tests should fail
+/// loudly on a bad index, not silently skip a case.
+pub fn flip_bit(bytes: &mut [u8], bit: usize) {
+    assert!(bit < bytes.len() * 8, "bit {bit} out of range");
+    bytes[bit / 8] ^= 0x80 >> (bit % 8);
+}
+
+/// A copy of the wire bytes with the last `drop` bytes removed.
+pub fn truncated(bytes: &[u8], drop: usize) -> Vec<u8> {
+    bytes[..bytes.len().saturating_sub(drop)].to_vec()
+}
+
+/// The token with its subject replaced and the MAC left untouched.
+pub fn with_subject(token: &CapabilityToken, subject: &str) -> CapabilityToken {
+    let mut t = token.clone();
+    t.subject = subject.to_owned();
+    t
+}
+
+/// The token with its resource replaced and the MAC left untouched.
+pub fn with_resource(token: &CapabilityToken, resource: &str) -> CapabilityToken {
+    let mut t = token.clone();
+    t.resource = resource.to_owned();
+    t
+}
+
+/// The token with its action replaced and the MAC left untouched.
+pub fn with_action(token: &CapabilityToken, action: &str) -> CapabilityToken {
+    let mut t = token.clone();
+    t.action = action.to_owned();
+    t
+}
+
+/// The token with its expiry pushed out and the MAC left untouched
+/// (an attacker extending their own lease).
+pub fn with_expiry(token: &CapabilityToken, expires_at_ms: u64) -> CapabilityToken {
+    let mut t = token.clone();
+    t.expires_at_ms = expires_at_ms;
+    t
+}
+
+/// The token restamped to another epoch with the MAC left untouched
+/// (an attacker outrunning a revocation).
+pub fn with_epoch(token: &CapabilityToken, epoch: PolicyEpoch) -> CapabilityToken {
+    let mut t = token.clone();
+    t.epoch = epoch;
+    t
+}
+
+/// The token with its MAC replaced wholesale by a constant fill.
+pub fn with_forged_mac(token: &CapabilityToken, fill: u8) -> CapabilityToken {
+    let mut t = token.clone();
+    t.mac = [fill; MAC_LEN];
+    t
+}
+
+/// The token with one bit of its MAC flipped.
+pub fn flip_mac_bit(token: &CapabilityToken, bit: usize) -> CapabilityToken {
+    let mut t = token.clone();
+    flip_bit(&mut t.mac, bit);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{CapabilityKey, TokenError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (CapabilityKey, CapabilityToken) {
+        let key = CapabilityKey::generate(&mut StdRng::seed_from_u64(1));
+        let token =
+            CapabilityToken::mint(&key, "alice@a", "records/1", "read", 0, 100, PolicyEpoch(1));
+        (key, token)
+    }
+
+    #[test]
+    fn every_mutator_breaks_verification() {
+        let (key, token) = fixture();
+        let ok = |t: &CapabilityToken| {
+            t.verify(&key, "alice@a", "records/1", "read", 10, PolicyEpoch(1))
+        };
+        assert_eq!(ok(&token), Ok(()));
+        assert_eq!(ok(&with_subject(&token, "eve@a")), Err(TokenError::BadMac));
+        assert_eq!(
+            ok(&with_resource(&token, "records/2")),
+            Err(TokenError::BadMac)
+        );
+        assert_eq!(ok(&with_action(&token, "write")), Err(TokenError::BadMac));
+        assert_eq!(ok(&with_expiry(&token, u64::MAX)), Err(TokenError::BadMac));
+        assert_eq!(
+            ok(&with_epoch(&token, PolicyEpoch(2))),
+            Err(TokenError::BadMac)
+        );
+        assert_eq!(ok(&with_forged_mac(&token, 0xAA)), Err(TokenError::BadMac));
+        for bit in [0, 7, 100, MAC_LEN * 8 - 1] {
+            assert_eq!(ok(&flip_mac_bit(&token, bit)), Err(TokenError::BadMac));
+        }
+    }
+
+    #[test]
+    fn wire_mutators_mutate() {
+        let (_, token) = fixture();
+        let bytes = token.to_bytes();
+        let mut flipped = bytes.clone();
+        flip_bit(&mut flipped, 9);
+        assert_ne!(flipped, bytes);
+        assert_eq!(truncated(&bytes, 4).len(), bytes.len() - 4);
+        assert!(truncated(&bytes, bytes.len() + 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_out_of_range_panics() {
+        flip_bit(&mut [0u8; 2], 16);
+    }
+}

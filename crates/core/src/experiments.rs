@@ -1659,6 +1659,269 @@ pub fn traced_cluster_run(requests: usize) -> (Arc<dacs_telemetry::Telemetry>, V
     (telemetry, lats)
 }
 
+/// Builds the E18 domain: a 1×5 majority shard behind the alternating
+/// lockdown gate plus sixteen auxiliary policies (so every quorum
+/// decision pays a realistic multi-policy evaluation on five replicas),
+/// 16 doctors, no decision caches anywhere — the quorum path's cost
+/// *is* the fan-out — and, optionally, the signed-capability fast path.
+fn e18_domain(capability: bool, ttl_ms: u64, ctx: &CryptoCtx) -> Domain {
+    let name = "cap";
+    let mut builder = Domain::builder(name)
+        .policy(e17_gate(name, 0))
+        .clustered(
+            ClusterBuilder::new(name)
+                .quorum(QuorumMode::Majority)
+                .resync(true),
+        )
+        .cluster_topology(1, 5)
+        .seed(0xe18);
+    for k in 0..16 {
+        builder = builder.policy_dsl(&format!(
+            r#"
+policy "aux-{k}" deny-overrides {{
+  rule "quarantine" deny {{
+    target {{ resource "id" ~= "aux-{k}/*"; }}
+  }}
+}}
+"#
+        ));
+    }
+    if capability {
+        builder = builder.capability(ttl_ms);
+    }
+    for u in 0..16 {
+        builder = builder.subject_attr(&format!("user-{u}@{name}"), "role", "doctor");
+    }
+    builder.build(ctx)
+}
+
+/// E18: the capability ceiling — decisions/sec with the signed-token
+/// fast path vs raw quorum fan-out at equal workload, plus revocation
+/// latency under epoch-bump churn.
+///
+/// Phase A runs the same 80-grant workload (16 doctors × 5 records)
+/// through two identical clustered domains, one with
+/// [`dacs_federation::DomainBuilder::capability`] enabled: the quorum
+/// path pays a
+/// 5-replica multi-policy evaluation per request, the token path pays
+/// it once per unique grant and an HMAC verify thereafter. Each row's
+/// rate comes from the best of five whole-loop timed laps over a
+/// steady-state domain (single short timing windows on a shared
+/// machine measure the scheduler, not the path); a separate untimed
+/// pass first checks every enforcement against the domain's root-PAP
+/// reference engine (E16/E17-style ground truth).
+///
+/// Phase B (`token+churn` row) adds the E16 churn shape: per round,
+/// replica 1 crashes over a policy update and recovers stale (the
+/// `Syncing` gate holds it out until catch-up), while the update —
+/// alternating permit/lockdown — revokes every outstanding token via
+/// the epoch bump. A canary token minted immediately before each push
+/// measures the revocation latency: the number of ticks the canary
+/// stays verifiable after the push lands. The invariant says zero —
+/// the epoch bump *is* the push, so a stale token can never outlive
+/// the policy state it was minted under.
+pub fn e18_capability_ceiling(requests: usize) -> Table {
+    let mut table = Table::new(
+        "E18 — capability ceiling: signed-token fast path vs quorum fan-out (1×5 majority, 16 subjects × 5 resources), plus epoch-bump revocation churn",
+        &[
+            "path",
+            "decisions/sec",
+            "speedup ×",
+            "cluster queries",
+            "tokens minted",
+            "token hits",
+            "stale rejects",
+            "false permits",
+            "false denies",
+            "revocation lag (ticks)",
+        ],
+    );
+    assert!(
+        requests >= 160,
+        "e18 needs enough requests to amortize minting"
+    );
+    // One untimed correctness lap plus TIMED_LAPS timed ones, phase B
+    // running both churn variants — keep tokens alive across all of it.
+    const TIMED_LAPS: u64 = 5;
+    let ttl_ms = 8 * requests as u64 + 1_000_000;
+    let spec: Vec<RequestContext> = (0..80)
+        .map(|k| {
+            RequestContext::basic(
+                format!("user-{}@cap", k % 16),
+                format!("records/{}", k % 5),
+                "read",
+            )
+        })
+        .collect();
+
+    // Phase A: the throughput ceiling at equal workload, no churn.
+    let mut quorum_dps = f64::NAN;
+    for capability in [false, true] {
+        let ctx = CryptoCtx::new();
+        let domain = e18_domain(capability, ttl_ms, &ctx);
+        // Correctness lap: every enforcement against the reference
+        // engine. On the token path this is also the mint warm-up.
+        let (mut false_permits, mut false_denies) = (0u64, 0u64);
+        for i in 0..requests as u64 {
+            let request = &spec[(i as usize) % spec.len()];
+            let expected = domain.pdp.decide(request, i).decision;
+            let allowed = domain.pep.enforce(request, i).allowed;
+            false_permits += u64::from(allowed && expected != Decision::Permit);
+            false_denies += u64::from(!allowed && expected == Decision::Permit);
+        }
+        // Timed laps over the steady state: best of five, whole-loop.
+        let mut best = f64::INFINITY;
+        for lap in 1..=TIMED_LAPS {
+            let base = lap * requests as u64;
+            let started = Instant::now();
+            for i in 0..requests as u64 {
+                domain
+                    .pep
+                    .enforce(&spec[(i as usize) % spec.len()], base + i);
+            }
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        let dps = requests as f64 / best.max(1e-9);
+        if !capability {
+            quorum_dps = dps;
+        }
+        let stats = domain.pep.stats();
+        let stale = domain
+            .capability
+            .as_ref()
+            .map(|a| a.stats().rejected_stale_epoch)
+            .unwrap_or(0);
+        let m = domain.cluster.as_ref().expect("e18 is clustered").metrics();
+        table.row(vec![
+            if capability { "token" } else { "quorum" }.into(),
+            format!("{dps:.0}"),
+            f2(dps / quorum_dps),
+            m.queries.to_string(),
+            stats.tokens_minted.to_string(),
+            stats.token_hits.to_string(),
+            stale.to_string(),
+            false_permits.to_string(),
+            false_denies.to_string(),
+            "0".into(),
+        ]);
+    }
+
+    // Phase B: revocation churn on a fresh token domain. Lap 0 checks
+    // every enforcement against the reference engine; the timed laps
+    // replay the same churn schedule (ticks, and so pushed gate
+    // versions, keep counting up) and take the best whole-lap rate.
+    let ctx = CryptoCtx::new();
+    let domain = e18_domain(true, ttl_ms, &ctx);
+    let authority = domain.capability.clone().expect("capability enabled");
+    let names = domain.replica_names();
+    let round = (requests as u64 / 8).max(8);
+    let (mut false_permits, mut false_denies) = (0u64, 0u64);
+    let mut revocation_lag_max = 0u64;
+    let mut best = f64::INFINITY;
+    for lap in 0..=TIMED_LAPS {
+        let started = Instant::now();
+        for offset in 0..requests as u64 {
+            let t = lap * requests as u64 + offset;
+            let phase = offset % round;
+            if phase == round / 4 {
+                domain.crash_replica(&names[1]);
+            }
+            if phase == round / 2 {
+                // Canary: minted under the pre-push epoch, probed
+                // after the push until it stops verifying.
+                let canary = authority.mint("user-0@cap", "records/0", "read", t);
+                domain.propagate_policy(e17_gate("cap", t / round + 1), t);
+                let mut lag = 0u64;
+                while lag < 64
+                    && authority
+                        .verify(&canary, "user-0@cap", "records/0", "read", t + lag)
+                        .is_ok()
+                {
+                    lag += 1;
+                }
+                revocation_lag_max = revocation_lag_max.max(lag);
+            }
+            if phase == round * 5 / 8 {
+                domain.recover_replica(&names[1]);
+            }
+            if phase == round * 3 / 4 {
+                domain.catch_up_replica(&names[1], t);
+            }
+            let request = &spec[(offset as usize) % spec.len()];
+            if lap == 0 {
+                let expected = domain.pdp.decide(request, t).decision;
+                let allowed = domain.pep.enforce(request, t).allowed;
+                false_permits += u64::from(allowed && expected != Decision::Permit);
+                false_denies += u64::from(!allowed && expected == Decision::Permit);
+            } else {
+                domain.pep.enforce(request, t);
+            }
+        }
+        if lap > 0 {
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+    }
+    let dps = requests as f64 / best.max(1e-9);
+    let stats = domain.pep.stats();
+    let m = domain.cluster.as_ref().expect("e18 is clustered").metrics();
+    table.row(vec![
+        "token+churn".into(),
+        format!("{dps:.0}"),
+        f2(dps / quorum_dps),
+        m.queries.to_string(),
+        stats.tokens_minted.to_string(),
+        stats.token_hits.to_string(),
+        authority.stats().rejected_stale_epoch.to_string(),
+        false_permits.to_string(),
+        false_denies.to_string(),
+        revocation_lag_max.to_string(),
+    ]);
+    table
+}
+
+/// A compact capability-enabled run with full telemetry, for the e18
+/// artifact and the observability tests: one clustered token domain
+/// serves `requests` enforcements with a mid-run policy push, so the
+/// registry carries the `dacs_capability_*` mint/verify/reject
+/// counters and the verify-latency histogram alongside the usual
+/// enforcement metrics, and the traces show `token` fast-path spans.
+pub fn capability_telemetry_run(requests: usize) -> Arc<dacs_telemetry::Telemetry> {
+    let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
+    let ctx = CryptoCtx::new();
+    let name = "cap";
+    let mut builder = Domain::builder(name)
+        .policy(e17_gate(name, 0))
+        .clustered(
+            ClusterBuilder::new(name)
+                .quorum(QuorumMode::Majority)
+                .resync(true),
+        )
+        .cluster_topology(1, 3)
+        .capability(requests as u64 + 1_000_000)
+        .telemetry(Arc::clone(&telemetry))
+        .seed(0xcab);
+    for u in 0..8 {
+        builder = builder.subject_attr(&format!("user-{u}@{name}"), "role", "doctor");
+    }
+    let domain = builder.build(&ctx);
+    for i in 0..requests as u64 {
+        if i == (requests / 2) as u64 {
+            // Revokes every outstanding token mid-run: stale rejects
+            // and re-mints land in the counters.
+            domain.propagate_policy(e17_gate(name, 2), i);
+        }
+        let u = i % 8;
+        let request = RequestContext::basic(
+            format!("user-{u}@{name}"),
+            format!("records/{}", u % 5),
+            "read",
+        );
+        let result = domain.pep.enforce(&request, i);
+        debug_assert!(result.allowed, "even gate versions permit doctors");
+    }
+    telemetry
+}
+
 /// Runs every experiment at default scale (used by the harness's `all`).
 pub fn run_all() -> Vec<Table> {
     vec![
@@ -1679,6 +1942,7 @@ pub fn run_all() -> Vec<Table> {
         e15_fanout_latency(400),
         e16_replica_resync(2000),
         e17_federated_cluster(2400),
+        e18_capability_ceiling(2400),
     ]
 }
 
@@ -1954,6 +2218,58 @@ mod tests {
         assert!(
             off.iter().chain(on.iter()).any(|r| avail(r) < 100.0),
             "the blackout window must cost some availability"
+        );
+    }
+
+    /// The E18 acceptance bar: the token fast path clears 5× the
+    /// quorum path at equal workload, revocation churn leaks zero
+    /// false permits, and a stale token never outlives the epoch bump
+    /// that revoked it (zero-tick revocation latency).
+    #[test]
+    fn e18_token_path_clears_5x_with_zero_false_permits() {
+        let t = e18_capability_ceiling(800);
+        assert_eq!(t.rows.len(), 3, "quorum, token, token+churn");
+        let row = |name: &str| -> &Vec<String> {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+        };
+        let dps = |r: &Vec<String>| -> f64 { r[1].parse().unwrap() };
+        let (quorum, token, churn) = (row("quorum"), row("token"), row("token+churn"));
+        assert!(
+            dps(token) >= 5.0 * dps(quorum),
+            "token path must clear 5× quorum: {} vs {}",
+            dps(token),
+            dps(quorum)
+        );
+        // The fast path was genuinely exercised: one cluster query per
+        // unique grant, everything else served from tokens.
+        let queries = |r: &Vec<String>| -> u64 { r[3].parse().unwrap() };
+        // 800 requests × (1 correctness lap + 5 timed laps) = 4800.
+        assert_eq!(queries(quorum), 4800, "quorum path fans out every request");
+        assert_eq!(queries(token), 80, "token path decides each grant once");
+        assert_eq!(token[4].parse::<u64>().unwrap(), 80, "tokens minted");
+        assert_eq!(token[5].parse::<u64>().unwrap(), 4720, "token hits");
+        // Ground truth: zero false permits everywhere, zero false
+        // denies on the steady-state rows, and the churn row must have
+        // actually revoked tokens (stale rejects observed) with
+        // same-tick revocation.
+        for r in [quorum, token, churn] {
+            assert_eq!(r[7].parse::<u64>().unwrap(), 0, "{}: false permits", r[0]);
+        }
+        assert_eq!(quorum[8].parse::<u64>().unwrap(), 0, "quorum false denies");
+        assert_eq!(token[8].parse::<u64>().unwrap(), 0, "token false denies");
+        assert_eq!(churn[8].parse::<u64>().unwrap(), 0, "churn false denies");
+        assert!(
+            churn[6].parse::<u64>().unwrap() > 0,
+            "churn must reject stale tokens"
+        );
+        assert!(churn[5].parse::<u64>().unwrap() > 0, "churn token hits");
+        assert_eq!(
+            churn[9].parse::<u64>().unwrap(),
+            0,
+            "revocation latency must be zero ticks"
         );
     }
 

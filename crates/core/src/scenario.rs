@@ -174,7 +174,7 @@ policy "vo-prescreen" deny-unless-permit {
     for d in &mut vo.domains {
         // Bind to the domain's decision *source*, not `d.pdp`: a
         // clustered domain keeps routing through its quorum service.
-        let pep = Pep::new(
+        let mut pep = Pep::new(
             format!("pep.{}", d.name),
             d.name.clone(),
             d.decision_source(),
@@ -182,6 +182,11 @@ policy "vo-prescreen" deny-unless-permit {
         )
         .with_handler(d.log_handler.clone())
         .with_trusted_issuer("cas.vo", key.clone());
+        // A capability-minting domain keeps its token fast path on the
+        // rebuilt PEP too.
+        if let Some(authority) = &d.capability {
+            pep = pep.with_capability_fastpath(authority.clone(), 4096);
+        }
         d.pep = Arc::new(pep);
     }
     vo.with_cas(cas)

@@ -12,13 +12,14 @@
 //! recovering from a crash is excluded from quorums until its
 //! catch-up replay ([`Domain::catch_up_replica`]) completes.
 
+use dacs_capability::{CapabilityAuthority, CapabilityKey, CapabilityToken};
 use dacs_cluster::{
     BatchSubmitter, ClusterBuilder, ClusterOutcome, DecisionBackend, PdpCluster, ReplicaPhase,
 };
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
 use dacs_pap::{Pap, PolicyEpoch, SyndicationTree};
 use dacs_pdp::{CacheConfig, Pdp};
-use dacs_pep::{DecisionSource, LogObligationHandler, NotifyObligationHandler, Pep};
+use dacs_pep::{DecisionSource, LogObligationHandler, MintingSource, NotifyObligationHandler, Pep};
 use dacs_pip::{EnvironmentProvider, PipRegistry, RbacProvider, StaticAttributes};
 use dacs_policy::eval::Response;
 use dacs_policy::policy::{CombiningAlg, Policy, PolicyElement, PolicyId, PolicySet};
@@ -39,6 +40,7 @@ use std::sync::Arc;
 pub struct ClusteredDecisionSource {
     cluster: Arc<PdpCluster>,
     batched: bool,
+    authority: Option<Arc<CapabilityAuthority>>,
 }
 
 impl ClusteredDecisionSource {
@@ -47,7 +49,18 @@ impl ClusteredDecisionSource {
         ClusteredDecisionSource {
             cluster,
             batched: false,
+            authority: None,
         }
+    }
+
+    /// Mints a signed capability token alongside every unconditional
+    /// quorum permit (builder style), enabling the PEP's fast path.
+    /// The epoch is captured *before* the quorum runs, so a policy
+    /// push interleaving with the decision leaves the token born
+    /// stale — it can only under-grant, never over-grant.
+    pub fn with_capability(mut self, authority: Arc<CapabilityAuthority>) -> Self {
+        self.authority = Some(authority);
+        self
     }
 
     /// Routes even single-decision queries through a
@@ -110,6 +123,47 @@ impl DecisionSource for ClusteredDecisionSource {
             .map(Self::to_response)
             .collect()
     }
+
+    fn decide_with_grant(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+    ) -> (Response, Option<CapabilityToken>) {
+        match &self.authority {
+            None => (self.decide(request, now_ms), None),
+            Some(authority) => {
+                let epoch = authority.current_epoch();
+                let response = self.decide(request, now_ms);
+                let token = authority.grant_for(request, &response, now_ms, epoch);
+                (response, token)
+            }
+        }
+    }
+
+    fn decide_batch_with_grants(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+    ) -> Vec<(Response, Option<CapabilityToken>)> {
+        match &self.authority {
+            None => self
+                .decide_batch(requests, now_ms)
+                .into_iter()
+                .map(|r| (r, None))
+                .collect(),
+            Some(authority) => {
+                let epoch = authority.current_epoch();
+                self.decide_batch(requests, now_ms)
+                    .into_iter()
+                    .zip(requests)
+                    .map(|(response, request)| {
+                        let token = authority.grant_for(request, &response, now_ms, epoch);
+                        (response, token)
+                    })
+                    .collect()
+            }
+        }
+    }
 }
 
 /// A fully wired administrative domain.
@@ -131,6 +185,10 @@ pub struct Domain {
     /// The clustered decision service, when built with
     /// [`DomainBuilder::clustered`].
     pub cluster: Option<Arc<PdpCluster>>,
+    /// The capability-minting authority, when built with
+    /// [`DomainBuilder::capability`]. Every [`Domain::propagate_policy`]
+    /// advances its epoch, revoking all outstanding tokens.
+    pub capability: Option<Arc<CapabilityAuthority>>,
     /// Identity-provider attribute store (serves federated attribute
     /// queries about this domain's subjects).
     pub idp_attributes: Arc<StaticAttributes>,
@@ -175,6 +233,7 @@ impl Domain {
             replicas_per_shard: 3,
             batched: false,
             telemetry: None,
+            capability_ttl_ms: None,
         }
     }
 
@@ -244,6 +303,12 @@ impl Domain {
         // the PEP cache sits in front of the decision source and must
         // be told explicitly.
         self.pep.invalidate_cache();
+        // Outstanding capability tokens are revoked the same instant:
+        // the authority moves to the new epoch, and tokens stamped with
+        // the old one fail verification from now on.
+        if let Some(authority) = &self.capability {
+            authority.advance_epoch(epoch);
+        }
         epoch
     }
 
@@ -342,6 +407,7 @@ pub struct DomainBuilder {
     replicas_per_shard: usize,
     batched: bool,
     telemetry: Option<Arc<dacs_telemetry::Telemetry>>,
+    capability_ttl_ms: Option<u64>,
 }
 
 impl DomainBuilder {
@@ -439,6 +505,18 @@ impl DomainBuilder {
         self
     }
 
+    /// Enables the signed-capability fast path (opt-in, like
+    /// [`DomainBuilder::batched`]): the decision service mints an
+    /// HMAC-signed token with every unconditional permit, the PEP
+    /// caches and verifies tokens locally for `ttl_ms`, and every
+    /// [`Domain::propagate_policy`] advances the authority's epoch so
+    /// outstanding tokens die with the policy state they were minted
+    /// under.
+    pub fn capability(mut self, ttl_ms: u64) -> Self {
+        self.capability_ttl_ms = Some(ttl_ms);
+        self
+    }
+
     /// Threads a telemetry registry + tracer through the whole decision
     /// path: the PEP (enforcement counters, latency histograms, root
     /// spans), the cluster (route/fan-out/quorum spans, per-replica
@@ -476,89 +554,115 @@ impl DomainBuilder {
         let pips = Arc::new(pips);
         let root_elem = PolicyElement::PolicySetRef(root_id);
 
-        let (pap, pdp, cluster, syndication, replica_leaves, source): DecisionPlane =
-            match self.cluster {
-                None => {
-                    let pap = Arc::new(Pap::new(format!("pap.{name}")));
-                    for policy in self.policies {
-                        pap.submit("domain-bootstrap", policy, 0)
-                            .expect("bootstrap submission cannot be denied");
-                    }
-                    pap.install_set(root);
-                    let mut pdp = Pdp::new(format!("pdp.{name}"), pap.clone(), root_elem, pips);
-                    if let Some(cfg) = self.pdp_cache {
-                        pdp = pdp.with_cache(cfg);
-                    }
-                    let pdp = Arc::new(pdp);
-                    (pap, pdp.clone(), None, None, Vec::new(), pdp)
-                }
-                Some(template) => {
-                    assert!(self.shards >= 1, "a clustered domain needs shards");
-                    assert!(self.replicas_per_shard >= 1, "shards need replicas");
-                    // The domain authority is the syndication root; every
-                    // replica PDP reads a leaf PAP below it.
-                    let mut tree = SyndicationTree::new(format!("pap.{name}"));
-                    if let Some(t) = &self.telemetry {
-                        tree = tree.with_telemetry(t);
-                    }
-                    let pap = tree.node(0).pap.clone();
-                    pap.install_set(root.clone());
-                    let mut builder = template.named(name.clone());
-                    if let Some(t) = &self.telemetry {
-                        builder = builder.telemetry(Arc::clone(t));
-                    }
-                    let mut replica_leaves = Vec::new();
-                    for s in 0..self.shards {
-                        let mut replicas: Vec<Arc<dyn DecisionBackend>> =
-                            Vec::with_capacity(self.replicas_per_shard);
-                        for r in 0..self.replicas_per_shard {
-                            let replica_name = format!("pdp.{name}.s{s}r{r}");
-                            let leaf = tree.add_child(0, replica_name.clone(), None);
-                            tree.node(leaf).pap.install_set(root.clone());
-                            let mut pdp = Pdp::new(
-                                replica_name.clone(),
-                                tree.node(leaf).pap.clone(),
-                                root_elem.clone(),
-                                pips.clone(),
-                            );
-                            if let Some(cfg) = self.pdp_cache {
-                                pdp = pdp.with_cache(cfg);
-                            }
-                            replicas.push(Arc::new(pdp));
-                            replica_leaves.push((replica_name, leaf));
-                        }
-                        builder = builder.shard(replicas);
-                    }
-                    // Bootstrap policies flow through the tree so the root
-                    // and every replica share content *and* epoch stamps.
-                    for policy in self.policies {
-                        tree.propagate(policy, 0);
-                    }
-                    let cluster = Arc::new(builder.build());
-                    // The reference engine on the root PAP: uncached, so
-                    // it always reflects the authority's latest policies
-                    // (ground truth for experiments and tests).
-                    let pdp = Arc::new(Pdp::new(
-                        format!("pdp.{name}"),
-                        pap.clone(),
-                        root_elem,
-                        pips,
-                    ));
-                    let source = Arc::new(
-                        ClusteredDecisionSource::new(cluster.clone()).with_batching(self.batched),
-                    );
-                    (
-                        pap,
-                        pdp,
-                        Some(cluster),
-                        Some(Mutex::new(tree)),
-                        replica_leaves,
-                        source,
-                    )
-                }
-            };
-
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let capability = self.capability_ttl_ms.map(|ttl| {
+            let mut authority = CapabilityAuthority::new(CapabilityKey::generate(&mut rng), ttl);
+            if let Some(t) = &self.telemetry {
+                authority = authority.with_telemetry(t);
+            }
+            Arc::new(authority)
+        });
+
+        let (pap, pdp, cluster, syndication, replica_leaves, source): DecisionPlane = match self
+            .cluster
+        {
+            None => {
+                let pap = Arc::new(Pap::new(format!("pap.{name}")));
+                for policy in self.policies {
+                    pap.submit("domain-bootstrap", policy, 0)
+                        .expect("bootstrap submission cannot be denied");
+                }
+                pap.install_set(root);
+                let mut pdp = Pdp::new(format!("pdp.{name}"), pap.clone(), root_elem, pips);
+                if let Some(cfg) = self.pdp_cache {
+                    pdp = pdp.with_cache(cfg);
+                }
+                let pdp = Arc::new(pdp);
+                let source: Arc<dyn DecisionSource> = match &capability {
+                    Some(authority) => Arc::new(MintingSource::new(pdp.clone(), authority.clone())),
+                    None => pdp.clone(),
+                };
+                (pap, pdp, None, None, Vec::new(), source)
+            }
+            Some(template) => {
+                assert!(self.shards >= 1, "a clustered domain needs shards");
+                assert!(self.replicas_per_shard >= 1, "shards need replicas");
+                // The domain authority is the syndication root; every
+                // replica PDP reads a leaf PAP below it.
+                let mut tree = SyndicationTree::new(format!("pap.{name}"));
+                if let Some(t) = &self.telemetry {
+                    tree = tree.with_telemetry(t);
+                }
+                let pap = tree.node(0).pap.clone();
+                pap.install_set(root.clone());
+                let mut builder = template.named(name.clone());
+                if let Some(t) = &self.telemetry {
+                    builder = builder.telemetry(Arc::clone(t));
+                }
+                let mut replica_leaves = Vec::new();
+                for s in 0..self.shards {
+                    let mut replicas: Vec<Arc<dyn DecisionBackend>> =
+                        Vec::with_capacity(self.replicas_per_shard);
+                    for r in 0..self.replicas_per_shard {
+                        let replica_name = format!("pdp.{name}.s{s}r{r}");
+                        let leaf = tree.add_child(0, replica_name.clone(), None);
+                        tree.node(leaf).pap.install_set(root.clone());
+                        let mut pdp = Pdp::new(
+                            replica_name.clone(),
+                            tree.node(leaf).pap.clone(),
+                            root_elem.clone(),
+                            pips.clone(),
+                        );
+                        if let Some(cfg) = self.pdp_cache {
+                            pdp = pdp.with_cache(cfg);
+                        }
+                        replicas.push(Arc::new(pdp));
+                        replica_leaves.push((replica_name, leaf));
+                    }
+                    builder = builder.shard(replicas);
+                }
+                // Bootstrap policies flow through the tree so the root
+                // and every replica share content *and* epoch stamps.
+                for policy in self.policies {
+                    tree.propagate(policy, 0);
+                }
+                let cluster = Arc::new(builder.build());
+                // The reference engine on the root PAP: uncached, so
+                // it always reflects the authority's latest policies
+                // (ground truth for experiments and tests).
+                let pdp = Arc::new(Pdp::new(
+                    format!("pdp.{name}"),
+                    pap.clone(),
+                    root_elem,
+                    pips,
+                ));
+                let mut clustered_source =
+                    ClusteredDecisionSource::new(cluster.clone()).with_batching(self.batched);
+                if let Some(authority) = &capability {
+                    clustered_source = clustered_source.with_capability(authority.clone());
+                }
+                let source = Arc::new(clustered_source);
+                (
+                    pap,
+                    pdp,
+                    Some(cluster),
+                    Some(Mutex::new(tree)),
+                    replica_leaves,
+                    source,
+                )
+            }
+        };
+
+        // The bootstrap pushes above already advanced the domain epoch;
+        // catch the authority up so first-mint tokens verify.
+        if let Some(authority) = &capability {
+            let epoch = match &syndication {
+                Some(tree) => tree.lock().epoch(),
+                None => pap.policy_epoch(),
+            };
+            authority.advance_epoch(epoch);
+        }
+
         let key = Arc::new(SigningKey::generate_sim(ctx.registry(), &mut rng));
 
         let log_handler = Arc::new(LogObligationHandler::new());
@@ -576,6 +680,9 @@ impl DomainBuilder {
         if let Some(t) = self.telemetry {
             pep = pep.with_telemetry(t);
         }
+        if let Some(authority) = &capability {
+            pep = pep.with_capability_fastpath(authority.clone(), 4096);
+        }
 
         Domain {
             name,
@@ -583,6 +690,7 @@ impl DomainBuilder {
             pdp,
             pep: Arc::new(pep),
             cluster,
+            capability,
             idp_attributes,
             rbac,
             key,
@@ -772,6 +880,82 @@ policy "gate" deny-unless-permit {
         assert_eq!(single.propagate_policy(lockdown(), 10), PolicyEpoch(1));
         assert_eq!(single.policy_epoch(), PolicyEpoch(1));
         assert!(!single.pep.enforce(&req, 11).allowed);
+    }
+
+    /// The capability opt-in end to end: first permit rides the quorum
+    /// and mints, later permits verify locally, a propagated update
+    /// revokes every outstanding token in the same tick.
+    #[test]
+    fn capability_domain_mints_verifies_and_revokes() {
+        let ctx = CryptoCtx::new();
+        let domain = Domain::builder("ward")
+            .policy_dsl(DOCTOR_GATE)
+            .subject_attr("dr-grey@ward", "role", "doctor")
+            .clustered(
+                ClusterBuilder::new("ward")
+                    .quorum(dacs_cluster::QuorumMode::Majority)
+                    .resync(true),
+            )
+            .capability(1_000_000)
+            .build(&ctx);
+        let authority = domain.capability.as_ref().expect("capability enabled");
+        assert_eq!(authority.current_epoch(), domain.policy_epoch());
+
+        let cluster = domain.cluster.as_ref().unwrap();
+        let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
+        for t in 0..10 {
+            assert!(domain.pep.enforce(&req, t).allowed);
+        }
+        assert_eq!(
+            cluster.metrics().queries,
+            1,
+            "nine permits verified locally"
+        );
+        assert_eq!(domain.pep.stats().token_hits, 9);
+
+        // The lockdown revokes the token the instant it propagates.
+        let lockdown = dacs_policy::dsl::parse_policy(
+            r#"policy "gate" first-applicable { rule "lockdown" deny { } }"#,
+        )
+        .unwrap();
+        let epoch = domain.propagate_policy(lockdown, 10);
+        assert_eq!(authority.current_epoch(), epoch);
+        assert!(
+            !domain.pep.enforce(&req, 10).allowed,
+            "a revoked token must not outlive the push, even in its tick"
+        );
+        assert_eq!(domain.pep.stats().token_rejects, 1);
+        assert_eq!(authority.stats().rejected_stale_epoch, 1);
+        assert_eq!(
+            cluster.metrics().queries,
+            2,
+            "the reject re-consulted the quorum"
+        );
+        // Denies do not mint.
+        assert_eq!(authority.stats().minted, 1);
+    }
+
+    /// Single-engine domains mint through [`MintingSource`]; their
+    /// self-stamped epochs revoke just the same.
+    #[test]
+    fn single_engine_capability_domain() {
+        let ctx = CryptoCtx::new();
+        let domain = Domain::builder("clinic")
+            .policy_dsl(DOCTOR_GATE)
+            .subject_attr("dr-yang@clinic", "role", "doctor")
+            .capability(1_000_000)
+            .build(&ctx);
+        let req = RequestContext::basic("dr-yang@clinic", "ehr/2", "read");
+        assert!(domain.pep.enforce(&req, 0).allowed);
+        assert!(domain.pep.enforce(&req, 1).allowed);
+        assert_eq!(domain.pdp.metrics().decisions, 1, "second permit was local");
+        let lockdown = dacs_policy::dsl::parse_policy(
+            r#"policy "gate" first-applicable { rule "lockdown" deny { } }"#,
+        )
+        .unwrap();
+        domain.propagate_policy(lockdown, 5);
+        assert!(!domain.pep.enforce(&req, 6).allowed);
+        assert_eq!(domain.pep.stats().token_rejects, 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 use dacs_assert::{AssertError, SignedAssertion};
+use dacs_capability::{CapabilityAuthority, CapabilityToken};
 use dacs_crypto::sign::{CryptoCtx, PublicKey};
 use dacs_pdp::{CacheConfig, Pdp, TtlLruCache};
 use dacs_policy::eval::Response;
@@ -54,11 +55,96 @@ pub trait DecisionSource: Send + Sync {
     fn decide_batch(&self, requests: &[RequestContext], now_ms: u64) -> Vec<Response> {
         requests.iter().map(|r| self.decide(r, now_ms)).collect()
     }
+
+    /// Serves one decision and, when the source mints capabilities, a
+    /// signed token the caller may verify locally on later requests.
+    /// The default mints nothing; minting sources (a
+    /// `ClusteredDecisionSource` with an authority attached, or
+    /// [`MintingSource`] for a single engine) override it, capturing
+    /// the policy epoch *before* deciding so an interleaved policy
+    /// push leaves the token born stale — deny-biased, never
+    /// permit-biased.
+    fn decide_with_grant(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+    ) -> (Response, Option<CapabilityToken>) {
+        (self.decide(request, now_ms), None)
+    }
+
+    /// Batch variant of [`DecisionSource::decide_with_grant`]; results
+    /// align with `requests`.
+    fn decide_batch_with_grants(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+    ) -> Vec<(Response, Option<CapabilityToken>)> {
+        self.decide_batch(requests, now_ms)
+            .into_iter()
+            .map(|r| (r, None))
+            .collect()
+    }
 }
 
 impl DecisionSource for Pdp {
     fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
         Pdp::decide(self, request, now_ms)
+    }
+}
+
+/// Wraps any decision source with a [`CapabilityAuthority`] so
+/// unconditional permits come back with a signed capability token —
+/// the single-engine counterpart of a cluster source with an authority
+/// attached.
+pub struct MintingSource {
+    inner: Arc<dyn DecisionSource>,
+    authority: Arc<CapabilityAuthority>,
+}
+
+impl MintingSource {
+    /// Wraps `inner` so its permits mint tokens from `authority`.
+    pub fn new(inner: Arc<dyn DecisionSource>, authority: Arc<CapabilityAuthority>) -> Self {
+        MintingSource { inner, authority }
+    }
+}
+
+impl DecisionSource for MintingSource {
+    fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
+        self.inner.decide(request, now_ms)
+    }
+
+    fn decide_batch(&self, requests: &[RequestContext], now_ms: u64) -> Vec<Response> {
+        self.inner.decide_batch(requests, now_ms)
+    }
+
+    fn decide_with_grant(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+    ) -> (Response, Option<CapabilityToken>) {
+        // Epoch before the decision: a push that interleaves makes the
+        // token stale-on-arrival instead of fresh-but-wrong.
+        let epoch = self.authority.current_epoch();
+        let response = self.inner.decide(request, now_ms);
+        let token = self.authority.grant_for(request, &response, now_ms, epoch);
+        (response, token)
+    }
+
+    fn decide_batch_with_grants(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+    ) -> Vec<(Response, Option<CapabilityToken>)> {
+        let epoch = self.authority.current_epoch();
+        self.inner
+            .decide_batch(requests, now_ms)
+            .into_iter()
+            .zip(requests)
+            .map(|(response, request)| {
+                let token = self.authority.grant_for(request, &response, now_ms, epoch);
+                (response, token)
+            })
+            .collect()
     }
 }
 
@@ -185,6 +271,24 @@ pub struct EnforcementStats {
     pub obligation_failures: u64,
     /// Decisions served from the PEP-side cache.
     pub cache_hits: u64,
+    /// Decisions served from a locally verified capability token
+    /// (the decision source was skipped entirely).
+    pub token_hits: u64,
+    /// Capability tokens the decision source minted for this PEP.
+    pub tokens_minted: u64,
+    /// Cached tokens that failed verification (expired, revoked by an
+    /// epoch bump, …) and were evicted; the request fell back to the
+    /// decision source.
+    pub token_rejects: u64,
+}
+
+/// The capability fast path: the shared authority (key + current
+/// epoch) and the PEP's cache of minted tokens, keyed by the full
+/// canonical request so requests that differ in any attribute never
+/// cross-hit.
+struct PepCapability {
+    authority: Arc<CapabilityAuthority>,
+    tokens: Mutex<TtlLruCache<Vec<u8>, CapabilityToken>>,
 }
 
 /// Telemetry handles pre-resolved at construction so the enforcement
@@ -216,6 +320,7 @@ pub struct Pep {
     audit: Mutex<Vec<EnforcementRecord>>,
     stats: Mutex<EnforcementStats>,
     telemetry: Option<PepTelemetry>,
+    capability: Option<PepCapability>,
 }
 
 impl Pep {
@@ -240,6 +345,7 @@ impl Pep {
             audit: Mutex::new(Vec::new()),
             stats: Mutex::new(EnforcementStats::default()),
             telemetry: None,
+            capability: None,
         }
     }
 
@@ -281,6 +387,29 @@ impl Pep {
         self
     }
 
+    /// Enables the signed-capability fast path (builder style): the
+    /// decision source's unconditional permits come back with an
+    /// HMAC-signed token (see [`DecisionSource::decide_with_grant`]),
+    /// cached here and verified locally — MAC, binding, expiry, epoch —
+    /// on later enforcements of the same request, skipping the
+    /// decision source entirely on hits. A token that fails *any*
+    /// check is evicted and the request falls back to the source, so
+    /// the fast path can deny-and-retry but never permit what the
+    /// source would deny. `capacity` bounds the token cache; the TTL is
+    /// the authority's.
+    pub fn with_capability_fastpath(
+        mut self,
+        authority: Arc<CapabilityAuthority>,
+        capacity: usize,
+    ) -> Self {
+        let ttl = authority.ttl_ms();
+        self.capability = Some(PepCapability {
+            authority,
+            tokens: Mutex::new(TtlLruCache::new(capacity, ttl)),
+        });
+        self
+    }
+
     /// Treats NotApplicable as permit (open enforcement, for ablation
     /// only; default is fail-safe deny).
     pub fn with_open_not_applicable(mut self) -> Self {
@@ -300,7 +429,10 @@ impl Pep {
             t.enforcements.inc();
             t.telemetry.tracer().root("pep_enforce")
         });
-        let response = self.decide_traced(request, now_ms, root.as_ref());
+        let response = match self.token_fastpath(request, now_ms, root.as_ref()) {
+            Some(response) => response,
+            None => self.decide_traced(request, now_ms, root.as_ref()),
+        };
         let result = {
             let _span = root.as_ref().map(|p| p.child("obligations"));
             self.conclude(request, response, now_ms)
@@ -328,6 +460,27 @@ impl Pep {
             t.telemetry.tracer().root("pep_enforce_batch")
         });
         let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        // Token phase: requests with a locally verifiable capability
+        // token never reach the cache or the decision source.
+        let mut pending: Vec<usize> = Vec::new();
+        if self.capability.is_some() {
+            let mut token_span = root.as_ref().map(|p| p.child("token"));
+            let mut hits = 0u64;
+            for (i, request) in requests.iter().enumerate() {
+                match self.token_fastpath(request, now_ms, None) {
+                    Some(resp) => {
+                        hits += 1;
+                        responses[i] = Some(resp);
+                    }
+                    None => pending.push(i),
+                }
+            }
+            if let Some(s) = token_span.as_mut() {
+                s.set_note(format!("hits:{hits}"));
+            }
+        } else {
+            pending = (0..requests.len()).collect();
+        }
         match &self.cache {
             Some(cache) => {
                 let keys: Vec<Vec<u8>> = requests.iter().map(|r| r.to_canonical_bytes()).collect();
@@ -337,8 +490,8 @@ impl Pep {
                     let mut hits = 0u64;
                     {
                         let mut cache = cache.lock();
-                        for (i, key) in keys.iter().enumerate() {
-                            match cache.get(key, now_ms) {
+                        for &i in &pending {
+                            match cache.get(&keys[i], now_ms) {
                                 Some(resp) => {
                                     hits += 1;
                                     responses[i] = Some(resp);
@@ -362,7 +515,7 @@ impl Pep {
                     let _guard = span.as_ref().map(|s| s.enter());
                     let misses: Vec<RequestContext> =
                         miss_idx.iter().map(|&i| requests[i].clone()).collect();
-                    let answers = self.source.decide_batch(&misses, now_ms);
+                    let answers = self.query_source_batch(&misses, now_ms);
                     debug_assert_eq!(answers.len(), misses.len(), "one answer per query");
                     let mut cache = cache.lock();
                     for (&i, resp) in miss_idx.iter().zip(answers) {
@@ -372,12 +525,16 @@ impl Pep {
                 }
             }
             None => {
-                let span = root.as_ref().map(|p| p.child("decide"));
-                let _guard = span.as_ref().map(|s| s.enter());
-                let answers = self.source.decide_batch(requests, now_ms);
-                debug_assert_eq!(answers.len(), requests.len(), "one answer per query");
-                for (slot, resp) in responses.iter_mut().zip(answers) {
-                    *slot = Some(resp);
+                if !pending.is_empty() {
+                    let span = root.as_ref().map(|p| p.child("decide"));
+                    let _guard = span.as_ref().map(|s| s.enter());
+                    let misses: Vec<RequestContext> =
+                        pending.iter().map(|&i| requests[i].clone()).collect();
+                    let answers = self.query_source_batch(&misses, now_ms);
+                    debug_assert_eq!(answers.len(), misses.len(), "one answer per query");
+                    for (&i, resp) in pending.iter().zip(answers) {
+                        responses[i] = Some(resp);
+                    }
                 }
             }
         }
@@ -479,6 +636,97 @@ impl Pep {
         self.decide_traced(request, now_ms, None)
     }
 
+    /// Attempts the capability fast path: a cached token for exactly
+    /// this canonical request, verified locally (MAC, binding, validity
+    /// window, epoch). A verified token *is* the permit — the decision
+    /// source is skipped. Any rejection evicts the token and returns
+    /// `None`, sending the request down the ordinary decide path: the
+    /// fast path can deny-and-retry, never permit what the source
+    /// would deny.
+    fn token_fastpath(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        parent: Option<&Span>,
+    ) -> Option<Response> {
+        let cap = self.capability.as_ref()?;
+        let subject = request.subject_id()?;
+        let resource = request.resource_id()?;
+        let action = request.action_id()?;
+        let key = request.to_canonical_bytes();
+        let token = cap.tokens.lock().get(&key, now_ms)?;
+        let mut span = parent.map(|p| p.child("token"));
+        match cap
+            .authority
+            .verify(&token, subject, resource, action, now_ms)
+        {
+            Ok(()) => {
+                self.stats.lock().token_hits += 1;
+                if let Some(s) = span.as_mut() {
+                    s.set_note("hit");
+                }
+                Some(Response {
+                    decision: Decision::Permit,
+                    obligations: Vec::new(),
+                    status: dacs_policy::eval::Status::Ok,
+                })
+            }
+            Err(e) => {
+                cap.tokens.lock().remove(&key);
+                self.stats.lock().token_rejects += 1;
+                if let Some(s) = span.as_mut() {
+                    s.set_note(format!("reject:{e}"));
+                }
+                None
+            }
+        }
+    }
+
+    /// Queries the decision source for one response, capturing (and
+    /// caching) any capability token minted alongside it.
+    fn query_source(&self, request: &RequestContext, now_ms: u64) -> Response {
+        match &self.capability {
+            Some(cap) => {
+                let (response, token) = self.source.decide_with_grant(request, now_ms);
+                if let Some(token) = token {
+                    cap.tokens
+                        .lock()
+                        .insert(request.to_canonical_bytes(), token, now_ms);
+                    self.stats.lock().tokens_minted += 1;
+                }
+                response
+            }
+            None => self.source.decide(request, now_ms),
+        }
+    }
+
+    /// Batch variant of [`Pep::query_source`].
+    fn query_source_batch(&self, requests: &[RequestContext], now_ms: u64) -> Vec<Response> {
+        match &self.capability {
+            Some(cap) => {
+                let pairs = self.source.decide_batch_with_grants(requests, now_ms);
+                debug_assert_eq!(pairs.len(), requests.len(), "one answer per query");
+                let mut responses = Vec::with_capacity(pairs.len());
+                let mut minted = 0u64;
+                {
+                    let mut tokens = cap.tokens.lock();
+                    for (request, (response, token)) in requests.iter().zip(pairs) {
+                        if let Some(token) = token {
+                            tokens.insert(request.to_canonical_bytes(), token, now_ms);
+                            minted += 1;
+                        }
+                        responses.push(response);
+                    }
+                }
+                if minted > 0 {
+                    self.stats.lock().tokens_minted += minted;
+                }
+                responses
+            }
+            None => self.source.decide_batch(requests, now_ms),
+        }
+    }
+
     /// [`Pep::decide_cached`] with optional child spans under `parent`:
     /// a `cache` span around the lookup (noted `hit`/`miss`) and a
     /// `decide` span around the source query. The `decide` span is
@@ -513,13 +761,13 @@ impl Pep {
             drop(cache_span);
             let span = parent.map(|p| p.child("decide"));
             let _guard = span.as_ref().map(|s| s.enter());
-            let resp = self.source.decide(request, now_ms);
+            let resp = self.query_source(request, now_ms);
             cache.lock().insert(key, resp.clone(), now_ms);
             resp
         } else {
             let span = parent.map(|p| p.child("decide"));
             let _guard = span.as_ref().map(|s| s.enter());
-            self.source.decide(request, now_ms)
+            self.query_source(request, now_ms)
         }
     }
 
@@ -884,6 +1132,71 @@ policy "gate" first-applicable {
         }
         assert_eq!(pdp.metrics().decisions, 1, "four hits served locally");
         assert_eq!(pep.stats().cache_hits, 4);
+    }
+
+    #[test]
+    fn capability_fastpath_skips_the_source_until_revoked() {
+        use dacs_capability::CapabilityKey;
+        let ctx = CryptoCtx::new();
+        let pap = Arc::new(Pap::new("pap.k"));
+        // No obligations: unconditional permits mint tokens.
+        let gate = r#"
+policy "gate" deny-unless-permit {
+  rule "doctors" permit {
+    condition is-in("doctor", attr(subject, "role"))
+  }
+}
+"#;
+        pap.submit("admin", parse_policy(gate).unwrap(), 0).unwrap();
+        let statics = Arc::new(StaticAttributes::new());
+        statics.add_subject_attr("alice", "role", "doctor");
+        let mut pips = PipRegistry::new();
+        pips.add(statics);
+        let pdp = Arc::new(Pdp::new(
+            "pdp.k",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("gate")),
+            Arc::new(pips),
+        ));
+        let authority = Arc::new(CapabilityAuthority::new(
+            CapabilityKey::generate(&mut StdRng::seed_from_u64(11)),
+            1_000,
+        ));
+        let pep = Pep::new(
+            "pep.k",
+            "hospital-k",
+            Arc::new(MintingSource::new(pdp.clone(), authority.clone())),
+            ctx,
+        )
+        .with_capability_fastpath(authority.clone(), 64);
+
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        for t in 0..5 {
+            assert!(pep.enforce(&req, t).allowed);
+        }
+        assert_eq!(pdp.metrics().decisions, 1, "four permits verified locally");
+        let stats = pep.stats();
+        assert_eq!(stats.tokens_minted, 1);
+        assert_eq!(stats.token_hits, 4);
+
+        // An epoch bump revokes the outstanding token: the next
+        // enforcement rejects it and re-consults the source.
+        authority.advance_epoch(dacs_pap::PolicyEpoch(1));
+        assert!(pep.enforce(&req, 5).allowed);
+        let stats = pep.stats();
+        assert_eq!(stats.token_rejects, 1);
+        assert_eq!(pdp.metrics().decisions, 2, "revocation forces a re-decide");
+        // Denies never mint: a stranger keeps hitting the source.
+        let denied = RequestContext::basic("mallory", "ehr/1", "read");
+        assert!(!pep.enforce(&denied, 6).allowed);
+        assert!(!pep.enforce(&denied, 7).allowed);
+        assert_eq!(pep.stats().tokens_minted, 2, "only alice's permits minted");
+        assert_eq!(pdp.metrics().decisions, 4);
+        // Expiry kills the fast path too (the cache TTL matches the
+        // token TTL, so the expired token ages out and a fresh source
+        // decision mints a replacement).
+        assert!(pep.enforce(&req, 2_000).allowed);
+        assert_eq!(pep.stats().tokens_minted, 3);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! `harness -- all --json bench.json`) against the committed
 //! `BENCH_baseline.json` and fails on either of:
 //!
-//! * a >25% p99 regression in the E15 fan-out latency rows, or
+//! * a >25% p99 regression in the E15 fan-out latency rows,
 //! * a >2-point availability drop in the E17 federated-cluster rows
-//!   (the clustered VO must keep answering through churn).
+//!   (the clustered VO must keep answering through churn), or
+//! * a >25% decisions/sec drop in the E18 capability-ceiling rows
+//!   (the signed-token fast path must keep its throughput edge).
 //!
 //! ```text
 //! cargo run --release -p dacs-bench --bin bench_gate -- BENCH_baseline.json bench.json
@@ -18,9 +20,18 @@
 //! The E17 availability gate ignores dips within 2 points — workload
 //! rounding at reduced `DACS_BENCH_SCALE` moves a blackout window by a
 //! request or two — while a real availability regression (a shard that
-//! stops answering) drops tens of points.
+//! stops answering) drops tens of points. The E18 throughput gate
+//! skips rows whose baseline sits at or below 1000 decisions/sec:
+//! rates that small are fixed-cost territory at smoke scale, where the
+//! percentage would measure the runner, not the fast path. On top of
+//! that floor, the committed baseline's E18 decisions/sec cells are
+//! themselves noise-floored: when refreshing `BENCH_baseline.json`,
+//! run `harness -- e18 --json` a handful of extra times and keep the
+//! per-row minimum, so the -25% bar sits below the slow edge of the
+//! runner's noise envelope and only a structural regression (the token
+//! path losing its cache and collapsing toward quorum rates) trips it.
 
-use dacs_bench::{availability_drops, parse_json_rows, regressions, BenchRow};
+use dacs_bench::{availability_drops, parse_json_rows, regressions, throughput_drops, BenchRow};
 
 /// The latency gate: experiment, metric, threshold and noise floor.
 const LAT_EXPERIMENT: &str = "e15";
@@ -35,6 +46,14 @@ const AVAIL_EXPERIMENT: &str = "e17";
 const AVAIL_METRIC: &str = "availability %";
 /// Fail when a row falls more than this many points below baseline.
 const AVAIL_MAX_DROP: f64 = 2.0;
+
+/// The throughput gate: experiment, metric, threshold and noise floor.
+const TPUT_EXPERIMENT: &str = "e18";
+const TPUT_METRIC: &str = "decisions/sec";
+/// Fail below baseline - 25%.
+const TPUT_THRESHOLD: f64 = 0.25;
+/// Skip rows whose baseline rate is at or below this magnitude.
+const TPUT_FLOOR_DPS: f64 = 1000.0;
 
 fn load(path: &str) -> Vec<BenchRow> {
     match std::fs::read_to_string(path) {
@@ -108,6 +127,7 @@ fn main() {
     let fresh = load(fresh_path);
     require_rows(&baseline, baseline_path, LAT_EXPERIMENT, LAT_METRIC);
     require_rows(&baseline, baseline_path, AVAIL_EXPERIMENT, AVAIL_METRIC);
+    require_rows(&baseline, baseline_path, TPUT_EXPERIMENT, TPUT_METRIC);
 
     println!(
         "bench_gate: {LAT_EXPERIMENT} '{LAT_METRIC}' vs {baseline_path} \
@@ -120,6 +140,12 @@ fn main() {
          (-{AVAIL_MAX_DROP:.1} points allowed)"
     );
     print_rows(&baseline, &fresh, AVAIL_EXPERIMENT, AVAIL_METRIC, "%");
+    println!(
+        "bench_gate: {TPUT_EXPERIMENT} '{TPUT_METRIC}' vs {baseline_path} \
+         (-{:.0}% allowed above {TPUT_FLOOR_DPS:.0} dps)",
+        TPUT_THRESHOLD * 100.0
+    );
+    print_rows(&baseline, &fresh, TPUT_EXPERIMENT, TPUT_METRIC, "dps");
 
     let mut bad = regressions(
         &baseline,
@@ -135,6 +161,14 @@ fn main() {
         AVAIL_EXPERIMENT,
         AVAIL_METRIC,
         AVAIL_MAX_DROP,
+    ));
+    bad.extend(throughput_drops(
+        &baseline,
+        &fresh,
+        TPUT_EXPERIMENT,
+        TPUT_METRIC,
+        TPUT_THRESHOLD,
+        TPUT_FLOOR_DPS,
     ));
     if bad.is_empty() {
         println!("bench_gate: PASS");

@@ -14,6 +14,7 @@
 //! | [`simnet`] | `dacs-simnet` | deterministic event-driven network simulator |
 //! | [`rbac`] | `dacs-rbac` | RBAC96 with hierarchies, sessions, SSD/DSD |
 //! | [`mod@assert`] | `dacs-assert` | SAML-like assertions, capabilities, attribute certificates |
+//! | [`capability`] | `dacs-capability` | signed capability fast path: HMAC tokens minted on permit, verified locally, revoked by policy epoch |
 //! | [`pip`] | `dacs-pip` | attribute providers and resolution |
 //! | [`pap`] | `dacs-pap` | versioned repository, admin policies, delegation, epoch-stamped syndication with catch-up |
 //! | [`pdp`] | `dacs-pdp` | decision engine, caching, discovery, policy-epoch exposure |
@@ -49,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub use dacs_assert as assert;
+pub use dacs_capability as capability;
 pub use dacs_cluster as cluster;
 pub use dacs_core as core;
 pub use dacs_crypto as crypto;
