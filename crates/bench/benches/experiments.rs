@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dacs_cluster::{
-    BatchSubmitter, ClusterBuilder, DecisionBackend, FanoutPool, HedgeConfig, QuorumMode,
+    BatchSubmitter, ClusterBuilder, DecisionBackend, HedgeConfig, QuorumMode, SchedulerConfig,
     StaticBackend,
 };
 use dacs_core::scenario::{clustered_healthcare_vo, healthcare_vo, with_shared_cas};
@@ -15,6 +15,7 @@ use dacs_federation::{
 };
 use dacs_pap::SyndicationTree;
 use dacs_pdp::{Binding, PdpDirectory, TtlLruCache};
+use dacs_pep::{EnforceOptions, EnforceRequest};
 use dacs_policy::conflict;
 use dacs_policy::dsl::parse_policy;
 use dacs_policy::eval::{EmptyStore, Evaluator};
@@ -383,10 +384,11 @@ fn bench_e15_fanout(c: &mut Criterion) {
                 .collect(),
         );
         if parallel {
-            builder = builder.parallel(std::sync::Arc::new(FanoutPool::new(4)));
-        }
-        if hedged {
-            builder = builder.hedge(HedgeConfig::default());
+            let mut config = SchedulerConfig::new(4);
+            if hedged {
+                config = config.with_hedge(HedgeConfig::default());
+            }
+            builder = builder.scheduler(config);
         }
         builder.build()
     };
@@ -520,7 +522,7 @@ fn bench_e17_federated(c: &mut Criterion) {
                 format!("records/{}", i % 16),
                 "read",
             );
-            d0.pep.enforce(&req, i)
+            d0.pep.serve(EnforceRequest::of(&req, i))
         })
     });
     // A 16-request PEP batch: one coalesced flush across the shard.
@@ -537,7 +539,7 @@ fn bench_e17_federated(c: &mut Criterion) {
     g.bench_function("batched_enforce_16", |b| {
         b.iter(|| {
             t += 1;
-            d0.pep.enforce_batch(&requests, t)
+            d0.pep.serve_batch(&requests, t, EnforceOptions::default())
         })
     });
     g.finish();
@@ -584,7 +586,7 @@ fn bench_e18_capability(c: &mut Criterion) {
                 format!("records/{}", i % 5),
                 "read",
             );
-            domain.pep.enforce(&req, i)
+            domain.pep.serve(EnforceRequest::of(&req, i))
         })
     });
     g.finish();

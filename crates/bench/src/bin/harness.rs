@@ -24,6 +24,11 @@
 //! the `dacs_capability_*` mint/verify/reject counters and the
 //! verify-latency histogram the e18 artifact tracks.
 //!
+//! `--lane-telemetry PATH` runs the mixed-lane scheduler scenario
+//! (`scheduler_telemetry_run`) and writes the `dacs_sched_*` families
+//! only: per-lane job counters, queue-wait histograms, and the
+//! deadline-miss counter the e19 artifact tracks.
+//!
 //! `DACS_BENCH_SCALE=N` divides every experiment's iteration count by
 //! `N` (with a floor that keeps the experiments meaningful) — the
 //! reduced-iteration knob CI smoke runs use.
@@ -32,7 +37,7 @@ use dacs_bench::table_to_json_rows;
 use dacs_core::experiments as exp;
 use dacs_core::stats::Table;
 
-const EXPERIMENT_COUNT: usize = 18;
+const EXPERIMENT_COUNT: usize = 19;
 
 /// Applies the `DACS_BENCH_SCALE` divisor to a default iteration
 /// count. Counts that are already small (≤ 100) pass through; larger
@@ -67,6 +72,7 @@ fn run(id: &str) -> Option<Table> {
         "e16" => exp::e16_replica_resync(scaled(2000)),
         "e17" => exp::e17_federated_cluster(scaled(2400)),
         "e18" => exp::e18_capability_ceiling(scaled(2400)),
+        "e19" => exp::e19_scheduler_saturation(scaled(1600)),
         _ => return None,
     })
 }
@@ -94,6 +100,7 @@ fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut capability_telemetry_path: Option<String> = None;
+    let mut lane_telemetry_path: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -113,6 +120,10 @@ fn main() {
                 Some(path) => capability_telemetry_path = Some(path),
                 None => usage(),
             },
+            "--lane-telemetry" => match iter.next() {
+                Some(path) => lane_telemetry_path = Some(path),
+                None => usage(),
+            },
             _ => ids.push(arg),
         }
     }
@@ -120,6 +131,7 @@ fn main() {
         && telemetry_path.is_none()
         && trace_path.is_none()
         && capability_telemetry_path.is_none()
+        && lane_telemetry_path.is_none()
     {
         usage();
     }
@@ -167,6 +179,14 @@ fn main() {
             &path,
             &telemetry.registry().render_text(),
             "capability telemetry text",
+        );
+    }
+    if let Some(path) = lane_telemetry_path {
+        let telemetry = exp::scheduler_telemetry_run(scaled(2400));
+        write_or_die(
+            &path,
+            &telemetry.registry().render_text_filtered("dacs_sched_"),
+            "scheduler lane telemetry text",
         );
     }
 }

@@ -8,11 +8,16 @@
 //!
 //! Batching composes with the fan-out strategy: each coalesced query is
 //! served through whatever path the cluster was built with, so on a
-//! cluster configured with [`crate::ClusterBuilder::parallel`] every
+//! cluster configured with [`crate::ClusterBuilder::scheduler`] every
 //! flushed query fans out to its shard's replicas concurrently (and
-//! hedges, if configured) exactly like a direct `decide` call.
+//! hedges, if configured) exactly like a direct `decide` call. Each
+//! query carries a [`DecisionClass`] into the scheduler's priority
+//! lanes; [`BatchSubmitter::submit`] uses the default class and
+//! [`BatchSubmitter::submit_classed`] lets callers tag individual
+//! queries (a batch may mix lanes freely).
 
 use crate::cluster::{ClusterOutcome, PdpCluster};
+use dacs_pdp::DecisionClass;
 use dacs_policy::request::RequestContext;
 use std::collections::HashMap;
 
@@ -31,6 +36,7 @@ struct Pending {
     shard: usize,
     key: Vec<u8>,
     request: RequestContext,
+    class: DecisionClass,
 }
 
 /// Collects queries and evaluates them per shard on flush.
@@ -48,8 +54,15 @@ impl<'a> BatchSubmitter<'a> {
         }
     }
 
-    /// Queues one query; the returned ticket indexes the flush result.
+    /// Queues one query under the default [`DecisionClass`]; the
+    /// returned ticket indexes the flush result.
     pub fn submit(&mut self, request: RequestContext) -> Ticket {
+        self.submit_classed(request, DecisionClass::default())
+    }
+
+    /// Queues one query under an explicit [`DecisionClass`], steering
+    /// its fan-out jobs into the matching scheduler lane at flush time.
+    pub fn submit_classed(&mut self, request: RequestContext, class: DecisionClass) -> Ticket {
         // Routing happens here, not at flush; the span sits with it so
         // batched traces still decompose into route + fanout stages.
         let _route = self.cluster.telemetry().map(|t| t.tracer().span("route"));
@@ -59,6 +72,7 @@ impl<'a> BatchSubmitter<'a> {
             shard,
             key: request.to_canonical_bytes(),
             request,
+            class,
         });
         ticket
     }
@@ -101,7 +115,9 @@ impl<'a> BatchSubmitter<'a> {
                     prior.clone()
                 }
                 None => {
-                    let outcome = self.cluster.decide_on_shard(p.shard, &p.request, now_ms);
+                    let outcome = self
+                        .cluster
+                        .decide_on_shard(p.shard, &p.request, now_ms, p.class);
                     answered.insert(p.key.as_slice(), outcome.clone());
                     outcome
                 }
@@ -181,10 +197,9 @@ mod tests {
 
     #[test]
     fn batches_flush_through_the_parallel_fanout() {
-        let pool = std::sync::Arc::new(crate::FanoutPool::new(4));
         let mut builder = ClusterBuilder::new("batch-par")
             .quorum(QuorumMode::Majority)
-            .parallel(pool);
+            .scheduler(crate::SchedulerConfig::new(4));
         for s in 0..2 {
             builder = builder.shard(
                 (0..3)
@@ -198,11 +213,16 @@ mod tests {
         let cluster = builder.build();
         let mut batch = BatchSubmitter::new(&cluster);
         for i in 0..12 {
-            batch.submit(RequestContext::basic(
-                format!("user-{}", i % 4),
-                format!("res/{}", i % 3),
-                "read",
-            ));
+            // Mix lanes: classed submissions ride the same flush.
+            let class = if i % 2 == 0 {
+                DecisionClass::interactive()
+            } else {
+                DecisionClass::bulk()
+            };
+            batch.submit_classed(
+                RequestContext::basic(format!("user-{}", i % 4), format!("res/{}", i % 3), "read"),
+                class,
+            );
         }
         let outcomes = batch.flush(0);
         assert_eq!(outcomes.len(), 12);

@@ -1,11 +1,11 @@
 //! The cluster facade: router + replica groups + directory + metrics.
 
-use crate::fanout::{FanoutPool, HedgeConfig};
+use crate::fanout::{FanoutPool, HedgeConfig, SchedulerConfig};
 use crate::metrics::ClusterMetrics;
 use crate::quorum::QuorumMode;
-use crate::replica::{DecisionBackend, GroupOutcome, ReplicaGroup, ReplicaPhase};
+use crate::replica::{DecisionBackend, FanoutPlan, GroupOutcome, ReplicaGroup, ReplicaPhase};
 use crate::shard::ShardRouter;
-use dacs_pdp::{HealthState, PdpDirectory};
+use dacs_pdp::{DecisionClass, HealthState, PdpDirectory};
 use dacs_policy::eval::Response;
 use dacs_policy::request::RequestContext;
 use dacs_telemetry::{Counter, Histogram, Telemetry};
@@ -37,6 +37,7 @@ pub struct ClusterBuilder {
     directory: Option<Arc<PdpDirectory>>,
     pool: Option<Arc<FanoutPool>>,
     hedge: Option<HedgeConfig>,
+    scheduler: Option<SchedulerConfig>,
     resync: bool,
     telemetry: Option<Arc<Telemetry>>,
     audit_every: usize,
@@ -54,6 +55,7 @@ impl ClusterBuilder {
             directory: None,
             pool: None,
             hedge: None,
+            scheduler: None,
             resync: false,
             telemetry: None,
             audit_every: 0,
@@ -96,20 +98,32 @@ impl ClusterBuilder {
         self
     }
 
-    /// Serves fan-out queries from `pool` instead of sequentially on
-    /// the caller's thread, so quorum latency tracks the slowest
-    /// replica the quorum still *needs* (with short-circuit
-    /// cancellation) rather than the sum of all replicas.
+    /// Configures the decision scheduler — the single dispatch knob
+    /// bundle. The cluster builds its own [`FanoutPool`] of
+    /// `config.workers` threads (instrumented with the builder's
+    /// telemetry, when any), enables hedging when `config.hedge` is
+    /// set, and — under [`QuorumMode::Majority`] with
+    /// `config.adaptive_fanout` — dispatches only quorum-width replicas
+    /// per query, escalating to EWMA-ranked backups on budget overrun
+    /// or a contested vote. Without a scheduler (or the deprecated
+    /// [`ClusterBuilder::parallel`]), queries evaluate sequentially on
+    /// the caller's thread.
+    pub fn scheduler(mut self, config: SchedulerConfig) -> Self {
+        self.scheduler = Some(config);
+        self
+    }
+
+    /// Serves fan-out queries from a caller-owned `pool` instead of
+    /// sequentially on the caller's thread.
+    #[deprecated(note = "use scheduler(SchedulerConfig::new(workers))")]
     pub fn parallel(mut self, pool: Arc<FanoutPool>) -> Self {
         self.pool = Some(pool);
         self
     }
 
     /// Enables hedged requests for [`QuorumMode::FirstHealthy`]
-    /// decisions served through a parallel pool: when the primary
-    /// replica overruns its EWMA-derived latency budget, a hedge query
-    /// races it on the next-best replica. No effect without
-    /// [`ClusterBuilder::parallel`].
+    /// decisions served through a parallel pool.
+    #[deprecated(note = "use scheduler(SchedulerConfig::new(workers).with_hedge(config))")]
     pub fn hedge(mut self, config: HedgeConfig) -> Self {
         self.hedge = Some(config);
         self
@@ -191,14 +205,35 @@ impl ClusterBuilder {
                 }
             }
         }
+        // A caller-owned pool (the deprecated `parallel` path) wins
+        // over the scheduler's worker count; either way the scheduler's
+        // hedging/adaptive settings apply, with an explicitly set
+        // `hedge` kept for compatibility.
+        let pool = self.pool.or_else(|| {
+            self.scheduler.as_ref().map(|cfg| {
+                let pool = FanoutPool::for_scheduler(cfg);
+                Arc::new(match &telemetry {
+                    Some(t) => pool.with_telemetry(t),
+                    None => pool,
+                })
+            })
+        });
+        let hedge = self
+            .hedge
+            .or_else(|| self.scheduler.as_ref().and_then(|cfg| cfg.hedge));
+        let adaptive = self
+            .scheduler
+            .as_ref()
+            .is_some_and(|cfg| cfg.adaptive_fanout);
         PdpCluster {
             router: ShardRouter::with_vnodes(groups.len(), self.vnodes),
             name: self.name,
             groups,
             directory,
             quorum: self.quorum,
-            pool: self.pool,
-            hedge: self.hedge,
+            pool,
+            hedge,
+            adaptive,
             resync: self.resync,
             audit_every: self.audit_every,
             telemetry: telemetry.map(ClusterTelemetry::new),
@@ -216,6 +251,9 @@ struct ClusterTelemetry {
     hedges: Arc<Counter>,
     hedge_wins: Arc<Counter>,
     decide_us: Arc<Histogram>,
+    /// Queries per batch flush — the coalescing proof: values > 1 mean
+    /// concurrent enforcements actually rode one flush.
+    batch_size: Arc<Histogram>,
 }
 
 impl ClusterTelemetry {
@@ -227,6 +265,7 @@ impl ClusterTelemetry {
             hedges: r.counter("dacs_cluster_hedges_total"),
             hedge_wins: r.counter("dacs_cluster_hedge_wins_total"),
             decide_us: r.histogram("dacs_cluster_decide_us"),
+            batch_size: r.histogram("dacs_batch_size"),
             telemetry,
         }
     }
@@ -241,6 +280,7 @@ pub struct PdpCluster {
     quorum: QuorumMode,
     pool: Option<Arc<FanoutPool>>,
     hedge: Option<HedgeConfig>,
+    adaptive: bool,
     resync: bool,
     audit_every: usize,
     telemetry: Option<ClusterTelemetry>,
@@ -357,8 +397,21 @@ impl PdpCluster {
         self.telemetry.as_ref().map(|t| &t.telemetry)
     }
 
-    /// Serves one decision: route to a shard, fan out, combine.
+    /// Serves one decision on the Default scheduling lane: route to a
+    /// shard, fan out, combine.
     pub fn decide(&self, request: &RequestContext, now_ms: u64) -> ClusterOutcome {
+        self.decide_classed(request, now_ms, DecisionClass::default())
+    }
+
+    /// Serves one decision on `class`'s scheduling lane (with its
+    /// deadline carried into the fan-out pool's deadline-aware pop):
+    /// route to a shard, fan out, combine.
+    pub fn decide_classed(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> ClusterOutcome {
         // Umbrella span: child of the caller's current span (the PEP's
         // `decide`, normally) or a fresh root for bare cluster use.
         let umbrella = self
@@ -373,7 +426,7 @@ impl PdpCluster {
                 .map(|t| t.telemetry.tracer().span("route"));
             self.router.shard_for(request)
         };
-        self.decide_on_shard(shard, request, now_ms)
+        self.decide_on_shard(shard, request, now_ms, class)
     }
 
     /// Serves a decision on an explicit shard (used by the batcher,
@@ -383,6 +436,7 @@ impl PdpCluster {
         shard: usize,
         request: &RequestContext,
         now_ms: u64,
+        class: DecisionClass,
     ) -> ClusterOutcome {
         let start = Instant::now();
         let group = &self.groups[shard];
@@ -396,13 +450,17 @@ impl PdpCluster {
                 .map(|t| t.telemetry.tracer().span("fanout"));
             let _in_fanout = fanout.as_ref().map(|s| s.enter());
             match &self.pool {
-                Some(pool) => group.query_parallel(
+                Some(pool) => group.query_planned(
                     &self.directory,
                     self.quorum,
                     request,
                     now_ms,
-                    pool,
-                    self.hedge.as_ref(),
+                    &FanoutPlan {
+                        pool,
+                        hedge: self.hedge.as_ref(),
+                        adaptive: self.adaptive,
+                        class,
+                    },
                 ),
                 None => group.query(&self.directory, self.quorum, request, now_ms),
             }
@@ -430,6 +488,10 @@ impl PdpCluster {
         let mut m = self.metrics.lock();
         m.queries += 1;
         m.replica_queries += outcome.replicas_queried as u64;
+        if self.adaptive && self.quorum.fans_out() {
+            // Eligible replicas the adaptive quorum never had to query.
+            m.fanout_saved += outcome.healthy.saturating_sub(outcome.replicas_queried) as u64;
+        }
         m.hedges += outcome.hedges as u64;
         m.hedge_wins += outcome.hedge_won as u64;
         m.stale_decisions_avoided += outcome.stale_excluded as u64;
@@ -490,6 +552,10 @@ impl PdpCluster {
         m.batches += 1;
         m.batched_queries += submitted as u64;
         m.coalesced += coalesced as u64;
+        drop(m);
+        if let Some(t) = &self.telemetry {
+            t.batch_size.record(submitted as u64);
+        }
     }
 
     /// Snapshot of the cluster counters.
@@ -565,7 +631,6 @@ mod tests {
 
     #[test]
     fn parallel_cluster_decides_and_counts_like_sequential() {
-        let pool = Arc::new(crate::FanoutPool::new(4));
         let sequential = permit_cluster(2, 3, QuorumMode::Majority);
         let parallel = {
             let mut builder = ClusterBuilder::new("par").quorum(QuorumMode::Majority);
@@ -579,7 +644,7 @@ mod tests {
                         .collect(),
                 );
             }
-            builder.parallel(pool).build()
+            builder.scheduler(SchedulerConfig::new(4)).build()
         };
         for i in 0..20 {
             let req = RequestContext::basic(format!("u{i}"), format!("res/{}", i % 4), "read");
@@ -597,21 +662,117 @@ mod tests {
         assert_eq!(m.hedges, 0, "quorum fan-out never hedges");
     }
 
+    /// Tentpole (ISSUE 8): with `adaptive_fanout` on, an agreeing
+    /// 5-replica majority shard is served by quorum-width dispatch —
+    /// three sub-queries per decision, the two spares never touched —
+    /// and the savings land in [`ClusterMetrics::fanout_saved`].
+    #[test]
+    fn adaptive_scheduler_queries_only_quorum_width_and_counts_savings() {
+        let mut builder = ClusterBuilder::new("adaptive")
+            .quorum(QuorumMode::Majority)
+            .scheduler(SchedulerConfig::new(4).with_adaptive_fanout(true));
+        builder = builder.shard(
+            (0..5)
+                .map(|r| {
+                    Arc::new(StaticBackend::new(format!("a-r{r}"), Decision::Permit))
+                        as Arc<dyn DecisionBackend>
+                })
+                .collect(),
+        );
+        let cluster = builder.build();
+        for i in 0..10 {
+            let req = RequestContext::basic(format!("u{i}"), "ehr/1", "read");
+            let out = cluster.decide(&req, i);
+            assert_eq!(out.response.unwrap().decision, Decision::Permit);
+            assert_eq!(out.replicas_queried, 3, "quorum width of five");
+        }
+        let m = cluster.metrics();
+        assert_eq!(m.queries, 10);
+        assert_eq!(m.replica_queries, 30);
+        assert_eq!(m.fanout_saved, 20, "two spare replicas saved per query");
+        assert!((m.amplification() - 3.0).abs() < 1e-9);
+        assert_eq!(m.hedges, 0, "agreement never escalates");
+    }
+
+    /// Tentpole (ISSUE 8): verdict-driven cancellation reaches *below*
+    /// the job boundary. Once the two fast replicas form a majority,
+    /// the 300 ms straggler observes the [`crate::CancelToken`]
+    /// mid-sleep and abandons — the decision returns fast, the
+    /// straggler's span closes as `cancelled:` long before its sleep
+    /// would have ended, and dropping the cluster joins the workers
+    /// promptly instead of leaking one inside the sleep.
+    #[test]
+    fn majority_short_circuit_abandons_slow_replica_mid_flight() {
+        use crate::replica::SlowBackend;
+        use dacs_telemetry::Telemetry;
+        let telemetry = Arc::new(Telemetry::new());
+        let cluster = ClusterBuilder::new("cancel-midflight")
+            .quorum(QuorumMode::Majority)
+            .scheduler(SchedulerConfig::new(4))
+            .telemetry(Arc::clone(&telemetry))
+            .shard(vec![
+                Arc::new(StaticBackend::new("m-fast-0", Decision::Permit))
+                    as Arc<dyn DecisionBackend>,
+                Arc::new(StaticBackend::new("m-fast-1", Decision::Permit))
+                    as Arc<dyn DecisionBackend>,
+                Arc::new(SlowBackend::new(
+                    "m-slow",
+                    Decision::Deny,
+                    std::time::Duration::from_millis(300),
+                )) as Arc<dyn DecisionBackend>,
+            ])
+            .build();
+        let req = RequestContext::basic("alice", "ehr/1", "read");
+        let started = std::time::Instant::now();
+        let out = cluster.decide(&req, 0);
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(150),
+            "majority waited for the straggler: {:?}",
+            started.elapsed()
+        );
+        // The straggler must close a `cancelled:` span well inside its
+        // 300 ms sleep — proof the token was observed mid-flight.
+        let spans = wait_for_spans(&telemetry, "all three dispatches to close", |spans| {
+            spans.iter().filter(|s| s.stage == "replica_decide").count() == 3
+        });
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(250),
+            "straggler slept through its cancel token: {:?}",
+            started.elapsed()
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.stage == "replica_decide"
+                    && s.note.as_deref() == Some("cancelled:m-slow")),
+            "spans: {spans:?}"
+        );
+        assert_eq!(telemetry.tracer().dropped(), 0);
+        // Workers are idle again: teardown joins without waiting out
+        // any abandoned sleep.
+        let teardown = std::time::Instant::now();
+        drop(cluster);
+        assert!(
+            teardown.elapsed() < std::time::Duration::from_millis(100),
+            "pool drop blocked on a leaked worker: {:?}",
+            teardown.elapsed()
+        );
+    }
+
     /// Regression (ISSUE 2): with a primary replica sleeping past the
     /// hedge budget, the hedged path must return the fast replica's
     /// decision and record exactly one hedge in [`ClusterMetrics`].
     #[test]
     fn hedged_decision_returns_fast_replica_and_records_one_hedge() {
         use crate::replica::SlowBackend;
-        let pool = Arc::new(crate::FanoutPool::new(4));
         let cluster = ClusterBuilder::new("hedge-test")
             .quorum(QuorumMode::FirstHealthy)
-            .parallel(pool)
-            .hedge(crate::HedgeConfig {
+            .scheduler(SchedulerConfig::new(4).with_hedge(crate::HedgeConfig {
                 budget_multiplier: 3.0,
                 min_budget_us: 2_000,
                 max_hedges: 1,
-            })
+            }))
             .shard(vec![
                 // The sleepy primary is first in configured order…
                 Arc::new(SlowBackend::new(
@@ -652,10 +813,9 @@ mod tests {
     #[test]
     fn audit_sampler_observes_divergence_hidden_by_short_circuit() {
         use crate::replica::SlowBackend;
-        let pool = Arc::new(crate::FanoutPool::new(4));
         let cluster = ClusterBuilder::new("audit-test")
             .quorum(QuorumMode::Majority)
-            .parallel(pool)
+            .scheduler(SchedulerConfig::new(4))
             .audit_every(2)
             .shard(vec![
                 Arc::new(StaticBackend::new("a-fast-0", Decision::Permit))
@@ -809,15 +969,13 @@ mod tests {
         use crate::replica::SlowBackend;
         use dacs_telemetry::Telemetry;
         let telemetry = Arc::new(Telemetry::new());
-        let pool = Arc::new(crate::FanoutPool::new(2).with_telemetry(&telemetry));
         let cluster = ClusterBuilder::new("hedge-spans")
             .quorum(QuorumMode::FirstHealthy)
-            .parallel(pool)
-            .hedge(crate::HedgeConfig {
+            .scheduler(SchedulerConfig::new(2).with_hedge(crate::HedgeConfig {
                 budget_multiplier: 3.0,
                 min_budget_us: 2_000,
                 max_hedges: 1,
-            })
+            }))
             .telemetry(Arc::clone(&telemetry))
             .shard(vec![
                 Arc::new(SlowBackend::new(
@@ -848,7 +1006,9 @@ mod tests {
         );
 
         // Both dispatches must eventually close a span: the hedge right
-        // away, the sleeping primary ~120ms after decide returned.
+        // away, and the sleeping primary as soon as it observes the
+        // verdict's cancel token mid-sleep and abandons — noted
+        // `cancelled:` because its vote was withdrawn, not answered.
         let spans = wait_for_spans(&telemetry, "primary + hedge replica spans", |spans| {
             spans.iter().filter(|s| s.stage == "replica_decide").count() == 2
         });
@@ -857,7 +1017,7 @@ mod tests {
                 .iter()
                 .find(|s| s.stage == "replica_decide" && s.note.as_deref() == Some(role))
         };
-        assert!(note("primary:h-sleepy").is_some(), "spans: {spans:?}");
+        assert!(note("cancelled:h-sleepy").is_some(), "spans: {spans:?}");
         assert!(note("hedge:h-fast").is_some(), "spans: {spans:?}");
         assert_eq!(telemetry.tracer().dropped(), 0);
         assert!(
@@ -887,7 +1047,6 @@ mod tests {
         use crate::replica::SlowBackend;
         use dacs_telemetry::Telemetry;
         let telemetry = Arc::new(Telemetry::new());
-        let pool = Arc::new(crate::FanoutPool::new(1));
         let mut shard: Vec<Arc<dyn DecisionBackend>> =
             vec![Arc::new(StaticBackend::new("c-deny", Decision::Deny))];
         for i in 0..4 {
@@ -899,7 +1058,7 @@ mod tests {
         }
         let cluster = ClusterBuilder::new("cancel-spans")
             .quorum(QuorumMode::UnanimousFailClosed)
-            .parallel(pool)
+            .scheduler(SchedulerConfig::new(1))
             .telemetry(Arc::clone(&telemetry))
             .shard(shard)
             .build();

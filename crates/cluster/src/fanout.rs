@@ -1,22 +1,34 @@
-//! Parallel fan-out: a worker-thread pool that dispatches decision
-//! queries to all healthy replicas of a shard concurrently, so quorum
-//! latency is bounded by the *slowest replica the quorum still needs*
-//! instead of the sum of every replica — plus tail-latency hedging.
+//! The decision scheduler: a priority-lane runqueue feeding a fixed
+//! worker pool, so quorum latency is bounded by the *slowest replica
+//! the quorum still needs* instead of the sum of every replica — and
+//! so a bulk audit sweep can never queue an interactive decision
+//! behind it.
 //!
-//! Three pieces cooperate:
+//! Four pieces cooperate:
 //!
-//! * [`FanoutPool`] — a fixed set of worker threads fed through a job
-//!   queue. One pool serves a whole cluster; per-query thread spawning
-//!   would dominate sub-millisecond decisions.
-//! * [`CancelFlag`] — a shared flag set the moment a quorum verdict is
-//!   reached. Queued jobs that have not started yet observe it and
-//!   return immediately, so losers stop work instead of burning a
-//!   worker on an answer nobody will read.
-//! * [`HedgeConfig`] — the tail-latency policy: when the primary
-//!   replica has not answered within its latency budget (derived from
-//!   the per-replica EWMA kept in [`dacs_pdp::PdpDirectory`]), a hedge
-//!   query is dispatched to the next-best replica and the first answer
-//!   wins.
+//! * [`FanoutPool`] — worker threads fed from three runqueues, one per
+//!   [`Priority`] lane (Interactive / Default / Bulk). The pop rule is
+//!   deadline-aware strict priority: an overdue job (its
+//!   [`DecisionClass::deadline_us`] has elapsed) runs first whatever
+//!   its lane, otherwise Interactive overtakes Default overtakes Bulk,
+//!   with a small anti-starvation quota (every
+//!   [`FanoutPool::YIELD_EVERY`]th pop services the lowest non-empty
+//!   lane) so a hot interactive lane cannot park bulk work forever.
+//!   One pool serves a whole cluster; per-query thread spawning would
+//!   dominate sub-millisecond decisions.
+//! * [`CancelToken`] — a shared flag set the moment a quorum verdict
+//!   is reached. Queued jobs that have not started observe it at
+//!   dequeue and return immediately; *running* jobs observe it inside
+//!   `DecisionBackend::decide_cancellable` and abandon the evaluation
+//!   mid-flight, so losers stop work instead of burning a worker on an
+//!   answer nobody will read.
+//! * [`HedgeConfig`] — the tail-latency policy: when a replica has not
+//!   answered within its latency budget (derived from the per-replica
+//!   EWMA kept in [`dacs_pdp::PdpDirectory`]), a hedge query is
+//!   dispatched to the next-best replica and the first answer wins.
+//! * [`SchedulerConfig`] — the single knob bundle
+//!   `ClusterBuilder::scheduler` consumes: worker count, hedging, and
+//!   adaptive (quorum-width) fan-out.
 //!
 //! # Examples
 //!
@@ -31,38 +43,43 @@
 //! assert_eq!(pool.workers(), 4);
 //! ```
 
-use dacs_pdp::PdpDirectory;
+use dacs_pdp::{DecisionClass, PdpDirectory, Priority};
 use dacs_telemetry::{Counter, Histogram, Telemetry};
-use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// A job queued on the fan-out pool.
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A cooperative cancellation flag shared by every job of one fan-out.
+/// A cooperative cancellation token shared by every job of one fan-out.
 ///
-/// Set once the quorum verdict is known; jobs still waiting in the pool
-/// queue check it before starting and return without evaluating.
-/// Cloning shares the flag.
+/// Set once the quorum verdict is known. Jobs still waiting in a
+/// runqueue check it before starting and return without evaluating;
+/// jobs already *running* receive it through
+/// `DecisionBackend::decide_cancellable` and may abandon the evaluation
+/// mid-flight. Cloning shares the token.
 #[derive(Clone, Debug, Default)]
-pub struct CancelFlag(Arc<AtomicBool>);
+pub struct CancelToken(Arc<AtomicBool>);
 
-impl CancelFlag {
-    /// Creates a fresh, uncancelled flag.
+/// The token's pre-scheduler name, kept for source compatibility.
+#[deprecated(note = "renamed to CancelToken")]
+pub type CancelFlag = CancelToken;
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Signals every holder of the flag to stop before doing new work.
+    /// Signals every holder of the token to stop before doing new work.
     pub fn cancel(&self) {
         self.0.store(true, Ordering::Release);
     }
 
-    /// Whether the fan-out this flag belongs to has been cancelled.
+    /// Whether the fan-out this token belongs to has been cancelled.
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
     }
@@ -83,7 +100,9 @@ impl CancelFlag {
 /// Once the budget elapses without an answer, one hedge query is
 /// dispatched to the lowest-EWMA healthy replica not yet queried, up to
 /// `max_hedges` times per decision; the first answer (primary or hedge)
-/// wins.
+/// wins. Under adaptive quorum-width fan-out the same budget arms the
+/// backup escalation timer: a needed vote that overruns it pulls the
+/// next-best undispatched replica into the quorum.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct HedgeConfig {
     /// Budget as a multiple of the backup replica's EWMA latency.
@@ -116,26 +135,114 @@ impl HedgeConfig {
     }
 }
 
-/// A small, fixed pool of worker threads that runs fan-out jobs.
+/// Everything `ClusterBuilder::scheduler` needs to know about how a
+/// cluster dispatches replica work: the worker-pool width, the hedging
+/// policy, and whether fan-out is adaptive (quorum-width dispatch with
+/// EWMA-chosen replicas and escalation on overrun) or full-width.
 ///
-/// Jobs are dequeued in submission order, so callers dispatch to their
-/// likely-fastest replicas first. Dropping the pool closes the queue
-/// and joins every worker.
-pub struct FanoutPool {
-    queue: Mutex<Option<Sender<Job>>>,
-    workers: usize,
-    handles: Mutex<Vec<JoinHandle<()>>>,
-    telemetry: Option<PoolTelemetry>,
+/// Non-exhaustive so future scheduling knobs (lane weights, batch
+/// windows per lane, …) can land without breaking construction: build
+/// with [`SchedulerConfig::new`] and the `with_*` methods.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct SchedulerConfig {
+    /// Worker threads in the fan-out pool.
+    pub workers: usize,
+    /// Tail-latency hedging policy; `None` disables hedging.
+    pub hedge: Option<HedgeConfig>,
+    /// Dispatch only quorum-width replicas (chosen by directory EWMA)
+    /// instead of every eligible one, escalating to backups on budget
+    /// overrun or disagreement. Decision-equivalent to full fan-out;
+    /// saves `eligible − quorum` evaluations per query.
+    pub adaptive_fanout: bool,
 }
 
-/// Pre-resolved pool metrics: queue-wait is the submit→start gap, the
-/// piece of decision latency the scheduler PR will target.
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig::new(4)
+    }
+}
+
+impl SchedulerConfig {
+    /// A scheduler with `workers` pool threads, no hedging, full
+    /// fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "fan-out pool needs at least one worker");
+        SchedulerConfig {
+            workers,
+            hedge: None,
+            adaptive_fanout: false,
+        }
+    }
+
+    /// Enables hedged requests under `config`.
+    pub fn with_hedge(mut self, config: HedgeConfig) -> Self {
+        self.hedge = Some(config);
+        self
+    }
+
+    /// Enables adaptive quorum-width fan-out.
+    pub fn with_adaptive_fanout(mut self, enabled: bool) -> Self {
+        self.adaptive_fanout = enabled;
+        self
+    }
+}
+
+/// One queued job plus its scheduling envelope.
+struct LaneJob {
+    job: Job,
+    lane: usize,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+/// The three runqueues plus shutdown/anti-starvation state.
+struct SchedState {
+    lanes: [VecDeque<LaneJob>; 3],
+    open: bool,
+    since_yield: u32,
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    state: Mutex<SchedState>,
+    available: Condvar,
+    telemetry: OnceLock<PoolTelemetry>,
+}
+
+/// Pre-resolved pool metrics: queue-wait is the submit→start gap —
+/// per-lane histograms make lane isolation measurable (the registry
+/// has no label support, so each lane gets its own metric name).
 struct PoolTelemetry {
     jobs: Arc<Counter>,
     queue_wait_us: Arc<Histogram>,
+    lane_jobs: [Arc<Counter>; 3],
+    lane_wait_us: [Arc<Histogram>; 3],
+    deadline_misses: Arc<Counter>,
+}
+
+/// A small, fixed pool of worker threads that runs fan-out jobs from
+/// per-[`Priority`] runqueues with deadline-aware pop.
+///
+/// Within a lane, jobs are dequeued in submission order, so callers
+/// dispatch to their likely-fastest replicas first. Dropping the pool
+/// closes the queues and joins every worker after the backlog drains.
+pub struct FanoutPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: parking_lot::Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl FanoutPool {
+    /// Every `YIELD_EVERY`th pop services the lowest-priority non-empty
+    /// lane, bounding bulk-lane starvation under a saturated
+    /// interactive lane to a `1/YIELD_EVERY` share of the workers.
+    pub const YIELD_EVERY: u32 = 16;
+
     /// Spawns a pool of `workers` threads.
     ///
     /// # Panics
@@ -143,34 +250,56 @@ impl FanoutPool {
     /// Panics if `workers` is zero.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "fan-out pool needs at least one worker");
-        let (tx, rx) = std::sync::mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                open: true,
+                since_yield: 0,
+            }),
+            available: Condvar::new(),
+            telemetry: OnceLock::new(),
+        });
         let handles = (0..workers)
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("dacs-fanout-{i}"))
-                    .spawn(move || worker_loop(rx))
+                    .spawn(move || worker_loop(shared))
                     .expect("spawn fan-out worker")
             })
             .collect();
         FanoutPool {
-            queue: Mutex::new(Some(tx)),
+            shared,
             workers,
-            handles: Mutex::new(handles),
-            telemetry: None,
+            handles: parking_lot::Mutex::new(handles),
         }
     }
 
+    /// Builds the pool a [`SchedulerConfig`] asks for (hedging and
+    /// adaptive fan-out live on the cluster, not the pool).
+    pub fn for_scheduler(config: &SchedulerConfig) -> Self {
+        FanoutPool::new(config.workers)
+    }
+
     /// Attaches observability (builder style): every job increments
-    /// `dacs_fanout_jobs_total` and records its queue wait — the gap
-    /// between submission and a worker picking it up — into the
-    /// `dacs_fanout_queue_wait_us` histogram.
-    pub fn with_telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
+    /// `dacs_fanout_jobs_total` and its lane's
+    /// `dacs_sched_jobs_total_<lane>`, and records its queue wait — the
+    /// gap between submission and a worker picking it up — into both
+    /// the pooled `dacs_fanout_queue_wait_us` histogram and the
+    /// per-lane `dacs_sched_queue_wait_us_<lane>` one. Jobs that start
+    /// after their deadline count in `dacs_sched_deadline_miss_total`.
+    pub fn with_telemetry(self, telemetry: &Arc<Telemetry>) -> Self {
         let r = telemetry.registry();
-        self.telemetry = Some(PoolTelemetry {
+        let per_lane_counter =
+            |p: Priority| r.counter(&format!("dacs_sched_jobs_total_{}", p.label()));
+        let per_lane_hist =
+            |p: Priority| r.histogram(&format!("dacs_sched_queue_wait_us_{}", p.label()));
+        let _ = self.shared.telemetry.set(PoolTelemetry {
             jobs: r.counter("dacs_fanout_jobs_total"),
             queue_wait_us: r.histogram("dacs_fanout_queue_wait_us"),
+            lane_jobs: Priority::ALL.map(per_lane_counter),
+            lane_wait_us: Priority::ALL.map(per_lane_hist),
+            deadline_misses: r.counter("dacs_sched_deadline_miss_total"),
         });
         self
     }
@@ -180,68 +309,148 @@ impl FanoutPool {
         self.workers
     }
 
-    /// Enqueues one job; a no-op after shutdown.
-    pub(crate) fn submit(&self, job: Job) {
-        let job: Job = match &self.telemetry {
-            Some(t) => {
-                let jobs = Arc::clone(&t.jobs);
-                let queue_wait = Arc::clone(&t.queue_wait_us);
-                let enqueued = Instant::now();
-                Box::new(move || {
-                    jobs.inc();
-                    queue_wait.record(enqueued.elapsed().as_micros() as u64);
-                    job();
-                })
-            }
-            None => job,
-        };
-        if let Some(tx) = self.queue.lock().as_ref() {
-            // Send only fails when every worker has exited (shutdown
-            // race); the fan-out collector then sees a disconnect.
-            let _ = tx.send(job);
-        }
+    /// Jobs currently waiting in the runqueues (not yet started).
+    pub fn backlog(&self) -> usize {
+        let state = lock(&self.shared.state);
+        state.lanes.iter().map(|q| q.len()).sum()
     }
+
+    /// Enqueues one job on the Default lane; a no-op after shutdown.
+    #[cfg(test)]
+    pub(crate) fn submit(&self, job: Job) {
+        self.submit_classed(job, DecisionClass::default());
+    }
+
+    /// Enqueues one job on `class.priority`'s lane, carrying the
+    /// class's wall-clock deadline for deadline-aware pop; a no-op
+    /// after shutdown.
+    pub(crate) fn submit_classed(&self, job: Job, class: DecisionClass) {
+        let now = Instant::now();
+        let lane_job = LaneJob {
+            job,
+            lane: class.priority.lane(),
+            enqueued: now,
+            deadline: class
+                .deadline_us
+                .map(|us| now + std::time::Duration::from_micros(us)),
+        };
+        let mut state = lock(&self.shared.state);
+        if !state.open {
+            return;
+        }
+        state.lanes[lane_job.lane].push_back(lane_job);
+        drop(state);
+        self.shared.available.notify_one();
+    }
+}
+
+/// Locks a scheduler mutex, shrugging off poisoning: jobs run outside
+/// the lock, so a panicked worker leaves the queues consistent.
+fn lock(mutex: &Mutex<SchedState>) -> MutexGuard<'_, SchedState> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl Drop for FanoutPool {
     fn drop(&mut self) {
-        // Closing the channel ends every worker's recv loop.
-        self.queue.lock().take();
+        // Closing the queues ends every worker's wait loop once the
+        // backlog drains (queued jobs still run, matching the old
+        // channel semantics).
+        lock(&self.shared.state).open = false;
+        self.shared.available.notify_all();
         for handle in self.handles.lock().drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Worker body: serialize dequeueing behind the mutex, run jobs outside
-/// it, exit when the queue disconnects.
+/// The deadline-aware pop (the `select_next_task` of this scheduler):
+///
+/// 1. **Deadline promotion** — if any lane's head job is already past
+///    its deadline, pop the most overdue one, whatever its lane.
+/// 2. **Anti-starvation quota** — every [`FanoutPool::YIELD_EVERY`]th
+///    pop services the lowest-priority non-empty lane.
+/// 3. **Strict priority** — otherwise Interactive, then Default, then
+///    Bulk, FIFO within the lane.
+fn select_next_job(state: &mut SchedState, now: Instant) -> Option<LaneJob> {
+    let overdue = state
+        .lanes
+        .iter()
+        .enumerate()
+        .filter_map(|(lane, q)| {
+            let deadline = q.front()?.deadline?;
+            (deadline <= now).then_some((deadline, lane))
+        })
+        .min();
+    if let Some((_, lane)) = overdue {
+        return state.lanes[lane].pop_front();
+    }
+    if state.lanes.iter().any(|q| !q.is_empty()) {
+        state.since_yield += 1;
+        if state.since_yield >= FanoutPool::YIELD_EVERY {
+            state.since_yield = 0;
+            if let Some(lane) = (0..state.lanes.len())
+                .rev()
+                .find(|&l| !state.lanes[l].is_empty())
+            {
+                return state.lanes[lane].pop_front();
+            }
+        }
+    }
+    state.lanes.iter_mut().find_map(|q| q.pop_front())
+}
+
+/// Worker body: pop under the lock, run jobs outside it, exit when the
+/// queues are closed and drained.
 ///
 /// Jobs run under `catch_unwind` so a panicking backend costs one
 /// answer (the collector sees the job's channel sender drop), not a
 /// worker: without it, N panics would silently drain an N-worker pool
 /// and every later parallel decision would report unavailable.
-fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(shared: Arc<Shared>) {
     loop {
-        let job = {
-            let queue = rx.lock();
-            queue.recv()
-        };
-        match job {
-            Ok(job) => {
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let lane_job = {
+            let mut state = lock(&shared.state);
+            loop {
+                let now = Instant::now();
+                if let Some(job) = select_next_job(&mut state, now) {
+                    break Some(job);
+                }
+                if !state.open {
+                    break None;
+                }
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
-            Err(_) => return,
+        };
+        let Some(lane_job) = lane_job else { return };
+        if let Some(t) = shared.telemetry.get() {
+            let wait_us = lane_job.enqueued.elapsed().as_micros() as u64;
+            t.jobs.inc();
+            t.queue_wait_us.record(wait_us);
+            t.lane_jobs[lane_job.lane].inc();
+            t.lane_wait_us[lane_job.lane].record(wait_us);
+            if lane_job.deadline.is_some_and(|d| Instant::now() > d) {
+                t.deadline_misses.inc();
+            }
         }
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(lane_job.job));
     }
 }
 
 /// One replica's answer flowing back to the fan-out collector:
-/// `(index into the dispatched set, response)`.
-pub(crate) type FanoutAnswer = (usize, dacs_policy::eval::Response);
+/// `(index into the dispatched set, response)`. `None` means the
+/// replica observed the fan-out's [`CancelToken`] and abandoned the
+/// evaluation — a withdrawn vote, not an answer.
+pub(crate) type FanoutAnswer = (usize, Option<dacs_policy::eval::Response>);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::sync::mpsc::channel;
     use std::time::Duration;
 
@@ -303,30 +512,118 @@ mod tests {
     }
 
     #[test]
-    fn telemetry_records_queue_wait_per_job() {
+    fn telemetry_records_queue_wait_per_job_and_lane() {
         let telemetry = Arc::new(Telemetry::new());
         let pool = FanoutPool::new(1).with_telemetry(&telemetry);
         let (tx, rx) = channel();
         // A sleeping head-of-line job forces the second job to wait in
         // the queue for a measurable interval.
         pool.submit(Box::new(|| std::thread::sleep(Duration::from_millis(10))));
-        pool.submit(Box::new(move || {
-            tx.send(()).unwrap();
-        }));
+        pool.submit_classed(
+            Box::new(move || {
+                tx.send(()).unwrap();
+            }),
+            DecisionClass::bulk(),
+        );
         rx.recv_timeout(Duration::from_secs(2)).unwrap();
         let r = telemetry.registry();
         assert_eq!(r.counter_value("dacs_fanout_jobs_total"), Some(2));
         let h = r.histogram("dacs_fanout_queue_wait_us");
         assert_eq!(h.count(), 2);
         assert!(h.percentile(0.99) >= 9_000, "second job waited ~10ms");
+        // The lanes split the same story: one Default job (the
+        // sleeper), one Bulk job with the ~10ms wait.
+        assert_eq!(r.counter_value("dacs_sched_jobs_total_default"), Some(1));
+        assert_eq!(r.counter_value("dacs_sched_jobs_total_bulk"), Some(1));
+        let bulk = r.histogram("dacs_sched_queue_wait_us_bulk");
+        assert_eq!(bulk.count(), 1);
+        assert!(bulk.percentile(0.99) >= 9_000);
+        assert_eq!(r.counter_value("dacs_sched_deadline_miss_total"), Some(0));
     }
 
     #[test]
-    fn cancel_flag_is_shared() {
-        let flag = CancelFlag::new();
-        let clone = flag.clone();
+    fn lanes_pop_in_priority_order() {
+        let pool = FanoutPool::new(1);
+        let (release_tx, release_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel::<()>();
+        // Block the single worker so the runqueues fill while we
+        // submit out of priority order.
+        pool.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }));
+        started_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let (tx, rx) = channel::<&'static str>();
+        for (label, class) in [
+            ("bulk", DecisionClass::bulk()),
+            ("default", DecisionClass::default()),
+            ("interactive", DecisionClass::interactive()),
+        ] {
+            let tx = tx.clone();
+            pool.submit_classed(
+                Box::new(move || {
+                    tx.send(label).unwrap();
+                }),
+                class,
+            );
+        }
+        assert_eq!(pool.backlog(), 3);
+        release_tx.send(()).unwrap();
+        let order: Vec<&str> = (0..3)
+            .map(|_| rx.recv_timeout(Duration::from_secs(2)).unwrap())
+            .collect();
+        assert_eq!(order, vec!["interactive", "default", "bulk"]);
+    }
+
+    #[test]
+    fn overdue_deadline_promotes_a_bulk_job() {
+        let telemetry = Arc::new(Telemetry::new());
+        let pool = FanoutPool::new(1).with_telemetry(&telemetry);
+        let (release_tx, release_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel::<()>();
+        pool.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }));
+        started_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let (tx, rx) = channel::<&'static str>();
+        // The bulk job's deadline expires while the worker is blocked;
+        // deadline promotion must pop it ahead of the interactive job.
+        let bulk_tx = tx.clone();
+        pool.submit_classed(
+            Box::new(move || {
+                bulk_tx.send("bulk").unwrap();
+            }),
+            DecisionClass::bulk().with_deadline_us(1),
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        pool.submit_classed(
+            Box::new(move || {
+                tx.send("interactive").unwrap();
+            }),
+            DecisionClass::interactive(),
+        );
+        release_tx.send(()).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), "bulk");
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            "interactive"
+        );
+        // The promoted job still started past its deadline: one miss.
+        assert_eq!(
+            telemetry
+                .registry()
+                .counter_value("dacs_sched_deadline_miss_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
         assert!(!clone.is_cancelled());
-        flag.cancel();
+        token.cancel();
         assert!(clone.is_cancelled());
     }
 
@@ -344,5 +641,58 @@ mod tests {
         assert_eq!(cfg.budget_us(&directory, "r0"), 100, "floored");
         directory.record_latency_us("r1", 400);
         assert_eq!(cfg.budget_us(&directory, "r1"), 1_200);
+    }
+
+    #[test]
+    fn scheduler_config_builds() {
+        let cfg = SchedulerConfig::new(3)
+            .with_hedge(HedgeConfig::default())
+            .with_adaptive_fanout(true);
+        assert_eq!(cfg.workers, 3);
+        assert!(cfg.adaptive_fanout);
+        assert_eq!(FanoutPool::for_scheduler(&cfg).workers(), 3);
+    }
+
+    proptest! {
+        /// Lane-starvation bound: however hard the Bulk lane is
+        /// flooded, an Interactive job is delayed at most by the bulk
+        /// jobs already *running* when it arrives plus one
+        /// anti-starvation yield — never by the queued flood. The
+        /// deadline is set at that bound (plus scheduling slack); the
+        /// job must start before it.
+        #[test]
+        fn bulk_flood_never_delays_interactive_past_deadline(
+            flood in 8usize..32,
+            bulk_sleep_us in 100u64..500,
+        ) {
+            let workers = 2;
+            let pool = FanoutPool::new(workers);
+            for _ in 0..flood {
+                pool.submit_classed(
+                    Box::new(move || {
+                        std::thread::sleep(Duration::from_micros(bulk_sleep_us));
+                    }),
+                    DecisionClass::bulk(),
+                );
+            }
+            // Worst case: every worker just started a bulk job, and one
+            // anti-starvation yield runs one more ahead of us; generous
+            // slack for thread wakeup jitter.
+            let bound_us = bulk_sleep_us * 2 + 50_000;
+            let (tx, rx) = channel();
+            let submitted = Instant::now();
+            pool.submit_classed(
+                Box::new(move || {
+                    tx.send(submitted.elapsed()).unwrap();
+                }),
+                DecisionClass::interactive().with_deadline_us(bound_us),
+            );
+            let waited = rx.recv_timeout(Duration::from_secs(5)).expect("job ran");
+            prop_assert!(
+                waited <= Duration::from_micros(bound_us),
+                "interactive waited {waited:?} behind a {flood}-job bulk flood \
+                 (bound {bound_us}µs)"
+            );
+        }
     }
 }

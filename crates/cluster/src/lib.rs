@@ -18,10 +18,14 @@
 //! * [`quorum`] — the combination rules: `FirstHealthy` (fast, trusts
 //!   one replica), `Majority` (outvotes a minority of wrong replicas)
 //!   and `UnanimousFailClosed` (any disagreement denies).
-//! * [`fanout`] — a [`FanoutPool`] of worker threads that queries all
-//!   replicas of a shard concurrently (quorum latency ≈ max instead of
-//!   sum), with short-circuit cancellation and EWMA-budgeted hedged
-//!   requests ([`HedgeConfig`]) against tail latency.
+//! * [`fanout`] — the decision scheduler: a [`FanoutPool`] of worker
+//!   threads fed from per-[`Priority`] runqueues with deadline-aware
+//!   pop, so replica queries run concurrently (quorum latency ≈ max
+//!   instead of sum) and bulk work can never queue ahead of
+//!   interactive decisions. Verdict-driven cancellation
+//!   ([`CancelToken`]) reaches below the job boundary, hedged requests
+//!   ([`HedgeConfig`]) cut tail latency, and [`SchedulerConfig`] turns
+//!   on adaptive quorum-width fan-out.
 //! * [`batch`] — a [`BatchSubmitter`] that coalesces outstanding
 //!   queries per shard to amortize evaluation.
 //! * [`metrics`] — [`ClusterMetrics`]: availability, degraded-mode,
@@ -68,12 +72,16 @@ mod cluster;
 
 pub use batch::{BatchSubmitter, Ticket};
 pub use cluster::{ClusterBuilder, ClusterOutcome, PdpCluster};
-pub use fanout::{CancelFlag, FanoutPool, HedgeConfig};
+pub use fanout::{CancelToken, FanoutPool, HedgeConfig, SchedulerConfig};
 pub use metrics::ClusterMetrics;
 pub use quorum::QuorumMode;
 pub use replica::{DecisionBackend, GroupOutcome, ReplicaGroup, ReplicaPhase, StaticBackend};
 pub use shard::ShardRouter;
 
+#[allow(deprecated)]
+pub use fanout::CancelFlag;
+
 // Re-exported so cluster users can speak epochs without naming the PAP
-// layer directly.
-pub use dacs_pdp::PolicyEpoch;
+// layer directly; `Priority`/`DecisionClass` so scheduler users can
+// classify queries without a direct `dacs-pdp` import.
+pub use dacs_pdp::{DecisionClass, PolicyEpoch, Priority};

@@ -78,6 +78,14 @@ pub struct ClusterMetrics {
     /// Batched queries answered by coalescing onto an identical
     /// outstanding query (evaluation saved).
     pub coalesced: u64,
+    /// Replica sub-queries the adaptive fan-out avoided issuing: for
+    /// each fanning-out query under
+    /// [`crate::SchedulerConfig::with_adaptive_fanout`], the healthy
+    /// replicas beyond the quorum width (plus escalations) that were
+    /// never dispatched. Divide by [`ClusterMetrics::queries`] to see
+    /// how far below full-dispatch [`ClusterMetrics::amplification`]
+    /// the scheduler is running.
+    pub fanout_saved: u64,
 }
 
 impl ClusterMetrics {

@@ -10,9 +10,9 @@
 //! deny, and first-healthy optionally hedges the primary replica after
 //! its latency budget.
 
-use crate::fanout::{CancelFlag, FanoutAnswer, FanoutPool, HedgeConfig};
+use crate::fanout::{CancelToken, FanoutAnswer, FanoutPool, HedgeConfig};
 use crate::quorum::{self, QuorumMode};
-use dacs_pdp::{Pdp, PdpDirectory, PolicyEpoch};
+use dacs_pdp::{DecisionClass, Pdp, PdpDirectory, PolicyEpoch};
 use dacs_policy::eval::Response;
 use dacs_policy::policy::Decision;
 use dacs_policy::request::RequestContext;
@@ -33,6 +33,22 @@ pub trait DecisionBackend: Send + Sync {
     fn name(&self) -> &str;
     /// Serves one decision query.
     fn decide(&self, request: &RequestContext, now_ms: u64) -> Response;
+    /// Serves one decision query, checking `cancel` at whatever
+    /// internal boundaries the backend has. Returning `None` means the
+    /// evaluation was abandoned mid-flight because the fan-out's
+    /// verdict is already known — a withdrawn vote, not an answer. The
+    /// default ignores the token and always answers: cancellation below
+    /// the job boundary is an *opt-in* for backends whose evaluations
+    /// are long enough to be worth abandoning.
+    fn decide_cancellable(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        cancel: &CancelToken,
+    ) -> Option<Response> {
+        let _ = cancel;
+        Some(self.decide(request, now_ms))
+    }
     /// The policy epoch the backend decides on — its position in the
     /// PAP syndication timeline. A replica whose epoch lags its group's
     /// maximum is deciding on stale policy. The default
@@ -146,8 +162,9 @@ pub struct GroupOutcome {
     pub disagreement: bool,
     /// Whether the quorum forced a fail-closed deny.
     pub fail_closed: bool,
-    /// Hedge queries dispatched for this decision (first-healthy under
-    /// a [`HedgeConfig`] only; fan-out modes never hedge).
+    /// Hedge queries dispatched for this decision: first-healthy under
+    /// a [`HedgeConfig`], plus budget-overrun backup escalations under
+    /// adaptive fan-out. Full-width fan-out never hedges.
     pub hedges: usize,
     /// Whether a hedge query supplied the winning answer.
     pub hedge_won: bool,
@@ -256,6 +273,23 @@ struct Roster<'a> {
     eligible: Vec<&'a Arc<dyn DecisionBackend>>,
     stale_excluded: usize,
     max_epoch_lag: u64,
+}
+
+/// How one parallel query should be dispatched: the pool to run on,
+/// the hedging policy, whether fan-out is adaptive (quorum-width), and
+/// the query's scheduling class. Built by the cluster from its
+/// `SchedulerConfig` plus the caller's [`DecisionClass`].
+pub(crate) struct FanoutPlan<'a> {
+    /// The worker pool jobs are submitted to.
+    pub pool: &'a FanoutPool,
+    /// Tail-latency hedging (first-healthy) / escalation budget
+    /// (adaptive fan-out); `None` disables both.
+    pub hedge: Option<&'a HedgeConfig>,
+    /// Dispatch only quorum-width replicas under majority, escalating
+    /// to backups on overrun or a contested vote.
+    pub adaptive: bool,
+    /// The scheduling lane and deadline the query's jobs carry.
+    pub class: DecisionClass,
 }
 
 impl ReplicaGroup {
@@ -504,8 +538,9 @@ impl ReplicaGroup {
     ///   and, when `hedge` is set and the replica overruns its latency
     ///   budget, races a hedge query against it.
     ///
-    /// The moment a verdict is reached the fan-out's [`CancelFlag`] is
-    /// set, so jobs still queued on the pool are skipped. Every answer
+    /// The moment a verdict is reached the fan-out's [`CancelToken`] is
+    /// set, so jobs still queued on the pool are skipped and running
+    /// cancellation-aware backends abandon mid-flight. Every answer
     /// that does arrive feeds the replica's EWMA latency estimate in
     /// `directory`.
     pub fn query_parallel(
@@ -517,6 +552,32 @@ impl ReplicaGroup {
         pool: &FanoutPool,
         hedge: Option<&HedgeConfig>,
     ) -> GroupOutcome {
+        self.query_planned(
+            directory,
+            mode,
+            request,
+            now_ms,
+            &FanoutPlan {
+                pool,
+                hedge,
+                adaptive: false,
+                class: DecisionClass::default(),
+            },
+        )
+    }
+
+    /// [`ReplicaGroup::query_parallel`] with the full dispatch plan:
+    /// scheduling class, hedging, and (for [`QuorumMode::Majority`])
+    /// adaptive quorum-width fan-out. Unanimity always dispatches the
+    /// full width — every eligible replica's vote is needed anyway.
+    pub(crate) fn query_planned(
+        &self,
+        directory: &Arc<PdpDirectory>,
+        mode: QuorumMode,
+        request: &RequestContext,
+        now_ms: u64,
+        plan: &FanoutPlan<'_>,
+    ) -> GroupOutcome {
         let roster = self.roster(directory);
         let eligible = &roster.eligible;
         let mut outcome = if eligible.is_empty() {
@@ -527,10 +588,13 @@ impl ReplicaGroup {
         } else {
             match mode {
                 QuorumMode::FirstHealthy => {
-                    self.race_first_healthy(directory, eligible, request, now_ms, pool, hedge)
+                    self.race_first_healthy(directory, eligible, request, now_ms, plan)
+                }
+                QuorumMode::Majority if plan.adaptive && eligible.len() > 1 => {
+                    self.fan_out_adaptive(directory, eligible, request, now_ms, plan)
                 }
                 QuorumMode::Majority | QuorumMode::UnanimousFailClosed => {
-                    self.fan_out_incremental(directory, mode, eligible, request, now_ms, pool)
+                    self.fan_out_incremental(directory, mode, eligible, request, now_ms, plan)
                 }
             }
         };
@@ -578,22 +642,24 @@ impl ReplicaGroup {
         })
     }
 
-    /// Dispatches one replica query onto the pool. The job re-checks
-    /// the cancel flag at start time, records the replica's latency in
-    /// the directory, and reports back on `tx` (ignored if the
-    /// collector already returned). `started`, when given, is raised
-    /// the moment the job begins evaluating — the hedging collector
-    /// uses it to distinguish a slow replica (worth hedging) from a job
-    /// still stuck in the pool queue (hedging would just queue behind
-    /// it).
+    /// Dispatches one replica query onto the pool, on the plan's
+    /// scheduling lane. The job re-checks the cancel token at start
+    /// time, hands it to the backend for mid-flight abandonment,
+    /// records the replica's latency in the directory, and reports back
+    /// on `tx` — *always*: a skipped, abandoned or panicked evaluation
+    /// sends `(index, None)` so the collector's outstanding-answer
+    /// accounting stays exact. `started`, when given, is raised the
+    /// moment the job begins evaluating — the hedging collector uses it
+    /// to distinguish a slow replica (worth hedging) from a job still
+    /// stuck in the pool queue (hedging would just queue behind it).
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         directory: &Arc<PdpDirectory>,
         replica: &Arc<dyn DecisionBackend>,
         request: &RequestContext,
         now_ms: u64,
-        pool: &FanoutPool,
-        cancel: &CancelFlag,
+        plan: &FanoutPlan<'_>,
+        cancel: &CancelToken,
         tx: &Sender<FanoutAnswer>,
         index: usize,
         started: Option<Arc<AtomicBool>>,
@@ -604,7 +670,7 @@ impl ReplicaGroup {
         let request = request.clone();
         let cancel = cancel.clone();
         let tx = tx.clone();
-        pool.submit(Box::new(move || {
+        let job: crate::fanout::Job = Box::new(move || {
             if cancel.is_cancelled() {
                 // Record the skip as a zero-duration span so traces
                 // account for every dispatched job — a cancelled
@@ -614,26 +680,227 @@ impl ReplicaGroup {
                     span.set_note(format!("cancelled:{}", replica.name()));
                     span.finish();
                 }
+                let _ = tx.send((index, None));
                 return;
             }
             if let Some(flag) = &started {
                 flag.store(true, Ordering::Release);
             }
-            let span = telemetry.as_ref().map(|t| {
+            let mut span = telemetry.as_ref().map(|t| {
                 let mut s = t.tracer.span_under(t.parent, "replica_decide");
                 s.set_note(format!("{}:{}", t.role, replica.name()));
                 s
             });
             let start = Instant::now();
-            let response = replica.decide(&request, now_ms);
-            let elapsed_us = start.elapsed().as_micros() as u64;
-            directory.record_latency_us(replica.name(), elapsed_us);
-            if let Some(t) = &telemetry {
-                t.replica_us.record(elapsed_us);
+            // A panicking backend must still answer (with None), or the
+            // collector would conflate "evaluation lost" with
+            // "evaluation pending" and block on a vote that will never
+            // arrive.
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                replica.decide_cancellable(&request, now_ms, &cancel)
+            }))
+            .ok()
+            .flatten();
+            match &response {
+                Some(_) => {
+                    // Only completed evaluations feed the EWMA: an
+                    // abandoned one's elapsed time measures the cancel
+                    // point, not the replica.
+                    let elapsed_us = start.elapsed().as_micros() as u64;
+                    directory.record_latency_us(replica.name(), elapsed_us);
+                    if let Some(t) = &telemetry {
+                        t.replica_us.record(elapsed_us);
+                    }
+                }
+                None => {
+                    if let Some(s) = span.as_mut() {
+                        s.set_note(format!("cancelled:{}", replica.name()));
+                    }
+                }
             }
             drop(span);
             let _ = tx.send((index, response));
-        }));
+        });
+        plan.pool.submit_classed(job, plan.class);
+    }
+
+    /// Indices `from..healthy.len()` sorted by ascending directory
+    /// EWMA latency; unmeasured replicas sort first — probing them is
+    /// how they earn an estimate.
+    fn ewma_order(
+        directory: &PdpDirectory,
+        healthy: &[&Arc<dyn DecisionBackend>],
+        from: usize,
+    ) -> Vec<usize> {
+        let mut order: Vec<usize> = (from..healthy.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ewma = |i: usize| directory.latency_ewma_us(healthy[i].name()).unwrap_or(0.0);
+            ewma(a).total_cmp(&ewma(b))
+        });
+        order
+    }
+
+    /// Adaptive quorum-width fan-out for [`QuorumMode::Majority`]:
+    /// dispatch only the `⌊e/2⌋+1` likely-fastest replicas (the
+    /// smallest set that can decide), and escalate one backup at a time
+    /// when a dispatched vote overruns its latency budget (counted as a
+    /// hedge), is lost, or the dispatched set answers without reaching
+    /// an absolute majority (a contested vote — not a hedge, a needed
+    /// voter).
+    ///
+    /// Decision-equivalent to the full-width path: a winner here holds
+    /// ≥ `⌊e/2⌋+1` votes — an absolute majority of *all* eligible
+    /// replicas, which no set of straggler answers can overturn — and
+    /// when no absolute majority emerges, escalation continues until
+    /// every eligible replica has answered, at which point the same
+    /// [`quorum::combine`] runs over the same full answer set. What
+    /// changes is cost: agreement settles at quorum width, saving
+    /// `e − ⌊e/2⌋ − 1` evaluations per query.
+    fn fan_out_adaptive(
+        &self,
+        directory: &Arc<PdpDirectory>,
+        healthy: &[&Arc<dyn DecisionBackend>],
+        request: &RequestContext,
+        now_ms: u64,
+        plan: &FanoutPlan<'_>,
+    ) -> GroupOutcome {
+        let eligible = healthy.len();
+        let needed = eligible / 2 + 1;
+        let order = Self::ewma_order(directory, healthy, 0);
+        let cancel = CancelToken::new();
+        let (tx, rx) = channel::<FanoutAnswer>();
+        // Dropping our sender once the last replica is dispatched lets
+        // `recv` disconnect (instead of deadlocking) if jobs are lost
+        // to a shutting-down pool.
+        let mut tx = Some(tx);
+        let dispatch_telemetry = self.dispatch_telemetry("replica");
+        let mut dispatched = 0usize;
+        let mut dispatch_next = |dispatched: &mut usize| {
+            let Some(sender) = tx.as_ref() else { return };
+            Self::dispatch(
+                directory,
+                healthy[order[*dispatched]],
+                request,
+                now_ms,
+                plan,
+                &cancel,
+                sender,
+                order[*dispatched],
+                None,
+                dispatch_telemetry.clone(),
+            );
+            *dispatched += 1;
+            if *dispatched == eligible {
+                tx = None;
+            }
+        };
+        for _ in 0..needed {
+            dispatch_next(&mut dispatched);
+        }
+        let _quorum_wait = self.telemetry.as_ref().map(|t| {
+            (
+                t.tracer().span("quorum_wait"),
+                WaitTimer {
+                    start: Instant::now(),
+                    histogram: Arc::clone(&t.quorum_wait_us),
+                },
+            )
+        });
+
+        let mut received: Vec<(usize, Response)> = Vec::with_capacity(eligible);
+        let mut answered = 0usize;
+        let mut hedges = 0usize;
+        loop {
+            // While undispatched backups remain and hedging is
+            // configured, wait no longer than the next backup's budget
+            // before pulling it in; otherwise block for the votes
+            // already in flight.
+            let answer = match (plan.hedge, dispatched < eligible) {
+                (Some(cfg), true) => {
+                    let backup = healthy[order[dispatched]].name();
+                    let budget = Duration::from_micros(cfg.budget_us(directory, backup));
+                    match rx.recv_timeout(budget) {
+                        Ok(answer) => Some(answer),
+                        Err(RecvTimeoutError::Timeout) => {
+                            dispatch_next(&mut dispatched);
+                            hedges += 1;
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+                _ => rx.recv().ok(),
+            };
+            let Some((index, response)) = answer else {
+                break;
+            };
+            answered += 1;
+            if let Some(response) = response {
+                let disagreement = received
+                    .iter()
+                    .any(|(_, r)| r.decision != response.decision);
+                received.push((index, response));
+                let decision = received.last().expect("just pushed").1.decision;
+                let votes = received
+                    .iter()
+                    .filter(|(_, r)| r.decision == decision)
+                    .count();
+                if votes >= needed {
+                    cancel.cancel();
+                    // Deterministic tie-break, matching the sequential
+                    // combiner: obligations come from the lowest-index
+                    // replica voting for the winning decision.
+                    let winner = received
+                        .iter()
+                        .filter(|(_, r)| r.decision == decision)
+                        .min_by_key(|(i, _)| *i)
+                        .expect("winning vote exists")
+                        .1
+                        .clone();
+                    return GroupOutcome {
+                        response: Some(winner),
+                        replicas_queried: dispatched,
+                        healthy: eligible,
+                        stale_excluded: 0,
+                        max_epoch_lag: 0,
+                        disagreement,
+                        fail_closed: false,
+                        hedges,
+                        hedge_won: false,
+                    };
+                }
+            }
+            if answered == dispatched {
+                if dispatched < eligible {
+                    // Contested (or lost) votes: the dispatched set
+                    // cannot settle the majority, so the next-best
+                    // backup becomes a needed voter.
+                    dispatch_next(&mut dispatched);
+                } else {
+                    break;
+                }
+            }
+        }
+        if received.is_empty() {
+            return GroupOutcome::unavailable(eligible);
+        }
+        // Every eligible replica answered without an absolute majority:
+        // combine the full set in configured replica order, exactly as
+        // the full-width path would.
+        received.sort_by_key(|(i, _)| *i);
+        let responses: Vec<Response> = received.into_iter().map(|(_, r)| r).collect();
+        let verdict = quorum::combine(QuorumMode::Majority, &responses);
+        GroupOutcome {
+            response: Some(verdict.response),
+            replicas_queried: dispatched,
+            healthy: eligible,
+            stale_excluded: 0,
+            max_epoch_lag: 0,
+            disagreement: verdict.disagreement,
+            fail_closed: verdict.fail_closed,
+            hedges,
+            hedge_won: false,
+        }
     }
 
     /// Parallel fan-out for the quorum modes, with incremental
@@ -645,19 +912,15 @@ impl ReplicaGroup {
         healthy: &[&Arc<dyn DecisionBackend>],
         request: &RequestContext,
         now_ms: u64,
-        pool: &FanoutPool,
+        plan: &FanoutPlan<'_>,
     ) -> GroupOutcome {
         // Dispatch in ascending-EWMA order: likely-fast replicas are
         // dequeued first, so the short-circuit point arrives as early
         // as possible and slow stragglers are the ones left queued for
-        // the cancel flag to skip. Unmeasured replicas sort first —
+        // the cancel token to skip. Unmeasured replicas sort first —
         // probing them is how they earn an estimate.
-        let mut order: Vec<usize> = (0..healthy.len()).collect();
-        order.sort_by(|&a, &b| {
-            let ewma = |i: usize| directory.latency_ewma_us(healthy[i].name()).unwrap_or(0.0);
-            ewma(a).total_cmp(&ewma(b))
-        });
-        let cancel = CancelFlag::new();
+        let order = Self::ewma_order(directory, healthy, 0);
+        let cancel = CancelToken::new();
         let (tx, rx) = channel::<FanoutAnswer>();
         let dispatch_telemetry = self.dispatch_telemetry("replica");
         for &i in &order {
@@ -666,7 +929,7 @@ impl ReplicaGroup {
                 healthy[i],
                 request,
                 now_ms,
-                pool,
+                plan,
                 &cancel,
                 &tx,
                 i,
@@ -693,7 +956,7 @@ impl ReplicaGroup {
         // though arrival order is a thread-scheduling race.
         let mut received: Vec<(usize, Response)> = Vec::with_capacity(dispatched);
         let outcome =
-            |response: Response, disagreement: bool, fail_closed: bool, cancel: &CancelFlag| {
+            |response: Response, disagreement: bool, fail_closed: bool, cancel: &CancelToken| {
                 cancel.cancel();
                 GroupOutcome {
                     response: Some(response),
@@ -708,7 +971,17 @@ impl ReplicaGroup {
                 }
             };
         let needed = dispatched / 2 + 1;
+        let mut answered = 0usize;
         while let Ok((index, response)) = rx.recv() {
+            answered += 1;
+            let Some(response) = response else {
+                // A lost vote (panicked or abandoned evaluation): no
+                // ballot to count, but the outstanding set shrinks.
+                if answered == dispatched {
+                    break;
+                }
+                continue;
+            };
             let disagreement = received
                 .iter()
                 .any(|(_, r)| r.decision != response.decision);
@@ -753,7 +1026,7 @@ impl ReplicaGroup {
                 }
                 QuorumMode::FirstHealthy => unreachable!("handled by race_first_healthy"),
             }
-            if received.len() == dispatched {
+            if answered == dispatched {
                 break;
             }
         }
@@ -791,10 +1064,9 @@ impl ReplicaGroup {
         healthy: &[&Arc<dyn DecisionBackend>],
         request: &RequestContext,
         now_ms: u64,
-        pool: &FanoutPool,
-        hedge: Option<&HedgeConfig>,
+        plan: &FanoutPlan<'_>,
     ) -> GroupOutcome {
-        let Some(cfg) = hedge else {
+        let Some(cfg) = plan.hedge else {
             // Without hedging there is nothing to race: a pool
             // round-trip (dispatch, channel, cross-thread handoff)
             // would be pure overhead on a single-replica query, so
@@ -813,7 +1085,7 @@ impl ReplicaGroup {
             };
         };
 
-        let cancel = CancelFlag::new();
+        let cancel = CancelToken::new();
         let (tx, rx) = channel::<FanoutAnswer>();
         let primary_started = Arc::new(AtomicBool::new(false));
         Self::dispatch(
@@ -821,7 +1093,7 @@ impl ReplicaGroup {
             healthy[0],
             request,
             now_ms,
-            pool,
+            plan,
             &cancel,
             &tx,
             0,
@@ -839,9 +1111,8 @@ impl ReplicaGroup {
         });
 
         let mut hedges = 0usize;
-        let finish = |answer: FanoutAnswer, hedges: usize| {
+        let finish = |winner: usize, response: Response, hedges: usize| {
             cancel.cancel();
-            let (winner, response) = answer;
             GroupOutcome {
                 response: Some(response),
                 replicas_queried: 1 + hedges,
@@ -855,52 +1126,77 @@ impl ReplicaGroup {
             }
         };
         // Hedge candidates: the other healthy replicas, fastest
-        // (lowest EWMA) first; unmeasured replicas sort first.
-        let mut candidates: Vec<usize> = (1..healthy.len()).collect();
-        candidates.sort_by(|&a, &b| {
-            let ewma = |i: usize| directory.latency_ewma_us(healthy[i].name()).unwrap_or(0.0);
-            ewma(a).total_cmp(&ewma(b))
-        });
-        for &candidate in candidates.iter().take(cfg.max_hedges) {
-            // Budget anchored to this backup's expected latency: once
-            // the primary has been silent that long, a duplicate
-            // evaluation is the cheaper bet.
-            let budget = Duration::from_micros(cfg.budget_us(directory, healthy[candidate].name()));
-            match rx.recv_timeout(budget) {
-                Ok(answer) => return finish(answer, hedges),
-                Err(RecvTimeoutError::Timeout) => {
-                    // Only hedge a replica that is actually evaluating.
-                    // If the primary job is still stuck in the pool
-                    // queue, the pool itself is the bottleneck — a
-                    // hedge would queue behind the very same backlog,
-                    // adding load at the worst moment for zero latency
-                    // benefit. Fall through and wait instead.
-                    if !primary_started.load(Ordering::Acquire) {
-                        break;
+        // (lowest EWMA) first.
+        let mut candidates = Self::ewma_order(directory, healthy, 1)
+            .into_iter()
+            .take(cfg.max_hedges)
+            .peekable();
+        // Dropped once no further hedge can be dispatched, so `recv`
+        // disconnects (instead of deadlocking) if every in-flight job
+        // is lost.
+        let mut tx = Some(tx);
+        let mut hedging = true;
+        let mut outstanding = 1usize;
+        loop {
+            let answer = if hedging && candidates.peek().is_some() {
+                // Budget anchored to this backup's expected latency:
+                // once the primary has been silent that long, a
+                // duplicate evaluation is the cheaper bet.
+                let backup = healthy[*candidates.peek().expect("peeked")].name();
+                let budget = Duration::from_micros(cfg.budget_us(directory, backup));
+                match rx.recv_timeout(budget) {
+                    Ok(answer) => Some(answer),
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Only hedge a replica that is actually
+                        // evaluating. If the primary job is still stuck
+                        // in the pool queue, the pool itself is the
+                        // bottleneck — a hedge would queue behind the
+                        // very same backlog, adding load at the worst
+                        // moment for zero latency benefit. Wait instead.
+                        if !primary_started.load(Ordering::Acquire) {
+                            hedging = false;
+                            continue;
+                        }
+                        let candidate = candidates.next().expect("peeked");
+                        if let Some(sender) = tx.as_ref() {
+                            Self::dispatch(
+                                directory,
+                                healthy[candidate],
+                                request,
+                                now_ms,
+                                plan,
+                                &cancel,
+                                sender,
+                                candidate,
+                                None,
+                                self.dispatch_telemetry("hedge"),
+                            );
+                            hedges += 1;
+                            outstanding += 1;
+                        }
+                        continue;
                     }
-                    Self::dispatch(
-                        directory,
-                        healthy[candidate],
-                        request,
-                        now_ms,
-                        pool,
-                        &cancel,
-                        &tx,
-                        candidate,
-                        None,
-                        self.dispatch_telemetry("hedge"),
-                    );
-                    hedges += 1;
+                    Err(RecvTimeoutError::Disconnected) => None,
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return GroupOutcome::unavailable(healthy.len())
+            } else {
+                tx = None;
+                rx.recv().ok()
+            };
+            match answer {
+                Some((winner, Some(response))) => return finish(winner, response, hedges),
+                Some((_, None)) => {
+                    // A lost evaluation (panicked or abandoned). If
+                    // nothing is left in flight and no hedge can cover,
+                    // the query has no answer; otherwise the next
+                    // budget expiry (or the surviving replica) resolves
+                    // it.
+                    outstanding -= 1;
+                    if outstanding == 0 && !(hedging && candidates.peek().is_some()) {
+                        return GroupOutcome::unavailable(healthy.len());
+                    }
                 }
+                None => return GroupOutcome::unavailable(healthy.len()),
             }
-        }
-        drop(tx);
-        match rx.recv().ok() {
-            Some(answer) => finish(answer, hedges),
-            None => GroupOutcome::unavailable(healthy.len()),
         }
     }
 }
@@ -933,6 +1229,26 @@ impl DecisionBackend for SlowBackend {
     fn decide(&self, _request: &RequestContext, _now_ms: u64) -> Response {
         std::thread::sleep(self.delay);
         Response::decision(self.decision)
+    }
+    /// Sleeps in 1ms slices, checking the token between them — the
+    /// test model of a backend that honors mid-flight cancellation.
+    fn decide_cancellable(
+        &self,
+        _request: &RequestContext,
+        _now_ms: u64,
+        cancel: &CancelToken,
+    ) -> Option<Response> {
+        let slice = Duration::from_millis(1);
+        let mut remaining = self.delay;
+        while remaining > Duration::ZERO {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            let step = remaining.min(slice);
+            std::thread::sleep(step);
+            remaining -= step;
+        }
+        Some(Response::decision(self.decision))
     }
 }
 
@@ -976,6 +1292,7 @@ impl DecisionBackend for EpochBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn group(decisions: &[Decision]) -> (ReplicaGroup, PdpDirectory) {
         let directory = PdpDirectory::new();
@@ -1499,6 +1816,150 @@ mod tests {
         assert_eq!(out.stale_excluded, 2);
         assert_eq!(out.max_epoch_lag, 3);
         assert_eq!(out.replicas_queried, 1, "stale replicas not dispatched");
+    }
+
+    fn adaptive_plan(pool: &FanoutPool) -> FanoutPlan<'_> {
+        FanoutPlan {
+            pool,
+            hedge: None,
+            adaptive: true,
+            class: DecisionClass::default(),
+        }
+    }
+
+    #[test]
+    fn adaptive_majority_dispatches_only_quorum_width_on_agreement() {
+        // Five agreeing replicas: the quorum needs ⌊5/2⌋+1 = 3 votes,
+        // so adaptive fan-out must leave two replicas unqueried.
+        let decisions = [Decision::Permit; 5];
+        let (g, dir) = arc_group(&decisions);
+        let pool = pool();
+        let out = g.query_planned(
+            &dir,
+            QuorumMode::Majority,
+            &RequestContext::new(),
+            0,
+            &adaptive_plan(&pool),
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert_eq!(out.replicas_queried, 3, "only the quorum width dispatched");
+        assert_eq!(out.healthy, 5);
+        assert_eq!(out.hedges, 0);
+    }
+
+    #[test]
+    fn adaptive_majority_escalates_a_contested_vote() {
+        // The two likely-fastest replicas split 1-1: neither decision
+        // holds an absolute majority of the three eligible replicas, so
+        // the third must be pulled in as a needed voter — and the final
+        // decision must match what full-width dispatch would say.
+        let (g, dir) = arc_group(&[Decision::Deny, Decision::Permit, Decision::Permit]);
+        let pool = pool();
+        let out = g.query_planned(
+            &dir,
+            QuorumMode::Majority,
+            &RequestContext::new(),
+            0,
+            &adaptive_plan(&pool),
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert_eq!(out.replicas_queried, 3, "escalated to the full width");
+        assert!(out.disagreement);
+        assert_eq!(out.hedges, 0, "a contested vote is not a hedge");
+    }
+
+    #[test]
+    fn adaptive_escalation_hedges_a_slow_quorum_member() {
+        // Both quorum members are needed, but one sleeps far past the
+        // escalation budget: the backup is pulled in (counted as a
+        // hedge) and completes the majority without the straggler.
+        let directory = Arc::new(PdpDirectory::new());
+        let mut replicas: Vec<Arc<dyn DecisionBackend>> = Vec::new();
+        for name in ["a0", "a1"] {
+            directory.register(name, "cluster");
+            // Seed the EWMA so these two sort ahead of the backup.
+            directory.record_latency_us(name, 10);
+        }
+        replicas.push(Arc::new(StaticBackend::new("a0", Decision::Permit)));
+        replicas.push(Arc::new(SlowBackend::new(
+            "a1",
+            Decision::Permit,
+            Duration::from_millis(250),
+        )));
+        directory.register("a2", "cluster");
+        directory.record_latency_us("a2", 20);
+        replicas.push(Arc::new(StaticBackend::new("a2", Decision::Permit)));
+        let g = ReplicaGroup::new(replicas);
+        let pool = pool();
+        let cfg = HedgeConfig {
+            budget_multiplier: 3.0,
+            min_budget_us: 2_000,
+            max_hedges: 1,
+        };
+        let plan = FanoutPlan {
+            pool: &pool,
+            hedge: Some(&cfg),
+            adaptive: true,
+            class: DecisionClass::default(),
+        };
+        let start = Instant::now();
+        let out = g.query_planned(
+            &directory,
+            QuorumMode::Majority,
+            &RequestContext::new(),
+            0,
+            &plan,
+        );
+        assert_eq!(out.response.unwrap().decision, Decision::Permit);
+        assert_eq!(out.hedges, 1, "the backup was a budget-overrun hedge");
+        assert_eq!(out.replicas_queried, 3);
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "majority waited for the straggler: {:?}",
+            start.elapsed()
+        );
+    }
+
+    proptest! {
+        /// Decision equivalence: for any vote pattern, adaptive
+        /// quorum-width fan-out answers exactly what the full-width
+        /// sequential combiner answers, while never dispatching fewer
+        /// than quorum width or more than every eligible replica.
+        #[test]
+        fn adaptive_fanout_matches_full_dispatch(
+            codes in prop::collection::vec(0u8..4, 3..8),
+        ) {
+            let decisions: Vec<Decision> = codes
+                .iter()
+                .map(|c| match c {
+                    0 => Decision::Permit,
+                    1 => Decision::Deny,
+                    2 => Decision::NotApplicable,
+                    _ => Decision::Indeterminate,
+                })
+                .collect();
+            let (g, dir) = arc_group(&decisions);
+            let pool = FanoutPool::new(4);
+            let req = RequestContext::new();
+            let seq = g.query(&dir, QuorumMode::Majority, &req, 0);
+            let adp = g.query_planned(
+                &dir,
+                QuorumMode::Majority,
+                &req,
+                0,
+                &adaptive_plan(&pool),
+            );
+            prop_assert_eq!(
+                seq.response.as_ref().map(|r| r.decision),
+                adp.response.as_ref().map(|r| r.decision),
+                "vote pattern {:?}",
+                decisions
+            );
+            prop_assert_eq!(seq.fail_closed, adp.fail_closed);
+            let quorum_width = decisions.len() / 2 + 1;
+            prop_assert!(adp.replicas_queried >= quorum_width);
+            prop_assert!(adp.replicas_queried <= decisions.len());
+        }
     }
 
     #[test]

@@ -16,12 +16,13 @@
 //! ```
 //! use dacs_core::scenario::healthcare_vo;
 //! use dacs_crypto::sign::CryptoCtx;
+//! use dacs_pep::EnforceRequest;
 //! use dacs_policy::request::RequestContext;
 //!
 //! let ctx = CryptoCtx::new();
 //! let vo = healthcare_vo(2, 10, &ctx);
 //! let request = RequestContext::basic("user-0@domain-0", "records/1", "read");
-//! assert!(vo.domains[0].pep.enforce(&request, 0).allowed);
+//! assert!(vo.domains[0].pep.serve(EnforceRequest::of(&request, 0)).allowed);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -174,20 +174,18 @@ policy "vo-prescreen" deny-unless-permit {
     for d in &mut vo.domains {
         // Bind to the domain's decision *source*, not `d.pdp`: a
         // clustered domain keeps routing through its quorum service.
-        let mut pep = Pep::new(
-            format!("pep.{}", d.name),
-            d.name.clone(),
-            d.decision_source(),
-            ctx.clone(),
-        )
-        .with_handler(d.log_handler.clone())
-        .with_trusted_issuer("cas.vo", key.clone());
+        let mut pep = Pep::builder(format!("pep.{}", d.name))
+            .audience(d.name.clone())
+            .source(d.decision_source())
+            .crypto(ctx.clone())
+            .handler(d.log_handler.clone())
+            .trusted_issuer("cas.vo", key.clone());
         // A capability-minting domain keeps its token fast path on the
         // rebuilt PEP too.
         if let Some(authority) = &d.capability {
-            pep = pep.with_capability_fastpath(authority.clone(), 4096);
+            pep = pep.capability_fastpath(authority.clone(), 4096);
         }
-        d.pep = Arc::new(pep);
+        d.pep = Arc::new(pep.build());
     }
     vo.with_cas(cas)
 }
@@ -232,6 +230,7 @@ policy "{name}-jobs" first-applicable {{
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dacs_pep::EnforceRequest;
     use dacs_policy::request::RequestContext;
 
     #[test]
@@ -241,17 +240,17 @@ mod tests {
         let d0 = &vo.domains[0];
         // user-0 is a doctor (70% rule).
         let read = RequestContext::basic("user-0@domain-0", "records/1", "read");
-        assert!(d0.pep.enforce(&read, 0).allowed);
+        assert!(d0.pep.serve(EnforceRequest::of(&read, 0)).allowed);
         // Write allowed at home...
         let write = RequestContext::basic("user-0@domain-0", "records/1", "write");
-        assert!(d0.pep.enforce(&write, 0).allowed);
+        assert!(d0.pep.serve(EnforceRequest::of(&write, 0)).allowed);
         // ...but a foreign doctor cannot write here even with the role.
         let foreign_write = RequestContext::basic("user-0@domain-1", "records/1", "write")
             .with_subject_attr("role", "doctor");
-        assert!(!d0.pep.enforce(&foreign_write, 0).allowed);
+        assert!(!d0.pep.serve(EnforceRequest::of(&foreign_write, 0)).allowed);
         // Auditors (rank >= 7 of 10) cannot read records.
         let auditor = RequestContext::basic("user-9@domain-0", "records/1", "read");
-        assert!(!d0.pep.enforce(&auditor, 0).allowed);
+        assert!(!d0.pep.serve(EnforceRequest::of(&auditor, 0)).allowed);
         // Obligations were logged for the permits.
         assert_eq!(d0.log_handler.entries().len(), 2);
     }
@@ -262,11 +261,11 @@ mod tests {
         let vo = grid_vo(1, &ctx);
         let site = &vo.domains[0];
         let ok = RequestContext::basic("researcher@site-0", "queue/batch", "submit");
-        assert!(site.pep.enforce(&ok, 0).allowed);
+        assert!(site.pep.serve(EnforceRequest::of(&ok, 0)).allowed);
         let cancel = RequestContext::basic("operator@site-0", "queue/batch", "cancel");
-        assert!(site.pep.enforce(&cancel, 0).allowed);
+        assert!(site.pep.serve(EnforceRequest::of(&cancel, 0)).allowed);
         let anon = RequestContext::basic("stranger@site-0", "queue/batch", "submit");
-        assert!(!site.pep.enforce(&anon, 0).allowed);
+        assert!(!site.pep.serve(EnforceRequest::of(&anon, 0)).allowed);
     }
 
     #[test]
@@ -287,7 +286,9 @@ mod tests {
         let d0 = &vo.domains[0];
         // The local gate policy is silent on shared/*, so the capability
         // carries (push-model pre-screening)...
-        let r = d0.pep.enforce_with_capability(&req, &cap, 10);
+        let r = d0
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         assert!(r.allowed, "{:?}", r.reason);
         // ...but the capability cannot override records/* where the local
         // policy explicitly decides.
@@ -301,9 +302,13 @@ mod tests {
                 0,
             )
             .unwrap();
-        assert!(!d0.pep.enforce_with_capability(&blocked, &cap2, 10).allowed);
+        assert!(
+            !d0.pep
+                .serve_with_capability(EnforceRequest::of(&blocked, 10), &cap2)
+                .allowed
+        );
         // And without any capability, plain pull on shared/* is denied
         // fail-safe (NotApplicable).
-        assert!(!d0.pep.enforce(&req, 10).allowed);
+        assert!(!d0.pep.serve(EnforceRequest::of(&req, 10)).allowed);
     }
 }

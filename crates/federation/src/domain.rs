@@ -18,7 +18,7 @@ use dacs_cluster::{
 };
 use dacs_crypto::sign::{CryptoCtx, SigningKey};
 use dacs_pap::{Pap, PolicyEpoch, SyndicationTree};
-use dacs_pdp::{CacheConfig, Pdp};
+use dacs_pdp::{CacheConfig, DecisionClass, Pdp};
 use dacs_pep::{DecisionSource, LogObligationHandler, MintingSource, NotifyObligationHandler, Pep};
 use dacs_pip::{EnvironmentProvider, PipRegistry, RbacProvider, StaticAttributes};
 use dacs_policy::eval::Response;
@@ -40,6 +40,7 @@ use std::sync::Arc;
 pub struct ClusteredDecisionSource {
     cluster: Arc<PdpCluster>,
     batched: bool,
+    window: Option<crate::window::BatchWindow>,
     authority: Option<Arc<CapabilityAuthority>>,
 }
 
@@ -49,6 +50,7 @@ impl ClusteredDecisionSource {
         ClusteredDecisionSource {
             cluster,
             batched: false,
+            window: None,
             authority: None,
         }
     }
@@ -65,11 +67,24 @@ impl ClusteredDecisionSource {
 
     /// Routes even single-decision queries through a
     /// [`BatchSubmitter`] flush (builder style), so ordinary
-    /// [`Pep::enforce`] calls exercise the batching path end to end.
+    /// [`Pep::serve`] calls exercise the batching path end to end.
     /// Multi-query [`DecisionSource::decide_batch`] rounds always
-    /// batch, whatever this flag says.
+    /// batch, whatever this flag says. Without a
+    /// [`ClusteredDecisionSource::with_batch_window_us`] window each
+    /// single decision still flushes alone (a batch of one); the
+    /// window is what lets *concurrent* enforcements share a flush.
     pub fn with_batching(mut self, enabled: bool) -> Self {
         self.batched = enabled;
+        self
+    }
+
+    /// Holds single-decision queries in a group-commit
+    /// [`crate::window::BatchWindow`] for `window_us` microseconds
+    /// (builder style), so concurrent enforcements from independent
+    /// callers coalesce into one real [`BatchSubmitter`] flush instead
+    /// of degenerating to batches of one. `0` disables the window.
+    pub fn with_batch_window_us(mut self, window_us: u64) -> Self {
+        self.window = (window_us > 0).then(|| crate::window::BatchWindow::new(window_us));
         self
     }
 
@@ -90,6 +105,15 @@ impl ClusteredDecisionSource {
 
 impl DecisionSource for ClusteredDecisionSource {
     fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
+        self.decide_classed(request, now_ms, DecisionClass::default())
+    }
+
+    fn decide_classed(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Response {
         // Entered, so the cluster's route/fan-out spans (and the
         // batcher's, on the batched path) nest under the source hop.
         let span = self
@@ -97,17 +121,28 @@ impl DecisionSource for ClusteredDecisionSource {
             .telemetry()
             .map(|t| t.tracer().span("source_decide"));
         let _entered = span.as_ref().map(|s| s.enter());
-        let outcome = if self.batched {
+        let outcome = if let Some(window) = &self.window {
+            window.decide(&self.cluster, request, now_ms, class)
+        } else if self.batched {
             let mut batch = BatchSubmitter::new(&self.cluster);
-            batch.submit(request.clone());
+            batch.submit_classed(request.clone(), class);
             batch.flush(now_ms).pop().expect("one ticket, one outcome")
         } else {
-            self.cluster.decide(request, now_ms)
+            self.cluster.decide_classed(request, now_ms, class)
         };
         Self::to_response(outcome)
     }
 
     fn decide_batch(&self, requests: &[RequestContext], now_ms: u64) -> Vec<Response> {
+        self.decide_batch_classed(requests, now_ms, DecisionClass::default())
+    }
+
+    fn decide_batch_classed(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Vec<Response> {
         let span = self
             .cluster
             .telemetry()
@@ -115,7 +150,7 @@ impl DecisionSource for ClusteredDecisionSource {
         let _entered = span.as_ref().map(|s| s.enter());
         let mut batch = BatchSubmitter::new(&self.cluster);
         for request in requests {
-            batch.submit(request.clone());
+            batch.submit_classed(request.clone(), class);
         }
         batch
             .flush(now_ms)
@@ -129,11 +164,20 @@ impl DecisionSource for ClusteredDecisionSource {
         request: &RequestContext,
         now_ms: u64,
     ) -> (Response, Option<CapabilityToken>) {
+        self.decide_with_grant_classed(request, now_ms, DecisionClass::default())
+    }
+
+    fn decide_with_grant_classed(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> (Response, Option<CapabilityToken>) {
         match &self.authority {
-            None => (self.decide(request, now_ms), None),
+            None => (self.decide_classed(request, now_ms, class), None),
             Some(authority) => {
                 let epoch = authority.current_epoch();
-                let response = self.decide(request, now_ms);
+                let response = self.decide_classed(request, now_ms, class);
                 let token = authority.grant_for(request, &response, now_ms, epoch);
                 (response, token)
             }
@@ -145,15 +189,24 @@ impl DecisionSource for ClusteredDecisionSource {
         requests: &[RequestContext],
         now_ms: u64,
     ) -> Vec<(Response, Option<CapabilityToken>)> {
+        self.decide_batch_with_grants_classed(requests, now_ms, DecisionClass::default())
+    }
+
+    fn decide_batch_with_grants_classed(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Vec<(Response, Option<CapabilityToken>)> {
         match &self.authority {
             None => self
-                .decide_batch(requests, now_ms)
+                .decide_batch_classed(requests, now_ms, class)
                 .into_iter()
                 .map(|r| (r, None))
                 .collect(),
             Some(authority) => {
                 let epoch = authority.current_epoch();
-                self.decide_batch(requests, now_ms)
+                self.decide_batch_classed(requests, now_ms, class)
                     .into_iter()
                     .zip(requests)
                     .map(|(response, request)| {
@@ -232,6 +285,7 @@ impl Domain {
             shards: 1,
             replicas_per_shard: 3,
             batched: false,
+            batch_window_us: None,
             telemetry: None,
             capability_ttl_ms: None,
         }
@@ -406,6 +460,7 @@ pub struct DomainBuilder {
     shards: usize,
     replicas_per_shard: usize,
     batched: bool,
+    batch_window_us: Option<u64>,
     telemetry: Option<Arc<dacs_telemetry::Telemetry>>,
     capability_ttl_ms: Option<u64>,
 }
@@ -502,6 +557,19 @@ impl DomainBuilder {
     /// [`DomainBuilder::clustered`].
     pub fn batched(mut self, enabled: bool) -> Self {
         self.batched = enabled;
+        self
+    }
+
+    /// Holds each single-decision enforcement in a group-commit
+    /// [`crate::window::BatchWindow`] for `window_us` microseconds, so
+    /// concurrent enforcements from independent callers flush as one
+    /// real batch (identical requests coalesce, per-shard slices stay
+    /// back-to-back) instead of the batches-of-one
+    /// [`DomainBuilder::batched`] alone produces. Implies the batched
+    /// routing; `0` disables the window again. Ignored without
+    /// [`DomainBuilder::clustered`].
+    pub fn batch_window_us(mut self, window_us: u64) -> Self {
+        self.batch_window_us = Some(window_us);
         self
     }
 
@@ -638,6 +706,9 @@ impl DomainBuilder {
                 ));
                 let mut clustered_source =
                     ClusteredDecisionSource::new(cluster.clone()).with_batching(self.batched);
+                if let Some(us) = self.batch_window_us {
+                    clustered_source = clustered_source.with_batch_window_us(us);
+                }
                 if let Some(authority) = &capability {
                     clustered_source = clustered_source.with_capability(authority.clone());
                 }
@@ -666,29 +737,27 @@ impl DomainBuilder {
         let key = Arc::new(SigningKey::generate_sim(ctx.registry(), &mut rng));
 
         let log_handler = Arc::new(LogObligationHandler::new());
-        let mut pep = Pep::new(
-            format!("pep.{name}"),
-            name.clone(),
-            source.clone(),
-            ctx.clone(),
-        )
-        .with_handler(log_handler.clone())
-        .with_handler(Arc::new(NotifyObligationHandler::new()));
+        let mut pep = Pep::builder(format!("pep.{name}"))
+            .audience(name.clone())
+            .source(source.clone())
+            .crypto(ctx.clone())
+            .handler(log_handler.clone())
+            .handler(Arc::new(NotifyObligationHandler::new()));
         if let Some(cfg) = self.pep_cache {
-            pep = pep.with_cache(cfg);
+            pep = pep.cache(cfg);
         }
         if let Some(t) = self.telemetry {
-            pep = pep.with_telemetry(t);
+            pep = pep.telemetry(t);
         }
         if let Some(authority) = &capability {
-            pep = pep.with_capability_fastpath(authority.clone(), 4096);
+            pep = pep.capability_fastpath(authority.clone(), 4096);
         }
 
         Domain {
             name,
             pap,
             pdp,
-            pep: Arc::new(pep),
+            pep: Arc::new(pep.build()),
             cluster,
             capability,
             idp_attributes,
@@ -705,6 +774,7 @@ impl DomainBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dacs_pep::{EnforceOptions, EnforceRequest};
     use dacs_policy::policy::Decision;
     use dacs_policy::request::RequestContext;
 
@@ -726,7 +796,7 @@ policy "gate" deny-unless-permit {
 
         let req = RequestContext::basic("alice@hospital-a", "ehr/1", "read");
         assert_eq!(domain.pdp.decide(&req, 0).decision, Decision::Permit);
-        let result = domain.pep.enforce(&req, 0);
+        let result = domain.pep.serve(EnforceRequest::of(&req, 0));
         assert!(result.allowed);
         assert!(domain.is_home_of("alice@hospital-a"));
         assert!(!domain.is_home_of("bob@lab-b"));
@@ -754,7 +824,7 @@ policy "gate" deny-unless-permit {
             .rbac(rbac)
             .build(&ctx);
         let req = RequestContext::basic("carol@clinic", "ehr/1", "read");
-        assert!(domain.pep.enforce(&req, 0).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&req, 0)).allowed);
     }
 
     const DOCTOR_GATE: &str = r#"
@@ -799,7 +869,7 @@ policy "gate" deny-unless-permit {
         assert_eq!(cluster.directory().endpoints_in("ward").len(), 3);
 
         let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
-        assert!(domain.pep.enforce(&req, 0).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&req, 0)).allowed);
         let m = cluster.metrics();
         assert_eq!(m.queries, 1, "enforcement rode the cluster");
         assert_eq!(m.replica_queries, 3, "majority fans out to every replica");
@@ -808,12 +878,12 @@ policy "gate" deny-unless-permit {
         // One replica down: the quorum degrades but still answers; all
         // down: fail-safe deny, never a silent grant.
         domain.cluster.as_ref().unwrap().mark_down(&names[0]);
-        assert!(domain.pep.enforce(&req, 1).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&req, 1)).allowed);
         assert_eq!(cluster.metrics().degraded, 1);
         for name in &names {
             cluster.mark_down(name);
         }
-        let denied = domain.pep.enforce(&req, 2);
+        let denied = domain.pep.serve(EnforceRequest::of(&req, 2));
         assert!(!denied.allowed);
         assert!(denied.reason.unwrap().contains("no eligible replica"));
         assert_eq!(cluster.metrics().unavailable, 1);
@@ -824,17 +894,63 @@ policy "gate" deny-unless-permit {
         let ctx = CryptoCtx::new();
         let domain = clustered_domain(&ctx, false, true);
         let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
-        assert!(domain.pep.enforce(&req, 0).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&req, 0)).allowed);
         let m = domain.cluster.as_ref().unwrap().metrics();
         assert_eq!(m.batches, 1);
         assert_eq!(m.batched_queries, 1);
         // A real multi-request batch coalesces duplicates.
         let reqs = vec![req.clone(), req.clone(), req];
-        let results = domain.pep.enforce_batch(&reqs, 1);
+        let results = domain.pep.serve_batch(&reqs, 1, EnforceOptions::default());
         assert!(results.iter().all(|r| r.allowed));
         let m = domain.cluster.as_ref().unwrap().metrics();
         assert_eq!(m.batches, 2);
         assert_eq!(m.coalesced, 2, "two duplicates rode one evaluation");
+    }
+
+    /// The batches-of-one fix: with a group-commit window, concurrent
+    /// single enforcements from independent threads flush together as
+    /// one real batch, with identical requests coalescing.
+    #[test]
+    fn batch_window_coalesces_concurrent_enforcements() {
+        let ctx = CryptoCtx::new();
+        let domain = Arc::new(
+            Domain::builder("ward")
+                .policy_dsl(DOCTOR_GATE)
+                .subject_attr("dr-grey@ward", "role", "doctor")
+                .clustered(ClusterBuilder::new("ward").quorum(dacs_cluster::QuorumMode::Majority))
+                .batch_window_us(20_000)
+                .build(&ctx),
+        );
+        let n = 8usize;
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let domain = Arc::clone(&domain);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    // Four distinct resources across eight threads, so a
+                    // grouped flush must coalesce the repeats.
+                    let req =
+                        RequestContext::basic("dr-grey@ward", format!("ehr/{}", i % 4), "read");
+                    barrier.wait();
+                    domain.pep.serve(EnforceRequest::of(&req, 0)).allowed
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        let m = domain.cluster.as_ref().unwrap().metrics();
+        assert_eq!(m.batched_queries as usize, n, "every enforcement batched");
+        assert!(
+            (m.batches as usize) < n,
+            "a 20ms window must group concurrent enforcements, saw {} batches",
+            m.batches
+        );
+        assert!(
+            m.queries < n as u64,
+            "duplicate requests in a grouped flush coalesce"
+        );
     }
 
     /// Review regression: a policy update must flush the PEP-side
@@ -861,11 +977,14 @@ policy "gate" deny-unless-permit {
             .pep_cache(cache)
             .build(&ctx);
         let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
-        assert!(clustered.pep.enforce(&req, 0).allowed);
-        assert!(clustered.pep.enforce(&req, 1).allowed, "cached grant");
+        assert!(clustered.pep.serve(EnforceRequest::of(&req, 0)).allowed);
+        assert!(
+            clustered.pep.serve(EnforceRequest::of(&req, 1)).allowed,
+            "cached grant"
+        );
         clustered.propagate_policy(lockdown(), 10);
         assert!(
-            !clustered.pep.enforce(&req, 11).allowed,
+            !clustered.pep.serve(EnforceRequest::of(&req, 11)).allowed,
             "the cached permit must not survive the lockdown"
         );
         // Same guarantee for a single-engine domain, whose epoch also
@@ -876,10 +995,10 @@ policy "gate" deny-unless-permit {
             .pep_cache(cache)
             .build(&ctx);
         assert_eq!(single.policy_epoch(), PolicyEpoch::ZERO);
-        assert!(single.pep.enforce(&req, 0).allowed);
+        assert!(single.pep.serve(EnforceRequest::of(&req, 0)).allowed);
         assert_eq!(single.propagate_policy(lockdown(), 10), PolicyEpoch(1));
         assert_eq!(single.policy_epoch(), PolicyEpoch(1));
-        assert!(!single.pep.enforce(&req, 11).allowed);
+        assert!(!single.pep.serve(EnforceRequest::of(&req, 11)).allowed);
     }
 
     /// The capability opt-in end to end: first permit rides the quorum
@@ -904,7 +1023,7 @@ policy "gate" deny-unless-permit {
         let cluster = domain.cluster.as_ref().unwrap();
         let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
         for t in 0..10 {
-            assert!(domain.pep.enforce(&req, t).allowed);
+            assert!(domain.pep.serve(EnforceRequest::of(&req, t)).allowed);
         }
         assert_eq!(
             cluster.metrics().queries,
@@ -921,7 +1040,7 @@ policy "gate" deny-unless-permit {
         let epoch = domain.propagate_policy(lockdown, 10);
         assert_eq!(authority.current_epoch(), epoch);
         assert!(
-            !domain.pep.enforce(&req, 10).allowed,
+            !domain.pep.serve(EnforceRequest::of(&req, 10)).allowed,
             "a revoked token must not outlive the push, even in its tick"
         );
         assert_eq!(domain.pep.stats().token_rejects, 1);
@@ -946,15 +1065,15 @@ policy "gate" deny-unless-permit {
             .capability(1_000_000)
             .build(&ctx);
         let req = RequestContext::basic("dr-yang@clinic", "ehr/2", "read");
-        assert!(domain.pep.enforce(&req, 0).allowed);
-        assert!(domain.pep.enforce(&req, 1).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&req, 0)).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&req, 1)).allowed);
         assert_eq!(domain.pdp.metrics().decisions, 1, "second permit was local");
         let lockdown = dacs_policy::dsl::parse_policy(
             r#"policy "gate" first-applicable { rule "lockdown" deny { } }"#,
         )
         .unwrap();
         domain.propagate_policy(lockdown, 5);
-        assert!(!domain.pep.enforce(&req, 6).allowed);
+        assert!(!domain.pep.serve(EnforceRequest::of(&req, 6)).allowed);
         assert_eq!(domain.pep.stats().token_rejects, 1);
     }
 
@@ -964,7 +1083,7 @@ policy "gate" deny-unless-permit {
         let domain = clustered_domain(&ctx, true, false);
         let names = domain.replica_names();
         let req = RequestContext::basic("dr-grey@ward", "ehr/1", "read");
-        assert!(domain.pep.enforce(&req, 0).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&req, 0)).allowed);
 
         // r1 crashes; the lockdown lands while it sleeps.
         assert!(domain.crash_replica(&names[1]));
@@ -983,7 +1102,7 @@ policy "gate" deny-unless-permit {
         // Recovery lands in Syncing: stale, excluded from the quorum.
         assert!(domain.recover_replica(&names[1]));
         assert_eq!(domain.replica_phase(&names[1]), Some(ReplicaPhase::Syncing));
-        let denied = domain.pep.enforce(&req, 12);
+        let denied = domain.pep.serve(EnforceRequest::of(&req, 12));
         assert!(!denied.allowed, "the fresh pair enforces the lockdown");
         let m = domain.cluster.as_ref().unwrap().metrics();
         assert_eq!(m.stale_decisions_avoided, 1);
@@ -992,7 +1111,7 @@ policy "gate" deny-unless-permit {
         assert!(domain.catch_up_replica(&names[1], 20));
         assert_eq!(domain.replica_phase(&names[1]), Some(ReplicaPhase::Healthy));
         assert_eq!(domain.cluster.as_ref().unwrap().metrics().resyncs, 1);
-        assert!(!domain.pep.enforce(&req, 21).allowed);
+        assert!(!domain.pep.serve(EnforceRequest::of(&req, 21)).allowed);
 
         // Unknown names are a polite no-op.
         assert!(!domain.crash_replica("pdp.ward.s9r9"));
@@ -1021,7 +1140,7 @@ policy "block-secret" deny-overrides {
         // Root combines with deny-overrides: secret reads denied.
         let ok = RequestContext::basic("u@d", "public/1", "read");
         let blocked = RequestContext::basic("u@d", "secret/1", "read");
-        assert!(domain.pep.enforce(&ok, 0).allowed);
-        assert!(!domain.pep.enforce(&blocked, 0).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&ok, 0)).allowed);
+        assert!(!domain.pep.serve(EnforceRequest::of(&blocked, 0)).allowed);
     }
 }

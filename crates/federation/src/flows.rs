@@ -14,6 +14,7 @@ use crate::domain::home_domain;
 use crate::proto::{Msg, SizeModel};
 use crate::vo::Vo;
 use dacs_assert::SignedAssertion;
+use dacs_pep::EnforceRequest;
 use dacs_policy::request::RequestContext;
 use dacs_simnet::{LinkSpec, Network, NodeId};
 use std::collections::HashMap;
@@ -283,7 +284,7 @@ pub fn request_flow(
         };
 
         // The authoritative decision + enforcement.
-        let result = domain.pep.enforce(&enriched, now_ms);
+        let result = domain.pep.serve(EnforceRequest::of(&enriched, now_ms));
         allowed = result.allowed;
 
         if kind == FlowKind::Pull {
@@ -393,7 +394,7 @@ pub fn push_flow(
     let allowed = if vo.wall_permits(subject, &domain.name) {
         domain
             .pep
-            .enforce_with_capability(&request, capability, now_ms)
+            .serve_with_capability(EnforceRequest::of(&request, now_ms), capability)
             .allowed
     } else {
         false
@@ -477,14 +478,13 @@ policy "vo-prescreen" deny-unless-permit {
             // Rebuild domain PEPs to trust the CAS.
             let cas_key = cas.public_key();
             for d in &mut vo.domains {
-                let trusted = Pep::new(
-                    format!("pep.{}", d.name),
-                    d.name.clone(),
-                    d.pdp.clone(),
-                    ctx.clone(),
-                )
-                .with_handler(d.log_handler.clone())
-                .with_trusted_issuer("cas.vo-health", cas_key.clone());
+                let trusted = Pep::builder(format!("pep.{}", d.name))
+                    .audience(d.name.clone())
+                    .source(d.pdp.clone())
+                    .crypto(ctx.clone())
+                    .handler(d.log_handler.clone())
+                    .trusted_issuer("cas.vo-health", cas_key.clone())
+                    .build();
                 d.pep = std::sync::Arc::new(trusted);
             }
             vo = vo.with_cas(cas);

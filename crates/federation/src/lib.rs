@@ -28,6 +28,7 @@ pub mod domain;
 pub mod flows;
 pub mod proto;
 pub mod vo;
+pub mod window;
 
 pub use domain::{home_domain, ClusteredDecisionSource, Domain, DomainBuilder};
 pub use flows::{
@@ -35,3 +36,4 @@ pub use flows::{
 };
 pub use proto::{Msg, SizeModel};
 pub use vo::{CapabilityService, ConflictClass, Vo};
+pub use window::BatchWindow;

@@ -10,15 +10,20 @@
 //! * [`cache`] — the TTL + LRU cache shared by PDPs and PEPs.
 //! * [`discovery`] — static binding vs directory-based PDP discovery
 //!   with health tracking (§3.2 "Location of Policy Decision Points").
+//! * [`class`] — workload classification ([`Priority`] lanes,
+//!   [`DecisionClass`]) shared by the enforcement and replication
+//!   layers.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod class;
 pub mod discovery;
 pub mod engine;
 
 pub use cache::{CacheStats, TtlLruCache};
+pub use class::{DecisionClass, Priority};
 pub use discovery::{Binding, HealthState, PdpDirectory, PdpEndpoint};
 pub use engine::{CacheConfig, Pdp, PdpMetrics};
 

@@ -6,15 +6,21 @@
 //! Supports the paper's three authorization decision query sequences
 //! (§2.2):
 //!
-//! * **pull** (policy-issuing, Fig. 3) — [`Pep::enforce`]: the PEP
+//! * **pull** (policy-issuing, Fig. 3) — [`Pep::serve`]: the PEP
 //!   queries its PDP per request.
 //! * **push** (capability-issuing, Fig. 2) —
-//!   [`Pep::enforce_with_capability`]: the client presents a signed
+//!   [`Pep::serve_with_capability`]: the client presents a signed
 //!   capability assertion; the PEP validates it and additionally applies
 //!   local policy (resource autonomy: local deny always wins).
 //! * **agent** — a PEP deployed as a proxy in front of the service; the
 //!   data path is identical to pull, the deployment difference is
 //!   captured by the federation layer's topology.
+//!
+//! Every enforcement rides an [`EnforceRequest`] — access context plus
+//! scheduling metadata (priority lane, deadline) — so a clustered
+//! decision source can steer its fan-out through the decision
+//! scheduler's priority runqueues. PEPs are constructed through
+//! [`PepBuilder`] ([`Pep::builder`]).
 //!
 //! Dependability posture (DESIGN.md §7): Indeterminate decisions,
 //! unverifiable assertions, and obligations without a registered handler
@@ -27,7 +33,7 @@
 use dacs_assert::{AssertError, SignedAssertion};
 use dacs_capability::{CapabilityAuthority, CapabilityToken};
 use dacs_crypto::sign::{CryptoCtx, PublicKey};
-use dacs_pdp::{CacheConfig, Pdp, TtlLruCache};
+use dacs_pdp::{CacheConfig, DecisionClass, Pdp, Priority, TtlLruCache};
 use dacs_policy::eval::Response;
 use dacs_policy::policy::{Decision, Obligation};
 use dacs_policy::request::RequestContext;
@@ -35,6 +41,157 @@ use dacs_telemetry::{Counter, Histogram, Span, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Scheduling metadata for an enforcement, separated from the access
+/// context so callers can build one options value and reuse it across
+/// requests (e.g. a whole batch).
+///
+/// Marked `#[non_exhaustive]`: construct via [`EnforceOptions::new`] /
+/// [`EnforceOptions::interactive`] / [`EnforceOptions::bulk`] and the
+/// `with_*` setters, so future scheduling knobs can be added without
+/// breaking callers.
+#[non_exhaustive]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EnforceOptions {
+    /// Scheduling lane for the decision fan-out (see
+    /// [`dacs_pdp::Priority`]). Defaults to [`Priority::Default`].
+    pub priority: Priority,
+    /// Optional decision deadline, milliseconds from submission,
+    /// carried into the scheduler's deadline-aware pop: an overdue job
+    /// is promoted ahead of higher lanes.
+    pub deadline_ms: Option<u64>,
+}
+
+impl EnforceOptions {
+    /// Default-lane options with no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Options for latency-sensitive, user-facing enforcements.
+    pub fn interactive() -> Self {
+        Self::new().with_priority(Priority::Interactive)
+    }
+
+    /// Options for background work that must never delay interactive
+    /// enforcements.
+    pub fn bulk() -> Self {
+        Self::new().with_priority(Priority::Bulk)
+    }
+
+    /// Sets the scheduling lane.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the decision deadline in milliseconds from submission.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// The scheduler-facing [`DecisionClass`] these options describe.
+    pub fn class(&self) -> DecisionClass {
+        let class = DecisionClass {
+            priority: self.priority,
+            ..DecisionClass::default()
+        };
+        match self.deadline_ms {
+            Some(ms) => class.with_deadline_us(ms.saturating_mul(1_000)),
+            None => class,
+        }
+    }
+}
+
+/// One enforcement request under the redesigned API: the access
+/// context plus enforcement time and scheduling metadata, in one
+/// value. [`Pep::serve`], [`Pep::serve_with_capability`] and the
+/// batching layers all route through it, so priority and deadline
+/// reach the decision scheduler no matter which enforcement model
+/// (pull, push, batch) carried the request.
+///
+/// ```
+/// # use dacs_pep::EnforceRequest;
+/// # use dacs_policy::request::RequestContext;
+/// let ctx = RequestContext::basic("alice", "ehr/1", "read");
+/// let request = EnforceRequest::of(&ctx, 42).interactive().with_deadline_ms(5);
+/// assert_eq!(request.now_ms, 42);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EnforceRequest<'a> {
+    /// The access request being enforced.
+    pub context: &'a RequestContext,
+    /// Enforcement time (simulation milliseconds).
+    pub now_ms: u64,
+    /// Scheduling lane for the decision fan-out.
+    pub priority: Priority,
+    /// Optional decision deadline, milliseconds from submission.
+    pub deadline_ms: Option<u64>,
+}
+
+impl<'a> EnforceRequest<'a> {
+    /// A default-lane enforcement of `context` at `now_ms` — the
+    /// drop-in spelling for the old `enforce(request, now_ms)` calls.
+    pub fn of(context: &'a RequestContext, now_ms: u64) -> Self {
+        EnforceRequest {
+            context,
+            now_ms,
+            priority: Priority::Default,
+            deadline_ms: None,
+        }
+    }
+
+    /// Moves this enforcement to the interactive lane.
+    pub fn interactive(mut self) -> Self {
+        self.priority = Priority::Interactive;
+        self
+    }
+
+    /// Moves this enforcement to the bulk lane.
+    pub fn bulk(mut self) -> Self {
+        self.priority = Priority::Bulk;
+        self
+    }
+
+    /// Sets the scheduling lane.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the decision deadline in milliseconds from submission.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Applies a reusable options bundle to this request.
+    pub fn with_options(mut self, options: EnforceOptions) -> Self {
+        self.priority = options.priority;
+        self.deadline_ms = options.deadline_ms;
+        self
+    }
+
+    /// The scheduling metadata of this request as an options bundle.
+    pub fn options(&self) -> EnforceOptions {
+        EnforceOptions::new()
+            .with_priority(self.priority)
+            .with_deadline_ms_opt(self.deadline_ms)
+    }
+
+    /// The scheduler-facing [`DecisionClass`] this request rides in.
+    pub fn class(&self) -> DecisionClass {
+        self.options().class()
+    }
+}
+
+impl EnforceOptions {
+    fn with_deadline_ms_opt(mut self, deadline_ms: Option<u64>) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+}
 
 /// Anything a PEP can query for authorization decisions.
 ///
@@ -83,6 +240,58 @@ pub trait DecisionSource: Send + Sync {
             .into_iter()
             .map(|r| (r, None))
             .collect()
+    }
+
+    /// [`DecisionSource::decide`] carrying a scheduling
+    /// [`DecisionClass`]. The default ignores the class (a single
+    /// local engine has no scheduler); clustered sources override it
+    /// to steer the query's fan-out jobs into the matching priority
+    /// lane with its deadline.
+    fn decide_classed(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Response {
+        let _ = class;
+        self.decide(request, now_ms)
+    }
+
+    /// [`DecisionSource::decide_batch`] carrying one scheduling
+    /// [`DecisionClass`] for the whole batch; the default ignores it.
+    fn decide_batch_classed(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Vec<Response> {
+        let _ = class;
+        self.decide_batch(requests, now_ms)
+    }
+
+    /// [`DecisionSource::decide_with_grant`] carrying a scheduling
+    /// [`DecisionClass`]; the default ignores it.
+    fn decide_with_grant_classed(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> (Response, Option<CapabilityToken>) {
+        let _ = class;
+        self.decide_with_grant(request, now_ms)
+    }
+
+    /// [`DecisionSource::decide_batch_with_grants`] carrying one
+    /// scheduling [`DecisionClass`] for the whole batch; the default
+    /// ignores it.
+    fn decide_batch_with_grants_classed(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Vec<(Response, Option<CapabilityToken>)> {
+        let _ = class;
+        self.decide_batch_with_grants(requests, now_ms)
     }
 }
 
@@ -138,6 +347,54 @@ impl DecisionSource for MintingSource {
         let epoch = self.authority.current_epoch();
         self.inner
             .decide_batch(requests, now_ms)
+            .into_iter()
+            .zip(requests)
+            .map(|(response, request)| {
+                let token = self.authority.grant_for(request, &response, now_ms, epoch);
+                (response, token)
+            })
+            .collect()
+    }
+
+    fn decide_classed(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Response {
+        self.inner.decide_classed(request, now_ms, class)
+    }
+
+    fn decide_batch_classed(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Vec<Response> {
+        self.inner.decide_batch_classed(requests, now_ms, class)
+    }
+
+    fn decide_with_grant_classed(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> (Response, Option<CapabilityToken>) {
+        let epoch = self.authority.current_epoch();
+        let response = self.inner.decide_classed(request, now_ms, class);
+        let token = self.authority.grant_for(request, &response, now_ms, epoch);
+        (response, token)
+    }
+
+    fn decide_batch_with_grants_classed(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Vec<(Response, Option<CapabilityToken>)> {
+        let epoch = self.authority.current_epoch();
+        self.inner
+            .decide_batch_classed(requests, now_ms, class)
             .into_iter()
             .zip(requests)
             .map(|(response, request)| {
@@ -301,6 +558,169 @@ struct PepTelemetry {
     enforce_us: Arc<Histogram>,
 }
 
+/// Builds a [`Pep`] in one fluent pass — the single construction
+/// entry point replacing the deprecated [`Pep::new`] + `with_*`
+/// chain.
+///
+/// ```
+/// # use dacs_pep::{Pep, LogObligationHandler};
+/// # use dacs_crypto::sign::CryptoCtx;
+/// # use dacs_pdp::{CacheConfig, Pdp};
+/// # use std::sync::Arc;
+/// # fn demo(pdp: Arc<Pdp>) -> Pep {
+/// Pep::builder("pep.clinic")
+///     .audience("clinic")
+///     .source(pdp)
+///     .crypto(CryptoCtx::new())
+///     .handler(Arc::new(LogObligationHandler::new()))
+///     .cache(CacheConfig { capacity: 64, ttl_ms: 1_000 })
+///     .build()
+/// # }
+/// ```
+pub struct PepBuilder {
+    name: String,
+    audience: String,
+    source: Option<Arc<dyn DecisionSource>>,
+    crypto: Option<CryptoCtx>,
+    handlers: HashMap<String, Arc<dyn ObligationHandler>>,
+    cache: Option<CacheConfig>,
+    trusted_issuers: HashMap<String, PublicKey>,
+    telemetry: Option<Arc<Telemetry>>,
+    capability: Option<(Arc<CapabilityAuthority>, usize)>,
+    deny_not_applicable: bool,
+}
+
+impl PepBuilder {
+    /// Starts a builder for a PEP named `name`. The audience defaults
+    /// to the name until [`PepBuilder::audience`] overrides it.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        PepBuilder {
+            audience: name.clone(),
+            name,
+            source: None,
+            crypto: None,
+            handlers: HashMap::new(),
+            cache: None,
+            trusted_issuers: HashMap::new(),
+            telemetry: None,
+            capability: None,
+            deny_not_applicable: true,
+        }
+    }
+
+    /// The audience string capabilities must be issued for (usually
+    /// the domain name).
+    pub fn audience(mut self, audience: impl Into<String>) -> Self {
+        self.audience = audience.into();
+        self
+    }
+
+    /// Binds the decision source (pull model): a single [`Pdp`] engine
+    /// (an `Arc<Pdp>` coerces) or a clustered decision service.
+    pub fn source(mut self, source: Arc<dyn DecisionSource>) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// The crypto context used to verify capability assertions.
+    /// Defaults to a fresh [`CryptoCtx`] (sufficient when the PEP
+    /// never sees push-model capabilities).
+    pub fn crypto(mut self, crypto: CryptoCtx) -> Self {
+        self.crypto = Some(crypto);
+        self
+    }
+
+    /// Registers an obligation handler.
+    pub fn handler(mut self, handler: Arc<dyn ObligationHandler>) -> Self {
+        self.handlers
+            .insert(handler.obligation_id().to_owned(), handler);
+        self
+    }
+
+    /// Enables the PEP-side decision cache.
+    pub fn cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(config);
+        self
+    }
+
+    /// Trusts a capability issuer.
+    pub fn trusted_issuer(mut self, name: impl Into<String>, key: PublicKey) -> Self {
+        self.trusted_issuers.insert(name.into(), key);
+        self
+    }
+
+    /// Attaches observability: enforcement root spans decomposed into
+    /// `cache`/`decide`/`obligations` children, plus `dacs_pep_*`
+    /// counters and the enforcement latency histogram.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Enables the signed-capability fast path: minted tokens are
+    /// cached (bounded by `capacity`) and verified locally on later
+    /// enforcements of the same request, skipping the decision source
+    /// entirely on hits.
+    pub fn capability_fastpath(
+        mut self,
+        authority: Arc<CapabilityAuthority>,
+        capacity: usize,
+    ) -> Self {
+        self.capability = Some((authority, capacity));
+        self
+    }
+
+    /// Treats NotApplicable as permit (open enforcement, for ablation
+    /// only; default is fail-safe deny).
+    pub fn open_not_applicable(mut self) -> Self {
+        self.deny_not_applicable = false;
+        self
+    }
+
+    /// Finishes the PEP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no decision source was bound.
+    pub fn build(self) -> Pep {
+        let source = self.source.expect("PepBuilder needs a decision source");
+        let telemetry = self.telemetry.map(|telemetry| {
+            let r = telemetry.registry();
+            PepTelemetry {
+                enforcements: r.counter("dacs_pep_enforcements_total"),
+                cache_hits: r.counter("dacs_pep_cache_hits_total"),
+                failsafe_denials: r.counter("dacs_pep_failsafe_denials_total"),
+                enforce_us: r.histogram("dacs_pep_enforce_us"),
+                telemetry,
+            }
+        });
+        let capability = self.capability.map(|(authority, capacity)| {
+            let ttl = authority.ttl_ms();
+            PepCapability {
+                authority,
+                tokens: Mutex::new(TtlLruCache::new(capacity, ttl)),
+            }
+        });
+        Pep {
+            name: self.name,
+            audience: self.audience,
+            source,
+            handlers: self.handlers,
+            cache: self
+                .cache
+                .map(|cfg| Mutex::new(TtlLruCache::new(cfg.capacity, cfg.ttl_ms))),
+            crypto: self.crypto.unwrap_or_default(),
+            trusted_issuers: self.trusted_issuers,
+            deny_not_applicable: self.deny_not_applicable,
+            audit: Mutex::new(Vec::new()),
+            stats: Mutex::new(EnforcementStats::default()),
+            telemetry,
+            capability,
+        }
+    }
+}
+
 /// A Policy Enforcement Point guarding one service.
 pub struct Pep {
     name: String,
@@ -324,9 +744,15 @@ pub struct Pep {
 }
 
 impl Pep {
+    /// Starts a [`PepBuilder`] — the single construction entry point.
+    pub fn builder(name: impl Into<String>) -> PepBuilder {
+        PepBuilder::new(name)
+    }
+
     /// Creates an enforcement point bound to a decision source (pull
     /// model): a single [`Pdp`] engine (an `Arc<Pdp>` coerces), or a
     /// clustered decision service.
+    #[deprecated(note = "use Pep::builder(name).audience(..).source(..).crypto(..).build()")]
     pub fn new(
         name: impl Into<String>,
         audience: impl Into<String>,
@@ -350,6 +776,7 @@ impl Pep {
     }
 
     /// Registers an obligation handler (builder style).
+    #[deprecated(note = "use PepBuilder::handler")]
     pub fn with_handler(mut self, handler: Arc<dyn ObligationHandler>) -> Self {
         self.handlers
             .insert(handler.obligation_id().to_owned(), handler);
@@ -357,12 +784,14 @@ impl Pep {
     }
 
     /// Enables the PEP-side decision cache (builder style).
+    #[deprecated(note = "use PepBuilder::cache")]
     pub fn with_cache(mut self, config: CacheConfig) -> Self {
         self.cache = Some(Mutex::new(TtlLruCache::new(config.capacity, config.ttl_ms)));
         self
     }
 
     /// Trusts a capability issuer (builder style).
+    #[deprecated(note = "use PepBuilder::trusted_issuer")]
     pub fn with_trusted_issuer(mut self, name: impl Into<String>, key: PublicKey) -> Self {
         self.trusted_issuers.insert(name.into(), key);
         self
@@ -375,6 +804,7 @@ impl Pep {
     /// evaluation — attach their own spans underneath `decide` through
     /// the shared handle), and the registry gains `dacs_pep_*`
     /// counters plus the enforcement latency histogram.
+    #[deprecated(note = "use PepBuilder::telemetry")]
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         let r = telemetry.registry();
         self.telemetry = Some(PepTelemetry {
@@ -397,6 +827,7 @@ impl Pep {
     /// the fast path can deny-and-retry but never permit what the
     /// source would deny. `capacity` bounds the token cache; the TTL is
     /// the authority's.
+    #[deprecated(note = "use PepBuilder::capability_fastpath")]
     pub fn with_capability_fastpath(
         mut self,
         authority: Arc<CapabilityAuthority>,
@@ -412,6 +843,7 @@ impl Pep {
 
     /// Treats NotApplicable as permit (open enforcement, for ablation
     /// only; default is fail-safe deny).
+    #[deprecated(note = "use PepBuilder::open_not_applicable")]
     pub fn with_open_not_applicable(mut self) -> Self {
         self.deny_not_applicable = false;
         self
@@ -422,20 +854,25 @@ impl Pep {
         &self.name
     }
 
-    /// Pull-model enforcement (Fig. 3): query the decision source,
-    /// fulfil obligations, grant or deny.
-    pub fn enforce(&self, request: &RequestContext, now_ms: u64) -> EnforcementResult {
+    /// Pull-model enforcement (Fig. 3) under the redesigned API: query
+    /// the decision source on the request's scheduling lane, fulfil
+    /// obligations, grant or deny.
+    pub fn serve(&self, request: EnforceRequest<'_>) -> EnforcementResult {
+        let EnforceRequest {
+            context, now_ms, ..
+        } = request;
+        let class = request.class();
         let root = self.telemetry.as_ref().map(|t| {
             t.enforcements.inc();
             t.telemetry.tracer().root("pep_enforce")
         });
-        let response = match self.token_fastpath(request, now_ms, root.as_ref()) {
+        let response = match self.token_fastpath(context, now_ms, root.as_ref()) {
             Some(response) => response,
-            None => self.decide_traced(request, now_ms, root.as_ref()),
+            None => self.decide_traced(context, now_ms, root.as_ref(), class),
         };
         let result = {
             let _span = root.as_ref().map(|p| p.child("obligations"));
-            self.conclude(request, response, now_ms)
+            self.conclude(context, response, now_ms)
         };
         if let (Some(t), Some(root)) = (self.telemetry.as_ref(), root) {
             t.enforce_us.record(root.elapsed_us());
@@ -444,17 +881,26 @@ impl Pep {
         result
     }
 
+    /// Pull-model enforcement with the pre-redesign signature.
+    #[deprecated(note = "use serve(EnforceRequest::of(request, now_ms))")]
+    pub fn enforce(&self, request: &RequestContext, now_ms: u64) -> EnforcementResult {
+        self.serve(EnforceRequest::of(request, now_ms))
+    }
+
     /// Pull-model enforcement of a whole batch: decisions for every
-    /// request are fetched in one [`DecisionSource::decide_batch`]
-    /// round (a single coalesced flush on a clustered source), then
-    /// each request is concluded exactly as [`Pep::enforce`] would —
+    /// request are fetched in one [`DecisionSource::decide_batch_classed`]
+    /// round (a single coalesced flush on a clustered source, with
+    /// every fan-out job in `options`' scheduling lane), then each
+    /// request is concluded exactly as [`Pep::serve`] would —
     /// obligations, fail-safe defaults, audit and stats per request.
     /// Results align with `requests`.
-    pub fn enforce_batch(
+    pub fn serve_batch(
         &self,
         requests: &[RequestContext],
         now_ms: u64,
+        options: EnforceOptions,
     ) -> Vec<EnforcementResult> {
+        let class = options.class();
         let root = self.telemetry.as_ref().map(|t| {
             t.enforcements.add(requests.len() as u64);
             t.telemetry.tracer().root("pep_enforce_batch")
@@ -515,7 +961,7 @@ impl Pep {
                     let _guard = span.as_ref().map(|s| s.enter());
                     let misses: Vec<RequestContext> =
                         miss_idx.iter().map(|&i| requests[i].clone()).collect();
-                    let answers = self.query_source_batch(&misses, now_ms);
+                    let answers = self.query_source_batch(&misses, now_ms, class);
                     debug_assert_eq!(answers.len(), misses.len(), "one answer per query");
                     let mut cache = cache.lock();
                     for (&i, resp) in miss_idx.iter().zip(answers) {
@@ -530,7 +976,7 @@ impl Pep {
                     let _guard = span.as_ref().map(|s| s.enter());
                     let misses: Vec<RequestContext> =
                         pending.iter().map(|&i| requests[i].clone()).collect();
-                    let answers = self.query_source_batch(&misses, now_ms);
+                    let answers = self.query_source_batch(&misses, now_ms, class);
                     debug_assert_eq!(answers.len(), misses.len(), "one answer per query");
                     for (&i, resp) in pending.iter().zip(answers) {
                         responses[i] = Some(resp);
@@ -558,6 +1004,16 @@ impl Pep {
         results
     }
 
+    /// Batch enforcement with the pre-redesign signature.
+    #[deprecated(note = "use serve_batch(requests, now_ms, EnforceOptions::default())")]
+    pub fn enforce_batch(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+    ) -> Vec<EnforcementResult> {
+        self.serve_batch(requests, now_ms, EnforceOptions::default())
+    }
+
     /// Explicitly flushes the PEP-side decision cache. The policy
     /// authority calls this when cached decisions are known stale —
     /// e.g. a domain that just propagated a policy update (PDP caches
@@ -569,15 +1025,22 @@ impl Pep {
         }
     }
 
-    /// Push-model enforcement (Fig. 2): validate the presented
-    /// capability, then apply local policy as an autonomy overlay —
-    /// a local Deny/Indeterminate overrides the capability.
-    pub fn enforce_with_capability(
+    /// Push-model enforcement (Fig. 2) under the redesigned API:
+    /// validate the presented capability, then apply local policy as
+    /// an autonomy overlay — a local Deny/Indeterminate overrides the
+    /// capability. The local overlay decision runs on the request's
+    /// scheduling lane.
+    pub fn serve_with_capability(
         &self,
-        request: &RequestContext,
+        request: EnforceRequest<'_>,
         capability: &SignedAssertion,
-        now_ms: u64,
     ) -> EnforcementResult {
+        let class = request.class();
+        let EnforceRequest {
+            context: request,
+            now_ms,
+            ..
+        } = request;
         // 1. Issuer trust.
         let issuer = &capability.assertion.issuer;
         let Some(key) = self.trusted_issuers.get(issuer) else {
@@ -608,7 +1071,7 @@ impl Pep {
         }
         // 4. Local restriction overlay: the resource provider still makes
         //    the final decision (§2.2). Local Deny or error wins.
-        let local = self.decide_cached(request, now_ms);
+        let local = self.decide_cached(request, now_ms, class);
         match local.decision {
             Decision::Deny => self.conclude(request, local, now_ms),
             Decision::Indeterminate => {
@@ -632,8 +1095,26 @@ impl Pep {
         }
     }
 
-    fn decide_cached(&self, request: &RequestContext, now_ms: u64) -> Response {
-        self.decide_traced(request, now_ms, None)
+    /// Push-model enforcement with the pre-redesign signature.
+    #[deprecated(
+        note = "use serve_with_capability(EnforceRequest::of(request, now_ms), capability)"
+    )]
+    pub fn enforce_with_capability(
+        &self,
+        request: &RequestContext,
+        capability: &SignedAssertion,
+        now_ms: u64,
+    ) -> EnforcementResult {
+        self.serve_with_capability(EnforceRequest::of(request, now_ms), capability)
+    }
+
+    fn decide_cached(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Response {
+        self.decide_traced(request, now_ms, None, class)
     }
 
     /// Attempts the capability fast path: a cached token for exactly
@@ -684,10 +1165,17 @@ impl Pep {
 
     /// Queries the decision source for one response, capturing (and
     /// caching) any capability token minted alongside it.
-    fn query_source(&self, request: &RequestContext, now_ms: u64) -> Response {
+    fn query_source(
+        &self,
+        request: &RequestContext,
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Response {
         match &self.capability {
             Some(cap) => {
-                let (response, token) = self.source.decide_with_grant(request, now_ms);
+                let (response, token) = self
+                    .source
+                    .decide_with_grant_classed(request, now_ms, class);
                 if let Some(token) = token {
                     cap.tokens
                         .lock()
@@ -696,15 +1184,22 @@ impl Pep {
                 }
                 response
             }
-            None => self.source.decide(request, now_ms),
+            None => self.source.decide_classed(request, now_ms, class),
         }
     }
 
     /// Batch variant of [`Pep::query_source`].
-    fn query_source_batch(&self, requests: &[RequestContext], now_ms: u64) -> Vec<Response> {
+    fn query_source_batch(
+        &self,
+        requests: &[RequestContext],
+        now_ms: u64,
+        class: DecisionClass,
+    ) -> Vec<Response> {
         match &self.capability {
             Some(cap) => {
-                let pairs = self.source.decide_batch_with_grants(requests, now_ms);
+                let pairs = self
+                    .source
+                    .decide_batch_with_grants_classed(requests, now_ms, class);
                 debug_assert_eq!(pairs.len(), requests.len(), "one answer per query");
                 let mut responses = Vec::with_capacity(pairs.len());
                 let mut minted = 0u64;
@@ -723,7 +1218,7 @@ impl Pep {
                 }
                 responses
             }
-            None => self.source.decide_batch(requests, now_ms),
+            None => self.source.decide_batch_classed(requests, now_ms, class),
         }
     }
 
@@ -738,6 +1233,7 @@ impl Pep {
         request: &RequestContext,
         now_ms: u64,
         parent: Option<&Span>,
+        class: DecisionClass,
     ) -> Response {
         if let Some(cache) = &self.cache {
             let mut cache_span = parent.map(|p| p.child("cache"));
@@ -761,13 +1257,13 @@ impl Pep {
             drop(cache_span);
             let span = parent.map(|p| p.child("decide"));
             let _guard = span.as_ref().map(|s| s.enter());
-            let resp = self.query_source(request, now_ms);
+            let resp = self.query_source(request, now_ms, class);
             cache.lock().insert(key, resp.clone(), now_ms);
             resp
         } else {
             let span = parent.map(|p| p.child("decide"));
             let _guard = span.as_ref().map(|s| s.enter());
-            self.query_source(request, now_ms)
+            self.query_source(request, now_ms, class)
         }
     }
 
@@ -919,13 +1415,16 @@ mod tests {
         ));
 
         let log = Arc::new(LogObligationHandler::new());
-        let mut pep = Pep::new("pep.b", "hospital-b", pdp, ctx.clone())
-            .with_trusted_issuer("cas.vo", cas_key.public_key());
+        let mut pep = Pep::builder("pep.b")
+            .audience("hospital-b")
+            .source(pdp)
+            .crypto(ctx.clone())
+            .trusted_issuer("cas.vo", cas_key.public_key());
         if with_log_handler {
-            pep = pep.with_handler(log.clone());
+            pep = pep.handler(log.clone());
         }
         World {
-            pep,
+            pep: pep.build(),
             log,
             cas_key,
             ctx,
@@ -947,7 +1446,7 @@ policy "gate" deny-unless-permit {
     fn pull_model_permits_and_logs() {
         let w = world(GATE, true);
         let req = RequestContext::basic("alice", "ehr/1", "read");
-        let r = w.pep.enforce(&req, 10);
+        let r = w.pep.serve(EnforceRequest::of(&req, 10));
         assert!(r.allowed);
         assert_eq!(r.fulfilled, vec!["log".to_string()]);
         assert_eq!(w.log.entries().len(), 1);
@@ -960,7 +1459,7 @@ policy "gate" deny-unless-permit {
     fn pull_model_denies_unknown_subject() {
         let w = world(GATE, true);
         let req = RequestContext::basic("mallory", "ehr/1", "read");
-        let r = w.pep.enforce(&req, 10);
+        let r = w.pep.serve(EnforceRequest::of(&req, 10));
         assert!(!r.allowed);
         assert_eq!(r.decision, Decision::Deny);
         assert_eq!(w.pep.stats().denied, 1);
@@ -970,7 +1469,7 @@ policy "gate" deny-unless-permit {
     fn missing_obligation_handler_is_failsafe_deny() {
         let w = world(GATE, false); // no log handler registered
         let req = RequestContext::basic("alice", "ehr/1", "read");
-        let r = w.pep.enforce(&req, 10);
+        let r = w.pep.serve(EnforceRequest::of(&req, 10));
         assert!(!r.allowed);
         assert!(r.reason.unwrap().contains("no handler"));
         let stats = w.pep.stats();
@@ -1003,7 +1502,9 @@ policy "gate" deny-unless-permit {
         let w = world(GATE, true);
         let cap = capability(&w, "bob", 1000, "hospital-b");
         let req = RequestContext::basic("bob", "ehr/1", "read");
-        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         // GATE is deny-unless-permit: local decision for bob is Deny, so
         // local autonomy wins and bob is denied despite the capability.
         assert!(!r.allowed);
@@ -1020,7 +1521,9 @@ policy "gate" first-applicable {
         let w = world(overlay, true);
         let cap = capability(&w, "bob", 1000, "hospital-b");
         let req = RequestContext::basic("bob", "ehr/1", "read");
-        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         assert!(r.allowed, "reason: {:?}", r.reason);
     }
 
@@ -1036,7 +1539,9 @@ policy "gate" first-applicable {
         let w = world(overlay, true);
         let cap = capability(&w, "bob", 1000, "hospital-b");
         let req = RequestContext::basic("bob", "ehr/1", "read");
-        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         assert!(!r.allowed, "local autonomy must win");
     }
 
@@ -1053,12 +1558,16 @@ policy "gate" first-applicable {
         let req = RequestContext::basic("bob", "ehr/1", "read");
 
         let expired = capability(&w, "bob", 5, "hospital-b");
-        let r = w.pep.enforce_with_capability(&req, &expired, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &expired);
         assert!(!r.allowed);
         assert!(r.reason.unwrap().contains("expired"));
 
         let wrong_aud = capability(&w, "bob", 1000, "hospital-z");
-        let r = w.pep.enforce_with_capability(&req, &wrong_aud, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &wrong_aud);
         assert!(!r.allowed);
     }
 
@@ -1068,7 +1577,9 @@ policy "gate" first-applicable {
         let mut cap = capability(&w, "bob", 1000, "hospital-b");
         cap.assertion.issuer = "cas.rogue".into();
         let req = RequestContext::basic("bob", "ehr/1", "read");
-        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         assert!(!r.allowed);
         assert!(r.reason.unwrap().contains("untrusted issuer"));
 
@@ -1076,7 +1587,9 @@ policy "gate" first-applicable {
         let mut cap = capability(&w, "bob", 1000, "hospital-b");
         cap.assertion.subject = "mallory".into();
         let req = RequestContext::basic("mallory", "ehr/1", "read");
-        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         assert!(!r.allowed);
     }
 
@@ -1093,15 +1606,21 @@ policy "gate" first-applicable {
         let cap = capability(&w, "bob", 1000, "hospital-b");
         // Write is not in the capability's action list.
         let req = RequestContext::basic("bob", "ehr/1", "write");
-        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         assert!(!r.allowed);
         // Resource outside the pattern.
         let req = RequestContext::basic("bob", "lab/1", "read");
-        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         assert!(!r.allowed);
         // Different subject presenting bob's capability.
         let req = RequestContext::basic("eve", "ehr/1", "read");
-        let r = w.pep.enforce_with_capability(&req, &cap, 10);
+        let r = w
+            .pep
+            .serve_with_capability(EnforceRequest::of(&req, 10), &cap);
         assert!(!r.allowed);
     }
 
@@ -1120,15 +1639,19 @@ policy "gate" first-applicable {
             PolicyElement::PolicyRef(PolicyId::new("gate")),
             Arc::new(pips),
         ));
-        let pep = Pep::new("pep.c", "hospital-c", pdp.clone(), ctx)
-            .with_handler(Arc::new(LogObligationHandler::new()))
-            .with_cache(CacheConfig {
+        let pep = Pep::builder("pep.c")
+            .audience("hospital-c")
+            .source(pdp.clone())
+            .crypto(ctx)
+            .handler(Arc::new(LogObligationHandler::new()))
+            .cache(CacheConfig {
                 capacity: 64,
                 ttl_ms: 1000,
-            });
+            })
+            .build();
         let req = RequestContext::basic("alice", "ehr/1", "read");
         for t in 0..5 {
-            assert!(pep.enforce(&req, t).allowed);
+            assert!(pep.serve(EnforceRequest::of(&req, t)).allowed);
         }
         assert_eq!(pdp.metrics().decisions, 1, "four hits served locally");
         assert_eq!(pep.stats().cache_hits, 4);
@@ -1162,17 +1685,16 @@ policy "gate" deny-unless-permit {
             CapabilityKey::generate(&mut StdRng::seed_from_u64(11)),
             1_000,
         ));
-        let pep = Pep::new(
-            "pep.k",
-            "hospital-k",
-            Arc::new(MintingSource::new(pdp.clone(), authority.clone())),
-            ctx,
-        )
-        .with_capability_fastpath(authority.clone(), 64);
+        let pep = Pep::builder("pep.k")
+            .audience("hospital-k")
+            .source(Arc::new(MintingSource::new(pdp.clone(), authority.clone())))
+            .crypto(ctx)
+            .capability_fastpath(authority.clone(), 64)
+            .build();
 
         let req = RequestContext::basic("alice", "ehr/1", "read");
         for t in 0..5 {
-            assert!(pep.enforce(&req, t).allowed);
+            assert!(pep.serve(EnforceRequest::of(&req, t)).allowed);
         }
         assert_eq!(pdp.metrics().decisions, 1, "four permits verified locally");
         let stats = pep.stats();
@@ -1182,20 +1704,20 @@ policy "gate" deny-unless-permit {
         // An epoch bump revokes the outstanding token: the next
         // enforcement rejects it and re-consults the source.
         authority.advance_epoch(dacs_pap::PolicyEpoch(1));
-        assert!(pep.enforce(&req, 5).allowed);
+        assert!(pep.serve(EnforceRequest::of(&req, 5)).allowed);
         let stats = pep.stats();
         assert_eq!(stats.token_rejects, 1);
         assert_eq!(pdp.metrics().decisions, 2, "revocation forces a re-decide");
         // Denies never mint: a stranger keeps hitting the source.
         let denied = RequestContext::basic("mallory", "ehr/1", "read");
-        assert!(!pep.enforce(&denied, 6).allowed);
-        assert!(!pep.enforce(&denied, 7).allowed);
+        assert!(!pep.serve(EnforceRequest::of(&denied, 6)).allowed);
+        assert!(!pep.serve(EnforceRequest::of(&denied, 7)).allowed);
         assert_eq!(pep.stats().tokens_minted, 2, "only alice's permits minted");
         assert_eq!(pdp.metrics().decisions, 4);
         // Expiry kills the fast path too (the cache TTL matches the
         // token TTL, so the expired token ages out and a fresh source
         // decision mints a replacement).
-        assert!(pep.enforce(&req, 2_000).allowed);
+        assert!(pep.serve(EnforceRequest::of(&req, 2_000)).allowed);
         assert_eq!(pep.stats().tokens_minted, 3);
     }
 
@@ -1211,7 +1733,7 @@ policy "gate" first-applicable {
         let w = world(silent, true);
         let req = RequestContext::basic("bob", "ehr/1", "read");
         // Default: fail-safe deny on NotApplicable.
-        assert!(!w.pep.enforce(&req, 1).allowed);
+        assert!(!w.pep.serve(EnforceRequest::of(&req, 1)).allowed);
 
         // Open configuration grants.
         let ctx = CryptoCtx::new();
@@ -1224,8 +1746,13 @@ policy "gate" first-applicable {
             PolicyElement::PolicyRef(PolicyId::new("gate")),
             Arc::new(PipRegistry::new()),
         ));
-        let open_pep = Pep::new("pep.d", "d", pdp, ctx).with_open_not_applicable();
-        assert!(open_pep.enforce(&req, 1).allowed);
+        let open_pep = Pep::builder("pep.d")
+            .audience("d")
+            .source(pdp)
+            .crypto(ctx)
+            .open_not_applicable()
+            .build();
+        assert!(open_pep.serve(EnforceRequest::of(&req, 1)).allowed);
     }
 
     #[test]
@@ -1244,17 +1771,21 @@ policy "gate" first-applicable {
             Arc::new(pips),
         ));
         let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
-        let pep = Pep::new("pep.t", "hospital-t", pdp, ctx)
-            .with_handler(Arc::new(LogObligationHandler::new()))
-            .with_cache(CacheConfig {
+        let pep = Pep::builder("pep.t")
+            .audience("hospital-t")
+            .source(pdp)
+            .crypto(ctx)
+            .handler(Arc::new(LogObligationHandler::new()))
+            .cache(CacheConfig {
                 capacity: 8,
                 ttl_ms: 1000,
             })
-            .with_telemetry(telemetry.clone());
+            .telemetry(telemetry.clone())
+            .build();
 
         let req = RequestContext::basic("alice", "ehr/1", "read");
-        assert!(pep.enforce(&req, 1).allowed); // miss
-        assert!(pep.enforce(&req, 2).allowed); // hit
+        assert!(pep.serve(EnforceRequest::of(&req, 1)).allowed); // miss
+        assert!(pep.serve(EnforceRequest::of(&req, 2)).allowed); // hit
 
         let r = telemetry.registry();
         assert_eq!(r.counter_value("dacs_pep_enforcements_total"), Some(2));
@@ -1296,26 +1827,30 @@ policy "gate" first-applicable {
             Arc::new(pips),
         ));
         let telemetry = Arc::new(dacs_telemetry::Telemetry::new());
-        let pep = Pep::new("pep.u", "hospital-u", pdp, ctx)
-            .with_handler(Arc::new(LogObligationHandler::new()))
-            .with_cache(CacheConfig {
+        let pep = Pep::builder("pep.u")
+            .audience("hospital-u")
+            .source(pdp)
+            .crypto(ctx)
+            .handler(Arc::new(LogObligationHandler::new()))
+            .cache(CacheConfig {
                 capacity: 8,
                 ttl_ms: 1000,
             })
-            .with_telemetry(telemetry.clone());
+            .telemetry(telemetry.clone())
+            .build();
 
         let reqs = vec![
             RequestContext::basic("alice", "ehr/1", "read"),
             RequestContext::basic("alice", "ehr/1", "read"),
             RequestContext::basic("alice", "ehr/2", "read"),
         ];
-        let results = pep.enforce_batch(&reqs, 1);
+        let results = pep.serve_batch(&reqs, 1, EnforceOptions::default());
         assert!(results.iter().all(|r| r.allowed));
         let r = telemetry.registry();
         assert_eq!(r.counter_value("dacs_pep_enforcements_total"), Some(3));
         // Identical requests in one batch are both misses (the batch is
         // looked up before any decide round); a second batch hits.
-        pep.enforce_batch(&reqs, 2);
+        pep.serve_batch(&reqs, 2, EnforceOptions::default());
         assert_eq!(r.counter_value("dacs_pep_cache_hits_total"), Some(3));
         let spans = telemetry.tracer().snapshot();
         let batch_roots: Vec<_> = spans

@@ -208,14 +208,32 @@ impl Registry {
     /// as summaries with `quantile` labels for p50/p95/p99/p999 plus
     /// `_sum` and `_count`, in deterministic (sorted-name) order.
     pub fn render_text(&self) -> String {
+        self.render_text_filtered("")
+    }
+
+    /// [`Registry::render_text`] restricted to metrics whose name
+    /// starts with `prefix` (the empty prefix renders everything).
+    /// Used to cut one subsystem's exposition out of a shared registry
+    /// — e.g. the fan-out scheduler's per-lane queue-wait histograms
+    /// (`dacs_sched_`) as a standalone bench artifact.
+    pub fn render_text_filtered(&self, prefix: &str) -> String {
         let mut out = String::new();
         for (name, c) in self.counters.read().iter() {
+            if !name.starts_with(prefix) {
+                continue;
+            }
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
         }
         for (name, g) in self.gauges.read().iter() {
+            if !name.starts_with(prefix) {
+                continue;
+            }
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
         }
         for (name, h) in self.histograms.read().iter() {
+            if !name.starts_with(prefix) {
+                continue;
+            }
             out.push_str(&format!("# TYPE {name} summary\n"));
             for (label, q) in [
                 ("0.5", 0.50),
@@ -314,5 +332,22 @@ mod tests {
         assert!(text.contains("dacs_lat_us_count 100"));
         assert!(text.contains("dacs_lat_us_sum 5050"));
         assert!(text.contains("# TYPE dacs_epoch gauge\ndacs_epoch 3"));
+    }
+
+    #[test]
+    fn filtered_exposition_cuts_one_subsystem() {
+        let r = Registry::new();
+        r.counter("dacs_sched_jobs_total_bulk").add(3);
+        r.histogram("dacs_sched_queue_wait_us_interactive")
+            .record(7);
+        r.counter("dacs_other_total").inc();
+        r.gauge("dacs_sched_depth").set(2);
+        let text = r.render_text_filtered("dacs_sched_");
+        assert!(text.contains("dacs_sched_jobs_total_bulk 3"));
+        assert!(text.contains("dacs_sched_queue_wait_us_interactive_count 1"));
+        assert!(text.contains("dacs_sched_depth 2"));
+        assert!(!text.contains("dacs_other_total"));
+        // The unfiltered render still carries everything.
+        assert!(r.render_text().contains("dacs_other_total 1"));
     }
 }

@@ -9,6 +9,7 @@ use dacs::cluster::{ClusterBuilder, QuorumMode};
 use dacs::core::scenario::alternating_lockdown_gate;
 use dacs::crypto::sign::CryptoCtx;
 use dacs::federation::Domain;
+use dacs::pep::EnforceRequest;
 use dacs::policy::request::RequestContext;
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
 
     // First enforcement: quorum decides, the authority mints a token.
     let req = RequestContext::basic("user-0@clinic", "records/7", "read");
-    assert!(domain.pep.enforce(&req, 0).allowed);
+    assert!(domain.pep.serve(EnforceRequest::of(&req, 0)).allowed);
     println!(
         "after first permit: minted={} cluster_queries={}",
         authority.stats().minted,
@@ -41,7 +42,7 @@ fn main() {
 
     // The next ten enforcements verify locally — no quorum fan-out.
     for t in 1..=10 {
-        assert!(domain.pep.enforce(&req, t).allowed);
+        assert!(domain.pep.serve(EnforceRequest::of(&req, t)).allowed);
     }
     let stats = domain.pep.stats();
     println!(
@@ -55,7 +56,7 @@ fn main() {
     // token is stale the same tick.
     let epoch = domain.propagate_policy(alternating_lockdown_gate("clinic", 1), 20);
     println!("lockdown pushed: epoch now {}", epoch.0);
-    assert!(!domain.pep.enforce(&req, 20).allowed);
+    assert!(!domain.pep.serve(EnforceRequest::of(&req, 20)).allowed);
     let stats = domain.pep.stats();
     println!(
         "same tick: token_rejects={} stale_rejects={} (access denied)",
@@ -65,7 +66,7 @@ fn main() {
 
     // Lifting the lockdown permits again under a fresh token.
     domain.propagate_policy(alternating_lockdown_gate("clinic", 2), 30);
-    assert!(domain.pep.enforce(&req, 30).allowed);
+    assert!(domain.pep.serve(EnforceRequest::of(&req, 30)).allowed);
     println!(
         "lockdown lifted: minted={} (fresh token at the new epoch)",
         authority.stats().minted

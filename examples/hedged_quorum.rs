@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example hedged_quorum`
 
 use dacs::cluster::{
-    ClusterBuilder, DecisionBackend, FanoutPool, HedgeConfig, QuorumMode, StaticBackend,
+    ClusterBuilder, DecisionBackend, HedgeConfig, QuorumMode, SchedulerConfig, StaticBackend,
 };
 use dacs::policy::eval::Response;
 use dacs::policy::policy::Decision;
@@ -43,18 +43,19 @@ fn main() {
             Arc::new(StaticBackend::new("pdp-near-0", Decision::Permit)),
             Arc::new(StaticBackend::new("pdp-near-1", Decision::Permit)),
         ];
-        let mut builder = ClusterBuilder::new("clinic-pdp")
-            .quorum(QuorumMode::FirstHealthy)
-            .parallel(Arc::new(FanoutPool::new(4)))
-            .shard(replicas);
+        let mut config = SchedulerConfig::new(4);
         if hedged {
-            builder = builder.hedge(HedgeConfig {
+            config = config.with_hedge(HedgeConfig {
                 budget_multiplier: 3.0,
                 min_budget_us: 300,
                 max_hedges: 1,
             });
         }
-        builder.build()
+        ClusterBuilder::new("clinic-pdp")
+            .quorum(QuorumMode::FirstHealthy)
+            .scheduler(config)
+            .shard(replicas)
+            .build()
     };
 
     for (label, hedged) in [("unhedged first-healthy", false), ("hedged", true)] {

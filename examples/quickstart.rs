@@ -6,7 +6,7 @@
 use dacs::crypto::sign::CryptoCtx;
 use dacs::pap::Pap;
 use dacs::pdp::Pdp;
-use dacs::pep::{LogObligationHandler, Pep};
+use dacs::pep::{EnforceRequest, LogObligationHandler, Pep};
 use dacs::pip::{EnvironmentProvider, PipRegistry, StaticAttributes};
 use dacs::policy::dsl::parse_policy;
 use dacs::policy::policy::{PolicyElement, PolicyId};
@@ -57,7 +57,12 @@ policy "clinic-gate" first-applicable {
         Arc::new(pips),
     ));
     let log = Arc::new(LogObligationHandler::new());
-    let pep = Pep::new("pep.clinic", "clinic", pdp, CryptoCtx::new()).with_handler(log.clone());
+    let pep = Pep::builder("pep.clinic")
+        .audience("clinic")
+        .source(pdp)
+        .crypto(CryptoCtx::new())
+        .handler(log.clone())
+        .build();
 
     let nine_am = 9 * 3_600_000;
     let ten_pm = 22 * 3_600_000;
@@ -68,7 +73,7 @@ policy "clinic-gate" first-applicable {
         ("alice", "billing/1", "read", nine_am), // outside target → fail-safe deny
     ] {
         let request = RequestContext::basic(subject, resource, action);
-        let result = pep.enforce(&request, at);
+        let result = pep.serve(EnforceRequest::of(&request, at));
         println!(
             "{subject:>8} {action} {resource:<12} at {:>2}h -> {:<6} ({})",
             at / 3_600_000,

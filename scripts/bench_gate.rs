@@ -4,9 +4,12 @@
 //!
 //! * a >25% p99 regression in the E15 fan-out latency rows,
 //! * a >2-point availability drop in the E17 federated-cluster rows
-//!   (the clustered VO must keep answering through churn), or
+//!   (the clustered VO must keep answering through churn),
 //! * a >25% decisions/sec drop in the E18 capability-ceiling rows
-//!   (the signed-token fast path must keep its throughput edge).
+//!   (the signed-token fast path must keep its throughput edge), or
+//! * a >25% interactive-p99 regression or decisions/sec drop in the
+//!   E19 scheduler-saturation rows (the priority lanes must keep the
+//!   interactive tail flat under the bulk flood, at full throughput).
 //!
 //! ```text
 //! cargo run --release -p dacs-bench --bin bench_gate -- BENCH_baseline.json bench.json
@@ -54,6 +57,15 @@ const TPUT_METRIC: &str = "decisions/sec";
 const TPUT_THRESHOLD: f64 = 0.25;
 /// Skip rows whose baseline rate is at or below this magnitude.
 const TPUT_FLOOR_DPS: f64 = 1000.0;
+
+/// The scheduler gate: the E19 saturation rows, latency and
+/// throughput, sharing the E15/E18 thresholds and noise floors. The
+/// interactive p99s sit far below the 300 µs floor on a healthy
+/// scheduler — this gate exists to catch the structural failure (lanes
+/// stop isolating and the flood lands on the interactive tail), which
+/// blows straight through it.
+const SCHED_EXPERIMENT: &str = "e19";
+const SCHED_LAT_METRIC: &str = "interactive p99 (µs)";
 
 fn load(path: &str) -> Vec<BenchRow> {
     match std::fs::read_to_string(path) {
@@ -128,6 +140,8 @@ fn main() {
     require_rows(&baseline, baseline_path, LAT_EXPERIMENT, LAT_METRIC);
     require_rows(&baseline, baseline_path, AVAIL_EXPERIMENT, AVAIL_METRIC);
     require_rows(&baseline, baseline_path, TPUT_EXPERIMENT, TPUT_METRIC);
+    require_rows(&baseline, baseline_path, SCHED_EXPERIMENT, SCHED_LAT_METRIC);
+    require_rows(&baseline, baseline_path, SCHED_EXPERIMENT, TPUT_METRIC);
 
     println!(
         "bench_gate: {LAT_EXPERIMENT} '{LAT_METRIC}' vs {baseline_path} \
@@ -146,6 +160,18 @@ fn main() {
         TPUT_THRESHOLD * 100.0
     );
     print_rows(&baseline, &fresh, TPUT_EXPERIMENT, TPUT_METRIC, "dps");
+    println!(
+        "bench_gate: {SCHED_EXPERIMENT} '{SCHED_LAT_METRIC}' vs {baseline_path} \
+         (+{:.0}% over max(baseline, {LAT_FLOOR_US} µs) allowed)",
+        LAT_THRESHOLD * 100.0
+    );
+    print_rows(&baseline, &fresh, SCHED_EXPERIMENT, SCHED_LAT_METRIC, "µs");
+    println!(
+        "bench_gate: {SCHED_EXPERIMENT} '{TPUT_METRIC}' vs {baseline_path} \
+         (-{:.0}% allowed above {TPUT_FLOOR_DPS:.0} dps)",
+        TPUT_THRESHOLD * 100.0
+    );
+    print_rows(&baseline, &fresh, SCHED_EXPERIMENT, TPUT_METRIC, "dps");
 
     let mut bad = regressions(
         &baseline,
@@ -166,6 +192,22 @@ fn main() {
         &baseline,
         &fresh,
         TPUT_EXPERIMENT,
+        TPUT_METRIC,
+        TPUT_THRESHOLD,
+        TPUT_FLOOR_DPS,
+    ));
+    bad.extend(regressions(
+        &baseline,
+        &fresh,
+        SCHED_EXPERIMENT,
+        SCHED_LAT_METRIC,
+        LAT_THRESHOLD,
+        LAT_FLOOR_US,
+    ));
+    bad.extend(throughput_drops(
+        &baseline,
+        &fresh,
+        SCHED_EXPERIMENT,
         TPUT_METRIC,
         TPUT_THRESHOLD,
         TPUT_FLOOR_DPS,

@@ -14,6 +14,7 @@ use dacs::core::scenario::alternating_lockdown_gate;
 use dacs::crypto::sign::CryptoCtx;
 use dacs::federation::{Domain, Vo};
 use dacs::pap::PolicyEpoch;
+use dacs::pep::EnforceRequest;
 use dacs::policy::policy::Decision;
 use dacs::policy::request::RequestContext;
 use proptest::prelude::*;
@@ -232,7 +233,7 @@ fn epoch_bump_revokes_same_tick_across_clustered_vo() {
                         "read",
                     );
                     let truth = d.pdp.decide(&req, t0).decision;
-                    let got = d.pep.enforce(&req, t0).allowed;
+                    let got = d.pep.serve(EnforceRequest::of(&req, t0)).allowed;
                     assert_eq!(got, truth == Decision::Permit, "{} warm r{round}", d.name);
                 }
             }
@@ -264,7 +265,7 @@ fn epoch_bump_revokes_same_tick_across_clustered_vo() {
                     "read",
                 );
                 let truth = d.pdp.decide(&req, t_push).decision;
-                let got = d.pep.enforce(&req, t_push).allowed;
+                let got = d.pep.serve(EnforceRequest::of(&req, t_push)).allowed;
                 assert_eq!(got, truth == Decision::Permit, "{} push r{round}", d.name);
             }
         }
@@ -287,7 +288,10 @@ fn epoch_bump_revokes_same_tick_across_clustered_vo() {
             let req =
                 RequestContext::basic(format!("user-{u}@domain-0"), format!("records/{u}"), "read");
             let truth = vo.domains[0].pdp.decide(&req, t0 + 70).decision;
-            let got = vo.domains[0].pep.enforce(&req, t0 + 70).allowed;
+            let got = vo.domains[0]
+                .pep
+                .serve(EnforceRequest::of(&req, t0 + 70))
+                .allowed;
             assert_eq!(got, truth == Decision::Permit, "syncing r{round}");
         }
         vo.domains[0].catch_up_replica(&churn_replicas[1], t0 + 80);
@@ -307,7 +311,7 @@ fn syncing_replicas_never_feed_the_mint() {
     let replicas = domain.replica_names();
 
     let warm = RequestContext::basic("user-0@solo", "records/0", "read");
-    assert!(domain.pep.enforce(&warm, 0).allowed);
+    assert!(domain.pep.serve(EnforceRequest::of(&warm, 0)).allowed);
     assert_eq!(authority.stats().minted, 1);
 
     // Two of three replicas crash over a lockdown push, then recover
@@ -332,7 +336,7 @@ fn syncing_replicas_never_feed_the_mint() {
     // Only the fresh anchor is eligible: the lockdown denies, and —
     // critically — nothing is minted off the stale pair.
     let fresh = RequestContext::basic("user-0@solo", "records/1", "read");
-    assert!(!domain.pep.enforce(&fresh, 20).allowed);
+    assert!(!domain.pep.serve(EnforceRequest::of(&fresh, 20)).allowed);
     assert_eq!(
         authority.stats().minted,
         1,
@@ -343,11 +347,11 @@ fn syncing_replicas_never_feed_the_mint() {
     // it (version 2) permits again and mints at the current epoch.
     domain.catch_up_replica(&replicas[1], 30);
     domain.catch_up_replica(&replicas[2], 30);
-    assert!(!domain.pep.enforce(&fresh, 35).allowed);
+    assert!(!domain.pep.serve(EnforceRequest::of(&fresh, 35)).allowed);
     domain.propagate_policy(alternating_lockdown_gate("solo", 2), 38);
-    assert!(domain.pep.enforce(&fresh, 40).allowed);
+    assert!(domain.pep.serve(EnforceRequest::of(&fresh, 40)).allowed);
     assert_eq!(authority.stats().minted, 2);
-    assert!(domain.pep.enforce(&fresh, 50).allowed);
+    assert!(domain.pep.serve(EnforceRequest::of(&fresh, 50)).allowed);
     assert_eq!(domain.pep.stats().token_hits, 1);
 }
 
@@ -390,8 +394,8 @@ proptest! {
                 format!("records/{}", (op >> 16) % 3),
                 "read",
             );
-            let token_allowed = with_tokens.pep.enforce(&req, t).allowed;
-            let plain_allowed = plain.pep.enforce(&req, t).allowed;
+            let token_allowed = with_tokens.pep.serve(EnforceRequest::of(&req, t)).allowed;
+            let plain_allowed = plain.pep.serve(EnforceRequest::of(&req, t)).allowed;
             prop_assert!(
                 !token_allowed || plain_allowed,
                 "op {i}: token path permitted where the cluster denied"

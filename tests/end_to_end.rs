@@ -7,6 +7,7 @@ use dacs::crypto::sign::CryptoCtx;
 use dacs::federation::{
     issue_capability_flow, push_flow, request_flow, ConflictClass, FlowKind, FlowNet, SizeModel,
 };
+use dacs::pep::EnforceRequest;
 use dacs::policy::request::RequestContext;
 use dacs::simnet::LinkSpec;
 
@@ -280,7 +281,7 @@ fn pap_epoch_invalidates_decisions_vo_wide() {
     let vo = healthcare_vo(1, 4, &ctx);
     let d = &vo.domains[0];
     let req = RequestContext::basic("user-0@domain-0", "records/5", "read");
-    assert!(d.pep.enforce(&req, 0).allowed);
+    assert!(d.pep.serve(EnforceRequest::of(&req, 0)).allowed);
     // The domain authority installs a lockdown policy version at its PAP.
     let lockdown = dacs::policy::dsl::parse_policy(
         r#"
@@ -292,7 +293,7 @@ policy "domain-0-gate" first-applicable {
     .unwrap();
     d.pap.submit("domain-bootstrap", lockdown, 100).unwrap();
     assert!(
-        !d.pep.enforce(&req, 101).allowed,
+        !d.pep.serve(EnforceRequest::of(&req, 101)).allowed,
         "new policy version applies"
     );
     // Rollback restores access.
@@ -304,5 +305,5 @@ policy "domain-0-gate" first-applicable {
             200,
         )
         .unwrap();
-    assert!(d.pep.enforce(&req, 201).allowed);
+    assert!(d.pep.serve(EnforceRequest::of(&req, 201)).allowed);
 }

@@ -12,6 +12,7 @@ use dacs::federation::{
     SizeModel, Vo,
 };
 use dacs::pdp::{Binding, PdpDirectory};
+use dacs::pep::{EnforceOptions, EnforceRequest};
 use dacs::policy::policy::Decision;
 use dacs::policy::request::RequestContext;
 use dacs::simnet::LinkSpec;
@@ -410,8 +411,8 @@ fn batched_enforcement_matches_unbatched_and_denies_never_leak() {
         RequestContext::basic("user-0@domain-0", "shared/1", "read"),
     ];
     for (t, request) in requests.iter().enumerate() {
-        let a = unbatched.pep.enforce(request, t as u64);
-        let b = batched.pep.enforce(request, t as u64);
+        let a = unbatched.pep.serve(EnforceRequest::of(request, t as u64));
+        let b = batched.pep.serve(EnforceRequest::of(request, t as u64));
         assert_eq!(a.allowed, b.allowed, "{request:?}");
         assert_eq!(a.decision, b.decision, "{request:?}");
         assert_eq!(a.fulfilled, b.fulfilled, "obligations must match");
@@ -428,7 +429,9 @@ fn batched_enforcement_matches_unbatched_and_denies_never_leak() {
         requests[3].clone(), // fail-safe deny
     ];
     let coalesced_before = batched.cluster.as_ref().unwrap().metrics().coalesced;
-    let results = batched.pep.enforce_batch(&batch, 100);
+    let results = batched
+        .pep
+        .serve_batch(&batch, 100, EnforceOptions::default());
     assert_eq!(results.len(), 5);
     assert!(results[0].allowed);
     assert!(!results[1].allowed);
