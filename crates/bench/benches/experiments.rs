@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks: one group per experiment (E1–E18) over
+//! Criterion micro-benchmarks: one group per experiment (E1–E20) over
 //! the hot path each experiment exercises, plus substrate benches.
 //! `cargo bench` runs everything; the `harness` binary produces the
 //! full tables.
@@ -14,7 +14,7 @@ use dacs_federation::{
     issue_capability_flow, push_flow, request_flow, FlowKind, FlowNet, SizeModel,
 };
 use dacs_pap::SyndicationTree;
-use dacs_pdp::{Binding, PdpDirectory, TtlLruCache};
+use dacs_pdp::{Binding, ConcurrentTtlCache, PdpDirectory, TtlLruCache};
 use dacs_pep::{EnforceOptions, EnforceRequest};
 use dacs_policy::conflict;
 use dacs_policy::dsl::parse_policy;
@@ -603,6 +603,133 @@ fn bench_e13_discovery(c: &mut Criterion) {
     });
 }
 
+fn bench_e20_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e20_cache");
+
+    // LRU touch at 64k capacity: the regression this pins is the old
+    // Vec-order bookkeeping, whose `touch` was a linear scan — at this
+    // capacity an O(n) slip shows up as a ~1000× jump, far outside
+    // criterion noise.
+    g.bench_function("ttl_lru_touch_64k", |b| {
+        let mut cache: TtlLruCache<u64, u64> = TtlLruCache::new(65_536, 1_000_000);
+        for i in 0..65_536u64 {
+            cache.insert(i, i, 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 65_536;
+            cache.get(&i, 1)
+        })
+    });
+    g.bench_function("ttl_lru_insert_evict_64k", |b| {
+        let mut cache: TtlLruCache<u64, u64> = TtlLruCache::new(65_536, 1_000_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(i, i, 0);
+        })
+    });
+
+    // Contended striped-cache traffic. `iter_custom` runs the whole
+    // measured batch on `threads` scoped threads sharing one cache, so
+    // the per-op time includes real stripe contention; on a single
+    // core the 4t/8t rows mainly show that time-slicing does not
+    // collapse the shared structure.
+    for threads in [1usize, 4, 8] {
+        let cache: ConcurrentTtlCache<u64, u64> = ConcurrentTtlCache::new(4096, 1_000_000);
+        for i in 0..4096u64 {
+            cache.insert(i, i, 0);
+        }
+        g.bench_function(format!("concurrent_get_{threads}t"), |b| {
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let cache = &cache;
+                        s.spawn(move || {
+                            // Cheap per-thread LCG keeps key choice off
+                            // the measured path's critical section.
+                            let mut k = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1);
+                            for _ in 0..iters {
+                                k = k
+                                    .wrapping_mul(6_364_136_223_846_793_005)
+                                    .wrapping_add(1_442_695_040_888_963_407);
+                                cache.get(&(k % 4096), 1);
+                            }
+                        });
+                    }
+                });
+                start.elapsed()
+            })
+        });
+        g.bench_function(format!("concurrent_insert_{threads}t"), |b| {
+            let cache: ConcurrentTtlCache<u64, u64> = ConcurrentTtlCache::new(4096, 1_000_000);
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let cache = &cache;
+                        s.spawn(move || {
+                            let mut k = 0xd1b5_4a32_d192_ed03u64.wrapping_mul(t as u64 + 1);
+                            for _ in 0..iters {
+                                k = k
+                                    .wrapping_mul(6_364_136_223_846_793_005)
+                                    .wrapping_add(1_442_695_040_888_963_407);
+                                cache.insert(k % 8192, k, 0);
+                            }
+                        });
+                    }
+                });
+                start.elapsed()
+            })
+        });
+    }
+
+    // Cache-key cost: the 64-bit streaming hash the read path now keys
+    // on, against the serialized byte vector it replaced (which also
+    // paid an allocation per lookup).
+    let request = RequestContext::basic("user-31337@mega", "records/1337", "read")
+        .with_subject_attr("role", "doctor");
+    g.bench_function("key_canonical_hash", |b| {
+        b.iter(|| request.canonical_hash())
+    });
+    g.bench_function("key_serialized_bytes", |b| {
+        b.iter(|| request.to_canonical_bytes())
+    });
+
+    // Steady-state enforce through the hashed-key decision cache: one
+    // hot request, everything after the first serve is a cache hit.
+    let pap = std::sync::Arc::new(dacs_pap::Pap::new("pap.bench-e20"));
+    pap.submit(
+        "admin",
+        parse_policy(dacs_core::scenario::ReadPathScenario::policy_src()).unwrap(),
+        0,
+    )
+    .unwrap();
+    let pdp = std::sync::Arc::new(dacs_pdp::Pdp::new(
+        "pdp.bench-e20",
+        pap,
+        dacs_policy::policy::PolicyElement::PolicyRef(PolicyId::new("mega-gate")),
+        std::sync::Arc::new(dacs_pip::PipRegistry::new()),
+    ));
+    let pep = dacs_pep::Pep::builder("pep.bench-e20")
+        .source(pdp)
+        .cache(dacs_pdp::CacheConfig {
+            capacity: 4096,
+            ttl_ms: 1_000_000,
+        })
+        .build();
+    let hot = dacs_core::scenario::ReadPathScenario::request_for_rank(0);
+    g.bench_function("pep_enforce_hashed_key_hit", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            pep.serve(EnforceRequest::of(&hot, t % 1_000))
+        })
+    });
+    g.finish();
+}
+
 fn quick() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -626,6 +753,7 @@ criterion_group!(
     bench_e15_fanout,
     bench_e16_resync,
     bench_e17_federated,
-    bench_e18_capability
+    bench_e18_capability,
+    bench_e20_cache
 );
 criterion_main!(benches);

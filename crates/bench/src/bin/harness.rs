@@ -37,7 +37,7 @@ use dacs_bench::table_to_json_rows;
 use dacs_core::experiments as exp;
 use dacs_core::stats::Table;
 
-const EXPERIMENT_COUNT: usize = 19;
+const EXPERIMENT_COUNT: usize = 20;
 
 /// Applies the `DACS_BENCH_SCALE` divisor to a default iteration
 /// count. Counts that are already small (≤ 100) pass through; larger
@@ -73,6 +73,7 @@ fn run(id: &str) -> Option<Table> {
         "e17" => exp::e17_federated_cluster(scaled(2400)),
         "e18" => exp::e18_capability_ceiling(scaled(2400)),
         "e19" => exp::e19_scheduler_saturation(scaled(1600)),
+        "e20" => exp::e20_read_path_scaling(scaled(24_000)),
         _ => return None,
     })
 }

@@ -1435,7 +1435,8 @@ enum FedEvent {
 /// sequential flows flush solo (paying the window in the enforce-p99
 /// column), and a closing burst of concurrent enforcements per domain
 /// coalesces into real multi-request batches (the peak-batch column,
-/// > 1 only because the window actually merges concurrent arrivals). One round also injects a full-shard blackout per domain
+/// above 1 only because the window actually merges concurrent
+/// arrivals). One round also injects a full-shard blackout per domain
 /// — a window of honest unavailability, answered fail-safe. Every pull
 /// flow (≈40% cross-domain, riding the federated attribute fetch) is
 /// compared against the domain's root-PAP reference PDP: with re-sync
@@ -2253,6 +2254,229 @@ pub fn e19_scheduler_saturation(requests: usize) -> Table {
     table
 }
 
+/// E20: read-path scaling — closed-loop enforcement from 1/2/4/8
+/// threads hammering *one shared PEP* whose striped decision cache
+/// fronts an uncached PDP, under a Zipf(1.07) workload over a million
+/// subjects ([`crate::scenario::ReadPathScenario`]).
+///
+/// What it proves about the concurrent read path:
+/// * **throughput scales with threads** — near-linear to 4 threads on
+///   hardware that has them (the striped cache and atomic stats leave
+///   no global lock to convoy on); on smaller hosts the assertion
+///   degrades to a no-collapse bound;
+/// * **zero false permits / false denies** — every verdict is checked
+///   against the constructed ground truth, itself validated against an
+///   uncached reference engine on sampled ranks;
+/// * **cache behaves analytically** — the measured hit rate lands
+///   within the closed-form Zipf expectation
+///   (`1 − E[unique]/draws`), so striping didn't quietly change
+///   caching semantics;
+/// * **stats stay exact under contention** — `hits + misses` equals
+///   enforcements, source decisions equal misses, grant counters sum
+///   to enforcements;
+/// * **the audit ring honours its retention contract** —
+///   `audit_log().len() + audit_dropped` equals enforcements.
+pub fn e20_read_path_scaling(requests_per_thread: usize) -> Table {
+    use crate::scenario::ReadPathScenario;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    const SUBJECTS: usize = 1_000_000;
+    const EXPONENT: f64 = 1.07;
+    const CACHE_CAPACITY: usize = 131_072;
+    const AUDIT_CAPACITY: usize = 8_192;
+    const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+    let mut table = Table::new(
+        "E20 — read-path scaling: 1/2/4/8 closed-loop threads on one shared PEP, Zipf(1.07) over 10⁶ subjects, striped cache + atomic stats",
+        &[
+            "workload",
+            "decisions",
+            "decisions/sec",
+            "hit rate %",
+            "analytic hit %",
+            "scaling x1",
+            "false permits",
+            "false denies",
+            "audit dropped",
+        ],
+    );
+    assert!(requests_per_thread >= 64, "e20 needs a non-trivial loop");
+    let scenario = Arc::new(ReadPathScenario::new(SUBJECTS, EXPONENT));
+
+    // Reference engine on the same policy, no cache: validates the
+    // constructed ground truth on a sample of ranks before the run
+    // trusts `expect_permit` for millions of verdicts.
+    let build_pdp = || {
+        let pap = Arc::new(dacs_pap::Pap::new("pap.mega"));
+        pap.submit(
+            "admin",
+            dacs_policy::dsl::parse_policy(ReadPathScenario::policy_src()).expect("static DSL"),
+            0,
+        )
+        .expect("gate accepted");
+        Arc::new(Pdp::new(
+            "pdp.mega",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("mega-gate")),
+            Arc::new(PipRegistry::new()),
+        ))
+    };
+    {
+        let reference = build_pdp();
+        let mut rng = StdRng::seed_from_u64(0xE20);
+        for probe in 0..32 {
+            let rank = if probe < 8 {
+                probe // the hot head, plus rank 7's write-deny
+            } else {
+                scenario.sample_rank(&mut rng)
+            };
+            let request = ReadPathScenario::request_for_rank(rank);
+            let permitted = reference.decide(&request, 0).decision == Decision::Permit;
+            assert_eq!(
+                permitted,
+                ReadPathScenario::expect_permit(rank),
+                "constructed truth diverges from the reference engine at rank {rank}"
+            );
+        }
+    }
+
+    let mut dps_by_threads: Vec<f64> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        // Fresh PEP + uncached source per thread count, so each row
+        // measures a cold striped cache filling under contention.
+        let pdp = build_pdp();
+        let pep = Arc::new(
+            dacs_pep::Pep::builder("pep.mega")
+                .source(pdp.clone())
+                .cache(CacheConfig {
+                    capacity: CACHE_CAPACITY,
+                    ttl_ms: 86_400_000,
+                })
+                .audit_capacity(AUDIT_CAPACITY)
+                .build(),
+        );
+        let false_permits = Arc::new(AtomicU64::new(0));
+        let false_denies = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let scenario = Arc::clone(&scenario);
+                let pep = Arc::clone(&pep);
+                let false_permits = Arc::clone(&false_permits);
+                let false_denies = Arc::clone(&false_denies);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(threads as u64 * 1_000 + t as u64);
+                    barrier.wait();
+                    for _ in 0..requests_per_thread {
+                        let rank = scenario.sample_rank(&mut rng);
+                        let request = ReadPathScenario::request_for_rank(rank);
+                        let outcome = pep.serve(EnforceRequest::of(&request, 0));
+                        e19_tally(
+                            outcome.allowed,
+                            ReadPathScenario::expect_permit(rank),
+                            &false_permits,
+                            &false_denies,
+                        );
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        for worker in workers {
+            worker.join().expect("e20 worker");
+        }
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+        let total = (threads * requests_per_thread) as u64;
+        let dps = total as f64 / elapsed;
+        let stats = pep.stats();
+        let cache = pep.cache_stats().expect("e20 PEP is cached");
+        let hit_rate = cache.hit_rate();
+        let analytic = scenario.expected_hit_rate(total);
+        let fp = false_permits.load(Ordering::Relaxed);
+        let fd = false_denies.load(Ordering::Relaxed);
+
+        // Correctness: no verdict ever diverged from ground truth.
+        assert_eq!(fp, 0, "false permits at {threads} threads");
+        assert_eq!(fd, 0, "false denies at {threads} threads");
+        // Stats exactness under contention: every enforcement did one
+        // cache lookup, every miss reached the source, every verdict
+        // landed in exactly one grant counter, nothing torn or lost.
+        assert_eq!(
+            cache.hits + cache.misses,
+            total,
+            "cache lookups at {threads} threads"
+        );
+        assert_eq!(
+            pdp.metrics().decisions,
+            cache.misses,
+            "source decisions == cache misses at {threads} threads"
+        );
+        assert_eq!(
+            stats.allowed + stats.denied + stats.failsafe_denials,
+            total,
+            "grant counters at {threads} threads"
+        );
+        assert_eq!(stats.failsafe_denials, 0, "no failsafe under e20's gate");
+        // Cache analytics: the striped cache is big enough that the
+        // no-eviction closed form applies; measured hit rate must land
+        // within sampling tolerance of it.
+        assert!(
+            (hit_rate - analytic).abs() <= 0.08,
+            "hit rate {hit_rate:.3} vs analytic {analytic:.3} at {threads} threads"
+        );
+        // Audit retention contract: newest AUDIT_CAPACITY records kept,
+        // every displacement counted.
+        assert_eq!(
+            pep.audit_log().len() as u64,
+            total.min(AUDIT_CAPACITY as u64),
+            "audit window at {threads} threads"
+        );
+        assert_eq!(
+            stats.audit_dropped,
+            total.saturating_sub(AUDIT_CAPACITY as u64),
+            "audit drops at {threads} threads"
+        );
+
+        dps_by_threads.push(dps);
+        let scaling = dps / dps_by_threads[0].max(1e-9);
+        table.row(vec![
+            format!("threads={threads}"),
+            total.to_string(),
+            format!("{dps:.0}"),
+            f2(hit_rate * 100.0),
+            f2(analytic * 100.0),
+            f2(scaling),
+            fp.to_string(),
+            fd.to_string(),
+            stats.audit_dropped.to_string(),
+        ]);
+    }
+
+    // Scaling: with ≥4 real cores the striped read path must be
+    // near-linear to 4 threads; on smaller hosts (CI smoke boxes) the
+    // same run still asserts the absence of a lock-convoy collapse —
+    // more threads on one core may lose to context switching, but not
+    // catastrophically.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let ratio4 = dps_by_threads[2] / dps_by_threads[0].max(1e-9);
+    if cores >= 4 {
+        assert!(
+            ratio4 >= 2.5,
+            "throughput scaled only {ratio4:.2}× at 4 threads on {cores} cores"
+        );
+    } else {
+        assert!(
+            ratio4 >= 0.35,
+            "throughput collapsed to {ratio4:.2}× at 4 threads on {cores} core(s) — lock convoy"
+        );
+    }
+    table
+}
+
 /// A compact scheduler run with full telemetry, for the harness's
 /// `--lane-telemetry` artifact and the observability tests: mixed
 /// interactive / default / bulk enforcements through the E19 domain
@@ -2303,6 +2527,7 @@ pub fn run_all() -> Vec<Table> {
         e17_federated_cluster(2400),
         e18_capability_ceiling(2400),
         e19_scheduler_saturation(1600),
+        e20_read_path_scaling(24_000),
     ]
 }
 
@@ -2659,6 +2884,37 @@ mod tests {
             assert_eq!(row[9], "0", "{}: false permits", row[0]);
             assert_eq!(row[10], "0", "{}: false denies", row[0]);
         }
+    }
+
+    /// The full-scale assertions live inside `e20_read_path_scaling`
+    /// itself (ground-truth validation, stats exactness, analytic hit
+    /// rate, audit retention, scaling/no-collapse); this test runs it
+    /// at smoke scale and checks the table shape plus the visible
+    /// correctness columns.
+    #[test]
+    fn e20_scales_reads_with_zero_false_verdicts() {
+        let t = e20_read_path_scaling(400);
+        assert_eq!(t.rows.len(), 4, "threads=1/2/4/8");
+        for (row, threads) in t.rows.iter().zip([1u64, 2, 4, 8]) {
+            assert_eq!(row[0], format!("threads={threads}"));
+            assert_eq!(row[1].parse::<u64>().unwrap(), threads * 400);
+            assert_eq!(row[6], "0", "{}: false permits", row[0]);
+            assert_eq!(row[7], "0", "{}: false denies", row[0]);
+            // Measured and analytic hit rates landed within the
+            // experiment's own ±8-point guard; the table agrees.
+            let hit: f64 = row[3].parse().unwrap();
+            let analytic: f64 = row[4].parse().unwrap();
+            assert!(
+                (hit - analytic).abs() <= 8.0,
+                "{}: {hit} vs {analytic}",
+                row[0]
+            );
+        }
+        // 400/thread keeps every row inside the 8192-record audit ring.
+        assert!(
+            t.rows.iter().all(|r| r[8] == "0"),
+            "no audit drops at smoke scale"
+        );
     }
 
     /// The `--lane-telemetry` artifact run populates all three lanes'

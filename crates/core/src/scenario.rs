@@ -1,11 +1,14 @@
 //! Canned multi-domain scenarios used by examples, integration tests
 //! and the experiment harness.
 
+use crate::workload::ZipfSampler;
 use dacs_cluster::{ClusterBuilder, QuorumMode};
 use dacs_crypto::sign::CryptoCtx;
 use dacs_federation::{CapabilityService, Domain, DomainBuilder, Vo};
 use dacs_pdp::PdpDirectory;
 use dacs_pep::Pep;
+use dacs_policy::request::RequestContext;
+use rand::Rng;
 use std::sync::Arc;
 
 /// The per-domain healthcare gate policy (see [`healthcare_vo`]).
@@ -190,6 +193,97 @@ policy "vo-prescreen" deny-unless-permit {
     vo.with_cas(cas)
 }
 
+/// The read-path scaling scenario (experiment E20): a Zipf-skewed
+/// closed-loop workload over a very large subject base — the "large
+/// user bases" regime of §1/§3.1, with the key skew of realistic
+/// domain-mined policies — hammering one shared PEP from many threads.
+///
+/// Subjects are `user-{rank}@mega` for ranks `0..subjects`, drawn
+/// Zipf(`exponent`) so a hot head keeps the decision cache busy while
+/// a heavy tail of cold subjects keeps missing. The gate policy
+/// decides purely on the request's resource/action shape, so the
+/// correct outcome of every request is known *by construction*
+/// ([`ReadPathScenario::expect_permit`]) without provisioning a
+/// million PIP attribute entries: rank `r` reads `records/{r % 4096}`
+/// — permitted — except every eighth rank (`r % 8 == 7`), which
+/// attempts a `write` and is denied by the final deny rule.
+pub struct ReadPathScenario {
+    sampler: ZipfSampler,
+}
+
+impl ReadPathScenario {
+    /// Builds the scenario over `subjects` ranks with Zipf `exponent`.
+    pub fn new(subjects: usize, exponent: f64) -> Self {
+        ReadPathScenario {
+            sampler: ZipfSampler::new(subjects, exponent),
+        }
+    }
+
+    /// Size of the subject base.
+    pub fn subjects(&self) -> usize {
+        self.sampler.len()
+    }
+
+    /// The gate policy: permit `read` on `records/*`, deny everything
+    /// else — attribute-free so ground truth needs no PIP state.
+    pub fn policy_src() -> &'static str {
+        r#"
+policy "mega-gate" first-applicable {
+  rule "readers" permit {
+    target {
+      resource "id" ~= "records/*";
+      action "id" == "read";
+    }
+  }
+  rule "default-deny" deny { }
+}
+"#
+    }
+
+    /// The deterministic request of subject rank `rank`.
+    pub fn request_for_rank(rank: usize) -> RequestContext {
+        let action = if rank % 8 == 7 { "write" } else { "read" };
+        RequestContext::basic(
+            format!("user-{rank}@mega"),
+            format!("records/{}", rank % 4096),
+            action,
+        )
+    }
+
+    /// The correct outcome of rank `rank`'s request under
+    /// [`ReadPathScenario::policy_src`], by construction.
+    pub fn expect_permit(rank: usize) -> bool {
+        rank % 8 != 7
+    }
+
+    /// Draws one subject rank from the Zipf distribution.
+    pub fn sample_rank<R: Rng>(&self, rng: &mut R) -> usize {
+        self.sampler.sample(rng)
+    }
+
+    /// Expected number of *distinct* ranks among `draws` independent
+    /// Zipf draws: `Σ_k (1 − (1 − p_k)^draws)`.
+    pub fn expected_unique(&self, draws: u64) -> f64 {
+        let n = draws as f64;
+        (0..self.sampler.len())
+            .map(|k| {
+                let p = self.sampler.prob(k);
+                1.0 - (1.0 - p).powf(n)
+            })
+            .sum()
+    }
+
+    /// Analytic cache hit rate for `draws` lookups against a cache
+    /// large enough to hold every distinct key (first touch of a rank
+    /// misses, every repeat hits): `1 − E[unique] / draws`.
+    pub fn expected_hit_rate(&self, draws: u64) -> f64 {
+        if draws == 0 {
+            return 0.0;
+        }
+        1.0 - self.expected_unique(draws) / draws as f64
+    }
+}
+
 /// Builds a grid-computing style VO: compute sites exposing job-submit
 /// services, where submission rights come from VOMS-style role
 /// attributes provisioned at the home IdP.
@@ -231,7 +325,7 @@ policy "{name}-jobs" first-applicable {{
 mod tests {
     use super::*;
     use dacs_pep::EnforceRequest;
-    use dacs_policy::request::RequestContext;
+    use rand::SeedableRng;
 
     #[test]
     fn healthcare_policies_behave() {
@@ -266,6 +360,65 @@ mod tests {
         assert!(site.pep.serve(EnforceRequest::of(&cancel, 0)).allowed);
         let anon = RequestContext::basic("stranger@site-0", "queue/batch", "submit");
         assert!(!site.pep.serve(EnforceRequest::of(&anon, 0)).allowed);
+    }
+
+    #[test]
+    fn read_path_scenario_ground_truth_matches_policy() {
+        use dacs_pap::Pap;
+        use dacs_pdp::Pdp;
+        use dacs_pip::PipRegistry;
+        use dacs_policy::policy::{Decision, PolicyElement, PolicyId};
+
+        let pap = Arc::new(Pap::new("pap.mega"));
+        pap.submit(
+            "admin",
+            dacs_policy::dsl::parse_policy(ReadPathScenario::policy_src()).unwrap(),
+            0,
+        )
+        .unwrap();
+        let pdp = Pdp::new(
+            "pdp.mega",
+            pap,
+            PolicyElement::PolicyRef(PolicyId::new("mega-gate")),
+            Arc::new(PipRegistry::new()),
+        );
+        // Every eighth rank writes (denied); the rest read (permitted) —
+        // and the reference engine agrees with the constructed truth.
+        for rank in [0usize, 1, 6, 7, 8, 15, 4095, 4096, 999_999] {
+            let request = ReadPathScenario::request_for_rank(rank);
+            let got = pdp.decide(&request, 0).decision;
+            let want = if ReadPathScenario::expect_permit(rank) {
+                Decision::Permit
+            } else {
+                Decision::Deny
+            };
+            assert_eq!(got, want, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn read_path_scenario_skew_and_analytics() {
+        let scenario = ReadPathScenario::new(10_000, 1.07);
+        assert_eq!(scenario.subjects(), 10_000);
+        // The analytic hit rate grows with draw count (more repeats)
+        // and stays in (0, 1).
+        let short = scenario.expected_hit_rate(1_000);
+        let long = scenario.expected_hit_rate(50_000);
+        assert!(short > 0.0 && long < 1.0);
+        assert!(long > short, "hit rate grows with draws: {short} vs {long}");
+        // Empirical distinct-count tracks the expectation.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let draws = 20_000u64;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..draws {
+            seen.insert(scenario.sample_rank(&mut rng));
+        }
+        let expected = scenario.expected_unique(draws);
+        let got = seen.len() as f64;
+        assert!(
+            (got - expected).abs() < 0.05 * expected,
+            "unique {got} vs analytic {expected:.0}"
+        );
     }
 
     #[test]

@@ -55,6 +55,18 @@ impl ZipfSampler {
         }
     }
 
+    /// The probability mass of `rank` — the analytic counterpart of
+    /// [`ZipfSampler::sample`]'s frequencies, used to compute expected
+    /// unique-item counts (and hence cache hit rates) in closed form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the support.
+    pub fn prob(&self, rank: usize) -> f64 {
+        let below = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - below
+    }
+
     /// Support size.
     pub fn len(&self) -> usize {
         self.cdf.len()
@@ -184,6 +196,23 @@ mod tests {
     #[should_panic(expected = "empty support")]
     fn zipf_rejects_empty() {
         let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn prob_sums_to_one_and_matches_frequencies() {
+        let z = ZipfSampler::new(50, 1.07);
+        let total: f64 = (0..z.len()).map(|k| z.prob(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "masses sum to {total}");
+        assert!(z.prob(0) > z.prob(1), "mass decreases with rank");
+        // Empirical frequency of the head rank tracks its mass.
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws = 20_000;
+        let head = (0..draws).filter(|_| z.sample(&mut rng) == 0).count();
+        let expected = z.prob(0) * draws as f64;
+        assert!(
+            (head as f64 - expected).abs() < 0.1 * expected + 30.0,
+            "head drawn {head}, expected ≈{expected:.0}"
+        );
     }
 
     #[test]

@@ -1,16 +1,37 @@
-//! A TTL + LRU cache used for decision caching at PDPs and PEPs — the
-//! §3.2 message-reduction mechanism whose staleness risk experiment E6
-//! quantifies.
+//! Decision caching for PDPs and PEPs — the §3.2 message-reduction
+//! mechanism whose staleness risk experiment E6 quantifies.
+//!
+//! Three layers, innermost first:
+//!
+//! * [`TtlLruCache`] — a single-threaded TTL + LRU cache with O(1)
+//!   touch and evict (slab-allocated nodes on an intrusive
+//!   doubly-linked recency list; the pre-E20 implementation kept a
+//!   `BTreeMap` recency index, making every touch O(log n)).
+//! * [`ConcurrentTtlCache`] — an N-way striped wrapper: a power-of-two
+//!   array of independently locked [`TtlLruCache`] segments selected
+//!   by key hash, so concurrent readers on different keys proceed in
+//!   parallel instead of convoying on one global lock. LRU order is
+//!   per-stripe; capacity and [`CacheStats`] aggregate across stripes.
+//! * [`HashedRequestCache`] — the enforcement-path specialization:
+//!   entries are keyed by a precomputed 64-bit canonical request hash
+//!   (`RequestContext::canonical_hash`) instead of a serialized
+//!   `Vec<u8>`, with the full [`RequestContext`] stored alongside each
+//!   value and compared on every hit, so a hash collision reads as a
+//!   miss — never as another request's decision.
 
-use std::collections::{BTreeMap, HashMap};
-use std::hash::Hash;
+use dacs_policy::request::RequestContext;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Cache effectiveness counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
     /// Lookups served from cache.
     pub hits: u64,
-    /// Lookups that missed (absent or expired).
+    /// Lookups that missed (absent, expired, or failing full-key
+    /// verification).
     pub misses: u64,
     /// Entries evicted for capacity.
     pub evictions: u64,
@@ -28,21 +49,42 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.expirations += other.expirations;
+    }
 }
 
-struct Entry<V> {
+/// Sentinel for "no node" in the intrusive recency list.
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
     value: V,
     expires_at: u64,
-    stamp: u64,
+    /// Neighbour towards the head (more recently used).
+    prev: usize,
+    /// Neighbour towards the tail (less recently used).
+    next: usize,
 }
 
 /// A bounded cache with per-entry TTL and least-recently-used eviction.
+///
+/// Entries live in a slab (`nodes`) threaded onto an intrusive doubly
+/// linked list ordered by recency — head is most recent, tail is the
+/// eviction victim — so `get`, `insert`, `remove` and the LRU touch
+/// are all O(1) beyond the key-map lookup.
 pub struct TtlLruCache<K, V> {
     capacity: usize,
     ttl_ms: u64,
-    map: HashMap<K, Entry<V>>,
-    order: BTreeMap<u64, K>,
-    next_stamp: u64,
+    map: HashMap<K, usize>,
+    nodes: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
     stats: CacheStats,
 }
 
@@ -59,81 +101,172 @@ impl<K: Hash + Eq + Clone, V: Clone> TtlLruCache<K, V> {
             capacity,
             ttl_ms,
             map: HashMap::new(),
-            order: BTreeMap::new(),
-            next_stamp: 0,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             stats: CacheStats::default(),
         }
     }
 
-    fn touch(&mut self, key: &K) {
-        if let Some(entry) = self.map.get_mut(key) {
-            self.order.remove(&entry.stamp);
-            self.next_stamp += 1;
-            entry.stamp = self.next_stamp;
-            self.order.insert(entry.stamp, key.clone());
+    fn node(&self, idx: usize) -> &Node<K, V> {
+        self.nodes[idx].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut Node<K, V> {
+        self.nodes[idx].as_mut().expect("live node")
+    }
+
+    /// Unlinks `idx` from the recency list.
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = {
+            let n = self.node(idx);
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.node_mut(p).next = next,
         }
+        match next {
+            NIL => self.tail = prev,
+            n => self.node_mut(n).prev = prev,
+        }
+    }
+
+    /// Links `idx` at the head (most recently used).
+    fn push_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(idx);
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = idx,
+            h => self.node_mut(h).prev = idx,
+        }
+        self.head = idx;
+    }
+
+    /// Frees the node at `idx`, returning its value.
+    fn release(&mut self, idx: usize) -> V {
+        self.detach(idx);
+        let node = self.nodes[idx].take().expect("live node");
+        self.free.push(idx);
+        node.value
     }
 
     /// Looks up `key` at time `now_ms`, refreshing its LRU position.
     pub fn get(&mut self, key: &K, now_ms: u64) -> Option<V> {
-        match self.map.get(key) {
-            Some(entry) if now_ms < entry.expires_at => {
-                let v = entry.value.clone();
-                self.touch(key);
-                self.stats.hits += 1;
-                Some(v)
-            }
-            Some(_) => {
-                // Expired: drop it.
-                if let Some(entry) = self.map.remove(key) {
-                    self.order.remove(&entry.stamp);
-                }
-                self.stats.expirations += 1;
-                self.stats.misses += 1;
-                None
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+        self.get_verified(key, now_ms, |_| true)
+    }
+
+    /// [`TtlLruCache::get`] with a full-key verification hook: an
+    /// in-TTL entry is only served when `verify` accepts its value.
+    /// A rejected entry — a hash collision under a hashed-key wrapper —
+    /// is removed and counted as a miss, so `hits + misses` always
+    /// equals the number of lookups and a collision can never serve
+    /// another key's value.
+    pub fn get_verified(
+        &mut self,
+        key: &K,
+        now_ms: u64,
+        verify: impl FnOnce(&V) -> bool,
+    ) -> Option<V> {
+        let Some(&idx) = self.map.get(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if now_ms >= self.node(idx).expires_at {
+            // Expired: drop it.
+            self.map.remove(key);
+            self.release(idx);
+            self.stats.expirations += 1;
+            self.stats.misses += 1;
+            return None;
         }
+        if !verify(&self.node(idx).value) {
+            self.map.remove(key);
+            self.release(idx);
+            self.stats.misses += 1;
+            return None;
+        }
+        let value = self.node(idx).value.clone();
+        self.detach(idx);
+        self.push_front(idx);
+        self.stats.hits += 1;
+        Some(value)
     }
 
     /// Inserts a value at time `now_ms`, evicting the LRU entry if full.
     pub fn insert(&mut self, key: K, value: V, now_ms: u64) {
-        if let Some(old) = self.map.remove(&key) {
-            self.order.remove(&old.stamp);
-        } else if self.map.len() >= self.capacity {
-            if let Some((&oldest, _)) = self.order.iter().next() {
-                if let Some(victim) = self.order.remove(&oldest) {
-                    self.map.remove(&victim);
-                    self.stats.evictions += 1;
-                }
-            }
+        let expires_at = now_ms.saturating_add(self.ttl_ms);
+        if let Some(&idx) = self.map.get(&key) {
+            self.detach(idx);
+            self.push_front(idx);
+            let node = self.node_mut(idx);
+            node.value = value;
+            node.expires_at = expires_at;
+            return;
         }
-        self.next_stamp += 1;
-        self.order.insert(self.next_stamp, key.clone());
-        self.map.insert(
-            key,
-            Entry {
-                value,
-                expires_at: now_ms + self.ttl_ms,
-                stamp: self.next_stamp,
-            },
-        );
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "full cache has a tail");
+            let victim_key = self.node(victim).key.clone();
+            self.map.remove(&victim_key);
+            self.release(victim);
+            self.stats.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = Some(Node {
+                    key: key.clone(),
+                    value,
+                    expires_at,
+                    prev: NIL,
+                    next: NIL,
+                });
+                idx
+            }
+            None => {
+                self.nodes.push(Some(Node {
+                    key: key.clone(),
+                    value,
+                    expires_at,
+                    prev: NIL,
+                    next: NIL,
+                }));
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
     }
 
     /// Removes every entry (explicit invalidation on policy change).
     pub fn invalidate_all(&mut self) {
         self.map.clear();
-        self.order.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     /// Removes one entry.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let entry = self.map.remove(key)?;
-        self.order.remove(&entry.stamp);
-        Some(entry.value)
+        self.remove_if(key, |_| true)
+    }
+
+    /// Removes one entry only when `pred` accepts its value — the
+    /// full-key-verified removal used by hashed-key wrappers, so a
+    /// colliding entry belonging to another request is left alone.
+    pub fn remove_if(&mut self, key: &K, pred: impl FnOnce(&V) -> bool) -> Option<V> {
+        let &idx = self.map.get(key)?;
+        if !pred(&self.node(idx).value) {
+            return None;
+        }
+        self.map.remove(key);
+        Some(self.release(idx))
     }
 
     /// Number of live entries (including possibly-expired ones not yet
@@ -150,6 +283,222 @@ impl<K: Hash + Eq + Clone, V: Clone> TtlLruCache<K, V> {
     /// Statistics so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+}
+
+/// An N-way striped [`TtlLruCache`]: a power-of-two array of
+/// independently locked segments selected by key hash, so concurrent
+/// enforcement threads touching different keys never contend on one
+/// global cache lock.
+///
+/// Semantics per stripe are exactly [`TtlLruCache`]'s (the equivalence
+/// the workspace proptests pin): a one-stripe instance is
+/// observationally identical to the single-lock cache, and with N
+/// stripes each key behaves as if it lived in its own smaller
+/// single-lock cache — TTL and hit/miss accounting are unchanged;
+/// only the *eviction neighbourhood* (which keys compete for capacity)
+/// is partitioned. The requested capacity is split evenly across
+/// stripes (rounded up, minimum one entry each).
+///
+/// All methods take `&self`; each acquires exactly one stripe lock
+/// except the whole-cache walks ([`ConcurrentTtlCache::len`],
+/// [`ConcurrentTtlCache::stats`], [`ConcurrentTtlCache::invalidate_all`]),
+/// which visit stripes one at a time and are therefore *not* an atomic
+/// snapshot across stripes — fine for telemetry and flushes, the only
+/// places they are used.
+pub struct ConcurrentTtlCache<K, V> {
+    stripes: Box<[Mutex<TtlLruCache<K, V>>]>,
+    mask: usize,
+}
+
+/// Stripe count used by [`ConcurrentTtlCache::new`]: enough to keep
+/// an 8-thread closed loop from convoying, small enough that per-stripe
+/// LRU neighbourhoods stay meaningful at modest capacities.
+pub const DEFAULT_STRIPES: usize = 16;
+
+impl<K: Hash + Eq + Clone, V: Clone> ConcurrentTtlCache<K, V> {
+    /// Creates a cache of [`DEFAULT_STRIPES`] stripes holding at most
+    /// roughly `capacity` entries in total, each valid for `ttl_ms`
+    /// after insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, ttl_ms: u64) -> Self {
+        Self::with_stripes(DEFAULT_STRIPES, capacity, ttl_ms)
+    }
+
+    /// Creates a cache with an explicit stripe count (rounded up to a
+    /// power of two, minimum one). `capacity` is the aggregate bound;
+    /// each stripe holds `capacity / stripes` entries rounded up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_stripes(stripes: usize, capacity: usize, ttl_ms: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        let stripes = stripes.max(1).next_power_of_two();
+        let per_stripe = capacity.div_ceil(stripes).max(1);
+        let stripes: Vec<Mutex<TtlLruCache<K, V>>> = (0..stripes)
+            .map(|_| Mutex::new(TtlLruCache::new(per_stripe, ttl_ms)))
+            .collect();
+        let mask = stripes.len() - 1;
+        ConcurrentTtlCache {
+            stripes: stripes.into_boxed_slice(),
+            mask,
+        }
+    }
+
+    /// The stripe a key maps to — deterministic for a given stripe
+    /// count, exposed so equivalence tests can replicate the routing.
+    pub fn stripe_index(&self, key: &K) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) & self.mask
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Looks up `key` at time `now_ms`, refreshing its LRU position
+    /// within its stripe.
+    pub fn get(&self, key: &K, now_ms: u64) -> Option<V> {
+        self.stripes[self.stripe_index(key)].lock().get(key, now_ms)
+    }
+
+    /// [`ConcurrentTtlCache::get`] with a full-key verification hook
+    /// (see [`TtlLruCache::get_verified`]).
+    pub fn get_verified(&self, key: &K, now_ms: u64, verify: impl FnOnce(&V) -> bool) -> Option<V> {
+        self.stripes[self.stripe_index(key)]
+            .lock()
+            .get_verified(key, now_ms, verify)
+    }
+
+    /// Inserts a value at time `now_ms`, evicting its stripe's LRU
+    /// entry if the stripe is full.
+    pub fn insert(&self, key: K, value: V, now_ms: u64) {
+        self.stripes[self.stripe_index(&key)]
+            .lock()
+            .insert(key, value, now_ms)
+    }
+
+    /// Removes one entry.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.stripes[self.stripe_index(key)].lock().remove(key)
+    }
+
+    /// Removes one entry only when `pred` accepts its value.
+    pub fn remove_if(&self, key: &K, pred: impl FnOnce(&V) -> bool) -> Option<V> {
+        self.stripes[self.stripe_index(key)]
+            .lock()
+            .remove_if(key, pred)
+    }
+
+    /// Removes every entry (explicit invalidation on policy change).
+    /// Stripes flush one at a time; a concurrent insert into an
+    /// already-flushed stripe survives, matching the "flush then
+    /// repopulate" semantics the single-lock cache had under the same
+    /// race.
+    pub fn invalidate_all(&self) {
+        for stripe in self.stripes.iter() {
+            stripe.lock().invalidate_all();
+        }
+    }
+
+    /// Total live entries across stripes (not an atomic snapshot).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every stripe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Aggregate statistics: the sum of per-stripe counters (not an
+    /// atomic snapshot, but each counter is internally consistent).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for stripe in self.stripes.iter() {
+            total.absorb(&stripe.lock().stats());
+        }
+        total
+    }
+}
+
+/// The enforcement-path decision/token cache: a [`ConcurrentTtlCache`]
+/// keyed by the precomputed 64-bit canonical request hash
+/// ([`RequestContext::canonical_hash`]), storing the full
+/// [`RequestContext`] beside each value and comparing it on every hit
+/// and every targeted removal.
+///
+/// The collision argument: two distinct requests may share a 64-bit
+/// hash, so the hash alone is not a safe cache key for an access
+/// control decision. Every hit therefore re-checks `stored == request`
+/// on the structured context (a `BTreeMap` equality walk — far cheaper
+/// than the serialization it replaces); a mismatch evicts the
+/// colliding entry and reads as a miss, so the worst case of a
+/// collision is one redundant decision query, never a cross-request
+/// permit.
+pub struct HashedRequestCache<V> {
+    inner: ConcurrentTtlCache<u64, (RequestContext, V)>,
+}
+
+impl<V: Clone> HashedRequestCache<V> {
+    /// Creates a cache holding roughly `capacity` entries across
+    /// [`DEFAULT_STRIPES`] stripes, each valid for `ttl_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, ttl_ms: u64) -> Self {
+        HashedRequestCache {
+            inner: ConcurrentTtlCache::new(capacity, ttl_ms),
+        }
+    }
+
+    /// Looks up the decision cached for `request`, whose canonical
+    /// hash the caller precomputed (so one hash serves the token
+    /// cache, the decision cache and the insert on miss).
+    pub fn get(&self, hash: u64, request: &RequestContext, now_ms: u64) -> Option<V> {
+        self.inner
+            .get_verified(&hash, now_ms, |(stored, _)| stored == request)
+            .map(|(_, value)| value)
+    }
+
+    /// Caches `value` for `request` under its precomputed hash.
+    pub fn insert(&self, hash: u64, request: &RequestContext, value: V, now_ms: u64) {
+        self.inner.insert(hash, (request.clone(), value), now_ms);
+    }
+
+    /// Removes the entry for exactly `request` (a colliding entry for
+    /// a different request is left in place).
+    pub fn remove(&self, hash: u64, request: &RequestContext) -> Option<V> {
+        self.inner
+            .remove_if(&hash, |(stored, _)| stored == request)
+            .map(|(_, value)| value)
+    }
+
+    /// Removes every entry (explicit invalidation on policy change).
+    pub fn invalidate_all(&self) {
+        self.inner.invalidate_all();
+    }
+
+    /// Total live entries (not an atomic snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Aggregate statistics across stripes.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
     }
 }
 
@@ -226,6 +575,125 @@ mod tests {
         assert_eq!(c.remove(&1), Some(10));
         assert_eq!(c.remove(&1), None);
     }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut c: TtlLruCache<u32, u32> = TtlLruCache::new(3, 1000);
+        for round in 0..50u32 {
+            c.insert(round, round, u64::from(round));
+        }
+        // 50 inserts into a 3-slot cache must not grow the slab past
+        // capacity: every eviction recycles its node.
+        assert!(c.nodes.len() <= 3, "slab grew to {}", c.nodes.len());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 47);
+    }
+
+    #[test]
+    fn get_verified_rejection_counts_as_miss_and_evicts() {
+        let mut c: TtlLruCache<u32, u32> = TtlLruCache::new(4, 1000);
+        c.insert(1, 10, 0);
+        assert_eq!(c.get_verified(&1, 1, |v| *v == 99), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        // The rejected entry is gone: a fresh lookup misses on absence.
+        assert_eq!(c.get(&1, 1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn remove_if_respects_predicate() {
+        let mut c: TtlLruCache<u32, u32> = TtlLruCache::new(4, 1000);
+        c.insert(1, 10, 0);
+        assert_eq!(c.remove_if(&1, |v| *v == 99), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.remove_if(&1, |v| *v == 10), Some(10));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_cache_basic_roundtrip() {
+        let c: ConcurrentTtlCache<u32, u32> = ConcurrentTtlCache::new(64, 100);
+        c.insert(1, 10, 0);
+        c.insert(2, 20, 0);
+        assert_eq!(c.get(&1, 50), Some(10));
+        assert_eq!(c.get(&2, 50), Some(20));
+        assert_eq!(c.get(&1, 100), None); // TTL boundary holds per stripe
+        assert_eq!(c.len(), 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.expirations), (2, 1, 1));
+        c.invalidate_all();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_cache_rounds_stripes_to_power_of_two() {
+        let c: ConcurrentTtlCache<u32, u32> = ConcurrentTtlCache::with_stripes(5, 100, 10);
+        assert_eq!(c.stripe_count(), 8);
+        // Aggregate capacity is split per stripe, minimum one entry.
+        let tiny: ConcurrentTtlCache<u32, u32> = ConcurrentTtlCache::with_stripes(8, 2, 10);
+        for k in 0..64 {
+            tiny.insert(k, k, 0);
+        }
+        assert!(tiny.len() <= 8, "one entry per stripe at most");
+    }
+
+    #[test]
+    fn concurrent_cache_parallel_readers_observe_their_keys() {
+        use std::sync::Arc;
+        let c: Arc<ConcurrentTtlCache<u64, u64>> = Arc::new(ConcurrentTtlCache::new(1024, 10_000));
+        for k in 0..256u64 {
+            c.insert(k, k * 3, 0);
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for round in 0..200u64 {
+                        let k = (t * 31 + round) % 256;
+                        assert_eq!(c.get(&k, 1), Some(k * 3));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 8 * 200);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn hashed_request_cache_verifies_full_key_on_hit() {
+        let cache: HashedRequestCache<u32> = HashedRequestCache::new(64, 1000);
+        let alice = RequestContext::basic("alice", "ehr/1", "read");
+        let mallory = RequestContext::basic("mallory", "ehr/1", "read");
+        let hash = alice.canonical_hash();
+        cache.insert(hash, &alice, 7, 0);
+        assert_eq!(cache.get(hash, &alice, 1), Some(7));
+        // A forced collision (same hash, different request) must read
+        // as a miss and evict the colliding entry — never serve
+        // alice's decision to mallory.
+        assert_eq!(cache.get(hash, &mallory, 1), None);
+        assert_eq!(cache.len(), 0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn hashed_request_cache_targeted_remove_spares_colliders() {
+        let cache: HashedRequestCache<u32> = HashedRequestCache::new(64, 1000);
+        let alice = RequestContext::basic("alice", "ehr/1", "read");
+        let mallory = RequestContext::basic("mallory", "ehr/1", "read");
+        let hash = alice.canonical_hash();
+        cache.insert(hash, &alice, 7, 0);
+        // Removing under the same hash but a different request is a
+        // no-op; removing with the right request takes the entry.
+        assert_eq!(cache.remove(hash, &mallory), None);
+        assert_eq!(cache.remove(hash, &alice), Some(7));
+        assert!(cache.is_empty());
+    }
 }
 
 /// Property-style tests: random operation sequences checked against a
@@ -297,6 +765,57 @@ mod property_tests {
                 assert!(cache.len() <= capacity, "capacity exceeded");
                 assert_eq!(cache.len(), model.entries.len(), "seed {seed} op {op}");
             }
+        }
+    }
+
+    /// The striped cache must behave exactly like a bank of independent
+    /// single-lock caches routed by `stripe_index` — the equivalence
+    /// that makes "striped" a pure concurrency change, not a semantic
+    /// one. (The workspace-level proptests additionally pin the
+    /// one-stripe instance against the plain cache.)
+    #[test]
+    fn striped_matches_bank_of_single_lock_caches() {
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let stripes = 1usize << rng.gen_range(0..4u32); // 1, 2, 4, 8
+            let capacity = rng.gen_range(1..40usize);
+            let ttl = rng.gen_range(1..80u64);
+            let striped: ConcurrentTtlCache<u32, u64> =
+                ConcurrentTtlCache::with_stripes(stripes, capacity, ttl);
+            let per_stripe = capacity.div_ceil(striped.stripe_count()).max(1);
+            let mut bank: Vec<TtlLruCache<u32, u64>> = (0..striped.stripe_count())
+                .map(|_| TtlLruCache::new(per_stripe, ttl))
+                .collect();
+            let mut now = 0u64;
+            for op in 0..500 {
+                now += rng.gen_range(0..15u64);
+                let key = rng.gen_range(0..24u32);
+                let stripe = striped.stripe_index(&key);
+                match rng.gen_range(0..4u32) {
+                    0 | 1 => assert_eq!(
+                        striped.get(&key, now),
+                        bank[stripe].get(&key, now),
+                        "seed {seed} op {op}: get({key}) diverged"
+                    ),
+                    2 => {
+                        let value = rng.gen_range(0..1000u64);
+                        striped.insert(key, value, now);
+                        bank[stripe].insert(key, value, now);
+                    }
+                    _ => assert_eq!(
+                        striped.remove(&key),
+                        bank[stripe].remove(&key),
+                        "seed {seed} op {op}: remove({key}) diverged"
+                    ),
+                }
+            }
+            let expected: usize = bank.iter().map(TtlLruCache::len).sum();
+            assert_eq!(striped.len(), expected, "seed {seed}: lengths diverged");
+            let mut expected_stats = CacheStats::default();
+            for s in &bank {
+                expected_stats.absorb(&s.stats());
+            }
+            assert_eq!(striped.stats(), expected_stats, "seed {seed}: stats");
         }
     }
 

@@ -2,13 +2,14 @@
 //! queries against the PAP's active policies with PIP-backed attribute
 //! resolution and optional decision caching (Fig. 3/4 of the paper).
 
-use crate::cache::{CacheStats, TtlLruCache};
+use crate::cache::{CacheStats, HashedRequestCache};
 use dacs_pap::Pap;
 use dacs_pip::{PipRegistry, ResolvingSource};
 use dacs_policy::eval::{EvalMetrics, Evaluator, Response};
 use dacs_policy::policy::PolicyElement;
 use dacs_policy::request::RequestContext;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Work counters for one PDP.
@@ -32,15 +33,29 @@ pub struct CacheConfig {
 }
 
 /// A Policy Decision Point bound to one PAP and one PIP registry.
+///
+/// The read path is concurrent: the decision cache is a striped
+/// [`HashedRequestCache`] keyed by the request's 64-bit canonical hash
+/// (full-context verify on hit), and the hot counters are plain
+/// relaxed atomics, so `decide` takes no global lock on a cache hit —
+/// only the one stripe the key maps to. `EvalMetrics` aggregation
+/// stays behind a mutex, but that lock is touched only on the miss
+/// path, where a full policy evaluation dwarfs it.
 pub struct Pdp {
     name: String,
     pap: Arc<Pap>,
     root: PolicyElement,
     pips: Arc<PipRegistry>,
-    cache: Option<Mutex<TtlLruCache<Vec<u8>, Response>>>,
+    cache: Option<HashedRequestCache<Response>>,
     /// PAP epoch the cache was valid for; a mismatch flushes it.
-    cache_epoch: Mutex<u64>,
-    metrics: Mutex<PdpMetrics>,
+    /// Relaxed is enough: a racing double-flush is benign (both
+    /// threads invalidate, both store the same new epoch) and a
+    /// late-arriving stale insert is bounded by the TTL exactly as a
+    /// post-flush insert under the old global lock was.
+    cache_epoch: AtomicU64,
+    decisions: AtomicU64,
+    cache_hits: AtomicU64,
+    eval: Mutex<EvalMetrics>,
 }
 
 impl Pdp {
@@ -58,14 +73,16 @@ impl Pdp {
             root,
             pips,
             cache: None,
-            cache_epoch: Mutex::new(0),
-            metrics: Mutex::new(PdpMetrics::default()),
+            cache_epoch: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            eval: Mutex::new(EvalMetrics::default()),
         }
     }
 
     /// Enables decision caching (builder style).
     pub fn with_cache(mut self, config: CacheConfig) -> Self {
-        self.cache = Some(Mutex::new(TtlLruCache::new(config.capacity, config.ttl_ms)));
+        self.cache = Some(HashedRequestCache::new(config.capacity, config.ttl_ms));
         self
     }
 
@@ -94,24 +111,22 @@ impl Pdp {
     /// within an epoch, cached decisions may be up to `ttl_ms` stale
     /// with respect to *attribute* changes — the trade-off E6 measures.
     pub fn decide(&self, request: &RequestContext, now_ms: u64) -> Response {
-        self.metrics.lock().decisions += 1;
+        self.decisions.fetch_add(1, Ordering::Relaxed);
 
-        let key = if self.cache.is_some() {
-            Some(request.to_canonical_bytes())
-        } else {
-            None
-        };
+        let hash = self
+            .cache
+            .as_ref()
+            .map(|_| request.canonical_hash())
+            .unwrap_or(0);
 
-        if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            let mut epoch = self.cache_epoch.lock();
+        if let Some(cache) = &self.cache {
             let current = self.pap.epoch();
-            let mut cache = cache.lock();
-            if *epoch != current {
+            if self.cache_epoch.load(Ordering::Relaxed) != current {
                 cache.invalidate_all();
-                *epoch = current;
+                self.cache_epoch.store(current, Ordering::Relaxed);
             }
-            if let Some(resp) = cache.get(key, now_ms) {
-                self.metrics.lock().cache_hits += 1;
+            if let Some(resp) = cache.get(hash, request, now_ms) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return resp;
             }
         }
@@ -119,10 +134,10 @@ impl Pdp {
         let source = ResolvingSource::new(request, &self.pips, now_ms);
         let mut evaluator = Evaluator::with_source(self.pap.as_ref(), request, &source);
         let response = evaluator.evaluate_element(&self.root);
-        self.metrics.lock().eval.absorb(&evaluator.metrics);
+        self.eval.lock().absorb(&evaluator.metrics);
 
-        if let (Some(cache), Some(key)) = (&self.cache, key) {
-            cache.lock().insert(key, response.clone(), now_ms);
+        if let Some(cache) = &self.cache {
+            cache.insert(hash, request, response.clone(), now_ms);
         }
         response
     }
@@ -131,18 +146,24 @@ impl Pdp {
     /// revocations must take effect immediately).
     pub fn invalidate_cache(&self) {
         if let Some(cache) = &self.cache {
-            cache.lock().invalidate_all();
+            cache.invalidate_all();
         }
     }
 
-    /// Snapshot of work counters.
+    /// Snapshot of work counters. Counters are relaxed atomics bumped
+    /// independently, so a snapshot taken while other threads decide is
+    /// consistent per counter but not a cross-counter instant.
     pub fn metrics(&self) -> PdpMetrics {
-        *self.metrics.lock()
+        PdpMetrics {
+            decisions: self.decisions.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            eval: *self.eval.lock(),
+        }
     }
 
     /// Decision-cache statistics, if caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(|c| c.lock().stats())
+        self.cache.as_ref().map(HashedRequestCache::stats)
     }
 }
 

@@ -7,7 +7,9 @@
 //!
 //! * [`engine`] — the PDP service with PIP-backed attribute resolution
 //!   and a decision cache keyed to the PAP mutation epoch.
-//! * [`cache`] — the TTL + LRU cache shared by PDPs and PEPs.
+//! * [`cache`] — the TTL + LRU cache shared by PDPs and PEPs, plus
+//!   the striped [`ConcurrentTtlCache`] and the hashed-key
+//!   [`HashedRequestCache`] used on the concurrent read path.
 //! * [`discovery`] — static binding vs directory-based PDP discovery
 //!   with health tracking (§3.2 "Location of Policy Decision Points").
 //! * [`class`] — workload classification ([`Priority`] lanes,
@@ -22,7 +24,7 @@ pub mod class;
 pub mod discovery;
 pub mod engine;
 
-pub use cache::{CacheStats, TtlLruCache};
+pub use cache::{CacheStats, ConcurrentTtlCache, HashedRequestCache, TtlLruCache};
 pub use class::{DecisionClass, Priority};
 pub use discovery::{Binding, HealthState, PdpDirectory, PdpEndpoint};
 pub use engine::{CacheConfig, Pdp, PdpMetrics};

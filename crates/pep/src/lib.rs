@@ -33,13 +33,14 @@
 use dacs_assert::{AssertError, SignedAssertion};
 use dacs_capability::{CapabilityAuthority, CapabilityToken};
 use dacs_crypto::sign::{CryptoCtx, PublicKey};
-use dacs_pdp::{CacheConfig, DecisionClass, Pdp, Priority, TtlLruCache};
+use dacs_pdp::{CacheConfig, CacheStats, DecisionClass, HashedRequestCache, Pdp, Priority};
 use dacs_policy::eval::Response;
 use dacs_policy::policy::{Decision, Obligation};
 use dacs_policy::request::RequestContext;
 use dacs_telemetry::{Counter, Histogram, Span, Telemetry};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Scheduling metadata for an enforcement, separated from the access
@@ -537,15 +538,94 @@ pub struct EnforcementStats {
     /// epoch bump, …) and were evicted; the request fell back to the
     /// decision source.
     pub token_rejects: u64,
+    /// Audit records displaced from the bounded audit ring (see
+    /// [`Pep::audit_log`] for the retention contract).
+    pub audit_dropped: u64,
 }
 
+/// [`EnforcementStats`] as independent relaxed atomics, so concurrent
+/// enforcement threads bump counters without sharing a lock. Each
+/// counter is monotonic and never torn (u64 atomics); a
+/// [`AtomicEnforcementStats::snapshot`] taken mid-traffic is exact per
+/// counter but not a cross-counter instant — same contract as the PDP's
+/// metrics and the telemetry registry.
+#[derive(Default)]
+struct AtomicEnforcementStats {
+    allowed: AtomicU64,
+    denied: AtomicU64,
+    failsafe_denials: AtomicU64,
+    obligation_failures: AtomicU64,
+    cache_hits: AtomicU64,
+    token_hits: AtomicU64,
+    tokens_minted: AtomicU64,
+    token_rejects: AtomicU64,
+    audit_dropped: AtomicU64,
+}
+
+impl AtomicEnforcementStats {
+    fn snapshot(&self) -> EnforcementStats {
+        EnforcementStats {
+            allowed: self.allowed.load(Ordering::Relaxed),
+            denied: self.denied.load(Ordering::Relaxed),
+            failsafe_denials: self.failsafe_denials.load(Ordering::Relaxed),
+            obligation_failures: self.obligation_failures.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            token_hits: self.token_hits.load(Ordering::Relaxed),
+            tokens_minted: self.tokens_minted.load(Ordering::Relaxed),
+            token_rejects: self.token_rejects.load(Ordering::Relaxed),
+            audit_dropped: self.audit_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bounded audit storage: the newest `capacity` records, oldest-first.
+/// When full, each push displaces the oldest record; the caller counts
+/// the displacement in `EnforcementStats::audit_dropped`.
+struct AuditRing {
+    capacity: usize,
+    records: Mutex<VecDeque<EnforcementRecord>>,
+}
+
+impl AuditRing {
+    fn new(capacity: usize) -> Self {
+        AuditRing {
+            capacity,
+            records: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends a record; returns `true` when an old record was dropped
+    /// to make room.
+    fn push(&self, record: EnforcementRecord) -> bool {
+        let mut records = self.records.lock();
+        let dropped = if records.len() >= self.capacity {
+            records.pop_front();
+            true
+        } else {
+            false
+        };
+        records.push_back(record);
+        dropped
+    }
+
+    fn snapshot(&self) -> Vec<EnforcementRecord> {
+        self.records.lock().iter().cloned().collect()
+    }
+}
+
+/// Default bound of the audit ring: generous enough that tests and
+/// short-lived PEPs never observe a drop, small enough that a
+/// long-lived PEP's memory stays bounded.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 65_536;
+
 /// The capability fast path: the shared authority (key + current
-/// epoch) and the PEP's cache of minted tokens, keyed by the full
-/// canonical request so requests that differ in any attribute never
-/// cross-hit.
+/// epoch) and the PEP's striped cache of minted tokens, keyed by the
+/// 64-bit canonical request hash with the full request verified on
+/// every hit, so requests that differ in any attribute never
+/// cross-hit — even under a hash collision.
 struct PepCapability {
     authority: Arc<CapabilityAuthority>,
-    tokens: Mutex<TtlLruCache<Vec<u8>, CapabilityToken>>,
+    tokens: HashedRequestCache<CapabilityToken>,
 }
 
 /// Telemetry handles pre-resolved at construction so the enforcement
@@ -588,6 +668,7 @@ pub struct PepBuilder {
     telemetry: Option<Arc<Telemetry>>,
     capability: Option<(Arc<CapabilityAuthority>, usize)>,
     deny_not_applicable: bool,
+    audit_capacity: usize,
 }
 
 impl PepBuilder {
@@ -606,6 +687,7 @@ impl PepBuilder {
             telemetry: None,
             capability: None,
             deny_not_applicable: true,
+            audit_capacity: DEFAULT_AUDIT_CAPACITY,
         }
     }
 
@@ -678,6 +760,19 @@ impl PepBuilder {
         self
     }
 
+    /// Bounds the audit ring to the newest `capacity` records (default
+    /// [`DEFAULT_AUDIT_CAPACITY`]); see [`Pep::audit_log`] for the
+    /// retention contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn audit_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "audit capacity must be positive");
+        self.audit_capacity = capacity;
+        self
+    }
+
     /// Finishes the PEP.
     ///
     /// # Panics
@@ -699,7 +794,7 @@ impl PepBuilder {
             let ttl = authority.ttl_ms();
             PepCapability {
                 authority,
-                tokens: Mutex::new(TtlLruCache::new(capacity, ttl)),
+                tokens: HashedRequestCache::new(capacity, ttl),
             }
         });
         Pep {
@@ -709,12 +804,12 @@ impl PepBuilder {
             handlers: self.handlers,
             cache: self
                 .cache
-                .map(|cfg| Mutex::new(TtlLruCache::new(cfg.capacity, cfg.ttl_ms))),
+                .map(|cfg| HashedRequestCache::new(cfg.capacity, cfg.ttl_ms)),
             crypto: self.crypto.unwrap_or_default(),
             trusted_issuers: self.trusted_issuers,
             deny_not_applicable: self.deny_not_applicable,
-            audit: Mutex::new(Vec::new()),
-            stats: Mutex::new(EnforcementStats::default()),
+            audit: AuditRing::new(self.audit_capacity),
+            stats: AtomicEnforcementStats::default(),
             telemetry,
             capability,
         }
@@ -722,6 +817,14 @@ impl PepBuilder {
 }
 
 /// A Policy Enforcement Point guarding one service.
+///
+/// The read path is concurrent: decision and token caches are striped
+/// [`HashedRequestCache`]s keyed by the request's 64-bit canonical
+/// hash (computed once per enforcement, full-context verify on hit),
+/// enforcement counters are relaxed atomics, and the audit trail is a
+/// bounded ring — so parallel callers of [`Pep::serve`] contend only
+/// on the one cache stripe their request maps to, plus the audit ring
+/// lock for the final record append.
 pub struct Pep {
     name: String,
     /// The audience string capabilities must be issued for (usually the
@@ -729,7 +832,7 @@ pub struct Pep {
     audience: String,
     source: Arc<dyn DecisionSource>,
     handlers: HashMap<String, Arc<dyn ObligationHandler>>,
-    cache: Option<Mutex<TtlLruCache<Vec<u8>, dacs_policy::eval::Response>>>,
+    cache: Option<HashedRequestCache<dacs_policy::eval::Response>>,
     crypto: CryptoCtx,
     /// Trusted capability issuers: name → verification key.
     trusted_issuers: HashMap<String, PublicKey>,
@@ -737,8 +840,8 @@ pub struct Pep {
     /// allowed (open policy — not recommended, but configurable for
     /// ablation).
     deny_not_applicable: bool,
-    audit: Mutex<Vec<EnforcementRecord>>,
-    stats: Mutex<EnforcementStats>,
+    audit: AuditRing,
+    stats: AtomicEnforcementStats,
     telemetry: Option<PepTelemetry>,
     capability: Option<PepCapability>,
 }
@@ -768,8 +871,8 @@ impl Pep {
             crypto,
             trusted_issuers: HashMap::new(),
             deny_not_applicable: true,
-            audit: Mutex::new(Vec::new()),
-            stats: Mutex::new(EnforcementStats::default()),
+            audit: AuditRing::new(DEFAULT_AUDIT_CAPACITY),
+            stats: AtomicEnforcementStats::default(),
             telemetry: None,
             capability: None,
         }
@@ -786,7 +889,7 @@ impl Pep {
     /// Enables the PEP-side decision cache (builder style).
     #[deprecated(note = "use PepBuilder::cache")]
     pub fn with_cache(mut self, config: CacheConfig) -> Self {
-        self.cache = Some(Mutex::new(TtlLruCache::new(config.capacity, config.ttl_ms)));
+        self.cache = Some(HashedRequestCache::new(config.capacity, config.ttl_ms));
         self
     }
 
@@ -836,7 +939,7 @@ impl Pep {
         let ttl = authority.ttl_ms();
         self.capability = Some(PepCapability {
             authority,
-            tokens: Mutex::new(TtlLruCache::new(capacity, ttl)),
+            tokens: HashedRequestCache::new(capacity, ttl),
         });
         self
     }
@@ -862,13 +965,14 @@ impl Pep {
             context, now_ms, ..
         } = request;
         let class = request.class();
+        let hash = self.request_hash(context);
         let root = self.telemetry.as_ref().map(|t| {
             t.enforcements.inc();
             t.telemetry.tracer().root("pep_enforce")
         });
-        let response = match self.token_fastpath(context, now_ms, root.as_ref()) {
+        let response = match self.token_fastpath(context, hash, now_ms, root.as_ref()) {
             Some(response) => response,
-            None => self.decide_traced(context, now_ms, root.as_ref(), class),
+            None => self.decide_traced(context, hash, now_ms, root.as_ref(), class),
         };
         let result = {
             let _span = root.as_ref().map(|p| p.child("obligations"));
@@ -906,6 +1010,16 @@ impl Pep {
             t.telemetry.tracer().root("pep_enforce_batch")
         });
         let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        // One canonical hash per request serves the token phase, the
+        // cache phase and the miss-path inserts alike.
+        let hashes: Vec<u64> = if self.capability.is_some() || self.cache.is_some() {
+            requests
+                .iter()
+                .map(RequestContext::canonical_hash)
+                .collect()
+        } else {
+            Vec::new()
+        };
         // Token phase: requests with a locally verifiable capability
         // token never reach the cache or the decision source.
         let mut pending: Vec<usize> = Vec::new();
@@ -913,7 +1027,7 @@ impl Pep {
             let mut token_span = root.as_ref().map(|p| p.child("token"));
             let mut hits = 0u64;
             for (i, request) in requests.iter().enumerate() {
-                match self.token_fastpath(request, now_ms, None) {
+                match self.token_fastpath(request, hashes[i], now_ms, None) {
                     Some(resp) => {
                         hits += 1;
                         responses[i] = Some(resp);
@@ -929,25 +1043,25 @@ impl Pep {
         }
         match &self.cache {
             Some(cache) => {
-                let keys: Vec<Vec<u8>> = requests.iter().map(|r| r.to_canonical_bytes()).collect();
                 let mut miss_idx: Vec<usize> = Vec::new();
                 {
                     let mut cache_span = root.as_ref().map(|p| p.child("cache"));
                     let mut hits = 0u64;
-                    {
-                        let mut cache = cache.lock();
-                        for &i in &pending {
-                            match cache.get(&keys[i], now_ms) {
-                                Some(resp) => {
-                                    hits += 1;
-                                    responses[i] = Some(resp);
-                                }
-                                None => miss_idx.push(i),
+                    // All lookups complete before any miss-path insert,
+                    // so duplicate requests within one batch miss
+                    // together and coalesce in the decision source —
+                    // the same semantics the single-lock pass had.
+                    for &i in &pending {
+                        match cache.get(hashes[i], &requests[i], now_ms) {
+                            Some(resp) => {
+                                hits += 1;
+                                responses[i] = Some(resp);
                             }
+                            None => miss_idx.push(i),
                         }
                     }
                     if hits > 0 {
-                        self.stats.lock().cache_hits += hits;
+                        self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
                         if let Some(t) = &self.telemetry {
                             t.cache_hits.add(hits);
                         }
@@ -963,9 +1077,8 @@ impl Pep {
                         miss_idx.iter().map(|&i| requests[i].clone()).collect();
                     let answers = self.query_source_batch(&misses, now_ms, class);
                     debug_assert_eq!(answers.len(), misses.len(), "one answer per query");
-                    let mut cache = cache.lock();
                     for (&i, resp) in miss_idx.iter().zip(answers) {
-                        cache.insert(keys[i].clone(), resp.clone(), now_ms);
+                        cache.insert(hashes[i], &requests[i], resp.clone(), now_ms);
                         responses[i] = Some(resp);
                     }
                 }
@@ -1021,7 +1134,18 @@ impl Pep {
     /// in front of the decision source and must be told).
     pub fn invalidate_cache(&self) {
         if let Some(cache) = &self.cache {
-            cache.lock().invalidate_all();
+            cache.invalidate_all();
+        }
+    }
+
+    /// The request's canonical hash when any hashed cache will consume
+    /// it; 0 (never read) otherwise, so uncached PEPs skip the hash
+    /// walk entirely.
+    fn request_hash(&self, request: &RequestContext) -> u64 {
+        if self.cache.is_some() || self.capability.is_some() {
+            request.canonical_hash()
+        } else {
+            0
         }
     }
 
@@ -1071,7 +1195,7 @@ impl Pep {
         }
         // 4. Local restriction overlay: the resource provider still makes
         //    the final decision (§2.2). Local Deny or error wins.
-        let local = self.decide_cached(request, now_ms, class);
+        let local = self.decide_traced(request, self.request_hash(request), now_ms, None, class);
         match local.decision {
             Decision::Deny => self.conclude(request, local, now_ms),
             Decision::Indeterminate => {
@@ -1108,25 +1232,18 @@ impl Pep {
         self.serve_with_capability(EnforceRequest::of(request, now_ms), capability)
     }
 
-    fn decide_cached(
-        &self,
-        request: &RequestContext,
-        now_ms: u64,
-        class: DecisionClass,
-    ) -> Response {
-        self.decide_traced(request, now_ms, None, class)
-    }
-
     /// Attempts the capability fast path: a cached token for exactly
-    /// this canonical request, verified locally (MAC, binding, validity
-    /// window, epoch). A verified token *is* the permit — the decision
-    /// source is skipped. Any rejection evicts the token and returns
-    /// `None`, sending the request down the ordinary decide path: the
-    /// fast path can deny-and-retry, never permit what the source
-    /// would deny.
+    /// this canonical request (hashed key, full request verified on
+    /// hit), verified locally (MAC, binding, validity window, epoch).
+    /// A verified token *is* the permit — the decision source is
+    /// skipped. Any rejection evicts the token and returns `None`,
+    /// sending the request down the ordinary decide path: the fast
+    /// path can deny-and-retry, never permit what the source would
+    /// deny.
     fn token_fastpath(
         &self,
         request: &RequestContext,
+        hash: u64,
         now_ms: u64,
         parent: Option<&Span>,
     ) -> Option<Response> {
@@ -1134,15 +1251,14 @@ impl Pep {
         let subject = request.subject_id()?;
         let resource = request.resource_id()?;
         let action = request.action_id()?;
-        let key = request.to_canonical_bytes();
-        let token = cap.tokens.lock().get(&key, now_ms)?;
+        let token = cap.tokens.get(hash, request, now_ms)?;
         let mut span = parent.map(|p| p.child("token"));
         match cap
             .authority
             .verify(&token, subject, resource, action, now_ms)
         {
             Ok(()) => {
-                self.stats.lock().token_hits += 1;
+                self.stats.token_hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(s) = span.as_mut() {
                     s.set_note("hit");
                 }
@@ -1153,8 +1269,8 @@ impl Pep {
                 })
             }
             Err(e) => {
-                cap.tokens.lock().remove(&key);
-                self.stats.lock().token_rejects += 1;
+                cap.tokens.remove(hash, request);
+                self.stats.token_rejects.fetch_add(1, Ordering::Relaxed);
                 if let Some(s) = span.as_mut() {
                     s.set_note(format!("reject:{e}"));
                 }
@@ -1168,6 +1284,7 @@ impl Pep {
     fn query_source(
         &self,
         request: &RequestContext,
+        hash: u64,
         now_ms: u64,
         class: DecisionClass,
     ) -> Response {
@@ -1177,10 +1294,8 @@ impl Pep {
                     .source
                     .decide_with_grant_classed(request, now_ms, class);
                 if let Some(token) = token {
-                    cap.tokens
-                        .lock()
-                        .insert(request.to_canonical_bytes(), token, now_ms);
-                    self.stats.lock().tokens_minted += 1;
+                    cap.tokens.insert(hash, request, token, now_ms);
+                    self.stats.tokens_minted.fetch_add(1, Ordering::Relaxed);
                 }
                 response
             }
@@ -1188,7 +1303,9 @@ impl Pep {
         }
     }
 
-    /// Batch variant of [`Pep::query_source`].
+    /// Batch variant of [`Pep::query_source`]. Runs only on the miss
+    /// path, so recomputing the canonical hash per minted token costs
+    /// nothing next to the decision fan-out it follows.
     fn query_source_batch(
         &self,
         requests: &[RequestContext],
@@ -1203,18 +1320,18 @@ impl Pep {
                 debug_assert_eq!(pairs.len(), requests.len(), "one answer per query");
                 let mut responses = Vec::with_capacity(pairs.len());
                 let mut minted = 0u64;
-                {
-                    let mut tokens = cap.tokens.lock();
-                    for (request, (response, token)) in requests.iter().zip(pairs) {
-                        if let Some(token) = token {
-                            tokens.insert(request.to_canonical_bytes(), token, now_ms);
-                            minted += 1;
-                        }
-                        responses.push(response);
+                for (request, (response, token)) in requests.iter().zip(pairs) {
+                    if let Some(token) = token {
+                        cap.tokens
+                            .insert(request.canonical_hash(), request, token, now_ms);
+                        minted += 1;
                     }
+                    responses.push(response);
                 }
                 if minted > 0 {
-                    self.stats.lock().tokens_minted += minted;
+                    self.stats
+                        .tokens_minted
+                        .fetch_add(minted, Ordering::Relaxed);
                 }
                 responses
             }
@@ -1222,7 +1339,7 @@ impl Pep {
         }
     }
 
-    /// [`Pep::decide_cached`] with optional child spans under `parent`:
+    /// The cached decide path with optional child spans under `parent`:
     /// a `cache` span around the lookup (noted `hit`/`miss`) and a
     /// `decide` span around the source query. The `decide` span is
     /// *entered*, so a clustered source's routing/fan-out/replica
@@ -1231,25 +1348,22 @@ impl Pep {
     fn decide_traced(
         &self,
         request: &RequestContext,
+        hash: u64,
         now_ms: u64,
         parent: Option<&Span>,
         class: DecisionClass,
     ) -> Response {
         if let Some(cache) = &self.cache {
             let mut cache_span = parent.map(|p| p.child("cache"));
-            let key = request.to_canonical_bytes();
-            {
-                let mut cache = cache.lock();
-                if let Some(resp) = cache.get(&key, now_ms) {
-                    self.stats.lock().cache_hits += 1;
-                    if let Some(t) = &self.telemetry {
-                        t.cache_hits.inc();
-                    }
-                    if let Some(s) = cache_span.as_mut() {
-                        s.set_note("hit");
-                    }
-                    return resp;
+            if let Some(resp) = cache.get(hash, request, now_ms) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telemetry {
+                    t.cache_hits.inc();
                 }
+                if let Some(s) = cache_span.as_mut() {
+                    s.set_note("hit");
+                }
+                return resp;
             }
             if let Some(s) = cache_span.as_mut() {
                 s.set_note("miss");
@@ -1257,13 +1371,13 @@ impl Pep {
             drop(cache_span);
             let span = parent.map(|p| p.child("decide"));
             let _guard = span.as_ref().map(|s| s.enter());
-            let resp = self.query_source(request, now_ms, class);
-            cache.lock().insert(key, resp.clone(), now_ms);
+            let resp = self.query_source(request, hash, now_ms, class);
+            cache.insert(hash, request, resp.clone(), now_ms);
             resp
         } else {
             let span = parent.map(|p| p.child("decide"));
             let _guard = span.as_ref().map(|s| s.enter());
-            self.query_source(request, now_ms, class)
+            self.query_source(request, hash, now_ms, class)
         }
     }
 
@@ -1288,7 +1402,9 @@ impl Pep {
                 Some(h) => match h.fulfill(ob, request) {
                     Ok(()) => fulfilled.push(ob.id.clone()),
                     Err(e) => {
-                        self.stats.lock().obligation_failures += 1;
+                        self.stats
+                            .obligation_failures
+                            .fetch_add(1, Ordering::Relaxed);
                         return self.deny_failsafe(
                             request,
                             now_ms,
@@ -1297,7 +1413,9 @@ impl Pep {
                     }
                 },
                 None => {
-                    self.stats.lock().obligation_failures += 1;
+                    self.stats
+                        .obligation_failures
+                        .fetch_add(1, Ordering::Relaxed);
                     return self.deny_failsafe(
                         request,
                         now_ms,
@@ -1315,15 +1433,12 @@ impl Pep {
                 dacs_policy::eval::Status::Ok => format!("decision {}", response.decision),
             })
         };
-        {
-            let mut stats = self.stats.lock();
-            if grant {
-                stats.allowed += 1;
-            } else if response.decision == Decision::Deny {
-                stats.denied += 1;
-            } else {
-                stats.failsafe_denials += 1;
-            }
+        if grant {
+            self.stats.allowed.fetch_add(1, Ordering::Relaxed);
+        } else if response.decision == Decision::Deny {
+            self.stats.denied.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.failsafe_denials.fetch_add(1, Ordering::Relaxed);
         }
         self.record(request, grant, now_ms);
         EnforcementResult {
@@ -1340,7 +1455,7 @@ impl Pep {
         now_ms: u64,
         reason: String,
     ) -> EnforcementResult {
-        self.stats.lock().failsafe_denials += 1;
+        self.stats.failsafe_denials.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = &self.telemetry {
             t.failsafe_denials.inc();
         }
@@ -1354,23 +1469,52 @@ impl Pep {
     }
 
     fn record(&self, request: &RequestContext, allowed: bool, at_ms: u64) {
-        self.audit.lock().push(EnforcementRecord {
+        let dropped = self.audit.push(EnforcementRecord {
             at_ms,
             subject: request.subject_id().unwrap_or("?").to_owned(),
             resource: request.resource_id().unwrap_or("?").to_owned(),
             action: request.action_id().unwrap_or("?").to_owned(),
             allowed,
         });
+        if dropped {
+            self.stats.audit_dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Snapshot of the enforcement audit trail.
+    /// Snapshot of the enforcement audit trail, oldest-first.
+    ///
+    /// **Retention contract.** The audit trail is a bounded ring: it
+    /// holds the newest [`PepBuilder::audit_capacity`] records (default
+    /// [`DEFAULT_AUDIT_CAPACITY`]), and once full each enforcement
+    /// displaces the oldest record and increments
+    /// [`EnforcementStats::audit_dropped`] — so
+    /// `audit_log().len() + audit_dropped` always equals the total
+    /// enforcements recorded. A deployment needing complete retention
+    /// must drain the log (or ship records to durable storage) before
+    /// `audit_dropped` moves; the counter is the signal that the
+    /// in-memory window no longer covers the full history.
     pub fn audit_log(&self) -> Vec<EnforcementRecord> {
-        self.audit.lock().clone()
+        self.audit.snapshot()
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters. Counters are relaxed atomics bumped
+    /// independently, so a snapshot taken during concurrent
+    /// enforcement is exact per counter but not a cross-counter
+    /// instant; quiesced, totals are exact.
     pub fn stats(&self) -> EnforcementStats {
-        *self.stats.lock()
+        self.stats.snapshot()
+    }
+
+    /// Decision-cache statistics, if the PEP-side cache is enabled.
+    /// `hits + misses` equals the number of cache lookups (token-hit
+    /// requests never reach the cache).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(HashedRequestCache::stats)
+    }
+
+    /// Capability token cache statistics, if the fast path is enabled.
+    pub fn token_cache_stats(&self) -> Option<CacheStats> {
+        self.capability.as_ref().map(|cap| cap.tokens.stats())
     }
 }
 

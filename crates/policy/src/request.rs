@@ -155,6 +155,60 @@ impl RequestContext {
         }
         out
     }
+
+    /// FNV-1a (64-bit) over the same byte stream as
+    /// [`RequestContext::to_canonical_bytes`], computed without
+    /// materializing it. Two contexts with equal canonical bytes hash
+    /// equal; hashed-key caches must still verify the full context on
+    /// hit, since 64 bits cannot rule out collisions between distinct
+    /// requests.
+    pub fn canonical_hash(&self) -> u64 {
+        use std::fmt::Write;
+        let mut h = Fnv1a::new();
+        for (id, bag) in &self.attrs {
+            h.write_bytes(id.category.as_str().as_bytes());
+            h.write_byte(b'.');
+            h.write_bytes(id.name.as_bytes());
+            h.write_byte(b'=');
+            for v in bag {
+                let _ = write!(h, "{v}");
+                h.write_byte(b',');
+            }
+            h.write_byte(b';');
+        }
+        h.0
+    }
+}
+
+/// Streaming FNV-1a 64 that accepts `fmt::Write`, so `Display`ed
+/// attribute values feed the hash without an intermediate allocation.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_byte(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+}
+
+impl std::fmt::Write for Fnv1a {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +259,31 @@ mod tests {
         b.add(AttributeId::resource("type"), "ehr");
         b.add(AttributeId::subject("role"), "doctor");
         assert_eq!(a.to_canonical_bytes(), b.to_canonical_bytes());
+    }
+
+    #[test]
+    fn canonical_hash_matches_fnv_of_canonical_bytes() {
+        fn fnv(bytes: &[u8]) -> u64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+        let contexts = [
+            RequestContext::new(),
+            RequestContext::basic("alice", "ehr/record/42", "read"),
+            RequestContext::basic("bob", "ehr/record/42", "write")
+                .with_subject_attr("role", "doctor")
+                .with_env_attr("current-time", AttrValue::Time(9 * 3_600_000))
+                .with_resource_attr("sensitivity", 3i64),
+        ];
+        for ctx in &contexts {
+            assert_eq!(ctx.canonical_hash(), fnv(&ctx.to_canonical_bytes()));
+        }
+        // Distinct requests should (overwhelmingly) hash differently.
+        assert_ne!(contexts[1].canonical_hash(), contexts[2].canonical_hash());
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //!   (the signed-token fast path must keep its throughput edge), or
 //! * a >25% interactive-p99 regression or decisions/sec drop in the
 //!   E19 scheduler-saturation rows (the priority lanes must keep the
-//!   interactive tail flat under the bulk flood, at full throughput).
+//!   interactive tail flat under the bulk flood, at full throughput),
+//!   or
+//! * a >25% decisions/sec drop or a >0.5 scaling-ratio drop in the E20
+//!   read-path-scaling rows (the striped PEP cache must keep both its
+//!   absolute throughput and its multi-thread scaling shape).
 //!
 //! ```text
 //! cargo run --release -p dacs-bench --bin bench_gate -- BENCH_baseline.json bench.json
@@ -66,6 +70,20 @@ const TPUT_FLOOR_DPS: f64 = 1000.0;
 /// blows straight through it.
 const SCHED_EXPERIMENT: &str = "e19";
 const SCHED_LAT_METRIC: &str = "interactive p99 (µs)";
+
+/// The read-path gate: the E20 scaling rows. Decisions/sec shares the
+/// E18 throughput threshold and noise floor. The scaling ratio
+/// (`threads=N` throughput over `threads=1`, a number near 1 on a
+/// single-core runner and near N on real cores) rides the
+/// absolute-drop helper instead of the percentage one — the 1000-dps
+/// floor built into `throughput_drops` would skip every ratio row —
+/// with a 0.5 allowance: run-to-run jitter on a shared runner moves
+/// the ratio by tenths, while the structural failure this gate exists
+/// for (a reintroduced global lock serializing the stripes) halves it
+/// or worse.
+const READ_EXPERIMENT: &str = "e20";
+const READ_SCALING_METRIC: &str = "scaling x1";
+const READ_SCALING_MAX_DROP: f64 = 0.5;
 
 fn load(path: &str) -> Vec<BenchRow> {
     match std::fs::read_to_string(path) {
@@ -142,6 +160,13 @@ fn main() {
     require_rows(&baseline, baseline_path, TPUT_EXPERIMENT, TPUT_METRIC);
     require_rows(&baseline, baseline_path, SCHED_EXPERIMENT, SCHED_LAT_METRIC);
     require_rows(&baseline, baseline_path, SCHED_EXPERIMENT, TPUT_METRIC);
+    require_rows(&baseline, baseline_path, READ_EXPERIMENT, TPUT_METRIC);
+    require_rows(
+        &baseline,
+        baseline_path,
+        READ_EXPERIMENT,
+        READ_SCALING_METRIC,
+    );
 
     println!(
         "bench_gate: {LAT_EXPERIMENT} '{LAT_METRIC}' vs {baseline_path} \
@@ -172,6 +197,17 @@ fn main() {
         TPUT_THRESHOLD * 100.0
     );
     print_rows(&baseline, &fresh, SCHED_EXPERIMENT, TPUT_METRIC, "dps");
+    println!(
+        "bench_gate: {READ_EXPERIMENT} '{TPUT_METRIC}' vs {baseline_path} \
+         (-{:.0}% allowed above {TPUT_FLOOR_DPS:.0} dps)",
+        TPUT_THRESHOLD * 100.0
+    );
+    print_rows(&baseline, &fresh, READ_EXPERIMENT, TPUT_METRIC, "dps");
+    println!(
+        "bench_gate: {READ_EXPERIMENT} '{READ_SCALING_METRIC}' vs {baseline_path} \
+         (-{READ_SCALING_MAX_DROP:.1} allowed)"
+    );
+    print_rows(&baseline, &fresh, READ_EXPERIMENT, READ_SCALING_METRIC, "x");
 
     let mut bad = regressions(
         &baseline,
@@ -211,6 +247,21 @@ fn main() {
         TPUT_METRIC,
         TPUT_THRESHOLD,
         TPUT_FLOOR_DPS,
+    ));
+    bad.extend(throughput_drops(
+        &baseline,
+        &fresh,
+        READ_EXPERIMENT,
+        TPUT_METRIC,
+        TPUT_THRESHOLD,
+        TPUT_FLOOR_DPS,
+    ));
+    bad.extend(availability_drops(
+        &baseline,
+        &fresh,
+        READ_EXPERIMENT,
+        READ_SCALING_METRIC,
+        READ_SCALING_MAX_DROP,
     ));
     if bad.is_empty() {
         println!("bench_gate: PASS");

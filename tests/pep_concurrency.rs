@@ -1,0 +1,191 @@
+//! Multi-threaded PEP stress tests (ISSUE 9): 8 closed-loop threads
+//! hammer one shared [`Pep`] with mixed permit/deny/token traffic and
+//! the suite then audits the atomic counters against exact accounting
+//! identities. Because every stat is a monotonic `u64` atomic and every
+//! request takes exactly one path (token hit, decision-cache hit, or
+//! source query), the identities hold with equality even under full
+//! contention — a torn counter, a double-counted request, or a request
+//! lost between the stripes breaks a sum, not a tolerance.
+//!
+//! [`Pep`]: dacs::pep::Pep
+
+use dacs::capability::{CapabilityAuthority, CapabilityKey};
+use dacs::crypto::sign::CryptoCtx;
+use dacs::pap::Pap;
+use dacs::pdp::{CacheConfig, Pdp};
+use dacs::pep::{EnforceRequest, MintingSource, Pep};
+use dacs::pip::PipRegistry;
+use dacs::policy::dsl::parse_policy;
+use dacs::policy::policy::{PolicyElement, PolicyId};
+use dacs::policy::request::RequestContext;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 1_500;
+
+/// Attribute-free gate: reads on `records/*` permit (and, being
+/// unconditional, mint capability tokens), everything else denies via
+/// the deny-unless-permit envelope — ground truth is decidable from
+/// the request alone, so threads can verify every verdict inline.
+const GATE: &str = r#"
+policy "gate" deny-unless-permit {
+  rule "readers" permit {
+    target { resource "id" ~= "records/*"; action "id" == "read"; }
+  }
+}
+"#;
+
+fn build_pdp() -> Arc<Pdp> {
+    let pap = Arc::new(Pap::new("pap.conc"));
+    pap.submit("admin", parse_policy(GATE).unwrap(), 0).unwrap();
+    Arc::new(Pdp::new(
+        "pdp.conc",
+        pap,
+        PolicyElement::PolicyRef(PolicyId::new("gate")),
+        Arc::new(PipRegistry::new()),
+    ))
+}
+
+/// The `t`-th thread's `i`-th request: a working set of 16 subjects ×
+/// 8 resources, one write (deny) for every two reads (permit).
+fn request_for(t: usize, i: usize) -> (RequestContext, bool) {
+    let write = (t + i) % 3 == 2;
+    let action = if write { "write" } else { "read" };
+    let request = RequestContext::basic(
+        format!("user-{}@conc", (t * 31 + i) % 16),
+        format!("records/{}", i % 8),
+        action,
+    );
+    (request, !write)
+}
+
+/// Drives `THREADS` threads through the shared PEP and returns the
+/// exact (allowed, denied) counts the ground truth predicts, after
+/// asserting every individual verdict matched it.
+fn hammer(pep: &Pep) -> (u64, u64) {
+    let barrier = Barrier::new(THREADS);
+    let expected_allowed = AtomicU64::new(0);
+    let wrong = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (barrier, expected_allowed, wrong) = (&barrier, &expected_allowed, &wrong);
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..REQUESTS_PER_THREAD {
+                    let (request, expect_permit) = request_for(t, i);
+                    let response = pep.serve(EnforceRequest::of(&request, i as u64));
+                    if expect_permit {
+                        expected_allowed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if response.allowed != expect_permit {
+                        wrong.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(wrong.load(Ordering::Relaxed), 0, "verdicts diverged");
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+    let allowed = expected_allowed.load(Ordering::Relaxed);
+    (allowed, total - allowed)
+}
+
+/// Cache-only PEP: every enforcement is either a decision-cache hit or
+/// a miss that reached the PDP exactly once — `hits + misses ==
+/// enforcements` and `pdp decisions == misses`, with zero slack.
+#[test]
+fn eight_threads_share_one_striped_decision_cache() {
+    let pdp = build_pdp();
+    let pep = Pep::builder("pep.conc")
+        .source(pdp.clone())
+        .cache(CacheConfig {
+            capacity: 4096,
+            ttl_ms: u64::MAX / 2,
+        })
+        .audit_capacity(1024)
+        .build();
+
+    let (allowed, denied) = hammer(&pep);
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+
+    let stats = pep.stats();
+    assert_eq!(stats.allowed, allowed);
+    assert_eq!(stats.denied, denied);
+    assert_eq!(stats.failsafe_denials, 0);
+    assert_eq!(stats.allowed + stats.denied, total);
+
+    // The accounting identity the striped cache must preserve under
+    // contention: no request bypasses the cache, none is counted twice.
+    let cache = pep.cache_stats().expect("decision cache configured");
+    assert_eq!(cache.hits + cache.misses, total);
+    assert_eq!(stats.cache_hits, cache.hits);
+    assert_eq!(
+        pdp.metrics().decisions,
+        cache.misses,
+        "one source query per miss"
+    );
+    // 128 distinct requests against 12 000 serves: the cache must
+    // actually carry the load, not merely stay consistent.
+    assert!(cache.hits > total / 2, "hit-starved: {cache:?}");
+
+    // Bounded audit ring retention contract: capacity retained, the
+    // overflow counted, nothing lost in between.
+    assert_eq!(pep.audit_log().len(), 1024);
+    assert_eq!(stats.audit_dropped, total - 1024);
+}
+
+/// Capability + cache PEP: permits ride the token fast path, denies
+/// fall through to the decision cache. Every request probes the token
+/// cache exactly once, and the three disjoint outcomes — token hit,
+/// decision-cache hit, source query — must sum back to the enforcement
+/// count.
+#[test]
+fn eight_threads_share_token_and_decision_caches() {
+    let pdp = build_pdp();
+    let authority = Arc::new(CapabilityAuthority::new(
+        CapabilityKey::generate(&mut StdRng::seed_from_u64(0xC0)),
+        u64::MAX / 2,
+    ));
+    let pep = Pep::builder("pep.conc-cap")
+        .audience("conc")
+        .source(Arc::new(MintingSource::new(pdp.clone(), authority.clone())))
+        .crypto(CryptoCtx::new())
+        .capability_fastpath(authority, 4096)
+        .cache(CacheConfig {
+            capacity: 4096,
+            ttl_ms: u64::MAX / 2,
+        })
+        .build();
+
+    let (allowed, denied) = hammer(&pep);
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+
+    let stats = pep.stats();
+    assert_eq!(stats.allowed, allowed);
+    assert_eq!(stats.denied, denied);
+    assert_eq!(stats.failsafe_denials, 0);
+    assert_eq!(stats.token_rejects, 0, "no revocations in this run");
+
+    let tokens = pep.token_cache_stats().expect("token cache configured");
+    let cache = pep.cache_stats().expect("decision cache configured");
+    // Every serve probes the token cache first …
+    assert_eq!(tokens.hits + tokens.misses, total);
+    assert_eq!(stats.token_hits, tokens.hits);
+    // … token misses fall through to the decision cache …
+    assert_eq!(cache.hits + cache.misses, tokens.misses);
+    assert_eq!(stats.cache_hits, cache.hits);
+    // … and decision-cache misses each cost exactly one source query,
+    // so the three paths partition the traffic.
+    assert_eq!(pdp.metrics().decisions, cache.misses);
+    assert_eq!(tokens.hits + cache.hits + cache.misses, total);
+    // The permit working set is 16 subjects × 8 resources: after the
+    // first lap, reads ride minted tokens.
+    assert!(stats.tokens_minted >= 1);
+    assert!(
+        stats.token_hits > allowed / 2,
+        "token path hit-starved: {stats:?}"
+    );
+}

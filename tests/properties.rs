@@ -210,6 +210,39 @@ proptest! {
         prop_assert!(moved_on_growth > 0, "a new shard must capture some keys");
     }
 
+    /// Read-path concurrency (ISSUE 9): with a single stripe, the
+    /// striped cache degenerates to exactly the single-lock
+    /// `TtlLruCache` it wraps — every get answers identically, and the
+    /// lengths and aggregate stats match after any op sequence. (The
+    /// per-stripe equivalence for multi-stripe configurations lives in
+    /// `dacs-pdp`'s own property suite, which routes a bank of
+    /// single-lock caches by `stripe_index`.)
+    #[test]
+    fn striped_cache_with_one_stripe_matches_single_lock(
+        capacity in 1usize..6,
+        ttl in 1u64..60,
+        ops in prop::collection::vec((0u32..10, 0u64..30, any::<bool>()), 1..60),
+    ) {
+        let striped = dacs::pdp::ConcurrentTtlCache::<u32, u64>::with_stripes(1, capacity, ttl);
+        let mut single = dacs::pdp::TtlLruCache::<u32, u64>::new(capacity, ttl);
+        let mut now = 0u64;
+        for (key, advance, write) in ops {
+            now += advance;
+            if write {
+                striped.insert(key, u64::from(key), now);
+                single.insert(key, u64::from(key), now);
+            } else {
+                prop_assert_eq!(striped.get(&key, now), single.get(&key, now));
+            }
+        }
+        prop_assert_eq!(striped.len(), single.len());
+        let (a, b) = (striped.stats(), single.stats());
+        prop_assert_eq!(a.hits, b.hits);
+        prop_assert_eq!(a.misses, b.misses);
+        prop_assert_eq!(a.evictions, b.evictions);
+        prop_assert_eq!(a.expirations, b.expirations);
+    }
+
     #[test]
     fn zipf_sampler_in_range(n in 1usize..200, s in 0.0f64..2.5, seed in any::<u64>()) {
         use rand::SeedableRng;

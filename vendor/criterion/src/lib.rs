@@ -188,6 +188,35 @@ impl Bencher {
         self.result = Some(BenchResult::from_samples(&mut samples));
     }
 
+    /// Measures a routine that times itself: `routine(iters)` runs the
+    /// workload `iters` times and returns the wall-clock [`Duration`]
+    /// the batch took — criterion's escape hatch for multi-threaded
+    /// workloads, where timing each call from outside would charge
+    /// thread setup to the measured path. Each stored sample is the
+    /// per-iteration average over a calibrated batch.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Calibrate a batch that keeps each sample well above timer
+        // and thread-setup noise (~0.5 ms) without starving the sample
+        // count.
+        let probe = routine(64).as_nanos().max(1) as u64;
+        let per_iter = (probe / 64).max(1);
+        let batch = (500_000 / per_iter).clamp(64, 1_048_576);
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine(batch));
+        }
+        let mut samples: Vec<u64> = Vec::with_capacity(self.config.min_iters as usize);
+        let overall = Instant::now();
+        let deadline = overall + self.config.measurement_time;
+        while samples.len() < MAX_SAMPLES
+            && ((samples.len() as u64) < self.config.min_iters || Instant::now() < deadline)
+        {
+            let elapsed = routine(batch).as_nanos() as u64;
+            samples.push((elapsed / batch).max(1));
+        }
+        self.result = Some(BenchResult::from_samples(&mut samples));
+    }
+
     /// Measures a routine with per-iteration setup excluded from timing.
     pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
         &mut self,
